@@ -1,0 +1,179 @@
+//! The closed-loop client used by the baseline systems.
+
+use crate::group::{ActorIdWire, BMsg};
+use sharper_common::{ClientId, ClusterId, CostModel, Duration, NodeId};
+use sharper_net::{Actor, ActorId, CommitSample, Context, StatsHandle, TimerId};
+use sharper_state::{Partitioner, Transaction};
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+/// Where a baseline client sends its requests.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    /// The primary of each shard's consensus group (for sharded baselines);
+    /// non-sharded baselines have a single entry for shard 0.
+    pub cluster_primaries: BTreeMap<ClusterId, NodeId>,
+    /// The reference-committee coordinator handling cross-shard transactions
+    /// (AHL only).
+    pub reference_committee: Option<NodeId>,
+    /// All members of the (single) group, used by the fast protocols where
+    /// clients multicast their request to every member.
+    pub fast_multicast: Option<Vec<NodeId>>,
+}
+
+/// A closed-loop baseline client: one outstanding request at a time.
+pub struct BaselineClient {
+    id: ClientId,
+    partitioner: Partitioner,
+    route: RouteTable,
+    required_replies: usize,
+    script: Box<dyn Iterator<Item = Transaction> + Send>,
+    stats: StatsHandle,
+    cost: CostModel,
+    retry_timeout: Duration,
+    outstanding: Option<(Transaction, sharper_common::SimTime, HashSet<NodeId>, TimerId, bool)>,
+    completed: usize,
+}
+
+impl BaselineClient {
+    /// Creates a baseline client.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: ClientId,
+        partitioner: Partitioner,
+        route: RouteTable,
+        required_replies: usize,
+        script: impl Iterator<Item = Transaction> + Send + 'static,
+        stats: StatsHandle,
+        cost: CostModel,
+    ) -> Self {
+        Self {
+            id,
+            partitioner,
+            route,
+            required_replies,
+            script: Box::new(script),
+            stats,
+            cost,
+            retry_timeout: Duration::from_millis(2_000),
+            outstanding: None,
+            completed: 0,
+        }
+    }
+
+    /// Number of transactions completed by this client.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    fn submit_next(&mut self, ctx: &mut Context<BMsg>) {
+        let Some(tx) = self.script.next() else {
+            self.outstanding = None;
+            return;
+        };
+        let involved = tx.involved_clusters(&self.partitioner);
+        let cross = involved.len() > 1;
+        ctx.charge(self.cost.client());
+        self.stats.record_submission();
+        let msg = BMsg::Request {
+            tx: tx.clone(),
+            reply_to: ActorIdWire::Client(self.id.0),
+        };
+        if let Some(members) = &self.route.fast_multicast {
+            ctx.multicast(members.iter().map(|n| ActorId::Node(*n)), msg);
+        } else if cross {
+            if let Some(rc) = self.route.reference_committee {
+                ctx.send(ActorId::Node(rc), msg);
+            } else {
+                // Non-sharded baseline: the single group handles everything.
+                let primary = self.route.cluster_primaries[&ClusterId(0)];
+                ctx.send(ActorId::Node(primary), msg);
+            }
+        } else {
+            let shard = involved.first().copied().unwrap_or(ClusterId(0));
+            let primary = self
+                .route
+                .cluster_primaries
+                .get(&shard)
+                .or_else(|| self.route.cluster_primaries.get(&ClusterId(0)))
+                .copied()
+                .expect("route table covers the shard");
+            ctx.send(ActorId::Node(primary), msg);
+        }
+        let timer = ctx.set_timer(self.retry_timeout, 5);
+        self.outstanding = Some((tx, ctx.now(), HashSet::new(), timer, cross));
+    }
+}
+
+impl Actor<BMsg> for BaselineClient {
+    fn id(&self) -> ActorId {
+        ActorId::Client(self.id)
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<BMsg>) {
+        self.submit_next(ctx);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: BMsg, ctx: &mut Context<BMsg>) {
+        let BMsg::Reply { tx, node } = msg else { return };
+        ctx.charge(self.cost.client());
+        let Some((outstanding, submitted, replies, timer, cross)) = self.outstanding.as_mut() else {
+            return;
+        };
+        if outstanding.id != tx {
+            return;
+        }
+        replies.insert(node);
+        if replies.len() < self.required_replies {
+            return;
+        }
+        let submitted = *submitted;
+        let cross = *cross;
+        let timer = *timer;
+        ctx.cancel_timer(timer);
+        self.outstanding = None;
+        self.completed += 1;
+        self.stats.record_commit(CommitSample {
+            tx,
+            submitted_at: submitted,
+            committed_at: ctx.now(),
+            cross_shard: cross,
+        });
+        self.submit_next(ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, _tag: u64, ctx: &mut Context<BMsg>) {
+        // Retransmit the outstanding request if it is still pending.
+        let Some((tx, _, _, pending_timer, _)) = self.outstanding.as_mut() else {
+            return;
+        };
+        if *pending_timer != timer {
+            return;
+        }
+        let tx = tx.clone();
+        let involved = tx.involved_clusters(&self.partitioner);
+        let cross = involved.len() > 1;
+        let msg = BMsg::Request {
+            tx,
+            reply_to: ActorIdWire::Client(self.id.0),
+        };
+        let target = if cross {
+            self.route
+                .reference_committee
+                .unwrap_or(self.route.cluster_primaries[&ClusterId(0)])
+        } else {
+            let shard = involved.first().copied().unwrap_or(ClusterId(0));
+            self.route
+                .cluster_primaries
+                .get(&shard)
+                .or_else(|| self.route.cluster_primaries.get(&ClusterId(0)))
+                .copied()
+                .expect("route table covers the shard")
+        };
+        ctx.send(ActorId::Node(target), msg);
+        let new_timer = ctx.set_timer(self.retry_timeout, 5);
+        if let Some((_, _, _, pending_timer, _)) = self.outstanding.as_mut() {
+            *pending_timer = new_timer;
+        }
+    }
+}

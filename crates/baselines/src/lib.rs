@@ -1,0 +1,37 @@
+//! # sharper-baselines
+//!
+//! The comparison systems of the SharPer evaluation (§4):
+//!
+//! * **APR-C / APR-B** — active/passive replication: a single consensus group
+//!   of `2f+1` crash-only (Paxos) or `3f+1` Byzantine (PBFT-style) *active*
+//!   replicas orders every transaction; the remaining nodes are *passive*
+//!   replicas that only receive execution results. No sharding, so the
+//!   cross-shard ratio does not affect these systems.
+//! * **FPaxos / FaB** — fast consensus using extra replicas: `3f+1` (Fast
+//!   Paxos) or `5f+1` (Fast Byzantine consensus) replicas order requests in
+//!   one fewer message delay (clients multicast directly to the group), again
+//!   with the remaining nodes passive.
+//! * **AHL-C / AHL-B** — the sharded baseline: the same per-cluster
+//!   intra-shard consensus as SharPer, but cross-shard transactions are
+//!   ordered by a dedicated *reference committee* acting as a 2PC
+//!   coordinator. Every 2PC step is itself a consensus round inside the
+//!   reference committee, and the committee processes cross-shard
+//!   transactions one at a time — the two properties the paper identifies as
+//!   AHL's bottleneck (extra phases, no parallelism across non-overlapping
+//!   cross-shard transactions).
+//!
+//! All baselines run on the same simulator, latency model and CPU cost model
+//! as SharPer, so the figures compare protocols rather than tuning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod group;
+pub mod rc;
+pub mod systems;
+
+pub use client::BaselineClient;
+pub use group::{BMsg, GroupParams, GroupReplica, PassiveReplica};
+pub use rc::{RcCoordinator, RcMember};
+pub use systems::{BaselineKind, BaselineSystem, BaselineParams, BaselineReport};

@@ -1,0 +1,306 @@
+//! The AHL reference committee (2PC coordinator over consensus).
+//!
+//! In AHL [21], cross-shard transactions are ordered by a dedicated reference
+//! committee using two-phase commit, where *each* 2PC step is itself agreed
+//! inside the committee with a fault-tolerant protocol. Because one committee
+//! coordinates every cross-shard transaction, they are processed one at a
+//! time — which is exactly why AHL cannot commit cross-shard transactions
+//! over non-overlapping clusters in parallel (§5 of the SharPer paper).
+//!
+//! The [`RcCoordinator`] is the committee's primary; [`RcMember`]s are the
+//! other committee replicas, which acknowledge each step (standing in for the
+//! committee-internal consensus round while charging its CPU and latency
+//! cost).
+
+use crate::group::{ActorIdWire, BMsg};
+use sharper_common::{ClusterId, CostModel, FailureModel, NodeId};
+use sharper_crypto::Digest;
+use sharper_net::{Actor, ActorId, Context};
+use sharper_state::{Partitioner, Transaction};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Phases of the coordinator's state machine for one cross-shard transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Committee consensus on "prepare".
+    RcPrepare,
+    /// Waiting for the involved clusters to order/lock the transaction.
+    ClusterVotes,
+    /// Committee consensus on the commit decision.
+    RcDecide,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    tx: Transaction,
+    client: ActorId,
+    involved: Vec<ClusterId>,
+    phase: Phase,
+    rc_acks: BTreeSet<NodeId>,
+    cluster_votes: BTreeSet<ClusterId>,
+}
+
+/// The reference-committee coordinator (its primary member).
+pub struct RcCoordinator {
+    node: NodeId,
+    members: Vec<NodeId>,
+    quorum: usize,
+    cluster_primaries: BTreeMap<ClusterId, NodeId>,
+    node_cluster: HashMap<NodeId, ClusterId>,
+    partitioner: Partitioner,
+    cost: CostModel,
+    failure_model: FailureModel,
+    signed: bool,
+    queue: VecDeque<(Transaction, ActorId)>,
+    current: Option<InFlight>,
+    /// Number of cross-shard transactions fully committed.
+    completed: usize,
+    /// Largest queue length observed (a bottleneck indicator).
+    peak_queue: usize,
+}
+
+impl RcCoordinator {
+    /// Creates the coordinator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: NodeId,
+        members: Vec<NodeId>,
+        quorum: usize,
+        cluster_primaries: BTreeMap<ClusterId, NodeId>,
+        node_cluster: HashMap<NodeId, ClusterId>,
+        partitioner: Partitioner,
+        cost: CostModel,
+        failure_model: FailureModel,
+    ) -> Self {
+        let signed = failure_model.requires_signatures();
+        Self {
+            node,
+            members,
+            quorum,
+            cluster_primaries,
+            node_cluster,
+            partitioner,
+            cost,
+            failure_model,
+            signed,
+            queue: VecDeque::new(),
+            current: None,
+            completed: 0,
+            peak_queue: 0,
+        }
+    }
+
+    /// Number of cross-shard transactions committed through the committee.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Largest backlog of cross-shard transactions observed.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
+    }
+
+    fn charge(&self, ctx: &mut Context<BMsg>, verify: usize, sign: usize) {
+        let (v, s) = if self.signed { (verify, sign) } else { (0, 0) };
+        ctx.charge(self.cost.protocol_message(self.failure_model, v, s));
+    }
+
+    fn other_members(&self) -> Vec<ActorId> {
+        self.members
+            .iter()
+            .filter(|n| **n != self.node)
+            .map(|n| ActorId::Node(*n))
+            .collect()
+    }
+
+    fn start_next(&mut self, ctx: &mut Context<BMsg>) {
+        if self.current.is_some() {
+            return;
+        }
+        let Some((tx, client)) = self.queue.pop_front() else {
+            return;
+        };
+        let involved = tx.involved_clusters(&self.partitioner);
+        let d = tx.digest();
+        self.current = Some(InFlight {
+            tx,
+            client,
+            involved,
+            phase: Phase::RcPrepare,
+            rc_acks: BTreeSet::new(),
+            cluster_votes: BTreeSet::new(),
+        });
+        // Committee-internal consensus round #1 (prepare).
+        self.charge(ctx, 0, 1);
+        ctx.multicast(self.other_members(), BMsg::RcStep { phase: 1, d });
+        // A committee of one (degenerate test configurations) skips straight
+        // through; the ack handler below tolerates the empty-member case.
+        self.maybe_advance(d, ctx);
+    }
+
+    fn maybe_advance(&mut self, d: Digest, ctx: &mut Context<BMsg>) {
+        // Decide what to do while borrowing the in-flight record, then act
+        // after releasing the borrow.
+        enum Action {
+            Nothing,
+            SendClusterRequests(Transaction, Vec<ClusterId>),
+            StartDecide,
+            Finish(ActorId, sharper_common::TxId),
+        }
+        let action = {
+            let Some(current) = self.current.as_mut() else { return };
+            if current.tx.digest() != d {
+                return;
+            }
+            match current.phase {
+                Phase::RcPrepare => {
+                    // The coordinator's own vote counts towards the quorum.
+                    if current.rc_acks.len() + 1 < self.quorum {
+                        Action::Nothing
+                    } else {
+                        current.phase = Phase::ClusterVotes;
+                        current.rc_acks.clear();
+                        Action::SendClusterRequests(current.tx.clone(), current.involved.clone())
+                    }
+                }
+                Phase::ClusterVotes => {
+                    if current.cluster_votes.len() < current.involved.len() {
+                        Action::Nothing
+                    } else {
+                        current.phase = Phase::RcDecide;
+                        Action::StartDecide
+                    }
+                }
+                Phase::RcDecide => {
+                    if current.rc_acks.len() + 1 < self.quorum {
+                        Action::Nothing
+                    } else {
+                        Action::Finish(current.client, current.tx.id)
+                    }
+                }
+            }
+        };
+        match action {
+            Action::Nothing => {}
+            Action::SendClusterRequests(tx, involved) => {
+                // Hand the transaction to every involved cluster; each cluster
+                // orders it with its intra-shard protocol and replies here.
+                for cluster in involved {
+                    let primary = self.cluster_primaries[&cluster];
+                    ctx.send(
+                        ActorId::Node(primary),
+                        BMsg::Request {
+                            tx: tx.clone(),
+                            reply_to: ActorIdWire::Node(self.node.0),
+                        },
+                    );
+                }
+            }
+            Action::StartDecide => {
+                // Committee-internal consensus round #2 (decision).
+                self.charge(ctx, 0, 1);
+                ctx.multicast(self.other_members(), BMsg::RcStep { phase: 2, d });
+                // Degenerate single-member committees advance immediately.
+                self.maybe_advance(d, ctx);
+            }
+            Action::Finish(client, tx_id) => {
+                self.current = None;
+                self.completed += 1;
+                ctx.send(client, BMsg::Reply { tx: tx_id, node: self.node });
+                self.start_next(ctx);
+            }
+        }
+    }
+}
+
+impl Actor<BMsg> for RcCoordinator {
+    fn id(&self) -> ActorId {
+        ActorId::Node(self.node)
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: BMsg, ctx: &mut Context<BMsg>) {
+        self.charge(ctx, 1, 0);
+        match msg {
+            BMsg::Request { tx, reply_to } => {
+                self.queue.push_back((tx, reply_to.into()));
+                self.peak_queue = self.peak_queue.max(self.queue.len());
+                self.start_next(ctx);
+            }
+            BMsg::RcAck { phase: _, d, node } => {
+                if let Some(current) = self.current.as_mut() {
+                    if current.tx.digest() == d {
+                        current.rc_acks.insert(node);
+                    }
+                }
+                self.maybe_advance(d, ctx);
+            }
+            BMsg::Reply { tx, node } => {
+                // A vote from one of the involved clusters' replicas.
+                let Some(cluster) = self.node_cluster.get(&node).copied() else {
+                    return;
+                };
+                if let Some(current) = self.current.as_mut() {
+                    if current.tx.id == tx {
+                        current.cluster_votes.insert(cluster);
+                        let d = current.tx.digest();
+                        self.maybe_advance(d, ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+        let _ = from;
+    }
+
+    fn on_timer(&mut self, _t: sharper_net::TimerId, _tag: u64, _ctx: &mut Context<BMsg>) {}
+}
+
+/// An ordinary member of the reference committee: it acknowledges each 2PC
+/// step, standing in for its participation in the committee-internal
+/// consensus while charging the corresponding CPU cost.
+pub struct RcMember {
+    node: NodeId,
+    coordinator: NodeId,
+    cost: CostModel,
+    failure_model: FailureModel,
+    acked: usize,
+}
+
+impl RcMember {
+    /// Creates a committee member.
+    pub fn new(node: NodeId, coordinator: NodeId, cost: CostModel, failure_model: FailureModel) -> Self {
+        Self {
+            node,
+            coordinator,
+            cost,
+            failure_model,
+            acked: 0,
+        }
+    }
+
+    /// Number of steps acknowledged.
+    pub fn acked(&self) -> usize {
+        self.acked
+    }
+}
+
+impl Actor<BMsg> for RcMember {
+    fn id(&self) -> ActorId {
+        ActorId::Node(self.node)
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: BMsg, ctx: &mut Context<BMsg>) {
+        if let BMsg::RcStep { phase, d } = msg {
+            let signed = self.failure_model.requires_signatures();
+            let (v, s) = if signed { (1, 1) } else { (0, 0) };
+            ctx.charge(self.cost.protocol_message(self.failure_model, v, s));
+            self.acked += 1;
+            ctx.send(
+                ActorId::Node(self.coordinator),
+                BMsg::RcAck { phase, d, node: self.node },
+            );
+        }
+    }
+
+    fn on_timer(&mut self, _t: sharper_net::TimerId, _tag: u64, _ctx: &mut Context<BMsg>) {}
+}

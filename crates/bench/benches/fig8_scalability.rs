@@ -1,0 +1,25 @@
+//! Figure 8: SharPer throughput with 2–5 clusters at 90% intra-shard load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sharper_bench::sharper_point;
+use sharper_common::{FailureModel, SimTime};
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let duration = SimTime::from_millis(800);
+    for clusters in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("crash", clusters), &clusters, |b, &n| {
+            b.iter(|| sharper_point(FailureModel::Crash, n, 0.10, 4 * n, duration))
+        });
+        group.bench_with_input(BenchmarkId::new("byzantine", clusters), &clusters, |b, &n| {
+            b.iter(|| sharper_point(FailureModel::Byzantine, n, 0.10, 4 * n, duration))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

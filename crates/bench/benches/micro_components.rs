@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the substrates: SHA-256 hashing, block construction,
+//! ledger append and transaction execution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sharper_common::{AccountId, ClientId, ClusterId};
+use sharper_crypto::Sha256;
+use sharper_ledger::{Block, LedgerView};
+use sharper_state::{Executor, Partitioner, Transaction};
+use std::collections::BTreeMap;
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let data = vec![0xabu8; 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_1kib", |b| b.iter(|| Sha256::digest(&data)));
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("block_construction", |b| {
+        let tx = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 5);
+        let genesis = Block::genesis().digest();
+        b.iter(|| {
+            let mut parents = BTreeMap::new();
+            parents.insert(ClusterId(0), genesis);
+            Block::transaction(tx.clone(), parents)
+        })
+    });
+
+    group.bench_function("ledger_append_1000", |b| {
+        b.iter(|| {
+            let mut view = LedgerView::new(ClusterId(0));
+            for seq in 0..1000u64 {
+                let tx = Transaction::transfer(ClientId(1), seq, AccountId(1), AccountId(2), 1);
+                let mut parents = BTreeMap::new();
+                parents.insert(ClusterId(0), view.head());
+                view.append(Block::transaction(tx, parents)).unwrap();
+            }
+            view.committed_count()
+        })
+    });
+
+    group.bench_function("execute_transfer", |b| {
+        let executor = Executor::new(ClusterId(0), Partitioner::range(4, 1000));
+        let mut store = executor.genesis_store(1000, 1_000_000, ClientId);
+        let tx = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 1);
+        b.iter(|| executor.apply(&mut store, &tx))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

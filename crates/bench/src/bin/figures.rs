@@ -1,0 +1,70 @@
+//! Regenerates every figure of the SharPer evaluation on the simulator.
+//!
+//! Usage:
+//!   cargo run -p sharper-bench --release --bin figures            # all figures
+//!   cargo run -p sharper-bench --release --bin figures -- --fig 6a --quick
+//!
+//! Output: one text table per figure (system, clients, throughput, latency),
+//! plus a JSON dump per figure for plotting.
+
+use sharper_bench::{figure_cross_shard_sweep, figure_scalability, Series};
+use sharper_common::{FailureModel, SimTime};
+
+fn print_series(title: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    println!("{:<12} {:>8} {:>16} {:>14}", "system", "clients", "throughput(tps)", "latency(ms)");
+    for s in series {
+        for p in &s.points {
+            println!(
+                "{:<12} {:>8} {:>16.0} {:>14.1}",
+                s.system, p.clients, p.throughput_tps, p.latency_ms
+            );
+        }
+    }
+    match serde_json::to_string(series) {
+        Ok(json) => println!("JSON {title}: {json}"),
+        Err(e) => eprintln!("failed to serialise {title}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let duration = if quick { SimTime::from_secs(2) } else { SimTime::from_secs(5) };
+    let clients: Vec<usize> = if quick { vec![8, 48, 128] } else { vec![8, 24, 64, 128, 224, 320] };
+
+    let wants = |name: &str| only.as_deref().map_or(true, |f| f.eq_ignore_ascii_case(name));
+
+    let cross_figs = [
+        ("6a", FailureModel::Crash, 0.0),
+        ("6b", FailureModel::Crash, 0.2),
+        ("6c", FailureModel::Crash, 0.8),
+        ("6d", FailureModel::Crash, 1.0),
+        ("7a", FailureModel::Byzantine, 0.0),
+        ("7b", FailureModel::Byzantine, 0.2),
+        ("7c", FailureModel::Byzantine, 0.8),
+        ("7d", FailureModel::Byzantine, 1.0),
+    ];
+    for (name, model, ratio) in cross_figs {
+        if wants(name) {
+            let series = figure_cross_shard_sweep(model, ratio, &clients, duration);
+            print_series(
+                &format!("Figure {name}: {model} nodes, {:.0}% cross-shard", ratio * 100.0),
+                &series,
+            );
+        }
+    }
+    if wants("8a") {
+        let series = figure_scalability(FailureModel::Crash, &[2, 3, 4, 5], 12, duration);
+        print_series("Figure 8a: SharPer scalability, crash-only, 10% cross-shard", &series);
+    }
+    if wants("8b") {
+        let series = figure_scalability(FailureModel::Byzantine, &[2, 3, 4, 5], 12, duration);
+        print_series("Figure 8b: SharPer scalability, Byzantine, 10% cross-shard", &series);
+    }
+}

@@ -1,0 +1,230 @@
+//! # sharper-bench
+//!
+//! The experiment harness regenerating every figure of the SharPer
+//! evaluation (§4). Each figure is a throughput/latency curve obtained by
+//! sweeping the number of closed-loop clients until saturation; the harness
+//! runs the same sweep on the simulator for SharPer and for every baseline.
+//!
+//! * Criterion benches (`benches/…`) run one representative point per system
+//!   and figure so `cargo bench` exercises every experiment quickly.
+//! * The `figures` binary (`cargo run -p sharper-bench --release --bin
+//!   figures`) runs the full sweeps and prints the series that correspond to
+//!   Figures 6(a)–(d), 7(a)–(d) and 8(a)–(b), plus the two ablations
+//!   described in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use sharper_baselines::{BaselineKind, BaselineParams, BaselineSystem};
+use sharper_common::{FailureModel, InitiationPolicy, SimTime};
+use sharper_core::{SharperSystem, SystemParams};
+use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// Accounts per shard used by all experiments (smaller than the default so
+/// the harness stays fast; the protocols are insensitive to the account count
+/// as long as contention stays low).
+pub const ACCOUNTS_PER_SHARD: u64 = 2_000;
+
+/// One point of a throughput/latency curve.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CurvePoint {
+    /// Number of closed-loop clients producing this point.
+    pub clients: usize,
+    /// Steady-state throughput in transactions per second.
+    pub throughput_tps: f64,
+    /// Mean end-to-end latency in milliseconds.
+    pub latency_ms: f64,
+    /// Number of transactions in the measurement window.
+    pub committed: usize,
+}
+
+/// One system's curve for one figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// The system's label ("SharPer", "AHL-C", ...).
+    pub system: String,
+    /// The measured curve, one point per client count.
+    pub points: Vec<CurvePoint>,
+}
+
+/// Runs SharPer at one operating point.
+pub fn sharper_point(
+    model: FailureModel,
+    clusters: usize,
+    cross_ratio: f64,
+    clients: usize,
+    duration: SimTime,
+) -> CurvePoint {
+    let mut params = SystemParams::new(model, clusters, 1);
+    params.accounts_per_shard = ACCOUNTS_PER_SHARD;
+    params.warmup = SimTime::from_millis(300);
+    params.initiation_policy = InitiationPolicy::SuperPrimary;
+    let mut system = SharperSystem::build(params, clients, |client| {
+        let mut cfg = WorkloadConfig::evaluation(clusters as u32, cross_ratio);
+        cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
+        WorkloadGenerator::new(client, cfg)
+    });
+    let report = system.run(duration);
+    CurvePoint {
+        clients,
+        throughput_tps: report.summary.throughput_tps,
+        latency_ms: report.summary.mean_latency_ms,
+        committed: report.summary.committed,
+    }
+}
+
+/// Runs SharPer without the super-primary optimisation (ablation A1).
+pub fn sharper_point_no_super_primary(
+    model: FailureModel,
+    clusters: usize,
+    cross_ratio: f64,
+    clients: usize,
+    duration: SimTime,
+) -> CurvePoint {
+    let mut params = SystemParams::new(model, clusters, 1);
+    params.accounts_per_shard = ACCOUNTS_PER_SHARD;
+    params.warmup = SimTime::from_millis(300);
+    params.initiation_policy = InitiationPolicy::AnyInvolvedCluster;
+    let mut system = SharperSystem::build(params, clients, |client| {
+        let mut cfg = WorkloadConfig::evaluation(clusters as u32, cross_ratio);
+        cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
+        WorkloadGenerator::new(client, cfg)
+    });
+    let report = system.run(duration);
+    CurvePoint {
+        clients,
+        throughput_tps: report.summary.throughput_tps,
+        latency_ms: report.summary.mean_latency_ms,
+        committed: report.summary.committed,
+    }
+}
+
+/// Runs one baseline at one operating point.
+pub fn baseline_point(
+    kind: BaselineKind,
+    cross_ratio: f64,
+    clients: usize,
+    duration: SimTime,
+) -> CurvePoint {
+    let mut params = BaselineParams::paper(kind);
+    params.accounts_per_shard = ACCOUNTS_PER_SHARD;
+    params.warmup = SimTime::from_millis(300);
+    let clusters = params.clusters as u32;
+    let mut system = BaselineSystem::build(params, clients, |client| {
+        let mut cfg = WorkloadConfig::evaluation(clusters, cross_ratio);
+        cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
+        WorkloadGenerator::new(client, cfg)
+    });
+    let report = system.run(duration);
+    CurvePoint {
+        clients,
+        throughput_tps: report.summary.throughput_tps,
+        latency_ms: report.summary.mean_latency_ms,
+        committed: report.summary.committed,
+    }
+}
+
+/// The systems compared in Figure 6 (crash-only) or Figure 7 (Byzantine).
+pub fn figure_systems(model: FailureModel) -> Vec<(String, Option<BaselineKind>)> {
+    match model {
+        FailureModel::Crash => vec![
+            ("SharPer".to_string(), None),
+            ("AHL-C".to_string(), Some(BaselineKind::AhlC)),
+            ("APR-C".to_string(), Some(BaselineKind::AprC)),
+            ("FPaxos".to_string(), Some(BaselineKind::FPaxos)),
+        ],
+        FailureModel::Byzantine => vec![
+            ("SharPer".to_string(), None),
+            ("AHL-B".to_string(), Some(BaselineKind::AhlB)),
+            ("APR-B".to_string(), Some(BaselineKind::AprB)),
+            ("FaB".to_string(), Some(BaselineKind::FaB)),
+        ],
+    }
+}
+
+/// Runs a full figure-6/7 sub-plot: every system, sweeping the client count.
+pub fn figure_cross_shard_sweep(
+    model: FailureModel,
+    cross_ratio: f64,
+    client_counts: &[usize],
+    duration: SimTime,
+) -> Vec<Series> {
+    figure_systems(model)
+        .into_iter()
+        .map(|(label, kind)| {
+            let points = client_counts
+                .iter()
+                .map(|&clients| match kind {
+                    None => sharper_point(model, 4, cross_ratio, clients, duration),
+                    Some(k) => baseline_point(k, cross_ratio, clients, duration),
+                })
+                .collect();
+            Series { system: label, points }
+        })
+        .collect()
+}
+
+/// Runs Figure 8: SharPer throughput with 2–5 clusters at 90% intra-shard /
+/// 10% cross-shard load.
+pub fn figure_scalability(
+    model: FailureModel,
+    cluster_counts: &[usize],
+    clients_per_cluster: usize,
+    duration: SimTime,
+) -> Vec<Series> {
+    cluster_counts
+        .iter()
+        .map(|&clusters| {
+            let clients = clients_per_cluster * clusters;
+            let point = sharper_point(model, clusters, 0.10, clients, duration);
+            Series {
+                system: format!("{clusters} clusters"),
+                points: vec![point],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: SimTime = SimTime(1_500_000); // 1.5 s of simulated time
+
+    #[test]
+    fn sharper_point_produces_throughput() {
+        let p = sharper_point(FailureModel::Crash, 4, 0.2, 8, QUICK);
+        assert!(p.throughput_tps > 0.0);
+        assert!(p.latency_ms > 0.0);
+        assert!(p.committed > 0);
+    }
+
+    #[test]
+    fn baseline_point_produces_throughput() {
+        let p = baseline_point(BaselineKind::AprC, 0.2, 4, QUICK);
+        assert!(p.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn figure_systems_cover_four_systems_per_figure() {
+        assert_eq!(figure_systems(FailureModel::Crash).len(), 4);
+        assert_eq!(figure_systems(FailureModel::Byzantine).len(), 4);
+    }
+
+    #[test]
+    fn sharper_beats_non_sharded_baselines_on_intra_shard_load() {
+        // The headline claim behind Fig. 6(a): with no cross-shard
+        // transactions, four independent clusters outperform a single
+        // consensus group by a wide margin. Enough clients are needed to
+        // push the single APR-C group into saturation.
+        let sharper = sharper_point(FailureModel::Crash, 4, 0.0, 224, QUICK);
+        let apr = baseline_point(BaselineKind::AprC, 0.0, 224, QUICK);
+        assert!(
+            sharper.throughput_tps > 1.5 * apr.throughput_tps,
+            "SharPer {:.0} tps vs APR-C {:.0} tps",
+            sharper.throughput_tps,
+            apr.throughput_tps
+        );
+    }
+}

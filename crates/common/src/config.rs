@@ -1,0 +1,544 @@
+//! System configuration: failure model, cluster formation and quorum sizes.
+//!
+//! SharPer (§2.2) partitions `N` nodes into clusters of exactly `2f + 1`
+//! crash-only or `3f + 1` Byzantine nodes and assigns one data shard per
+//! cluster. This module captures that partitioning, the derived quorum sizes
+//! used by the intra-shard and cross-shard protocols (§3), and the
+//! group-aware clustering optimisation of §3.4.
+
+use crate::error::{Error, Result};
+use crate::ids::{ClusterId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The failure model followed by the replicas (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// Nodes may fail by stopping (and possibly restarting) but never lie.
+    /// Clusters need `2f + 1` nodes and quorums of `f + 1`.
+    Crash,
+    /// Nodes may behave arbitrarily (equivocate, forge application data,
+    /// stay silent). Clusters need `3f + 1` nodes and quorums of `2f + 1`.
+    Byzantine,
+}
+
+impl FailureModel {
+    /// The minimum cluster size required to tolerate `f` simultaneous
+    /// failures under this model.
+    pub fn cluster_size(self, f: usize) -> usize {
+        match self {
+            FailureModel::Crash => 2 * f + 1,
+            FailureModel::Byzantine => 3 * f + 1,
+        }
+    }
+
+    /// The per-cluster quorum used by both the intra-shard protocol and each
+    /// involved cluster of the flattened cross-shard protocol (§3.2–§3.3).
+    pub fn quorum(self, f: usize) -> usize {
+        match self {
+            FailureModel::Crash => f + 1,
+            FailureModel::Byzantine => 2 * f + 1,
+        }
+    }
+
+    /// Whether messages must carry signatures under this model (§2.1).
+    pub fn requires_signatures(self) -> bool {
+        matches!(self, FailureModel::Byzantine)
+    }
+}
+
+impl fmt::Display for FailureModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureModel::Crash => write!(f, "crash"),
+            FailureModel::Byzantine => write!(f, "byzantine"),
+        }
+    }
+}
+
+/// Which primary initiates a cross-shard transaction (§3.2, "super primary").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum InitiationPolicy {
+    /// Any involved cluster that received the client request initiates the
+    /// transaction. Concurrent conflicting initiations are resolved by
+    /// timers and retries.
+    AnyInvolvedCluster,
+    /// The primary of the involved cluster with the minimum identifier
+    /// initiates every cross-shard transaction over that cluster set. This is
+    /// the paper's super-primary optimisation, which removes most conflicts.
+    #[default]
+    SuperPrimary,
+}
+
+/// Configuration of a single cluster: its members and its fault budget.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// The cluster identifier (doubles as the shard identifier).
+    pub id: ClusterId,
+    /// Members of the cluster, in primary-election order: the primary of view
+    /// `v` is `nodes[v % nodes.len()]`.
+    pub nodes: Vec<NodeId>,
+    /// The number of simultaneous faults this cluster tolerates.
+    pub f: usize,
+}
+
+impl ClusterConfig {
+    /// Creates a cluster configuration, validating the size against the
+    /// failure model.
+    pub fn new(id: ClusterId, nodes: Vec<NodeId>, f: usize, model: FailureModel) -> Result<Self> {
+        let required = model.cluster_size(f);
+        if nodes.len() < required {
+            return Err(Error::InvalidConfig(format!(
+                "cluster {id} has {} nodes but needs at least {required} for f={f} under the {model} model",
+                nodes.len()
+            )));
+        }
+        Ok(Self { id, nodes, f })
+    }
+
+    /// Number of replicas in this cluster.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The primary for a given view number.
+    pub fn primary_of_view(&self, view: u64) -> NodeId {
+        self.nodes[(view as usize) % self.nodes.len()]
+    }
+
+    /// The quorum size of this cluster under the given failure model.
+    pub fn quorum(&self, model: FailureModel) -> usize {
+        model.quorum(self.f)
+    }
+
+    /// Whether `node` is a member of this cluster.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+/// A group of nodes with a known, group-specific fault budget (§3.4).
+///
+/// The clustered-network optimisation observes that if the network is made of
+/// groups (e.g. different cloud providers) with individually known `f`, the
+/// nodes of each group can be clustered independently, yielding more (and
+/// therefore more parallel) clusters than clustering the union with the
+/// global worst-case `f`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterGroup {
+    /// Human-readable name of the group (e.g. the cloud provider).
+    pub name: String,
+    /// How many nodes the group contributes.
+    pub nodes: usize,
+    /// The maximum number of simultaneous faults within this group.
+    pub f: usize,
+}
+
+/// A description of how the whole network is partitioned into clusters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterLayout {
+    /// `clusters` clusters, each sized for the global fault budget `f`.
+    Uniform {
+        /// Number of clusters to form.
+        clusters: usize,
+        /// Global per-cluster fault budget.
+        f: usize,
+    },
+    /// Group-aware clustering (§3.4): each group is clustered independently
+    /// with its own fault budget.
+    Grouped {
+        /// The groups making up the network.
+        groups: Vec<ClusterGroup>,
+    },
+}
+
+impl ClusterLayout {
+    /// The total number of nodes this layout requires under `model`.
+    pub fn total_nodes(&self, model: FailureModel) -> usize {
+        match self {
+            ClusterLayout::Uniform { clusters, f } => clusters * model.cluster_size(*f),
+            ClusterLayout::Grouped { groups } => groups.iter().map(|g| g.nodes).sum(),
+        }
+    }
+
+    /// The number of clusters this layout produces under `model`.
+    ///
+    /// For grouped layouts this is `Σ_g ⌊n_g / size(f_g)⌋`, as in the paper's
+    /// example (`n_A = 7, f_A = 2` and `n_B = 16, f_B = 1` gives `1 + 4 = 5`
+    /// Byzantine clusters instead of the 2 obtained with the global `f = 3`).
+    pub fn cluster_count(&self, model: FailureModel) -> usize {
+        match self {
+            ClusterLayout::Uniform { clusters, .. } => *clusters,
+            ClusterLayout::Grouped { groups } => groups
+                .iter()
+                .map(|g| g.nodes / model.cluster_size(g.f))
+                .sum(),
+        }
+    }
+}
+
+/// The full system configuration shared by every component of the system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The failure model of all replicas.
+    pub failure_model: FailureModel,
+    /// The clusters, keyed by identifier (iteration order is by id).
+    clusters: BTreeMap<ClusterId, ClusterConfig>,
+    /// Reverse index: node → owning cluster.
+    node_cluster: BTreeMap<NodeId, ClusterId>,
+    /// Which primary initiates cross-shard transactions.
+    pub initiation_policy: InitiationPolicy,
+}
+
+impl SystemConfig {
+    /// Builds a uniform configuration: `clusters` clusters, each with the
+    /// minimum number of nodes for fault budget `f` under `model`, nodes
+    /// numbered consecutively (`n0, n1, ...`).
+    ///
+    /// This matches the paper's evaluation deployments, e.g. 4 clusters of 3
+    /// crash-only nodes (12 nodes, Fig. 6) or 4 clusters of 4 Byzantine nodes
+    /// (16 nodes, Fig. 7).
+    pub fn uniform(model: FailureModel, clusters: usize, f: usize) -> Result<Self> {
+        if clusters == 0 {
+            return Err(Error::InvalidConfig("at least one cluster is required".into()));
+        }
+        let size = model.cluster_size(f);
+        let mut cfgs = Vec::with_capacity(clusters);
+        let mut next = 0u32;
+        for c in 0..clusters {
+            let nodes: Vec<NodeId> = (0..size)
+                .map(|_| {
+                    let id = NodeId(next);
+                    next += 1;
+                    id
+                })
+                .collect();
+            cfgs.push(ClusterConfig::new(ClusterId(c as u32), nodes, f, model)?);
+        }
+        Self::from_clusters(model, cfgs, InitiationPolicy::default())
+    }
+
+    /// Builds a configuration from an explicit [`ClusterLayout`].
+    pub fn from_layout(model: FailureModel, layout: &ClusterLayout) -> Result<Self> {
+        match layout {
+            ClusterLayout::Uniform { clusters, f } => Self::uniform(model, *clusters, *f),
+            ClusterLayout::Grouped { groups } => {
+                let mut cfgs = Vec::new();
+                let mut next_node = 0u32;
+                let mut next_cluster = 0u32;
+                for group in groups {
+                    let size = model.cluster_size(group.f);
+                    let whole_clusters = group.nodes / size;
+                    if whole_clusters == 0 {
+                        return Err(Error::InvalidConfig(format!(
+                            "group '{}' has {} nodes, fewer than the {} required for f={} under the {} model",
+                            group.name, group.nodes, size, group.f, model
+                        )));
+                    }
+                    let mut remaining = group.nodes;
+                    for k in 0..whole_clusters {
+                        // The paper notes the last cluster may absorb leftover nodes.
+                        let take = if k + 1 == whole_clusters { remaining } else { size };
+                        let nodes: Vec<NodeId> = (0..take)
+                            .map(|_| {
+                                let id = NodeId(next_node);
+                                next_node += 1;
+                                id
+                            })
+                            .collect();
+                        remaining -= take;
+                        cfgs.push(ClusterConfig::new(
+                            ClusterId(next_cluster),
+                            nodes,
+                            group.f,
+                            model,
+                        )?);
+                        next_cluster += 1;
+                    }
+                }
+                Self::from_clusters(model, cfgs, InitiationPolicy::default())
+            }
+        }
+    }
+
+    /// Builds a configuration from explicit cluster descriptions.
+    pub fn from_clusters(
+        model: FailureModel,
+        clusters: Vec<ClusterConfig>,
+        initiation_policy: InitiationPolicy,
+    ) -> Result<Self> {
+        if clusters.is_empty() {
+            return Err(Error::InvalidConfig("at least one cluster is required".into()));
+        }
+        let mut by_id = BTreeMap::new();
+        let mut node_cluster = BTreeMap::new();
+        for cluster in clusters {
+            let required = model.cluster_size(cluster.f);
+            if cluster.nodes.len() < required {
+                return Err(Error::InvalidConfig(format!(
+                    "cluster {} has {} nodes but needs {} under the {} model",
+                    cluster.id,
+                    cluster.nodes.len(),
+                    required,
+                    model
+                )));
+            }
+            for &node in &cluster.nodes {
+                if node_cluster.insert(node, cluster.id).is_some() {
+                    return Err(Error::InvalidConfig(format!(
+                        "node {node} appears in more than one cluster"
+                    )));
+                }
+            }
+            if by_id.insert(cluster.id, cluster).is_some() {
+                return Err(Error::InvalidConfig("duplicate cluster id".into()));
+            }
+        }
+        Ok(Self {
+            failure_model: model,
+            clusters: by_id,
+            node_cluster,
+            initiation_policy,
+        })
+    }
+
+    /// Sets the cross-shard initiation policy (builder style).
+    pub fn with_initiation_policy(mut self, policy: InitiationPolicy) -> Self {
+        self.initiation_policy = policy;
+        self
+    }
+
+    /// Number of clusters (= number of shards).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total number of replicas across all clusters.
+    pub fn node_count(&self) -> usize {
+        self.node_cluster.len()
+    }
+
+    /// All cluster identifiers in ascending order.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.clusters.keys().copied()
+    }
+
+    /// All node identifiers in ascending order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_cluster.keys().copied()
+    }
+
+    /// The configuration of a cluster.
+    pub fn cluster(&self, id: ClusterId) -> Result<&ClusterConfig> {
+        self.clusters
+            .get(&id)
+            .ok_or(Error::UnknownCluster(id))
+    }
+
+    /// The cluster a node belongs to.
+    pub fn cluster_of(&self, node: NodeId) -> Result<ClusterId> {
+        self.node_cluster
+            .get(&node)
+            .copied()
+            .ok_or(Error::UnknownNode(node))
+    }
+
+    /// The members of a cluster.
+    pub fn members(&self, id: ClusterId) -> Result<&[NodeId]> {
+        Ok(&self.cluster(id)?.nodes)
+    }
+
+    /// The primary of cluster `id` in view `view`.
+    pub fn primary(&self, id: ClusterId, view: u64) -> Result<NodeId> {
+        Ok(self.cluster(id)?.primary_of_view(view))
+    }
+
+    /// The per-cluster quorum (`f+1` crash, `2f+1` Byzantine) of cluster `id`.
+    pub fn quorum(&self, id: ClusterId) -> Result<usize> {
+        let c = self.cluster(id)?;
+        Ok(c.quorum(self.failure_model))
+    }
+
+    /// The cluster responsible for initiating a cross-shard transaction over
+    /// `involved` under the configured [`InitiationPolicy`].
+    ///
+    /// Under [`InitiationPolicy::SuperPrimary`] this is the involved cluster
+    /// with the minimum identifier (§3.2). Under
+    /// [`InitiationPolicy::AnyInvolvedCluster`] the caller's preference
+    /// (`received_by`) wins, as long as it is involved.
+    pub fn initiator_cluster(
+        &self,
+        involved: &[ClusterId],
+        received_by: Option<ClusterId>,
+    ) -> Result<ClusterId> {
+        if involved.is_empty() {
+            return Err(Error::InvalidConfig(
+                "a cross-shard transaction must involve at least one cluster".into(),
+            ));
+        }
+        for c in involved {
+            self.cluster(*c)?;
+        }
+        match self.initiation_policy {
+            InitiationPolicy::SuperPrimary => Ok(*involved.iter().min().expect("non-empty")),
+            InitiationPolicy::AnyInvolvedCluster => match received_by {
+                Some(c) if involved.contains(&c) => Ok(c),
+                _ => Ok(*involved.iter().min().expect("non-empty")),
+            },
+        }
+    }
+
+    /// All members of all the given clusters (deduplicated, sorted).
+    pub fn members_of_all(&self, clusters: &[ClusterId]) -> Result<Vec<NodeId>> {
+        let mut out = Vec::new();
+        for &c in clusters {
+            out.extend_from_slice(self.members(c)?);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_model_sizes_and_quorums() {
+        assert_eq!(FailureModel::Crash.cluster_size(1), 3);
+        assert_eq!(FailureModel::Crash.quorum(1), 2);
+        assert_eq!(FailureModel::Byzantine.cluster_size(1), 4);
+        assert_eq!(FailureModel::Byzantine.quorum(1), 3);
+        assert_eq!(FailureModel::Byzantine.cluster_size(3), 10);
+        assert!(!FailureModel::Crash.requires_signatures());
+        assert!(FailureModel::Byzantine.requires_signatures());
+    }
+
+    #[test]
+    fn uniform_config_matches_paper_deployments() {
+        // Fig. 6: 12 crash-only nodes, 4 clusters of 3, f = 1.
+        let crash = SystemConfig::uniform(FailureModel::Crash, 4, 1).unwrap();
+        assert_eq!(crash.cluster_count(), 4);
+        assert_eq!(crash.node_count(), 12);
+        assert_eq!(crash.quorum(ClusterId(0)).unwrap(), 2);
+
+        // Fig. 7: 16 Byzantine nodes, 4 clusters of 4, f = 1 (also Fig. 1).
+        let byz = SystemConfig::uniform(FailureModel::Byzantine, 4, 1).unwrap();
+        assert_eq!(byz.cluster_count(), 4);
+        assert_eq!(byz.node_count(), 16);
+        assert_eq!(byz.quorum(ClusterId(3)).unwrap(), 3);
+    }
+
+    #[test]
+    fn node_to_cluster_mapping_is_consistent() {
+        let cfg = SystemConfig::uniform(FailureModel::Byzantine, 3, 1).unwrap();
+        for cluster in cfg.cluster_ids() {
+            for &node in cfg.members(cluster).unwrap() {
+                assert_eq!(cfg.cluster_of(node).unwrap(), cluster);
+            }
+        }
+        assert!(cfg.cluster_of(NodeId(999)).is_err());
+        assert!(cfg.cluster(ClusterId(99)).is_err());
+    }
+
+    #[test]
+    fn primary_rotates_with_view() {
+        let cfg = SystemConfig::uniform(FailureModel::Crash, 1, 1).unwrap();
+        let members = cfg.members(ClusterId(0)).unwrap().to_vec();
+        assert_eq!(cfg.primary(ClusterId(0), 0).unwrap(), members[0]);
+        assert_eq!(cfg.primary(ClusterId(0), 1).unwrap(), members[1]);
+        assert_eq!(cfg.primary(ClusterId(0), 3).unwrap(), members[0]);
+    }
+
+    #[test]
+    fn super_primary_is_minimum_involved_cluster() {
+        let cfg = SystemConfig::uniform(FailureModel::Crash, 4, 1).unwrap();
+        let init = cfg
+            .initiator_cluster(&[ClusterId(2), ClusterId(1), ClusterId(3)], Some(ClusterId(3)))
+            .unwrap();
+        assert_eq!(init, ClusterId(1));
+
+        let cfg = cfg.with_initiation_policy(InitiationPolicy::AnyInvolvedCluster);
+        let init = cfg
+            .initiator_cluster(&[ClusterId(2), ClusterId(3)], Some(ClusterId(3)))
+            .unwrap();
+        assert_eq!(init, ClusterId(3));
+        // A receiver that is not involved falls back to the minimum cluster.
+        let init = cfg
+            .initiator_cluster(&[ClusterId(2), ClusterId(3)], Some(ClusterId(0)))
+            .unwrap();
+        assert_eq!(init, ClusterId(2));
+    }
+
+    #[test]
+    fn rejects_undersized_and_overlapping_clusters() {
+        let err = ClusterConfig::new(
+            ClusterId(0),
+            vec![NodeId(0), NodeId(1)],
+            1,
+            FailureModel::Byzantine,
+        );
+        assert!(err.is_err());
+
+        let a = ClusterConfig::new(
+            ClusterId(0),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            1,
+            FailureModel::Crash,
+        )
+        .unwrap();
+        let b = ClusterConfig::new(
+            ClusterId(1),
+            vec![NodeId(2), NodeId(3), NodeId(4)],
+            1,
+            FailureModel::Crash,
+        )
+        .unwrap();
+        let err = SystemConfig::from_clusters(FailureModel::Crash, vec![a, b], Default::default());
+        assert!(err.is_err(), "overlapping membership must be rejected");
+    }
+
+    #[test]
+    fn grouped_layout_reproduces_paper_example() {
+        // §3.4: n = 23 Byzantine nodes, global f = 3 → 2 clusters, but with
+        // groups A (7 nodes, f=2) and B (16 nodes, f=1) → 1 + 4 = 5 clusters.
+        let global = ClusterLayout::Uniform { clusters: 2, f: 3 };
+        assert_eq!(global.cluster_count(FailureModel::Byzantine), 2);
+        assert_eq!(global.total_nodes(FailureModel::Byzantine), 20);
+
+        let grouped = ClusterLayout::Grouped {
+            groups: vec![
+                ClusterGroup { name: "A".into(), nodes: 7, f: 2 },
+                ClusterGroup { name: "B".into(), nodes: 16, f: 1 },
+            ],
+        };
+        assert_eq!(grouped.cluster_count(FailureModel::Byzantine), 5);
+        assert_eq!(grouped.total_nodes(FailureModel::Byzantine), 23);
+
+        let cfg = SystemConfig::from_layout(FailureModel::Byzantine, &grouped).unwrap();
+        assert_eq!(cfg.cluster_count(), 5);
+        assert_eq!(cfg.node_count(), 23);
+        // The single group-A cluster has f = 2 → quorum 5; group-B clusters
+        // have f = 1 → quorum 3.
+        assert_eq!(cfg.quorum(ClusterId(0)).unwrap(), 5);
+        assert_eq!(cfg.quorum(ClusterId(1)).unwrap(), 3);
+    }
+
+    #[test]
+    fn members_of_all_deduplicates_and_sorts() {
+        let cfg = SystemConfig::uniform(FailureModel::Crash, 3, 1).unwrap();
+        let all = cfg
+            .members_of_all(&[ClusterId(1), ClusterId(0), ClusterId(1)])
+            .unwrap();
+        assert_eq!(all.len(), 6);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zero_clusters_is_invalid() {
+        assert!(SystemConfig::uniform(FailureModel::Crash, 0, 1).is_err());
+        assert!(SystemConfig::from_clusters(FailureModel::Crash, vec![], Default::default()).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type shared across the SharPer workspace.
+
+use crate::ids::{ClusterId, NodeId, TxId};
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by configuration, ledger, state and protocol code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The system configuration is inconsistent (wrong cluster sizes,
+    /// overlapping membership, ...).
+    InvalidConfig(String),
+    /// A cluster identifier does not exist in the configuration.
+    UnknownCluster(ClusterId),
+    /// A node identifier does not exist in the configuration.
+    UnknownNode(NodeId),
+    /// A transaction failed application-level validation (unknown account,
+    /// insufficient balance, wrong owner, ...).
+    InvalidTransaction {
+        /// The offending transaction.
+        tx: TxId,
+        /// Why validation failed.
+        reason: String,
+    },
+    /// A block or message failed integrity verification (hash mismatch,
+    /// bad signature, wrong parent).
+    IntegrityViolation(String),
+    /// A ledger audit found a safety violation (fork, inconsistent
+    /// cross-shard order, broken hash chain).
+    SafetyViolation(String),
+    /// A protocol invariant was violated by an incoming message; the message
+    /// is dropped (this is expected under Byzantine senders).
+    ProtocolViolation(String),
+    /// The requested item does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::UnknownCluster(c) => write!(f, "unknown cluster {c}"),
+            Error::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Error::InvalidTransaction { tx, reason } => {
+                write!(f, "invalid transaction {tx}: {reason}")
+            }
+            Error::IntegrityViolation(msg) => write!(f, "integrity violation: {msg}"),
+            Error::SafetyViolation(msg) => write!(f, "safety violation: {msg}"),
+            Error::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+            Error::NotFound(msg) => write!(f, "not found: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidConfig("too small".into());
+        assert!(e.to_string().contains("too small"));
+        let e = Error::UnknownCluster(ClusterId(4));
+        assert!(e.to_string().contains("p4"));
+        let e = Error::InvalidTransaction {
+            tx: TxId::new(ClientId(1), 2),
+            reason: "insufficient balance".into(),
+        };
+        assert!(e.to_string().contains("insufficient balance"));
+        assert!(e.to_string().contains("t1.2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error<E: std::error::Error>(_: E) {}
+        takes_std_error(Error::NotFound("x".into()));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            Error::UnknownNode(NodeId(1)),
+            Error::UnknownNode(NodeId(1))
+        );
+        assert_ne!(
+            Error::UnknownNode(NodeId(1)),
+            Error::UnknownNode(NodeId(2))
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Configuration shared by every replica of a deployment.
+
+use sharper_common::{CostModel, Duration, SystemConfig};
+use sharper_crypto::KeyRegistry;
+use sharper_state::Partitioner;
+use std::sync::Arc;
+
+/// Protocol timer settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerConfig {
+    /// How long a node stays reserved for an accepted cross-shard proposal
+    /// before giving up on its commit (§3.2's "pre-determined time").
+    pub conflict_timeout: Duration,
+    /// How long the initiator primary waits for cross-shard quorums before
+    /// re-initiating the transaction.
+    pub retry_timeout: Duration,
+    /// Maximum number of re-initiations before the initiator gives up.
+    pub max_retries: u32,
+    /// How long a backup waits for the commit of an in-flight request before
+    /// suspecting the primary and starting a view change.
+    pub view_change_timeout: Duration,
+}
+
+impl Default for TimerConfig {
+    fn default() -> Self {
+        Self {
+            // Comfortably above the worst-case cross-shard commit latency of
+            // the default latency model (tens of milliseconds), so that in
+            // fault-free runs reservations are normally released by commits
+            // (or by explicit aborts), and conflicts cost little when they do
+            // force a timeout.
+            conflict_timeout: Duration::from_millis(400),
+            retry_timeout: Duration::from_millis(100),
+            max_retries: 6,
+            view_change_timeout: Duration::from_millis(1_500),
+        }
+    }
+}
+
+/// Everything a replica needs to know about the deployment it is part of.
+///
+/// Wrapped in an [`Arc`] by the system layer so that the hundreds of replicas
+/// of a simulation share one copy.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Cluster membership, failure model, quorum sizes, initiation policy.
+    pub system: SystemConfig,
+    /// Mapping of accounts to shards.
+    pub partitioner: Partitioner,
+    /// CPU cost model used for simulation accounting.
+    pub cost: CostModel,
+    /// Protocol timers.
+    pub timers: TimerConfig,
+    /// The key registry modelling the PKI (§2.1).
+    pub registry: KeyRegistry,
+}
+
+impl ReplicaConfig {
+    /// Convenience constructor wrapping the config in an [`Arc`].
+    pub fn shared(
+        system: SystemConfig,
+        partitioner: Partitioner,
+        cost: CostModel,
+        timers: TimerConfig,
+        registry: KeyRegistry,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            system,
+            partitioner,
+            cost,
+            timers,
+            registry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::FailureModel;
+    use sharper_crypto::keys::SignerId;
+
+    #[test]
+    fn default_timers_are_ordered_sensibly() {
+        let t = TimerConfig::default();
+        assert!(t.retry_timeout <= t.conflict_timeout);
+        assert!(t.view_change_timeout > t.conflict_timeout);
+        assert!(t.max_retries > 0);
+    }
+
+    #[test]
+    fn shared_config_is_cheap_to_clone() {
+        let system = SystemConfig::uniform(FailureModel::Crash, 2, 1).unwrap();
+        let (registry, _) = KeyRegistry::generate(1, (0..6).map(SignerId));
+        let cfg = ReplicaConfig::shared(
+            system,
+            Partitioner::range(2, 100),
+            CostModel::default(),
+            TimerConfig::default(),
+            registry,
+        );
+        let clone = Arc::clone(&cfg);
+        assert_eq!(Arc::strong_count(&cfg), 2);
+        assert_eq!(clone.system.cluster_count(), 2);
+    }
+}

@@ -1,0 +1,461 @@
+//! Protocol messages exchanged by SharPer replicas and clients.
+//!
+//! One message enum covers the client interface, Paxos, PBFT, both flattened
+//! cross-shard protocols and the view-change sub-protocol. Field names follow
+//! the paper: `d` is the digest `D(m)` of the requested transaction, `h_i`
+//! (here `parent`) is the hash of the previous block ordered by cluster `p_i`.
+
+use serde::{Deserialize, Serialize};
+use sharper_common::{ClusterId, NodeId, TxId};
+use sharper_crypto::{Digest, Signature};
+use sharper_state::Transaction;
+use std::collections::BTreeMap;
+
+/// Timer tags used by replicas and clients (the simulator hands the tag back
+/// when a timer fires).
+pub mod timer_tags {
+    /// A reservation (conflict) timer armed when a node accepts a cross-shard
+    /// proposal: "it does not process any other transactions for a
+    /// pre-determined time before receiving commit messages" (§3.2).
+    pub const CONFLICT: u64 = 1;
+    /// The initiator's retry timer for a cross-shard transaction that failed
+    /// to gather quorums (concurrent conflicting transactions).
+    pub const RETRY: u64 = 2;
+    /// The view-change timer armed by backups while a request is in flight.
+    pub const VIEW_CHANGE: u64 = 3;
+    /// Client-side submission pacing timer (used by workload clients).
+    pub const CLIENT_SUBMIT: u64 = 4;
+    /// Client-side retransmission timer.
+    pub const CLIENT_RETRY: u64 = 5;
+}
+
+/// All messages of the SharPer protocol family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    // ------------------------------------------------------------------
+    // Client interface
+    // ------------------------------------------------------------------
+    /// `⟨REQUEST, tx, τc, c⟩σc` — a client request carrying one transaction.
+    /// Also used replica→replica to forward a request to the responsible
+    /// primary.
+    Request {
+        /// The requested transaction.
+        tx: Transaction,
+        /// Client signature over the transaction (checked in the Byzantine
+        /// model).
+        sig: Signature,
+    },
+    /// A replica's reply to the client after executing the transaction.
+    Reply {
+        /// The transaction this reply is for.
+        tx: TxId,
+        /// The replying replica.
+        node: NodeId,
+        /// Whether the transfer was applied (`false` = application-level
+        /// abort, e.g. insufficient balance).
+        applied: bool,
+    },
+
+    // ------------------------------------------------------------------
+    // Intra-shard consensus, crash model (Paxos, Fig. 3a)
+    // ------------------------------------------------------------------
+    /// Primary → backups: order `tx` right after the block `parent`.
+    PaxosAccept {
+        /// The primary's view number.
+        view: u64,
+        /// Hash of the previous block ordered by this cluster.
+        parent: Digest,
+        /// The transaction to order.
+        tx: Transaction,
+    },
+    /// Backup → primary: the backup accepted the proposal.
+    PaxosAccepted {
+        /// The view the backup is in.
+        view: u64,
+        /// The digest of the accepted transaction.
+        d: Digest,
+        /// The accepting backup.
+        node: NodeId,
+    },
+    /// Primary → backups: the proposal reached a majority; execute it.
+    PaxosCommit {
+        /// The primary's view number.
+        view: u64,
+        /// Hash of the previous block ordered by this cluster.
+        parent: Digest,
+        /// The committed transaction.
+        tx: Transaction,
+    },
+
+    // ------------------------------------------------------------------
+    // Intra-shard consensus, Byzantine model (PBFT, Fig. 3b)
+    // ------------------------------------------------------------------
+    /// Primary → replicas: `⟨PRE-PREPARE, v, h, d⟩σp , m`.
+    PrePrepare {
+        /// The primary's view number.
+        view: u64,
+        /// Hash of the previous block ordered by this cluster.
+        parent: Digest,
+        /// The transaction to order.
+        tx: Transaction,
+        /// The primary's signature over `(view, parent, d)`.
+        sig: Signature,
+    },
+    /// Replica → replicas: `⟨PREPARE, v, h, d, r⟩σr`.
+    Prepare {
+        /// View number.
+        view: u64,
+        /// Hash of the previous block ordered by this cluster.
+        parent: Digest,
+        /// Digest of the transaction being prepared.
+        d: Digest,
+        /// The preparing replica.
+        node: NodeId,
+        /// Signature over `(view, parent, d)`.
+        sig: Signature,
+    },
+    /// Replica → replicas: `⟨COMMIT, v, h, d, r⟩σr`.
+    PbftCommit {
+        /// View number.
+        view: u64,
+        /// Hash of the previous block ordered by this cluster.
+        parent: Digest,
+        /// Digest of the transaction being committed.
+        d: Digest,
+        /// The committing replica.
+        node: NodeId,
+        /// Signature over `(view, parent, d)`.
+        sig: Signature,
+    },
+
+    // ------------------------------------------------------------------
+    // Cross-shard consensus, crash model (Algorithm 1)
+    // ------------------------------------------------------------------
+    /// Initiator primary → all nodes of all involved clusters:
+    /// `⟨PROPOSE, h_i, d, m⟩`.
+    XPropose {
+        /// The initiator cluster `p_i`.
+        initiator: ClusterId,
+        /// Retry attempt number (0 for the first initiation).
+        attempt: u32,
+        /// `h_i`: hash of the previous block ordered by the initiator cluster.
+        parent: Digest,
+        /// The cross-shard transaction.
+        tx: Transaction,
+    },
+    /// Node of an involved cluster → initiator primary:
+    /// `⟨ACCEPT, h_i, h_j, d, r⟩`.
+    XAccept {
+        /// Digest of the proposed transaction.
+        d: Digest,
+        /// Retry attempt this accept answers.
+        attempt: u32,
+        /// The accepting node's cluster `p_j`.
+        cluster: ClusterId,
+        /// `h_j`: hash of the previous block ordered by cluster `p_j`.
+        parent: Digest,
+        /// The accepting node.
+        node: NodeId,
+    },
+    /// Initiator primary → all nodes of all involved clusters:
+    /// `⟨COMMIT, h_i, h_j, h_k, ..., d, r⟩`.
+    XCommit {
+        /// Digest of the committed transaction.
+        d: Digest,
+        /// One parent hash per involved cluster.
+        parents: BTreeMap<ClusterId, Digest>,
+        /// The committed transaction (carried so lagging replicas can apply).
+        tx: Transaction,
+    },
+
+    // ------------------------------------------------------------------
+    // Cross-shard consensus, Byzantine model (Algorithm 2)
+    // ------------------------------------------------------------------
+    /// Initiator primary → all nodes of all involved clusters (signed).
+    XProposeB {
+        /// The initiator cluster `p_i`.
+        initiator: ClusterId,
+        /// Retry attempt number.
+        attempt: u32,
+        /// `h_i`: hash of the previous block ordered by the initiator cluster.
+        parent: Digest,
+        /// The cross-shard transaction.
+        tx: Transaction,
+        /// The initiator primary's signature over `(initiator, parent, d)`.
+        sig: Signature,
+    },
+    /// Node → all nodes of all involved clusters (signed).
+    XAcceptB {
+        /// Digest of the proposed transaction.
+        d: Digest,
+        /// Retry attempt this accept answers.
+        attempt: u32,
+        /// The accepting node's cluster `p_j`.
+        cluster: ClusterId,
+        /// `h_j`: hash of the previous block ordered by cluster `p_j`.
+        parent: Digest,
+        /// The accepting node.
+        node: NodeId,
+        /// Signature over `(d, cluster, parent)`.
+        sig: Signature,
+    },
+    /// Node → all nodes of all involved clusters (signed).
+    XCommitB {
+        /// Digest of the committed transaction.
+        d: Digest,
+        /// One parent hash per involved cluster (as assembled from the accept
+        /// quorum observed by the sender).
+        parents: BTreeMap<ClusterId, Digest>,
+        /// The sender's cluster.
+        cluster: ClusterId,
+        /// The sending node.
+        node: NodeId,
+        /// Signature over `(d, parents)`.
+        sig: Signature,
+    },
+
+    /// Initiator → involved nodes: the initiator withdraws its proposal for
+    /// `d` (it yielded to a higher-priority initiator); release reservations
+    /// and drop the round. The transaction is re-initiated later.
+    XAbort {
+        /// Digest of the withdrawn proposal.
+        d: Digest,
+        /// The withdrawing (initiator) cluster.
+        initiator: ClusterId,
+    },
+
+    // ------------------------------------------------------------------
+    // View change (liveness)
+    // ------------------------------------------------------------------
+    /// A replica votes to replace the primary of its cluster.
+    ViewChange {
+        /// The replica's cluster.
+        cluster: ClusterId,
+        /// The proposed new view.
+        new_view: u64,
+        /// The voting replica.
+        node: NodeId,
+        /// Signature over `(cluster, new_view)`.
+        sig: Signature,
+    },
+    /// The new primary announces the new view.
+    NewView {
+        /// The cluster changing views.
+        cluster: ClusterId,
+        /// The new view number.
+        new_view: u64,
+        /// The announcing (new primary) replica.
+        node: NodeId,
+        /// Signature over `(cluster, new_view)`.
+        sig: Signature,
+    },
+}
+
+impl Msg {
+    /// Whether this message starts work on a *new* transaction at the
+    /// receiver (as opposed to advancing or finishing an already started
+    /// round). Reserved replicas buffer exactly these messages: "once a node
+    /// sends an accept message for a transaction, it does not process any
+    /// other transactions" (§3.2).
+    pub fn starts_new_transaction(&self) -> bool {
+        matches!(
+            self,
+            Msg::Request { .. }
+                | Msg::PaxosAccept { .. }
+                | Msg::PrePrepare { .. }
+                | Msg::XPropose { .. }
+                | Msg::XProposeB { .. }
+        )
+    }
+
+    /// Whether the message carries a signature that must be verified in the
+    /// Byzantine model (used for CPU-cost accounting).
+    pub fn is_signed(&self) -> bool {
+        matches!(
+            self,
+            Msg::Request { .. }
+                | Msg::PrePrepare { .. }
+                | Msg::Prepare { .. }
+                | Msg::PbftCommit { .. }
+                | Msg::XProposeB { .. }
+                | Msg::XAcceptB { .. }
+                | Msg::XCommitB { .. }
+                | Msg::ViewChange { .. }
+                | Msg::NewView { .. }
+        )
+    }
+
+    /// The transaction digest this message refers to, if it refers to one.
+    pub fn digest(&self) -> Option<Digest> {
+        match self {
+            Msg::Request { tx, .. } => Some(tx.digest()),
+            Msg::Reply { .. } => None,
+            Msg::PaxosAccept { tx, .. } | Msg::PaxosCommit { tx, .. } => Some(tx.digest()),
+            Msg::PaxosAccepted { d, .. } => Some(*d),
+            Msg::PrePrepare { tx, .. } => Some(tx.digest()),
+            Msg::Prepare { d, .. } | Msg::PbftCommit { d, .. } => Some(*d),
+            Msg::XPropose { tx, .. } | Msg::XProposeB { tx, .. } => Some(tx.digest()),
+            Msg::XAccept { d, .. } | Msg::XAcceptB { d, .. } => Some(*d),
+            Msg::XCommit { d, .. } | Msg::XCommitB { d, .. } => Some(*d),
+            Msg::XAbort { d, .. } => Some(*d),
+            Msg::ViewChange { .. } | Msg::NewView { .. } => None,
+        }
+    }
+}
+
+/// Canonical bytes signed by the primary for a `PrePrepare`/`XProposeB`.
+pub fn proposal_sign_bytes(view_or_initiator: u64, parent: &Digest, d: &Digest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 64 + 16);
+    out.extend_from_slice(b"sharper-proposal");
+    out.extend_from_slice(&view_or_initiator.to_le_bytes());
+    out.extend_from_slice(parent.as_bytes());
+    out.extend_from_slice(d.as_bytes());
+    out
+}
+
+/// Canonical bytes signed by a replica for `Prepare`/`PbftCommit`/`XAcceptB`.
+pub fn vote_sign_bytes(label: &[u8], context: u64, parent: &Digest, d: &Digest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(label.len() + 8 + 64);
+    out.extend_from_slice(label);
+    out.extend_from_slice(&context.to_le_bytes());
+    out.extend_from_slice(parent.as_bytes());
+    out.extend_from_slice(d.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::{AccountId, ClientId};
+
+    fn tx() -> Transaction {
+        Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 5)
+    }
+
+    #[test]
+    fn new_transaction_classification() {
+        let sig = Signature::unsigned(0);
+        assert!(Msg::Request { tx: tx(), sig }.starts_new_transaction());
+        assert!(Msg::PaxosAccept {
+            view: 0,
+            parent: Digest::ZERO,
+            tx: tx()
+        }
+        .starts_new_transaction());
+        assert!(Msg::XPropose {
+            initiator: ClusterId(0),
+            attempt: 0,
+            parent: Digest::ZERO,
+            tx: tx()
+        }
+        .starts_new_transaction());
+        assert!(!Msg::PaxosAccepted {
+            view: 0,
+            d: Digest::ZERO,
+            node: NodeId(1)
+        }
+        .starts_new_transaction());
+        assert!(!Msg::XCommit {
+            d: Digest::ZERO,
+            parents: BTreeMap::new(),
+            tx: tx()
+        }
+        .starts_new_transaction());
+    }
+
+    #[test]
+    fn signed_classification_matches_byzantine_messages() {
+        let sig = Signature::unsigned(0);
+        assert!(Msg::PrePrepare {
+            view: 0,
+            parent: Digest::ZERO,
+            tx: tx(),
+            sig
+        }
+        .is_signed());
+        assert!(Msg::XAcceptB {
+            d: Digest::ZERO,
+            attempt: 0,
+            cluster: ClusterId(0),
+            parent: Digest::ZERO,
+            node: NodeId(0),
+            sig
+        }
+        .is_signed());
+        assert!(!Msg::PaxosAccept {
+            view: 0,
+            parent: Digest::ZERO,
+            tx: tx()
+        }
+        .is_signed());
+        assert!(!Msg::Reply {
+            tx: TxId::new(ClientId(1), 0),
+            node: NodeId(0),
+            applied: true
+        }
+        .is_signed());
+    }
+
+    #[test]
+    fn digest_extraction() {
+        let t = tx();
+        let d = t.digest();
+        assert_eq!(
+            Msg::Request {
+                tx: t.clone(),
+                sig: Signature::unsigned(0)
+            }
+            .digest(),
+            Some(d)
+        );
+        assert_eq!(
+            Msg::XAccept {
+                d,
+                attempt: 1,
+                cluster: ClusterId(2),
+                parent: Digest::ZERO,
+                node: NodeId(3)
+            }
+            .digest(),
+            Some(d)
+        );
+        assert_eq!(
+            Msg::Reply {
+                tx: t.id,
+                node: NodeId(0),
+                applied: true
+            }
+            .digest(),
+            None
+        );
+    }
+
+    #[test]
+    fn sign_bytes_are_domain_separated_and_sensitive() {
+        let d1 = Digest::ZERO;
+        let d2 = sharper_crypto::hash(b"x");
+        assert_ne!(
+            proposal_sign_bytes(1, &d1, &d2),
+            proposal_sign_bytes(2, &d1, &d2)
+        );
+        assert_ne!(
+            vote_sign_bytes(b"prepare", 1, &d1, &d2),
+            vote_sign_bytes(b"commit", 1, &d1, &d2)
+        );
+        assert_ne!(
+            vote_sign_bytes(b"prepare", 1, &d1, &d2),
+            vote_sign_bytes(b"prepare", 1, &d2, &d2)
+        );
+    }
+
+    #[test]
+    fn timer_tags_are_distinct() {
+        use timer_tags::*;
+        let tags = [CONFLICT, RETRY, VIEW_CHANGE, CLIENT_SUBMIT, CLIENT_RETRY];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! The flattened cross-shard consensus protocols (§3.2–§3.3).
+//!
+//! Algorithm 1 (crash-only): the initiator primary multicasts `propose` to
+//! every node of every involved cluster, collects `accept` messages from a
+//! majority (`f+1`) of **each** involved cluster, then multicasts `commit`
+//! carrying one parent hash per involved cluster.
+//!
+//! Algorithm 2 (Byzantine): the same three phases, but `accept` and `commit`
+//! are all-to-all among the involved clusters' nodes and quorums are `2f+1`
+//! per cluster, with every message signed.
+//!
+//! Conflicts between concurrent overlapping transactions are handled with
+//! per-node reservations (a node that accepted a proposal buffers every other
+//! transaction until the commit or a conflict timeout) and initiator-side
+//! retries; the super-primary policy (chosen in the system configuration)
+//! removes most conflicts up front.
+
+use super::{CrossRound, Replica, Reservation};
+use crate::messages::{proposal_sign_bytes, timer_tags, vote_sign_bytes, Msg};
+use sharper_common::{ClusterId, FailureModel, NodeId};
+use sharper_crypto::{hash_parts, Digest, Signature};
+use sharper_ledger::Block;
+use sharper_net::{ActorId, Context, TimerId};
+use sharper_state::Transaction;
+use std::collections::BTreeMap;
+
+/// Digest of a parents map, used as the signing context of commit votes.
+fn parents_digest(parents: &BTreeMap<ClusterId, Digest>) -> Digest {
+    let mut parts: Vec<Vec<u8>> = Vec::with_capacity(parents.len() * 2 + 1);
+    parts.push(b"sharper-parents".to_vec());
+    for (cluster, digest) in parents {
+        parts.push(cluster.0.to_le_bytes().to_vec());
+        parts.push(digest.as_bytes().to_vec());
+    }
+    let slices: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+    hash_parts(&slices)
+}
+
+impl Replica {
+    /// Starts the flattened protocol for a cross-shard transaction. Called on
+    /// the primary of the initiator cluster.
+    pub(super) fn start_cross(
+        &mut self,
+        tx: Transaction,
+        involved: Vec<ClusterId>,
+        ctx: &mut Context<Msg>,
+    ) {
+        let d = tx.digest();
+        if self.committed_txs.contains(&tx.id) || self.cross.contains_key(&d) {
+            return;
+        }
+        let parent = self.ordering_tail();
+        let mut round = CrossRound::new(tx.clone(), involved.clone(), self.cluster, 0);
+        round
+            .accepts
+            .entry(self.cluster)
+            .or_default()
+            .insert(self.node, parent);
+        let retry = ctx.set_timer(self.cfg.timers.retry_timeout, timer_tags::RETRY);
+        round.retry_timer = Some(retry);
+        self.cross.insert(d, round);
+        self.initiating = Some(d);
+
+        let recipients = self.members_of_all_except_self(&involved);
+        match self.model() {
+            FailureModel::Crash => {
+                ctx.multicast(
+                    recipients,
+                    Msg::XPropose {
+                        initiator: self.cluster,
+                        attempt: 0,
+                        parent,
+                        tx,
+                    },
+                );
+            }
+            FailureModel::Byzantine => {
+                let sig = self
+                    .signer
+                    .sign(&proposal_sign_bytes(self.cluster.0 as u64, &parent, &d));
+                self.charge_message(ctx, 0, 1);
+                ctx.multicast(
+                    recipients.clone(),
+                    Msg::XProposeB {
+                        initiator: self.cluster,
+                        attempt: 0,
+                        parent,
+                        tx,
+                        sig,
+                    },
+                );
+                // The primary also participates as an ordinary node of its
+                // cluster: its accept vote is multicast to everyone.
+                let accept_sig = self.signer.sign(&vote_sign_bytes(
+                    b"xaccept",
+                    self.cluster.0 as u64,
+                    &parent,
+                    &d,
+                ));
+                self.charge_message(ctx, 0, 1);
+                ctx.multicast(
+                    recipients,
+                    Msg::XAcceptB {
+                        d,
+                        attempt: 0,
+                        cluster: self.cluster,
+                        parent,
+                        node: self.node,
+                        sig: accept_sig,
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1: crash-only nodes
+    // ------------------------------------------------------------------
+
+    /// A node of an involved cluster receives the initiator's `propose`.
+    pub(super) fn handle_xpropose(
+        &mut self,
+        from: ActorId,
+        initiator: ClusterId,
+        attempt: u32,
+        _parent: Digest,
+        tx: Transaction,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Crash {
+            return;
+        }
+        let d = tx.digest();
+        if self.committed_txs.contains(&tx.id) {
+            return;
+        }
+        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        if !involved.contains(&self.cluster) {
+            return;
+        }
+        // Deadlock avoidance: if this replica is the primary of its cluster
+        // and is itself initiating another cross-shard transaction, it yields
+        // to the higher-priority (lower cluster id) initiator: it withdraws
+        // its own proposal (explicit abort, so remote reservations are
+        // released immediately) and re-initiates it from its retry timer once
+        // the higher-priority transaction is out of the way. Yielding is only
+        // safe while no other cluster has accepted our proposal yet; if it is
+        // not safe (or the proposal has lower priority), the incoming
+        // proposal waits in the buffer instead — accepting it now would vouch
+        // the same chain position for two different transactions.
+        if let Some(own) = self.initiating {
+            if own != d {
+                if initiator < self.cluster {
+                    self.yield_initiation(own, ctx);
+                }
+                if self.initiating.is_some() {
+                    self.buffer(
+                        from,
+                        Msg::XPropose {
+                            initiator,
+                            attempt,
+                            parent: _parent,
+                            tx,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        // Track the round so a view change can take over uncommitted work.
+        let round = self
+            .cross
+            .entry(d)
+            .or_insert_with(|| CrossRound::new(tx.clone(), involved, initiator, attempt));
+        round.attempt = attempt;
+        // Reserve this node for the proposal: no other transaction is
+        // processed until the commit arrives or the conflict timer fires.
+        match self.reservation {
+            Some(res) if res.d == d => {
+                // Retry of the proposal we are already reserved for.
+            }
+            Some(_) => {
+                // dispatch() only routes conflicting proposals here when we
+                // are not reserved; being defensive, ignore.
+                return;
+            }
+            None => {
+                let timer = ctx.set_timer(self.cfg.timers.conflict_timeout, timer_tags::CONFLICT);
+                self.reservation = Some(Reservation { d, timer });
+            }
+        }
+        let my_parent = self.ordering_tail();
+        ctx.send(
+            from,
+            Msg::XAccept {
+                d,
+                attempt,
+                cluster: self.cluster,
+                parent: my_parent,
+                node: self.node,
+            },
+        );
+    }
+
+    /// The initiator primary receives an `accept` from a node of an involved
+    /// cluster.
+    pub(super) fn handle_xaccept(
+        &mut self,
+        d: Digest,
+        attempt: u32,
+        cluster: ClusterId,
+        parent: Digest,
+        node: NodeId,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Crash {
+            return;
+        }
+        let Some(round) = self.cross.get_mut(&d) else {
+            return;
+        };
+        if round.sent_commit || round.attempt != attempt || !round.involved.contains(&cluster) {
+            return;
+        }
+        round.accepts.entry(cluster).or_default().insert(node, parent);
+        self.try_commit_cross_crash(d, ctx);
+    }
+
+    fn try_commit_cross_crash(&mut self, d: Digest, ctx: &mut Context<Msg>) {
+        let Some(round) = self.cross.get(&d) else {
+            return;
+        };
+        if round.sent_commit {
+            return;
+        }
+        let Some(parents) = self.assemble_parents(round) else {
+            return;
+        };
+        let round = self.cross.get_mut(&d).expect("round exists");
+        round.sent_commit = true;
+        round.committed = true;
+        round.parents = Some(parents.clone());
+        let tx = round.tx.clone();
+        let involved = round.involved.clone();
+        if let Some(timer) = round.retry_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        ctx.multicast(
+            self.members_of_all_except_self(&involved),
+            Msg::XCommit {
+                d,
+                parents: parents.clone(),
+                tx: tx.clone(),
+            },
+        );
+        self.initiating = None;
+        let block = Block::transaction(tx, parents);
+        // The initiator primary executes, appends and replies to the client.
+        self.commit_block(ctx, block, true);
+        self.process_buffered(ctx);
+    }
+
+    /// A node of an involved cluster receives the initiator's `commit`.
+    pub(super) fn handle_xcommit(
+        &mut self,
+        d: Digest,
+        parents: BTreeMap<ClusterId, Digest>,
+        tx: Transaction,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Crash {
+            return;
+        }
+        if !parents.contains_key(&self.cluster) {
+            return;
+        }
+        self.release_reservation_if(d, ctx);
+        if let Some(round) = self.cross.get_mut(&d) {
+            round.committed = true;
+            if let Some(timer) = round.retry_timer.take() {
+                ctx.cancel_timer(timer);
+            }
+        }
+        let block = Block::transaction(tx, parents);
+        self.commit_block(ctx, block, false);
+        self.process_buffered(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2: Byzantine nodes
+    // ------------------------------------------------------------------
+
+    /// A node of an involved cluster receives the initiator's signed
+    /// `propose`.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn handle_xpropose_b(
+        &mut self,
+        _from: ActorId,
+        initiator: ClusterId,
+        attempt: u32,
+        parent: Digest,
+        tx: Transaction,
+        sig: Signature,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Byzantine {
+            return;
+        }
+        let d = tx.digest();
+        // The proposal must be signed by the initiator cluster's primary.
+        let primary = self.primary_of(initiator);
+        let bytes = proposal_sign_bytes(initiator.0 as u64, &parent, &d);
+        if sig.signer != super::node_signer_id(primary).0 || !self.cfg.registry.verify(&bytes, &sig)
+        {
+            return;
+        }
+        if self.committed_txs.contains(&tx.id) {
+            return;
+        }
+        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        if !involved.contains(&self.cluster) {
+            return;
+        }
+        // Unlike the crash-only protocol, a Byzantine initiator never yields
+        // an initiation it has already broadcast: its signed accept is
+        // already in flight to every involved node, so withdrawing could let
+        // two blocks commit with the same parent. Conflicts between
+        // concurrently initiating primaries are instead resolved by the
+        // bounded give-up in the retry path plus client retransmission.
+        self.cross
+            .entry(d)
+            .or_insert_with(|| CrossRound::new(tx.clone(), involved.clone(), initiator, attempt));
+        match self.reservation {
+            Some(res) if res.d == d => {}
+            Some(_) => return,
+            None => {
+                let timer = ctx.set_timer(self.cfg.timers.conflict_timeout, timer_tags::CONFLICT);
+                self.reservation = Some(Reservation { d, timer });
+            }
+        }
+        let my_parent = self.ordering_tail();
+        {
+            let round = self.cross.get_mut(&d).expect("round exists");
+            round.attempt = attempt;
+            round
+                .accepts
+                .entry(self.cluster)
+                .or_default()
+                .insert(self.node, my_parent);
+        }
+        let accept_sig = self.signer.sign(&vote_sign_bytes(
+            b"xaccept",
+            self.cluster.0 as u64,
+            &my_parent,
+            &d,
+        ));
+        self.charge_message(ctx, 0, 1);
+        let involved = self.cross.get(&d).expect("round exists").involved.clone();
+        ctx.multicast(
+            self.members_of_all_except_self(&involved),
+            Msg::XAcceptB {
+                d,
+                attempt,
+                cluster: self.cluster,
+                parent: my_parent,
+                node: self.node,
+                sig: accept_sig,
+            },
+        );
+        // Any votes that overtook the proposal can be counted now.
+        self.drain_early_cross(d, ctx);
+        self.try_send_xcommit_b(d, ctx);
+    }
+
+    /// A node receives another node's signed cross-shard `accept`.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn handle_xaccept_b(
+        &mut self,
+        from: ActorId,
+        d: Digest,
+        attempt: u32,
+        cluster: ClusterId,
+        parent: Digest,
+        node: NodeId,
+        sig: Signature,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Byzantine {
+            return;
+        }
+        let bytes = vote_sign_bytes(b"xaccept", cluster.0 as u64, &parent, &d);
+        if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig) {
+            return;
+        }
+        if !self.cross.contains_key(&d) {
+            // The accept overtook the propose; park it until the propose
+            // arrives (bounded: one entry per digest and sender).
+            let entry = self.early_cross.entry(d).or_default();
+            if entry.len() < 256 {
+                entry.push((
+                    from,
+                    Msg::XAcceptB {
+                        d,
+                        attempt,
+                        cluster,
+                        parent,
+                        node,
+                        sig,
+                    },
+                ));
+            }
+            return;
+        }
+        let round = self.cross.get_mut(&d).expect("round exists");
+        if round.attempt != attempt || !round.involved.contains(&cluster) {
+            return;
+        }
+        round.accepts.entry(cluster).or_default().insert(node, parent);
+        self.try_send_xcommit_b(d, ctx);
+    }
+
+    fn try_send_xcommit_b(&mut self, d: Digest, ctx: &mut Context<Msg>) {
+        let Some(round) = self.cross.get(&d) else {
+            return;
+        };
+        if round.sent_commit {
+            return;
+        }
+        let Some(parents) = self.assemble_parents(round) else {
+            return;
+        };
+        let round = self.cross.get_mut(&d).expect("round exists");
+        round.sent_commit = true;
+        round.parents = Some(parents.clone());
+        round
+            .commit_votes
+            .entry(self.cluster)
+            .or_default()
+            .insert(self.node);
+        let involved = round.involved.clone();
+        let pd = parents_digest(&parents);
+        let sig = self
+            .signer
+            .sign(&vote_sign_bytes(b"xcommit", self.cluster.0 as u64, &pd, &d));
+        self.charge_message(ctx, 0, 1);
+        ctx.multicast(
+            self.members_of_all_except_self(&involved),
+            Msg::XCommitB {
+                d,
+                parents,
+                cluster: self.cluster,
+                node: self.node,
+                sig,
+            },
+        );
+        self.try_finalize_cross_bft(d, ctx);
+    }
+
+    /// A node receives another node's signed cross-shard `commit`.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn handle_xcommit_b(
+        &mut self,
+        from: ActorId,
+        d: Digest,
+        parents: BTreeMap<ClusterId, Digest>,
+        cluster: ClusterId,
+        node: NodeId,
+        sig: Signature,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Byzantine {
+            return;
+        }
+        let pd = parents_digest(&parents);
+        let bytes = vote_sign_bytes(b"xcommit", cluster.0 as u64, &pd, &d);
+        if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig) {
+            return;
+        }
+        let Some(round) = self.cross.get_mut(&d) else {
+            let entry = self.early_cross.entry(d).or_default();
+            if entry.len() < 256 {
+                entry.push((
+                    from,
+                    Msg::XCommitB {
+                        d,
+                        parents,
+                        cluster,
+                        node,
+                        sig,
+                    },
+                ));
+            }
+            return;
+        };
+        if !round.involved.contains(&cluster) {
+            return;
+        }
+        match &round.parents {
+            Some(ours) if *ours == parents => {
+                round.commit_votes.entry(cluster).or_default().insert(node);
+                self.try_finalize_cross_bft(d, ctx);
+            }
+            Some(_) => {
+                // A vote for a different parents assembly (possible only with
+                // Byzantine senders); ignore it.
+            }
+            None => {
+                // We have not assembled parents yet; keep the vote for later.
+                let entry = self.early_cross.entry(d).or_default();
+                if entry.len() < 256 {
+                    entry.push((
+                        from,
+                        Msg::XCommitB {
+                            d,
+                            parents,
+                            cluster,
+                            node,
+                            sig,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    fn try_finalize_cross_bft(&mut self, d: Digest, ctx: &mut Context<Msg>) {
+        let Some(round) = self.cross.get(&d) else {
+            return;
+        };
+        if round.committed || round.parents.is_none() {
+            return;
+        }
+        // 2f+1 matching commits from every involved cluster.
+        for cluster in &round.involved {
+            let votes = round.commit_votes.get(cluster).map_or(0, |v| v.len());
+            if votes < self.quorum_of(*cluster) {
+                return;
+            }
+        }
+        let round = self.cross.get_mut(&d).expect("round exists");
+        round.committed = true;
+        let parents = round.parents.clone().expect("checked above");
+        let tx = round.tx.clone();
+        if let Some(timer) = round.retry_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        if self.initiating == Some(d) {
+            self.initiating = None;
+        }
+        self.release_reservation_if(d, ctx);
+        let block = Block::transaction(tx, parents);
+        // Every replica replies; the client waits for f+1 matching replies.
+        self.commit_block(ctx, block, true);
+        self.process_buffered(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Shared cross-shard helpers
+    // ------------------------------------------------------------------
+
+    /// Checks whether every involved cluster has contributed a quorum of
+    /// accepts (plus its primary's accept) and, if so, returns the assembled
+    /// parents map.
+    ///
+    /// The parent recorded for each cluster is the one reported by that
+    /// cluster's primary: the primary is the replica that orders the
+    /// cluster's intra-shard transactions, so its ordering tail is the only
+    /// value that places the cross-shard block consistently *after* every
+    /// intra-shard block the primary has already proposed. Backups whose
+    /// accept reported an older head simply append the cross-shard block
+    /// after they catch up (the deferred-append path). The per-cluster accept
+    /// quorum is still required — it is what reserves a majority of the
+    /// cluster and prevents conflicting cross-shard transactions from
+    /// committing in a different order (§3.2).
+    fn assemble_parents(&self, round: &CrossRound) -> Option<BTreeMap<ClusterId, Digest>> {
+        let mut parents = BTreeMap::new();
+        for cluster in &round.involved {
+            let quorum = self.quorum_of(*cluster);
+            let votes = round.accepts.get(cluster)?;
+            if votes.len() < quorum {
+                return None;
+            }
+            let primary = self.primary_of(*cluster);
+            let parent = votes.get(&primary)?;
+            parents.insert(*cluster, *parent);
+        }
+        Some(parents)
+    }
+
+    fn release_reservation_if(&mut self, d: Digest, ctx: &mut Context<Msg>) {
+        if let Some(res) = self.reservation {
+            if res.d == d {
+                ctx.cancel_timer(res.timer);
+                self.reservation = None;
+            }
+        }
+    }
+
+    fn drain_early_cross(&mut self, d: Digest, ctx: &mut Context<Msg>) {
+        if let Some(pending) = self.early_cross.remove(&d) {
+            for (from, msg) in pending {
+                self.dispatch(from, msg, ctx);
+            }
+        }
+    }
+
+    /// Withdraws this primary's own in-flight cross-shard initiation so a
+    /// higher-priority initiator can make progress. Only performed while no
+    /// foreign cluster has accepted the proposal yet (otherwise the
+    /// transaction may already be committing and is left alone).
+    fn yield_initiation(&mut self, own: Digest, ctx: &mut Context<Msg>) {
+        let Some(round) = self.cross.get_mut(&own) else {
+            self.initiating = None;
+            return;
+        };
+        if round.sent_commit || round.committed {
+            return;
+        }
+        let foreign_accepts = round
+            .accepts
+            .iter()
+            .any(|(cluster, votes)| *cluster != self.cluster && !votes.is_empty());
+        if foreign_accepts {
+            return;
+        }
+        let involved = round.involved.clone();
+        // Reset the round; the retry timer re-initiates it later.
+        round.accepts.clear();
+        round.commit_votes.clear();
+        round.parents = None;
+        self.initiating = None;
+        ctx.multicast(
+            self.members_of_all_except_self(&involved),
+            Msg::XAbort {
+                d: own,
+                initiator: self.cluster,
+            },
+        );
+    }
+
+    /// An initiator withdrew its proposal: release the reservation and drop
+    /// the round so the slot can be used by other transactions.
+    pub(super) fn handle_xabort(&mut self, d: Digest, initiator: ClusterId, ctx: &mut Context<Msg>) {
+        let drop_round = match self.cross.get(&d) {
+            Some(round) => !round.committed && round.initiator == initiator,
+            None => false,
+        };
+        if drop_round {
+            self.cross.remove(&d);
+        }
+        self.release_reservation_if(d, ctx);
+        self.process_buffered(ctx);
+    }
+
+    /// The initiator's retry timer fired: if the transaction is still
+    /// uncommitted, re-initiate it with a fresh parent hash (§3.2: "the
+    /// (primary node of) initiator clusters try to resend their own
+    /// transactions").
+    pub(super) fn handle_retry_timer(&mut self, timer: TimerId, ctx: &mut Context<Msg>) {
+        let Some((&d, _)) = self
+            .cross
+            .iter()
+            .find(|(_, r)| r.retry_timer == Some(timer))
+        else {
+            return;
+        };
+        let round = self.cross.get_mut(&d).expect("round exists");
+        round.retry_timer = None;
+        if round.committed || round.sent_commit {
+            return;
+        }
+        if self.initiating != Some(d) {
+            // This primary yielded its initiation to a higher-priority
+            // initiator; re-initiate now if possible, otherwise check back
+            // after another retry interval.
+            if round.initiator != self.cluster {
+                return;
+            }
+            if self.initiating.is_some() || self.reservation.is_some() {
+                let retry = ctx.set_timer(self.cfg.timers.retry_timeout, timer_tags::RETRY);
+                self.cross.get_mut(&d).expect("round exists").retry_timer = Some(retry);
+                return;
+            }
+            self.initiating = Some(d);
+        }
+        let give_up_allowed = self.model() == FailureModel::Crash;
+        let round = self.cross.get_mut(&d).expect("round exists");
+        if round.attempt >= self.cfg.timers.max_retries && give_up_allowed {
+            // Give up: unblock the primary; the client will eventually
+            // retransmit and the transaction will be re-initiated. This is
+            // safe in the crash model because the initiator is the only
+            // replica that can send the commit, so an abandoned transaction
+            // can never commit behind its back. A Byzantine initiator keeps
+            // retrying instead (its signed propose and accept are already out
+            // there), relying on the view change for liveness if it is truly
+            // stuck.
+            self.cross.remove(&d);
+            self.initiating = None;
+            self.process_buffered(ctx);
+            return;
+        }
+        round.attempt += 1;
+        round.accepts.clear();
+        round.commit_votes.clear();
+        round.parents = None;
+        self.stats.retries += 1;
+        let attempt = round.attempt;
+        let tx = round.tx.clone();
+        let involved = round.involved.clone();
+        let parent = self.ordering_tail();
+        self.cross
+            .get_mut(&d)
+            .expect("round exists")
+            .accepts
+            .entry(self.cluster)
+            .or_default()
+            .insert(self.node, parent);
+        let retry = ctx.set_timer(self.cfg.timers.retry_timeout, timer_tags::RETRY);
+        self.cross.get_mut(&d).expect("round exists").retry_timer = Some(retry);
+
+        let recipients = self.members_of_all_except_self(&involved);
+        match self.model() {
+            FailureModel::Crash => ctx.multicast(
+                recipients,
+                Msg::XPropose {
+                    initiator: self.cluster,
+                    attempt,
+                    parent,
+                    tx,
+                },
+            ),
+            FailureModel::Byzantine => {
+                let sig = self.signer.sign(&proposal_sign_bytes(
+                    self.cluster.0 as u64,
+                    &parent,
+                    &d,
+                ));
+                self.charge_message(ctx, 0, 1);
+                ctx.multicast(
+                    recipients.clone(),
+                    Msg::XProposeB {
+                        initiator: self.cluster,
+                        attempt,
+                        parent,
+                        tx,
+                        sig,
+                    },
+                );
+                let accept_sig = self.signer.sign(&vote_sign_bytes(
+                    b"xaccept",
+                    self.cluster.0 as u64,
+                    &parent,
+                    &d,
+                ));
+                ctx.multicast(
+                    recipients,
+                    Msg::XAcceptB {
+                        d,
+                        attempt,
+                        cluster: self.cluster,
+                        parent,
+                        node: self.node,
+                        sig: accept_sig,
+                    },
+                );
+            }
+        }
+    }
+}

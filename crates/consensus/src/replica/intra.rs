@@ -1,0 +1,395 @@
+//! Intra-shard consensus (§3.1): Paxos for crash-only clusters, PBFT for
+//! Byzantine clusters.
+//!
+//! Both protocols are driven by the cluster's primary and order transactions
+//! by chaining each proposal to the hash of the cluster's previous block
+//! (`H(t)` plays the role of the sequence number). The intra-shard protocol
+//! is pluggable in SharPer; these two are the ones evaluated in the paper.
+
+use super::{IntraRound, Replica};
+use crate::messages::{proposal_sign_bytes, vote_sign_bytes, Msg};
+use sharper_common::FailureModel;
+use sharper_crypto::{Digest, Signature};
+use sharper_ledger::Block;
+use sharper_net::{ActorId, Context};
+use sharper_state::Transaction;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+impl Replica {
+    /// Starts ordering an intra-shard transaction. Called on the primary.
+    pub(super) fn start_intra(&mut self, tx: Transaction, ctx: &mut Context<Msg>) {
+        match self.model() {
+            FailureModel::Crash => self.start_paxos(tx, ctx),
+            FailureModel::Byzantine => self.start_pbft(tx, ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Paxos (crash-only clusters), Figure 3(a)
+    // ------------------------------------------------------------------
+
+    fn start_paxos(&mut self, tx: Transaction, ctx: &mut Context<Msg>) {
+        let d = tx.digest();
+        if self.committed_txs.contains(&tx.id) || self.intra.contains_key(&d) {
+            return;
+        }
+        let parent = self.ordering_tail();
+        let mut round = IntraRound {
+            tx: tx.clone(),
+            parent,
+            view: self.view,
+            prepares: BTreeSet::new(),
+            commits: BTreeSet::new(),
+            sent_commit: false,
+            committed: false,
+        };
+        // The primary's own acceptance counts towards the majority.
+        round.prepares.insert(self.node);
+        self.intra.insert(d, round);
+        // Chain the next proposal after this one even before it commits.
+        let mut parents = BTreeMap::new();
+        parents.insert(self.cluster, parent);
+        self.advance_tail(&Block::transaction(tx.clone(), parents));
+        ctx.multicast(
+            self.cluster_peers(),
+            Msg::PaxosAccept {
+                view: self.view,
+                parent,
+                tx,
+            },
+        );
+        // A single-node cluster (f = 0) commits immediately.
+        self.try_commit_paxos(d, ctx);
+    }
+
+    /// Backup handling of the primary's `accept` message.
+    pub(super) fn handle_paxos_accept(
+        &mut self,
+        from: ActorId,
+        view: u64,
+        parent: Digest,
+        tx: Transaction,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Crash {
+            return;
+        }
+        // Only the primary of the current view may propose.
+        if from != ActorId::Node(self.primary_of(self.cluster)) || view < self.view {
+            return;
+        }
+        let d = tx.digest();
+        if self.committed_txs.contains(&tx.id) {
+            return;
+        }
+        // Remember the request so the view-change path can re-propose it and
+        // start the liveness timer for the in-flight request.
+        self.intra.entry(d).or_insert_with(|| IntraRound {
+            tx: tx.clone(),
+            parent,
+            view,
+            prepares: BTreeSet::new(),
+            commits: BTreeSet::new(),
+            sent_commit: false,
+            committed: false,
+        });
+        self.ensure_view_change_timer(ctx);
+        {
+            let mut parents = BTreeMap::new();
+            parents.insert(self.cluster, parent);
+            self.advance_tail(&Block::transaction(tx.clone(), parents));
+        }
+        ctx.send(
+            from,
+            Msg::PaxosAccepted {
+                view,
+                d,
+                node: self.node,
+            },
+        );
+    }
+
+    /// Primary handling of a backup's `accepted` message.
+    pub(super) fn handle_paxos_accepted(
+        &mut self,
+        view: u64,
+        d: Digest,
+        node: sharper_common::NodeId,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Crash || view != self.view {
+            return;
+        }
+        if let Some(round) = self.intra.get_mut(&d) {
+            round.prepares.insert(node);
+        }
+        self.try_commit_paxos(d, ctx);
+    }
+
+    fn try_commit_paxos(&mut self, d: Digest, ctx: &mut Context<Msg>) {
+        let quorum = self.quorum_of(self.cluster);
+        let Some(round) = self.intra.get_mut(&d) else {
+            return;
+        };
+        if round.sent_commit || round.prepares.len() < quorum {
+            return;
+        }
+        round.sent_commit = true;
+        round.committed = true;
+        let tx = round.tx.clone();
+        let parent = round.parent;
+        ctx.multicast(
+            self.cluster_peers(),
+            Msg::PaxosCommit {
+                view: self.view,
+                parent,
+                tx: tx.clone(),
+            },
+        );
+        let mut parents = BTreeMap::new();
+        parents.insert(self.cluster, parent);
+        let block = Block::transaction(tx, parents);
+        // In the crash model only the primary replies to the client.
+        self.commit_block(ctx, block, true);
+    }
+
+    /// Backup handling of the primary's `commit` message.
+    pub(super) fn handle_paxos_commit(
+        &mut self,
+        view: u64,
+        parent: Digest,
+        tx: Transaction,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Crash || view < self.view {
+            return;
+        }
+        let d = tx.digest();
+        if let Some(round) = self.intra.get_mut(&d) {
+            round.committed = true;
+        }
+        let mut parents = BTreeMap::new();
+        parents.insert(self.cluster, parent);
+        let block = Block::transaction(tx, parents);
+        self.commit_block(ctx, block, false);
+    }
+
+    // ------------------------------------------------------------------
+    // PBFT (Byzantine clusters), Figure 3(b)
+    // ------------------------------------------------------------------
+
+    fn start_pbft(&mut self, tx: Transaction, ctx: &mut Context<Msg>) {
+        let d = tx.digest();
+        if self.committed_txs.contains(&tx.id) || self.intra.contains_key(&d) {
+            return;
+        }
+        let parent = self.ordering_tail();
+        let sig = self
+            .signer
+            .sign(&proposal_sign_bytes(self.view, &parent, &d));
+        let mut round = IntraRound {
+            tx: tx.clone(),
+            parent,
+            view: self.view,
+            prepares: BTreeSet::new(),
+            commits: BTreeSet::new(),
+            sent_commit: false,
+            committed: false,
+        };
+        // The primary's pre-prepare stands in for its prepare vote.
+        round.prepares.insert(self.node);
+        self.intra.insert(d, round);
+        {
+            let mut parents = BTreeMap::new();
+            parents.insert(self.cluster, parent);
+            self.advance_tail(&Block::transaction(tx.clone(), parents));
+        }
+        self.charge_message(ctx, 0, 1);
+        ctx.multicast(
+            self.cluster_peers(),
+            Msg::PrePrepare {
+                view: self.view,
+                parent,
+                tx,
+                sig,
+            },
+        );
+    }
+
+    /// Replica handling of the primary's `pre-prepare`.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn handle_pre_prepare(
+        &mut self,
+        from: ActorId,
+        view: u64,
+        parent: Digest,
+        tx: Transaction,
+        sig: Signature,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Byzantine || view != self.view {
+            return;
+        }
+        let primary = self.primary_of(self.cluster);
+        if from != ActorId::Node(primary) {
+            return;
+        }
+        let d = tx.digest();
+        // Verify the primary's signature over (view, parent, d).
+        let bytes = proposal_sign_bytes(view, &parent, &d);
+        if sig.signer != super::node_signer_id(primary).0 || !self.cfg.registry.verify(&bytes, &sig)
+        {
+            return;
+        }
+        if self.committed_txs.contains(&tx.id) {
+            return;
+        }
+        let round = self.intra.entry(d).or_insert_with(|| IntraRound {
+            tx: tx.clone(),
+            parent,
+            view,
+            prepares: BTreeSet::new(),
+            commits: BTreeSet::new(),
+            sent_commit: false,
+            committed: false,
+        });
+        round.tx = tx.clone();
+        round.parent = parent;
+        // The pre-prepare carries the primary's implicit prepare; this
+        // replica's own prepare is counted when it multicasts below.
+        round.prepares.insert(primary);
+        round.prepares.insert(self.node);
+        self.ensure_view_change_timer(ctx);
+        {
+            let mut parents = BTreeMap::new();
+            parents.insert(self.cluster, parent);
+            self.advance_tail(&Block::transaction(tx, parents));
+        }
+
+        let vote_bytes = vote_sign_bytes(b"prepare", view, &parent, &d);
+        let vote_sig = self.signer.sign(&vote_bytes);
+        self.charge_message(ctx, 0, 1);
+        ctx.multicast(
+            self.cluster_peers(),
+            Msg::Prepare {
+                view,
+                parent,
+                d,
+                node: self.node,
+                sig: vote_sig,
+            },
+        );
+        self.try_send_pbft_commit(d, ctx);
+    }
+
+    /// Replica handling of a `prepare` vote.
+    pub(super) fn handle_prepare(
+        &mut self,
+        view: u64,
+        parent: Digest,
+        d: Digest,
+        node: sharper_common::NodeId,
+        sig: Signature,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Byzantine || view != self.view {
+            return;
+        }
+        let bytes = vote_sign_bytes(b"prepare", view, &parent, &d);
+        if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig) {
+            return;
+        }
+        let round = self.intra.entry(d).or_insert_with(|| IntraRound {
+            // Transaction not yet known (prepare overtook the pre-prepare);
+            // a placeholder is stored and replaced when pre-prepare arrives.
+            tx: Transaction::new(sharper_common::TxId::new(sharper_common::ClientId(u64::MAX), 0), vec![]),
+            parent,
+            view,
+            prepares: BTreeSet::new(),
+            commits: BTreeSet::new(),
+            sent_commit: false,
+            committed: false,
+        });
+        round.prepares.insert(node);
+        self.try_send_pbft_commit(d, ctx);
+    }
+
+    fn round_has_payload(round: &IntraRound) -> bool {
+        round.tx.client() != sharper_common::ClientId(u64::MAX)
+    }
+
+    fn try_send_pbft_commit(&mut self, d: Digest, ctx: &mut Context<Msg>) {
+        let quorum = self.quorum_of(self.cluster);
+        let view = self.view;
+        let Some(round) = self.intra.get_mut(&d) else {
+            return;
+        };
+        if round.sent_commit || !Self::round_has_payload(round) || round.prepares.len() < quorum {
+            return;
+        }
+        round.sent_commit = true;
+        round.commits.insert(self.node);
+        let parent = round.parent;
+        let bytes = vote_sign_bytes(b"commit", view, &parent, &d);
+        let sig = self.signer.sign(&bytes);
+        self.charge_message(ctx, 0, 1);
+        ctx.multicast(
+            self.cluster_peers(),
+            Msg::PbftCommit {
+                view,
+                parent,
+                d,
+                node: self.node,
+                sig,
+            },
+        );
+        self.try_finalize_pbft(d, ctx);
+    }
+
+    /// Replica handling of a `commit` vote.
+    pub(super) fn handle_pbft_commit(
+        &mut self,
+        view: u64,
+        parent: Digest,
+        d: Digest,
+        node: sharper_common::NodeId,
+        sig: Signature,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Byzantine || view != self.view {
+            return;
+        }
+        let bytes = vote_sign_bytes(b"commit", view, &parent, &d);
+        if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig) {
+            return;
+        }
+        if let Some(round) = self.intra.get_mut(&d) {
+            round.commits.insert(node);
+        }
+        self.try_finalize_pbft(d, ctx);
+    }
+
+    fn try_finalize_pbft(&mut self, d: Digest, ctx: &mut Context<Msg>) {
+        let quorum = self.quorum_of(self.cluster);
+        let Some(round) = self.intra.get_mut(&d) else {
+            return;
+        };
+        if round.committed
+            || !round.sent_commit
+            || !Self::round_has_payload(round)
+            || round.commits.len() < quorum
+        {
+            return;
+        }
+        round.committed = true;
+        let tx = round.tx.clone();
+        let parent = round.parent;
+        let mut parents = BTreeMap::new();
+        parents.insert(self.cluster, parent);
+        let block = Block::transaction(tx, parents);
+        // In PBFT every replica replies; the client waits for f+1 matching
+        // replies (Figure 3(b)).
+        self.commit_block(ctx, block, true);
+    }
+}

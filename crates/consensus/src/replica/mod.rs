@@ -1,0 +1,705 @@
+//! The SharPer replica: one protocol state machine per node.
+//!
+//! A replica composes
+//!
+//! * the intra-shard engine of its cluster (Paxos or PBFT, [`intra`]),
+//! * the flattened cross-shard engine (Algorithm 1 or 2, [`cross`]),
+//! * the view-change sub-protocol ([`view_change`]),
+//! * its cluster's [`LedgerView`] and the shard's [`AccountStore`].
+//!
+//! The replica is a pure [`Actor`]: all inputs arrive as messages or timer
+//! expirations, all outputs leave through the [`Context`]. This module holds
+//! the shared state and helpers; the protocol phases live in the submodules.
+
+mod cross;
+mod intra;
+#[cfg(test)]
+mod tests;
+mod view_change;
+
+use crate::config::ReplicaConfig;
+use crate::messages::{timer_tags, Msg};
+use sharper_common::{ClientId, ClusterId, FailureModel, NodeId, TxId};
+use sharper_crypto::keys::SignerId;
+use sharper_crypto::{Digest, Signer};
+use sharper_ledger::{Block, LedgerView};
+use sharper_net::{Actor, ActorId, Context, TimerId};
+use sharper_state::{AccountStore, ExecutionOutcome, Executor, Transaction};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Maps a replica id into the signer-id space of the key registry.
+pub fn node_signer_id(node: NodeId) -> SignerId {
+    SignerId(node.0 as u64)
+}
+
+/// Maps a client id into the signer-id space of the key registry.
+pub fn client_signer_id(client: ClientId) -> SignerId {
+    SignerId(1_000_000 + client.0)
+}
+
+/// Counters exposed by a replica for tests and experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Intra-shard transactions this replica appended.
+    pub committed_intra: usize,
+    /// Cross-shard transactions this replica appended.
+    pub committed_cross: usize,
+    /// Protocol messages handled.
+    pub messages_handled: usize,
+    /// Cross-shard re-initiations performed (as initiator primary).
+    pub retries: usize,
+    /// View changes this replica voted to start.
+    pub view_changes_started: usize,
+    /// Transactions whose execution aborted at the application level.
+    pub aborted_executions: usize,
+}
+
+/// State of one in-flight intra-shard consensus round.
+#[derive(Debug, Clone)]
+struct IntraRound {
+    tx: Transaction,
+    parent: Digest,
+    view: u64,
+    /// Paxos `accepted` votes / PBFT `prepare` votes (node ids).
+    prepares: BTreeSet<NodeId>,
+    /// PBFT `commit` votes.
+    commits: BTreeSet<NodeId>,
+    /// Whether this replica already moved to the commit phase.
+    sent_commit: bool,
+    /// Whether the block was appended locally.
+    committed: bool,
+}
+
+/// State of one in-flight cross-shard consensus round.
+#[derive(Debug, Clone)]
+struct CrossRound {
+    tx: Transaction,
+    involved: Vec<ClusterId>,
+    initiator: ClusterId,
+    attempt: u32,
+    /// Accept votes: cluster → (node → reported parent hash).
+    accepts: HashMap<ClusterId, BTreeMap<NodeId, Digest>>,
+    /// Byzantine commit votes: cluster → nodes whose commit matched ours.
+    commit_votes: HashMap<ClusterId, BTreeSet<NodeId>>,
+    /// The parents assembled from the accept quorums (fixed once reached).
+    parents: Option<BTreeMap<ClusterId, Digest>>,
+    /// Whether this replica already multicast its commit (Byzantine) or the
+    /// commit message (crash initiator).
+    sent_commit: bool,
+    /// Whether the block was appended locally.
+    committed: bool,
+    /// The initiator's retry timer, if armed.
+    retry_timer: Option<TimerId>,
+}
+
+impl CrossRound {
+    fn new(tx: Transaction, involved: Vec<ClusterId>, initiator: ClusterId, attempt: u32) -> Self {
+        Self {
+            tx,
+            involved,
+            initiator,
+            attempt,
+            accepts: HashMap::new(),
+            commit_votes: HashMap::new(),
+            parents: None,
+            sent_commit: false,
+            committed: false,
+            retry_timer: None,
+        }
+    }
+}
+
+/// A reservation taken when this node accepted a cross-shard proposal and is
+/// waiting for its commit (§3.2).
+#[derive(Debug, Clone, Copy)]
+struct Reservation {
+    d: Digest,
+    timer: TimerId,
+}
+
+/// A SharPer replica.
+pub struct Replica {
+    node: NodeId,
+    cluster: ClusterId,
+    cfg: Arc<ReplicaConfig>,
+    signer: Signer,
+    executor: Executor,
+    store: AccountStore,
+    ledger: LedgerView,
+    /// This cluster's current view (primary = `view % cluster size`).
+    view: u64,
+    /// Hash of the last block this replica has agreed to order for its
+    /// cluster (the "previous transaction ordered by the cluster", §3.1).
+    /// For a primary this runs ahead of the ledger head by the proposals
+    /// still in flight, which is what lets consecutive proposals chain
+    /// correctly while earlier ones are still gathering votes.
+    tail: Digest,
+    intra: HashMap<Digest, IntraRound>,
+    cross: HashMap<Digest, CrossRound>,
+    reservation: Option<Reservation>,
+    /// Digest of the cross-shard transaction this primary is currently
+    /// initiating; while set, the primary starts no other transaction.
+    initiating: Option<Digest>,
+    /// Transaction-starting messages buffered while reserved/initiating.
+    buffered: VecDeque<(ActorId, Msg)>,
+    /// Cross-shard votes that arrived before their propose message.
+    early_cross: HashMap<Digest, Vec<(ActorId, Msg)>>,
+    /// Committed blocks waiting for their parent to be appended first,
+    /// keyed by the required parent digest.
+    deferred: HashMap<Digest, Vec<(Block, bool)>>,
+    committed_txs: HashSet<TxId>,
+    /// View-change votes per proposed view.
+    vc_votes: HashMap<u64, BTreeSet<NodeId>>,
+    vc_timer: Option<TimerId>,
+    stats: ReplicaStats,
+}
+
+impl Replica {
+    /// Creates a replica with an already initialised shard store.
+    pub fn new(node: NodeId, cfg: Arc<ReplicaConfig>, store: AccountStore) -> Self {
+        let cluster = cfg
+            .system
+            .cluster_of(node)
+            .expect("replica node must be in the configuration");
+        let signer = cfg
+            .registry
+            .signer(node_signer_id(node))
+            .expect("replica key must be registered");
+        let executor = Executor::new(cluster, cfg.partitioner.clone());
+        Self {
+            node,
+            cluster,
+            cfg,
+            signer,
+            executor,
+            store,
+            ledger: LedgerView::new(cluster),
+            view: 0,
+            tail: Block::genesis().digest(),
+            intra: HashMap::new(),
+            cross: HashMap::new(),
+            reservation: None,
+            initiating: None,
+            buffered: VecDeque::new(),
+            early_cross: HashMap::new(),
+            deferred: HashMap::new(),
+            committed_txs: HashSet::new(),
+            vc_votes: HashMap::new(),
+            vc_timer: None,
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// Creates a replica and populates its shard with `accounts_per_shard`
+    /// accounts of `initial_balance` units each, owned by client `i` for
+    /// account `i` (the convention used by the evaluation workload).
+    pub fn with_genesis(
+        node: NodeId,
+        cfg: Arc<ReplicaConfig>,
+        accounts_per_shard: u64,
+        initial_balance: u64,
+    ) -> Self {
+        let cluster = cfg
+            .system
+            .cluster_of(node)
+            .expect("replica node must be in the configuration");
+        let executor = Executor::new(cluster, cfg.partitioner.clone());
+        let store = executor.genesis_store(accounts_per_shard, initial_balance, ClientId);
+        Self::new(node, cfg, store)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// This replica's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The cluster (shard) this replica belongs to.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// The replica's current view number.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Whether this replica is currently the primary of its cluster.
+    pub fn is_primary(&self) -> bool {
+        self.primary_of(self.cluster) == self.node
+    }
+
+    /// The replica's ledger view.
+    pub fn ledger(&self) -> &LedgerView {
+        &self.ledger
+    }
+
+    /// The replica's shard store.
+    pub fn store(&self) -> &AccountStore {
+        &self.store
+    }
+
+    /// Counters for tests and reports.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// Number of transactions this replica has committed (appended).
+    pub fn committed_count(&self) -> usize {
+        self.ledger.committed_count()
+    }
+
+    /// A one-line description of in-flight state, for debugging test runs.
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        format!(
+            "view={} reserved={:?} initiating={:?} buffered={} intra_open={} cross_open={} deferred={}",
+            self.view,
+            self.reservation.as_ref().map(|r| r.d.short()),
+            self.initiating.as_ref().map(|d| d.short()),
+            self.buffered.len(),
+            self.intra.values().filter(|r| !r.committed).count(),
+            self.cross.values().filter(|r| !r.committed).count(),
+            self.deferred.values().map(|v| v.len()).sum::<usize>(),
+        )
+    }
+
+    /// Whether the replica has no in-flight work (used by quiescence checks).
+    pub fn is_idle(&self) -> bool {
+        self.reservation.is_none()
+            && self.initiating.is_none()
+            && self.buffered.is_empty()
+            && self.intra.values().all(|r| r.committed)
+            && self.cross.values().all(|r| r.committed)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers used by the protocol submodules
+    // ------------------------------------------------------------------
+
+    fn model(&self) -> FailureModel {
+        self.cfg.system.failure_model
+    }
+
+    fn quorum_of(&self, cluster: ClusterId) -> usize {
+        self.cfg.system.quorum(cluster).expect("cluster exists")
+    }
+
+    /// The primary of `cluster` as this replica currently believes it to be.
+    /// For the replica's own cluster this follows its view number; for other
+    /// clusters view 0 is assumed (view changes are a per-cluster affair and
+    /// the evaluation workloads do not exercise remote view changes).
+    fn primary_of(&self, cluster: ClusterId) -> NodeId {
+        let view = if cluster == self.cluster { self.view } else { 0 };
+        self.cfg
+            .system
+            .primary(cluster, view)
+            .expect("cluster exists")
+    }
+
+    fn cluster_members(&self, cluster: ClusterId) -> Vec<NodeId> {
+        self.cfg
+            .system
+            .members(cluster)
+            .expect("cluster exists")
+            .to_vec()
+    }
+
+    /// All replicas of all `clusters` except this one, as actor ids.
+    fn members_of_all_except_self(&self, clusters: &[ClusterId]) -> Vec<ActorId> {
+        self.cfg
+            .system
+            .members_of_all(clusters)
+            .expect("clusters exist")
+            .into_iter()
+            .filter(|n| *n != self.node)
+            .map(ActorId::Node)
+            .collect()
+    }
+
+    /// Peers of this replica's own cluster (everyone but itself).
+    fn cluster_peers(&self) -> Vec<ActorId> {
+        self.cluster_members(self.cluster)
+            .into_iter()
+            .filter(|n| *n != self.node)
+            .map(ActorId::Node)
+            .collect()
+    }
+
+    fn charge_message(&self, ctx: &mut Context<Msg>, verify: usize, sign: usize) {
+        ctx.charge(self.cfg.cost.protocol_message(self.model(), verify, sign));
+    }
+
+    /// Whether this replica must not start work on new transactions right now.
+    fn is_blocked(&self) -> bool {
+        self.reservation.is_some() || self.initiating.is_some()
+    }
+
+    /// The hash of the last block this replica has agreed to order for its
+    /// cluster (used as the parent of the next proposal / cross-shard accept).
+    pub(super) fn ordering_tail(&self) -> Digest {
+        self.tail
+    }
+
+    /// Advances the ordering tail when `block` extends it.
+    pub(super) fn advance_tail(&mut self, block: &Block) {
+        if block.parent_for(self.cluster) == Some(self.tail) {
+            self.tail = block.digest();
+        }
+    }
+
+    fn reply_to_client(&self, ctx: &mut Context<Msg>, tx: TxId, applied: bool) {
+        ctx.send(
+            ActorId::Client(tx.client),
+            Msg::Reply {
+                tx,
+                node: self.node,
+                applied,
+            },
+        );
+    }
+
+    /// Appends (or defers) a committed block, executes its transaction and
+    /// optionally replies to the client. Returns `true` if the block was
+    /// appended immediately.
+    fn commit_block(&mut self, ctx: &mut Context<Msg>, block: Block, reply: bool) -> bool {
+        let Some(tx_id) = block.tx_id() else {
+            return false;
+        };
+        if self.committed_txs.contains(&tx_id) {
+            return false;
+        }
+        // The block is decided for this cluster: the next proposal must chain
+        // after it even if the append itself has to wait for an earlier block
+        // (otherwise a later proposal would fork the cluster's chain).
+        self.advance_tail(&block);
+        let parent = block
+            .parent_for(self.cluster)
+            .expect("commit_block is only called with blocks involving this cluster");
+        if parent != self.ledger.head() {
+            // The parent has not been appended yet (out-of-order commit
+            // delivery); park the block until the chain catches up.
+            self.deferred.entry(parent).or_default().push((block, reply));
+            return false;
+        }
+        self.apply_block(ctx, block, reply);
+        // Appending may unblock deferred children, recursively.
+        loop {
+            let head = self.ledger.head();
+            let Some(children) = self.deferred.remove(&head) else {
+                break;
+            };
+            let mut advanced = false;
+            for (child, child_reply) in children {
+                if child.parent_for(self.cluster) == Some(self.ledger.head())
+                    && !self
+                        .committed_txs
+                        .contains(&child.tx_id().expect("transaction block"))
+                {
+                    self.apply_block(ctx, child, child_reply);
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        true
+    }
+
+    fn apply_block(&mut self, ctx: &mut Context<Msg>, block: Block, reply: bool) {
+        let tx = block.tx().expect("transaction block").clone();
+        let cross = block.is_cross_shard();
+        self.advance_tail(&block);
+        self.ledger
+            .append(block)
+            .expect("parent was checked against the head");
+        self.committed_txs.insert(tx.id);
+        ctx.charge(self.cfg.cost.execution());
+        let outcome = self.executor.apply(&mut self.store, &tx);
+        let applied = matches!(outcome, ExecutionOutcome::Applied);
+        if matches!(outcome, ExecutionOutcome::Aborted) {
+            self.stats.aborted_executions += 1;
+        }
+        if cross {
+            self.stats.committed_cross += 1;
+        } else {
+            self.stats.committed_intra += 1;
+        }
+        if reply {
+            self.reply_to_client(ctx, tx.id, applied);
+        }
+        self.after_commit_bookkeeping(ctx);
+    }
+
+    fn after_commit_bookkeeping(&mut self, ctx: &mut Context<Msg>) {
+        // Drop completed round state to keep memory bounded.
+        self.intra.retain(|_, r| !r.committed);
+        self.cross.retain(|_, r| !r.committed);
+        self.maybe_cancel_view_change_timer(ctx);
+    }
+
+    /// Buffers a transaction-starting message for later processing.
+    fn buffer(&mut self, from: ActorId, msg: Msg) {
+        self.buffered.push_back((from, msg));
+    }
+
+    /// Re-processes buffered messages while the replica is unblocked.
+    fn process_buffered(&mut self, ctx: &mut Context<Msg>) {
+        let mut guard = 0usize;
+        while !self.is_blocked() && !self.buffered.is_empty() && guard < 10_000 {
+            let (from, msg) = self.buffered.pop_front().expect("non-empty");
+            self.dispatch(from, msg, ctx);
+            guard += 1;
+        }
+    }
+
+    /// The single dispatch point shared by `on_message` and the buffered
+    /// replay path.
+    fn dispatch(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<Msg>) {
+        // Reserved/initiating replicas do not start work on new transactions
+        // (§3.2); such messages wait in the buffer. Messages that advance
+        // already-started rounds (accepts, commits, votes) always flow.
+        if msg.starts_new_transaction() && self.is_blocked() {
+            let pass_through = match &msg {
+                // A re-proposal (retry) of the transaction we are already
+                // reserved for must be processed, not buffered.
+                Msg::XPropose { tx, .. } | Msg::XProposeB { tx, .. } => {
+                    let same_reserved = self
+                        .reservation
+                        .as_ref()
+                        .is_some_and(|res| res.d == tx.digest());
+                    // Deadlock avoidance (crash model only): an initiating
+                    // primary yields to cross-shard proposals from
+                    // lower-numbered clusters (a total priority order breaks
+                    // circular waits between concurrently initiating
+                    // primaries). In the Byzantine model an initiator's signed
+                    // accept is already in flight, so it must not vouch a
+                    // second proposal for the same chain position; such
+                    // proposals stay buffered until its own commits.
+                    let higher_priority = self.model() == FailureModel::Crash
+                        && self.reservation.is_none()
+                        && self.initiating.is_some()
+                        && tx
+                            .involved_clusters(&self.cfg.partitioner)
+                            .first()
+                            .is_some_and(|initiator| *initiator < self.cluster);
+                    same_reserved || higher_priority
+                }
+                _ => false,
+            };
+            if !pass_through {
+                self.buffer(from, msg);
+                return;
+            }
+        }
+        match msg {
+            Msg::Request { tx, sig } => self.handle_request(from, tx, sig, ctx),
+            Msg::Reply { .. } => { /* replicas never receive replies */ }
+
+            Msg::PaxosAccept { view, parent, tx } => {
+                self.handle_paxos_accept(from, view, parent, tx, ctx)
+            }
+            Msg::PaxosAccepted { view, d, node } => {
+                self.handle_paxos_accepted(view, d, node, ctx)
+            }
+            Msg::PaxosCommit { view, parent, tx } => {
+                self.handle_paxos_commit(view, parent, tx, ctx)
+            }
+
+            Msg::PrePrepare {
+                view,
+                parent,
+                tx,
+                sig,
+            } => self.handle_pre_prepare(from, view, parent, tx, sig, ctx),
+            Msg::Prepare {
+                view,
+                parent,
+                d,
+                node,
+                sig,
+            } => self.handle_prepare(view, parent, d, node, sig, ctx),
+            Msg::PbftCommit {
+                view,
+                parent,
+                d,
+                node,
+                sig,
+            } => self.handle_pbft_commit(view, parent, d, node, sig, ctx),
+
+            Msg::XPropose {
+                initiator,
+                attempt,
+                parent,
+                tx,
+            } => self.handle_xpropose(from, initiator, attempt, parent, tx, ctx),
+            Msg::XAccept {
+                d,
+                attempt,
+                cluster,
+                parent,
+                node,
+            } => self.handle_xaccept(d, attempt, cluster, parent, node, ctx),
+            Msg::XCommit { d, parents, tx } => self.handle_xcommit(d, parents, tx, ctx),
+            Msg::XAbort { d, initiator } => self.handle_xabort(d, initiator, ctx),
+
+            Msg::XProposeB {
+                initiator,
+                attempt,
+                parent,
+                tx,
+                sig,
+            } => self.handle_xpropose_b(from, initiator, attempt, parent, tx, sig, ctx),
+            Msg::XAcceptB {
+                d,
+                attempt,
+                cluster,
+                parent,
+                node,
+                sig,
+            } => self.handle_xaccept_b(from, d, attempt, cluster, parent, node, sig, ctx),
+            Msg::XCommitB {
+                d,
+                parents,
+                cluster,
+                node,
+                sig,
+            } => self.handle_xcommit_b(from, d, parents, cluster, node, sig, ctx),
+
+            Msg::ViewChange {
+                cluster,
+                new_view,
+                node,
+                sig,
+            } => self.handle_view_change(cluster, new_view, node, sig, ctx),
+            Msg::NewView {
+                cluster,
+                new_view,
+                node,
+                sig,
+            } => self.handle_new_view(cluster, new_view, node, sig, ctx),
+        }
+    }
+
+    /// Entry point for client requests (possibly forwarded by peers).
+    fn handle_request(
+        &mut self,
+        _from: ActorId,
+        tx: Transaction,
+        sig: sharper_crypto::Signature,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.committed_txs.contains(&tx.id) {
+            // Retransmission of an already committed request: just reply.
+            self.reply_to_client(ctx, tx.id, true);
+            return;
+        }
+        // In the Byzantine model the client signature must verify (§2.1).
+        if self.model().requires_signatures() {
+            let expected = client_signer_id(tx.client());
+            let ok = sig.signer == expected.0
+                && self.cfg.registry.verify(&tx.canonical_bytes(), &sig);
+            if !ok {
+                return;
+            }
+            self.charge_message(ctx, 1, 0);
+        }
+        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        if involved.len() <= 1 {
+            // Intra-shard transaction.
+            let target_cluster = involved.first().copied().unwrap_or(self.cluster);
+            if target_cluster != self.cluster {
+                // Wrong shard: forward to the responsible cluster's primary.
+                ctx.send(
+                    ActorId::Node(self.primary_of(target_cluster)),
+                    Msg::Request { tx, sig },
+                );
+                return;
+            }
+            if !self.is_primary() {
+                ctx.send(
+                    ActorId::Node(self.primary_of(self.cluster)),
+                    Msg::Request { tx, sig },
+                );
+                return;
+            }
+            self.start_intra(tx, ctx);
+        } else {
+            // Cross-shard transaction: route to the initiator cluster chosen
+            // by the configured policy (super primary by default, §3.2).
+            let initiator = self
+                .cfg
+                .system
+                .initiator_cluster(&involved, Some(self.cluster))
+                .expect("involved clusters exist");
+            if initiator != self.cluster {
+                ctx.send(
+                    ActorId::Node(self.primary_of(initiator)),
+                    Msg::Request { tx, sig },
+                );
+                return;
+            }
+            if !self.is_primary() {
+                ctx.send(
+                    ActorId::Node(self.primary_of(self.cluster)),
+                    Msg::Request { tx, sig },
+                );
+                return;
+            }
+            self.start_cross(tx, involved, ctx);
+        }
+    }
+}
+
+impl Actor<Msg> for Replica {
+    fn id(&self) -> ActorId {
+        ActorId::Node(self.node)
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<Msg>) {
+        self.stats.messages_handled += 1;
+        // Base cost of receiving and (in the Byzantine model) verifying the
+        // message; protocol handlers add signing costs when they emit signed
+        // messages.
+        let verify = usize::from(msg.is_signed() && self.model().requires_signatures());
+        self.charge_message(ctx, verify, 0);
+        self.dispatch(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, tag: u64, ctx: &mut Context<Msg>) {
+        match tag {
+            timer_tags::CONFLICT => {
+                // The commit for the reserved cross-shard transaction did not
+                // arrive in time. A backup releases the reservation so other
+                // transactions can make progress (the initiator will retry).
+                // The cluster primary must NOT release: it has vouched the
+                // reserved transaction's position in its chain (its accept
+                // reported the current ordering tail), and proposing anything
+                // else before that transaction resolves could fork the
+                // cluster's chain. It re-arms the timer instead; if the
+                // transaction is truly dead, the view-change path replaces
+                // the primary.
+                if let Some(res) = self.reservation {
+                    if res.timer == timer {
+                        if self.is_primary() {
+                            let timer = ctx
+                                .set_timer(self.cfg.timers.conflict_timeout, timer_tags::CONFLICT);
+                            self.reservation = Some(Reservation { d: res.d, timer });
+                        } else {
+                            self.reservation = None;
+                            self.process_buffered(ctx);
+                        }
+                    }
+                }
+            }
+            timer_tags::RETRY => self.handle_retry_timer(timer, ctx),
+            timer_tags::VIEW_CHANGE => self.handle_view_change_timer(timer, ctx),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,716 @@
+//! Unit tests driving replicas message-by-message through detached contexts.
+//!
+//! The `TestNet` helper plays the role of a perfectly reliable, instantaneous
+//! network: it routes every message a replica emits to its destination until
+//! no messages remain. Timers never fire, so these tests exercise exactly the
+//! fault-free protocol paths of §3.1–§3.3; timer- and fault-driven behaviour
+//! is covered by the integration tests in the workspace root.
+
+use super::*;
+use crate::config::{ReplicaConfig, TimerConfig};
+use crate::messages::Msg;
+use sharper_common::{
+    AccountId, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy, NodeId, SimTime,
+    SystemConfig,
+};
+use sharper_crypto::{KeyRegistry, Signature};
+use sharper_ledger::audit_views;
+use sharper_state::{Partitioner, Transaction};
+use std::collections::VecDeque;
+
+const ACCOUNTS_PER_SHARD: u64 = 100;
+const INITIAL_BALANCE: u64 = 1_000;
+
+fn test_config(model: FailureModel, clusters: usize, f: usize) -> Arc<ReplicaConfig> {
+    let system = SystemConfig::uniform(model, clusters, f)
+        .unwrap()
+        .with_initiation_policy(InitiationPolicy::SuperPrimary);
+    let node_signers = system.node_ids().map(node_signer_id).collect::<Vec<_>>();
+    let client_signers = (0..32).map(|c| client_signer_id(ClientId(c)));
+    let (registry, _) = KeyRegistry::generate(7, node_signers.into_iter().chain(client_signers));
+    ReplicaConfig::shared(
+        system,
+        Partitioner::range(clusters as u32, ACCOUNTS_PER_SHARD),
+        CostModel::zero(),
+        TimerConfig::default(),
+        registry,
+    )
+}
+
+fn client_sig(cfg: &ReplicaConfig, tx: &Transaction) -> Signature {
+    if cfg.system.failure_model.requires_signatures() {
+        cfg.registry
+            .signer(client_signer_id(tx.client()))
+            .expect("client key registered")
+            .sign(&tx.canonical_bytes())
+    } else {
+        Signature::unsigned(client_signer_id(tx.client()).0)
+    }
+}
+
+/// A zero-latency, loss-free test network around a set of replicas.
+struct TestNet {
+    cfg: Arc<ReplicaConfig>,
+    replicas: std::collections::BTreeMap<NodeId, Replica>,
+    queue: VecDeque<(ActorId, ActorId, Msg)>,
+    /// Replies delivered to clients: (client, tx, applied).
+    replies: Vec<(ClientId, TxId, bool)>,
+    delivered: usize,
+}
+
+impl TestNet {
+    fn new(cfg: Arc<ReplicaConfig>) -> Self {
+        let mut replicas = std::collections::BTreeMap::new();
+        for node in cfg.system.node_ids() {
+            replicas.insert(
+                node,
+                Replica::with_genesis(node, Arc::clone(&cfg), ACCOUNTS_PER_SHARD, INITIAL_BALANCE),
+            );
+        }
+        Self {
+            cfg,
+            replicas,
+            queue: VecDeque::new(),
+            replies: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Routes a client request exactly like the client library does: to the
+    /// primary of the initiator cluster under the configured policy.
+    fn submit(&mut self, tx: Transaction) {
+        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        let target_cluster = self
+            .cfg
+            .system
+            .initiator_cluster(&involved, None)
+            .expect("valid clusters");
+        let primary = self.cfg.system.primary(target_cluster, 0).unwrap();
+        let sig = client_sig(&self.cfg, &tx);
+        self.queue.push_back((
+            ActorId::Client(tx.client()),
+            ActorId::Node(primary),
+            Msg::Request { tx, sig },
+        ));
+    }
+
+    /// Injects an arbitrary protocol message.
+    fn inject(&mut self, from: ActorId, to: NodeId, msg: Msg) {
+        self.queue.push_back((from, ActorId::Node(to), msg));
+    }
+
+    /// Delivers queued messages until quiescence (or the safety cap).
+    fn run(&mut self) {
+        let mut guard = 0usize;
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            guard += 1;
+            assert!(guard < 200_000, "test network did not quiesce");
+            match to {
+                ActorId::Node(node) => {
+                    let Some(replica) = self.replicas.get_mut(&node) else {
+                        continue;
+                    };
+                    let mut ctx = Context::detached(SimTime::from_millis(guard as u64), to);
+                    replica.on_message(from, msg, &mut ctx);
+                    self.delivered += 1;
+                    for (dest, out) in ctx.take_outbox() {
+                        self.queue.push_back((to, dest, out));
+                    }
+                }
+                ActorId::Client(client) => {
+                    if let Msg::Reply { tx, applied, .. } = msg {
+                        self.replies.push((client, tx, applied));
+                    }
+                }
+            }
+        }
+    }
+
+    fn replica(&self, node: u32) -> &Replica {
+        &self.replicas[&NodeId(node)]
+    }
+
+    fn ledgers(&self) -> Vec<sharper_ledger::LedgerView> {
+        // One representative (the longest) view per cluster.
+        let mut per_cluster: std::collections::BTreeMap<ClusterId, sharper_ledger::LedgerView> =
+            std::collections::BTreeMap::new();
+        for r in self.replicas.values() {
+            per_cluster
+                .entry(r.cluster())
+                .and_modify(|v| {
+                    if r.ledger().len() > v.len() {
+                        *v = r.ledger().clone();
+                    }
+                })
+                .or_insert_with(|| r.ledger().clone());
+        }
+        per_cluster.into_values().collect()
+    }
+
+    fn distinct_replies(&self, tx: TxId) -> usize {
+        self.replies
+            .iter()
+            .filter(|(_, t, _)| *t == tx)
+            .map(|(_, _, _)| ())
+            .count()
+    }
+}
+
+fn intra_tx(seq: u64) -> Transaction {
+    // Accounts 1 and 2 live in shard 0; account 1 is owned by client 1.
+    Transaction::transfer(ClientId(1), seq, AccountId(1), AccountId(2), 5)
+}
+
+fn intra_tx_in_cluster(cluster: u32, seq: u64) -> Transaction {
+    let a = cluster as u64 * ACCOUNTS_PER_SHARD + 1;
+    Transaction::transfer(ClientId(1), seq, AccountId(a), AccountId(a + 1), 5)
+}
+
+fn cross_tx(seq: u64, to_shard: u64) -> Transaction {
+    // Debit shard 0 (account 1, owner client 1), credit shard `to_shard`.
+    Transaction::transfer(
+        ClientId(1),
+        seq,
+        AccountId(1),
+        AccountId(to_shard * ACCOUNTS_PER_SHARD + 3),
+        5,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Paxos intra-shard (crash model)
+// ---------------------------------------------------------------------
+
+#[test]
+fn paxos_orders_and_executes_an_intra_shard_transaction() {
+    let cfg = test_config(FailureModel::Crash, 2, 1);
+    let mut net = TestNet::new(cfg);
+    net.submit(intra_tx(0));
+    net.run();
+
+    // Every replica of cluster 0 appended the block; cluster 1 untouched.
+    for node in 0..3u32 {
+        let r = net.replica(node);
+        assert_eq!(r.committed_count(), 1, "replica {node}");
+        assert_eq!(r.store().balance(AccountId(1)), Some(INITIAL_BALANCE - 5));
+        assert_eq!(r.store().balance(AccountId(2)), Some(INITIAL_BALANCE + 5));
+        assert!(r.is_idle());
+    }
+    for node in 3..6u32 {
+        assert_eq!(net.replica(node).committed_count(), 0);
+    }
+    // The primary replied once.
+    assert_eq!(net.distinct_replies(intra_tx(0).id), 1);
+    audit_views(&net.ledgers()).unwrap();
+}
+
+#[test]
+fn paxos_orders_a_sequence_of_transactions_in_submission_order() {
+    let cfg = test_config(FailureModel::Crash, 1, 1);
+    let mut net = TestNet::new(cfg);
+    for seq in 0..10 {
+        net.submit(intra_tx(seq));
+    }
+    net.run();
+    let primary = net.replica(0);
+    assert_eq!(primary.committed_count(), 10);
+    // Total order: every replica has the same chain.
+    let head = primary.ledger().head();
+    for node in 1..3u32 {
+        assert_eq!(net.replica(node).ledger().head(), head);
+    }
+    // Balance reflects ten transfers of 5.
+    assert_eq!(
+        primary.store().balance(AccountId(1)),
+        Some(INITIAL_BALANCE - 50)
+    );
+    audit_views(&net.ledgers()).unwrap();
+}
+
+#[test]
+fn paxos_request_to_backup_is_forwarded_to_primary() {
+    let cfg = test_config(FailureModel::Crash, 1, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    let tx = intra_tx(0);
+    let sig = client_sig(&cfg, &tx);
+    // Send the request to a backup instead of the primary.
+    net.inject(
+        ActorId::Client(ClientId(1)),
+        NodeId(2),
+        Msg::Request { tx: tx.clone(), sig },
+    );
+    net.run();
+    assert_eq!(net.replica(0).committed_count(), 1);
+    assert_eq!(net.replica(2).committed_count(), 1);
+    assert_eq!(net.distinct_replies(tx.id), 1);
+}
+
+#[test]
+fn paxos_intra_transactions_of_different_clusters_proceed_independently() {
+    let cfg = test_config(FailureModel::Crash, 4, 1);
+    let mut net = TestNet::new(cfg);
+    for cluster in 0..4u32 {
+        for seq in 0..5 {
+            net.submit(intra_tx_in_cluster(cluster, 100 * cluster as u64 + seq));
+        }
+    }
+    net.run();
+    for cluster in 0..4u32 {
+        let primary = net.replica(cluster * 3);
+        assert_eq!(primary.committed_count(), 5, "cluster {cluster}");
+        assert_eq!(primary.stats().committed_intra, 5);
+        assert_eq!(primary.stats().committed_cross, 0);
+    }
+    audit_views(&net.ledgers()).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// PBFT intra-shard (Byzantine model)
+// ---------------------------------------------------------------------
+
+#[test]
+fn pbft_orders_and_executes_an_intra_shard_transaction() {
+    let cfg = test_config(FailureModel::Byzantine, 2, 1);
+    let mut net = TestNet::new(cfg);
+    let tx = intra_tx(0);
+    net.submit(tx.clone());
+    net.run();
+    for node in 0..4u32 {
+        let r = net.replica(node);
+        assert_eq!(r.committed_count(), 1, "replica {node}");
+        assert_eq!(r.store().balance(AccountId(1)), Some(INITIAL_BALANCE - 5));
+    }
+    // Every replica of the cluster replies; the client needs f+1 = 2 matching.
+    assert_eq!(net.distinct_replies(tx.id), 4);
+    audit_views(&net.ledgers()).unwrap();
+}
+
+#[test]
+fn pbft_rejects_pre_prepare_with_bad_signature() {
+    let cfg = test_config(FailureModel::Byzantine, 1, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    let tx = intra_tx(0);
+    let forged = Signature::unsigned(node_signer_id(NodeId(0)).0);
+    net.inject(
+        ActorId::Node(NodeId(0)),
+        NodeId(1),
+        Msg::PrePrepare {
+            view: 0,
+            parent: net.replica(1).ledger().head(),
+            tx,
+            sig: forged,
+        },
+    );
+    net.run();
+    // Nothing commits anywhere.
+    for node in 0..4u32 {
+        assert_eq!(net.replica(node).committed_count(), 0);
+    }
+}
+
+#[test]
+fn pbft_rejects_request_with_invalid_client_signature() {
+    let cfg = test_config(FailureModel::Byzantine, 1, 1);
+    let mut net = TestNet::new(cfg);
+    let tx = intra_tx(0);
+    net.inject(
+        ActorId::Client(ClientId(1)),
+        NodeId(0),
+        Msg::Request {
+            tx,
+            sig: Signature::unsigned(client_signer_id(ClientId(1)).0),
+        },
+    );
+    net.run();
+    assert_eq!(net.replica(0).committed_count(), 0);
+}
+
+#[test]
+fn pbft_orders_many_transactions_with_identical_chains() {
+    let cfg = test_config(FailureModel::Byzantine, 1, 1);
+    let mut net = TestNet::new(cfg);
+    for seq in 0..8 {
+        net.submit(intra_tx(seq));
+    }
+    net.run();
+    let head = net.replica(0).ledger().head();
+    for node in 0..4u32 {
+        assert_eq!(net.replica(node).committed_count(), 8);
+        assert_eq!(net.replica(node).ledger().head(), head);
+    }
+    audit_views(&net.ledgers()).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard consensus, crash model (Algorithm 1)
+// ---------------------------------------------------------------------
+
+#[test]
+fn cross_shard_crash_commits_on_all_involved_clusters() {
+    let cfg = test_config(FailureModel::Crash, 4, 1);
+    let mut net = TestNet::new(cfg);
+    let tx = cross_tx(0, 1);
+    net.submit(tx.clone());
+    net.run();
+
+    // Clusters 0 and 1 commit the block, clusters 2 and 3 are untouched.
+    for node in 0..6u32 {
+        let r = net.replica(node);
+        assert_eq!(r.committed_count(), 1, "replica {node}");
+        assert_eq!(r.stats().committed_cross, 1);
+        assert!(r.is_idle(), "replica {node} must release its reservation");
+    }
+    for node in 6..12u32 {
+        assert_eq!(net.replica(node).committed_count(), 0);
+    }
+    // The debit happened in shard 0, the credit in shard 1.
+    assert_eq!(
+        net.replica(0).store().balance(AccountId(1)),
+        Some(INITIAL_BALANCE - 5)
+    );
+    assert_eq!(
+        net.replica(3).store().balance(AccountId(103)),
+        Some(INITIAL_BALANCE + 5)
+    );
+    // Only the initiator primary replies in the crash model.
+    assert_eq!(net.distinct_replies(tx.id), 1);
+    audit_views(&net.ledgers()).unwrap();
+}
+
+#[test]
+fn cross_shard_crash_preserves_order_with_intra_shard_traffic() {
+    let cfg = test_config(FailureModel::Crash, 2, 1);
+    let mut net = TestNet::new(cfg);
+    net.submit(intra_tx(0));
+    net.submit(cross_tx(1, 1));
+    net.submit(intra_tx(2));
+    net.submit(intra_tx_in_cluster(1, 3));
+    net.run();
+
+    // Cluster 0 sees 2 intra + 1 cross; cluster 1 sees 1 intra + 1 cross.
+    assert_eq!(net.replica(0).committed_count(), 3);
+    assert_eq!(net.replica(3).committed_count(), 2);
+    let report = audit_views(&net.ledgers()).unwrap();
+    assert_eq!(report.distinct_transactions, 4);
+    assert_eq!(report.cross_shard_transactions, 1);
+}
+
+#[test]
+fn cross_shard_transactions_with_disjoint_clusters_commit_independently() {
+    let cfg = test_config(FailureModel::Crash, 4, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    // t{1,2} over clusters 0-1 and t{3,4} over clusters 2-3 (paper Figure 4).
+    let t_a = cross_tx(0, 1);
+    let t_b = Transaction::transfer(
+        ClientId(2),
+        1,
+        AccountId(2 * ACCOUNTS_PER_SHARD + 2),
+        AccountId(3 * ACCOUNTS_PER_SHARD + 2),
+        5,
+    );
+    net.submit(t_a);
+    net.submit(t_b);
+    net.run();
+    for node in 0..12u32 {
+        assert_eq!(net.replica(node).committed_count(), 1, "replica {node}");
+    }
+    let report = audit_views(&net.ledgers()).unwrap();
+    assert_eq!(report.cross_shard_transactions, 2);
+}
+
+#[test]
+fn reserved_replica_buffers_new_transactions_until_commit() {
+    let cfg = test_config(FailureModel::Crash, 2, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    let xtx = cross_tx(0, 1);
+    let d = xtx.digest();
+
+    // Step 1: deliver only the propose to a backup of cluster 1 by hand.
+    net.inject(
+        ActorId::Node(NodeId(0)),
+        NodeId(4),
+        Msg::XPropose {
+            initiator: ClusterId(0),
+            attempt: 0,
+            parent: net.replica(0).ledger().head(),
+            tx: xtx.clone(),
+        },
+    );
+    // Deliver it and drop the produced accept (do not run the full network).
+    {
+        let replica = net.replicas.get_mut(&NodeId(4)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(1), ActorId::Node(NodeId(4)));
+        let (_, _, msg) = net.queue.pop_front().unwrap();
+        if let (from, to) = (ActorId::Node(NodeId(0)), ActorId::Node(NodeId(4))) {
+            let _ = to;
+            replica.on_message(from, msg, &mut ctx);
+        }
+        let out = ctx.take_outbox();
+        assert!(
+            out.iter().any(|(_, m)| matches!(m, Msg::XAccept { d: dd, .. } if *dd == d)),
+            "the reserved replica must send an accept"
+        );
+        assert!(!replica.is_idle(), "the replica is now reserved");
+    }
+
+    // Step 2: a Paxos accept for an intra-shard transaction arrives while
+    // reserved — it must be buffered, not answered.
+    {
+        let head = net.replica(4).ledger().head();
+        let replica = net.replicas.get_mut(&NodeId(4)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(2), ActorId::Node(NodeId(4)));
+        replica.on_message(
+            ActorId::Node(NodeId(3)),
+            Msg::PaxosAccept {
+                view: 0,
+                parent: head,
+                tx: intra_tx_in_cluster(1, 9),
+            },
+            &mut ctx,
+        );
+        assert!(ctx.take_outbox().is_empty(), "buffered, not processed");
+    }
+
+    // Step 3: the commit arrives; the reservation is released and the
+    // buffered intra-shard accept is answered.
+    {
+        let mut parents = std::collections::BTreeMap::new();
+        parents.insert(ClusterId(0), net.replica(0).ledger().head());
+        parents.insert(ClusterId(1), net.replica(4).ledger().head());
+        let replica = net.replicas.get_mut(&NodeId(4)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(3), ActorId::Node(NodeId(4)));
+        replica.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::XCommit {
+                d,
+                parents,
+                tx: xtx,
+            },
+            &mut ctx,
+        );
+        let out = ctx.take_outbox();
+        assert!(replica.is_idle() || !out.is_empty());
+        assert_eq!(replica.committed_count(), 1);
+        assert!(
+            out.iter()
+                .any(|(_, m)| matches!(m, Msg::PaxosAccepted { .. })),
+            "the buffered intra-shard work must resume after the commit"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard consensus, Byzantine model (Algorithm 2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn cross_shard_bft_commits_on_all_involved_clusters() {
+    let cfg = test_config(FailureModel::Byzantine, 4, 1);
+    let mut net = TestNet::new(cfg);
+    let tx = cross_tx(0, 2);
+    net.submit(tx.clone());
+    net.run();
+
+    // Involved clusters: 0 and 2 (accounts 1 and 203).
+    for node in (0..4u32).chain(8..12u32) {
+        let r = net.replica(node);
+        assert_eq!(r.committed_count(), 1, "replica {node}");
+        assert!(r.is_idle());
+    }
+    for node in (4..8u32).chain(12..16u32) {
+        assert_eq!(net.replica(node).committed_count(), 0, "replica {node}");
+    }
+    // Every replica of both involved clusters replies (8 replies).
+    assert_eq!(net.distinct_replies(tx.id), 8);
+    audit_views(&net.ledgers()).unwrap();
+}
+
+#[test]
+fn cross_shard_bft_mixed_with_intra_shard_traffic() {
+    let cfg = test_config(FailureModel::Byzantine, 3, 1);
+    let mut net = TestNet::new(cfg);
+    net.submit(intra_tx(0));
+    net.submit(cross_tx(1, 1));
+    net.submit(intra_tx_in_cluster(2, 2));
+    net.submit(cross_tx(3, 2));
+    net.run();
+
+    let report = audit_views(&net.ledgers()).unwrap();
+    assert_eq!(report.distinct_transactions, 4);
+    assert_eq!(report.cross_shard_transactions, 2);
+    // Cluster 0 is involved in: intra, cross(0-1), cross(0-2) = 3 blocks.
+    assert_eq!(net.replica(0).committed_count(), 3);
+}
+
+#[test]
+fn cross_shard_bft_three_cluster_transaction() {
+    let cfg = test_config(FailureModel::Byzantine, 3, 1);
+    let mut net = TestNet::new(cfg);
+    // One transaction touching all three shards.
+    let tx = Transaction::new(
+        sharper_common::TxId::new(ClientId(1), 0),
+        vec![
+            sharper_state::Operation::Transfer {
+                from: AccountId(1),
+                to: AccountId(ACCOUNTS_PER_SHARD + 3),
+                amount: 2,
+            },
+            sharper_state::Operation::Transfer {
+                from: AccountId(1),
+                to: AccountId(2 * ACCOUNTS_PER_SHARD + 3),
+                amount: 3,
+            },
+        ],
+    );
+    net.submit(tx);
+    net.run();
+    for node in 0..12u32 {
+        assert_eq!(net.replica(node).committed_count(), 1, "replica {node}");
+    }
+    let report = audit_views(&net.ledgers()).unwrap();
+    assert_eq!(report.cross_shard_transactions, 1);
+    // Debit of 5 from account 1, credits of 2 and 3 in shards 1 and 2.
+    assert_eq!(
+        net.replica(0).store().balance(AccountId(1)),
+        Some(INITIAL_BALANCE - 5)
+    );
+    assert_eq!(
+        net.replica(4).store().balance(AccountId(ACCOUNTS_PER_SHARD + 3)),
+        Some(INITIAL_BALANCE + 2)
+    );
+    assert_eq!(
+        net.replica(8)
+            .store()
+            .balance(AccountId(2 * ACCOUNTS_PER_SHARD + 3)),
+        Some(INITIAL_BALANCE + 3)
+    );
+}
+
+// ---------------------------------------------------------------------
+// View change
+// ---------------------------------------------------------------------
+
+#[test]
+fn view_change_installs_the_next_primary_on_quorum() {
+    let cfg = test_config(FailureModel::Crash, 1, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    // Nodes 0 (old primary), 1 (next primary), 2 (backup). Nodes 1 and 2 vote
+    // for view 1; node 1 must install it and announce NewView.
+    let sig = Signature::unsigned(0);
+    net.inject(
+        ActorId::Node(NodeId(2)),
+        NodeId(1),
+        Msg::ViewChange {
+            cluster: ClusterId(0),
+            new_view: 1,
+            node: NodeId(2),
+            sig,
+        },
+    );
+    // Node 1's own vote arrives via its timer in production; simulate the
+    // second vote directly.
+    net.inject(
+        ActorId::Node(NodeId(1)),
+        NodeId(1),
+        Msg::ViewChange {
+            cluster: ClusterId(0),
+            new_view: 1,
+            node: NodeId(1),
+            sig,
+        },
+    );
+    net.run();
+    assert_eq!(net.replica(1).view(), 1);
+    assert!(net.replica(1).is_primary());
+    // The other replicas learn the view from NewView.
+    assert_eq!(net.replica(2).view(), 1);
+    assert!(!net.replica(2).is_primary());
+}
+
+#[test]
+fn new_primary_serves_requests_after_view_change() {
+    let cfg = test_config(FailureModel::Crash, 1, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    let sig = Signature::unsigned(0);
+    for voter in [1u32, 2u32] {
+        net.inject(
+            ActorId::Node(NodeId(voter)),
+            NodeId(1),
+            Msg::ViewChange {
+                cluster: ClusterId(0),
+                new_view: 1,
+                node: NodeId(voter),
+                sig,
+            },
+        );
+    }
+    net.run();
+    assert_eq!(net.replica(1).view(), 1);
+
+    // A request sent to the old primary is forwarded to the new one and
+    // still commits (the old primary is alive here, just demoted).
+    let tx = intra_tx(7);
+    let csig = client_sig(&cfg, &tx);
+    net.inject(
+        ActorId::Client(ClientId(1)),
+        NodeId(0),
+        Msg::Request { tx: tx.clone(), sig: csig },
+    );
+    net.run();
+    assert!(net.replica(1).committed_count() >= 1);
+    assert_eq!(net.distinct_replies(tx.id), 1);
+}
+
+// ---------------------------------------------------------------------
+// Misc replica behaviour
+// ---------------------------------------------------------------------
+
+#[test]
+fn duplicate_requests_are_answered_without_reordering() {
+    let cfg = test_config(FailureModel::Crash, 1, 1);
+    let mut net = TestNet::new(cfg);
+    let tx = intra_tx(0);
+    net.submit(tx.clone());
+    net.run();
+    assert_eq!(net.replica(0).committed_count(), 1);
+    // Retransmission: the primary replies again but does not re-commit.
+    net.submit(tx.clone());
+    net.run();
+    assert_eq!(net.replica(0).committed_count(), 1);
+    assert!(net.replies.iter().filter(|(_, t, _)| *t == tx.id).count() >= 2);
+}
+
+#[test]
+fn invalid_transfers_commit_in_order_but_abort_at_execution() {
+    let cfg = test_config(FailureModel::Crash, 1, 1);
+    let mut net = TestNet::new(cfg);
+    // Client 5 does not own account 1.
+    let bad = Transaction::transfer(ClientId(5), 0, AccountId(1), AccountId(2), 5);
+    net.submit(bad.clone());
+    net.run();
+    let primary = net.replica(0);
+    // Ordered (appended) but aborted at execution; balances unchanged.
+    assert_eq!(primary.committed_count(), 1);
+    assert_eq!(primary.stats().aborted_executions, 1);
+    assert_eq!(primary.store().balance(AccountId(1)), Some(INITIAL_BALANCE));
+    assert_eq!(
+        net.replies
+            .iter()
+            .find(|(_, t, _)| *t == bad.id)
+            .map(|(_, _, applied)| *applied),
+        Some(false)
+    );
+}
+
+#[test]
+fn replica_constructor_wires_cluster_membership() {
+    let cfg = test_config(FailureModel::Byzantine, 2, 1);
+    let r = Replica::with_genesis(NodeId(5), Arc::clone(&cfg), ACCOUNTS_PER_SHARD, 100);
+    assert_eq!(r.node(), NodeId(5));
+    assert_eq!(r.cluster(), ClusterId(1));
+    assert!(!r.is_primary());
+    assert_eq!(r.view(), 0);
+    assert_eq!(r.store().len(), ACCOUNTS_PER_SHARD as usize);
+    let p = Replica::with_genesis(NodeId(4), cfg, ACCOUNTS_PER_SHARD, 100);
+    assert!(p.is_primary());
+}

@@ -1,0 +1,248 @@
+//! Primary replacement (view change) for liveness.
+//!
+//! "If the primary fails, the view change routine is triggered by timeouts
+//! and require enough non-faulty replicas to exchange view change messages"
+//! (§3.2, §3.3). The reproduction implements the PBFT-style skeleton: a
+//! backup that has an in-flight request and does not observe its commit
+//! within the view-change timeout votes for view `v+1`; when a quorum of
+//! votes for the same view is observed by the would-be primary of that view,
+//! it installs the view, announces it with `NewView` and takes over the
+//! uncommitted requests it knows about. Clients additionally retransmit
+//! requests that time out, which covers requests the failed primary never
+//! forwarded.
+
+use super::Replica;
+use crate::messages::{timer_tags, vote_sign_bytes, Msg};
+use sharper_common::{ClusterId, NodeId};
+use sharper_crypto::{Digest, Signature};
+use sharper_net::{Context, TimerId};
+use std::collections::BTreeSet;
+
+fn view_change_sign_bytes(label: &[u8], cluster: ClusterId, new_view: u64) -> Vec<u8> {
+    let context = ((cluster.0 as u64) << 32) | (new_view & 0xFFFF_FFFF);
+    vote_sign_bytes(label, context, &Digest::ZERO, &Digest::ZERO)
+}
+
+impl Replica {
+    /// Arms the view-change timer if work is in flight and no timer is armed.
+    pub(super) fn ensure_view_change_timer(&mut self, ctx: &mut Context<Msg>) {
+        if self.vc_timer.is_none() {
+            self.vc_timer = Some(ctx.set_timer(
+                self.cfg.timers.view_change_timeout,
+                timer_tags::VIEW_CHANGE,
+            ));
+        }
+    }
+
+    /// Called after every commit: the commit is evidence that the primary is
+    /// making progress, so the suspicion timer is pushed back. It is cancelled
+    /// outright when nothing is waiting for the primary any more.
+    pub(super) fn maybe_cancel_view_change_timer(&mut self, ctx: &mut Context<Msg>) {
+        if let Some(timer) = self.vc_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        if self.has_outstanding_work() {
+            self.ensure_view_change_timer(ctx);
+        }
+    }
+
+    fn has_outstanding_work(&self) -> bool {
+        !self.buffered.is_empty()
+            || self.intra.values().any(|r| !r.committed)
+            || self.cross.values().any(|r| !r.committed)
+    }
+
+    /// The view-change timer fired.
+    pub(super) fn handle_view_change_timer(&mut self, timer: TimerId, ctx: &mut Context<Msg>) {
+        if self.vc_timer != Some(timer) {
+            return;
+        }
+        self.vc_timer = None;
+        if !self.has_outstanding_work() {
+            return;
+        }
+        // Suspect the primary and vote for the next view.
+        let new_view = self.view + 1;
+        self.stats.view_changes_started += 1;
+        self.record_view_change_vote(new_view, self.node);
+        let sig = self
+            .signer
+            .sign(&view_change_sign_bytes(b"viewchange", self.cluster, new_view));
+        if self.model().requires_signatures() {
+            self.charge_message(ctx, 0, 1);
+        }
+        ctx.multicast(
+            self.cluster_peers(),
+            Msg::ViewChange {
+                cluster: self.cluster,
+                new_view,
+                node: self.node,
+                sig,
+            },
+        );
+        // Re-arm in case this view change also stalls.
+        self.ensure_view_change_timer(ctx);
+        self.try_install_view(new_view, ctx);
+    }
+
+    fn record_view_change_vote(&mut self, new_view: u64, node: NodeId) {
+        self.vc_votes
+            .entry(new_view)
+            .or_insert_with(BTreeSet::new)
+            .insert(node);
+    }
+
+    /// Another replica of this cluster votes for a view change.
+    pub(super) fn handle_view_change(
+        &mut self,
+        cluster: ClusterId,
+        new_view: u64,
+        node: NodeId,
+        sig: Signature,
+        ctx: &mut Context<Msg>,
+    ) {
+        if cluster != self.cluster || new_view <= self.view {
+            return;
+        }
+        if self.model().requires_signatures() {
+            let bytes = view_change_sign_bytes(b"viewchange", cluster, new_view);
+            if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig)
+            {
+                return;
+            }
+        }
+        self.record_view_change_vote(new_view, node);
+        self.try_install_view(new_view, ctx);
+    }
+
+    fn try_install_view(&mut self, new_view: u64, ctx: &mut Context<Msg>) {
+        if new_view <= self.view {
+            return;
+        }
+        let votes = self.vc_votes.get(&new_view).map_or(0, |v| v.len());
+        if votes < self.quorum_of(self.cluster) {
+            return;
+        }
+        let new_primary = self
+            .cfg
+            .system
+            .primary(self.cluster, new_view)
+            .expect("cluster exists");
+        if new_primary != self.node {
+            // Wait for the new primary's announcement.
+            return;
+        }
+        self.install_view(new_view, ctx);
+        let sig = self
+            .signer
+            .sign(&view_change_sign_bytes(b"newview", self.cluster, new_view));
+        if self.model().requires_signatures() {
+            self.charge_message(ctx, 0, 1);
+        }
+        ctx.multicast(
+            self.cluster_peers(),
+            Msg::NewView {
+                cluster: self.cluster,
+                new_view,
+                node: self.node,
+                sig,
+            },
+        );
+        self.take_over_pending_work(ctx);
+    }
+
+    /// The new primary announces the installed view.
+    pub(super) fn handle_new_view(
+        &mut self,
+        cluster: ClusterId,
+        new_view: u64,
+        node: NodeId,
+        sig: Signature,
+        ctx: &mut Context<Msg>,
+    ) {
+        if cluster != self.cluster || new_view <= self.view {
+            return;
+        }
+        let expected_primary = self
+            .cfg
+            .system
+            .primary(self.cluster, new_view)
+            .expect("cluster exists");
+        if node != expected_primary {
+            return;
+        }
+        if self.model().requires_signatures() {
+            let bytes = view_change_sign_bytes(b"newview", cluster, new_view);
+            if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig)
+            {
+                return;
+            }
+        }
+        self.install_view(new_view, ctx);
+        // Hand any buffered client requests to the new primary.
+        let buffered: Vec<_> = self.buffered.drain(..).collect();
+        for (_, msg) in buffered {
+            if let Msg::Request { tx, sig } = msg {
+                ctx.send(
+                    sharper_net::ActorId::Node(expected_primary),
+                    Msg::Request { tx, sig },
+                );
+            }
+        }
+    }
+
+    fn install_view(&mut self, new_view: u64, ctx: &mut Context<Msg>) {
+        self.view = new_view;
+        // Abandon the old primary's uncommitted proposal chain.
+        self.tail = self.ledger.head();
+        self.vc_votes.retain(|v, _| *v > new_view);
+        if let Some(timer) = self.vc_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        // Abandon protocol state from the old view; uncommitted transactions
+        // will be re-proposed by the new primary or retransmitted by clients.
+        self.intra.retain(|_, r| r.committed);
+        if self.initiating.is_some() {
+            self.initiating = None;
+        }
+    }
+
+    /// The freshly installed primary re-initiates the uncommitted work it
+    /// knows about ("the new primary then handles the uncommitted requests").
+    fn take_over_pending_work(&mut self, ctx: &mut Context<Msg>) {
+        // Re-propose buffered client requests first.
+        let buffered: Vec<_> = self.buffered.drain(..).collect();
+        for (from, msg) in buffered {
+            self.dispatch(from, msg, ctx);
+        }
+        // Re-initiate cross-shard rounds that never committed.
+        let pending: Vec<_> = self
+            .cross
+            .iter()
+            .filter(|(_, r)| !r.committed && !r.sent_commit && r.initiator == self.cluster)
+            .map(|(d, r)| (*d, r.tx.clone(), r.involved.clone()))
+            .collect();
+        for (d, tx, involved) in pending {
+            self.cross.remove(&d);
+            if !self.is_blocked() {
+                self.start_cross(tx, involved, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_bytes_distinguish_cluster_view_and_label() {
+        let a = view_change_sign_bytes(b"viewchange", ClusterId(1), 2);
+        let b = view_change_sign_bytes(b"viewchange", ClusterId(1), 3);
+        let c = view_change_sign_bytes(b"viewchange", ClusterId(2), 2);
+        let d = view_change_sign_bytes(b"newview", ClusterId(1), 2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

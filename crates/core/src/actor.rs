@@ -1,0 +1,64 @@
+//! The actor type used by a SharPer simulation: replicas and clients.
+
+use crate::client::ClientActor;
+use sharper_consensus::{Msg, Replica};
+use sharper_net::{Actor, ActorId, Context, TimerId};
+
+/// Either a replica or a client of a SharPer deployment.
+///
+/// The simulator runs over a single actor type, so the two roles are wrapped
+/// in one enum and calls are forwarded to the inner actor.
+pub enum SharperActor {
+    /// A consensus replica.
+    Replica(Replica),
+    /// A closed-loop client.
+    Client(ClientActor),
+}
+
+impl SharperActor {
+    /// The inner replica, if this actor is one.
+    pub fn as_replica(&self) -> Option<&Replica> {
+        match self {
+            SharperActor::Replica(r) => Some(r),
+            SharperActor::Client(_) => None,
+        }
+    }
+
+    /// The inner client, if this actor is one.
+    pub fn as_client(&self) -> Option<&ClientActor> {
+        match self {
+            SharperActor::Client(c) => Some(c),
+            SharperActor::Replica(_) => None,
+        }
+    }
+}
+
+impl Actor<Msg> for SharperActor {
+    fn id(&self) -> ActorId {
+        match self {
+            SharperActor::Replica(r) => r.id(),
+            SharperActor::Client(c) => c.id(),
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        match self {
+            SharperActor::Replica(r) => r.on_start(ctx),
+            SharperActor::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<Msg>) {
+        match self {
+            SharperActor::Replica(r) => r.on_message(from, msg, ctx),
+            SharperActor::Client(c) => c.on_message(from, msg, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, tag: u64, ctx: &mut Context<Msg>) {
+        match self {
+            SharperActor::Replica(r) => r.on_timer(timer, tag, ctx),
+            SharperActor::Client(c) => c.on_timer(timer, tag, ctx),
+        }
+    }
+}

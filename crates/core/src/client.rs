@@ -1,0 +1,418 @@
+//! The closed-loop client of the accounting application.
+//!
+//! The paper's evaluation uses "an increasing number of clients ... until the
+//! end-to-end throughput is saturated" (§4). Each client keeps one request
+//! outstanding: it submits a transaction to the primary of the responsible
+//! cluster, waits for the required replies, records the end-to-end latency
+//! and immediately submits the next transaction. Requests that receive no
+//! reply within the retransmission timeout are resubmitted (this is what
+//! provides liveness across primary failures together with the view change).
+
+use sharper_common::{ClientId, ClusterId, Duration, NodeId};
+use sharper_consensus::replica::client_signer_id;
+use sharper_consensus::{timer_tags, Msg, ReplicaConfig};
+use sharper_crypto::Signature;
+use sharper_net::{Actor, ActorId, CommitSample, Context, StatsHandle, TimerId};
+use sharper_state::Transaction;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Client behaviour parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientParams {
+    /// How long to wait for replies before retransmitting the request.
+    pub retry_timeout: Duration,
+    /// Optional think time between receiving a reply and submitting the next
+    /// request (zero for the saturation experiments).
+    pub think_time: Duration,
+}
+
+impl Default for ClientParams {
+    fn default() -> Self {
+        Self {
+            retry_timeout: Duration::from_millis(2_000),
+            think_time: Duration::ZERO,
+        }
+    }
+}
+
+/// State of the request currently outstanding at the client.
+#[derive(Debug)]
+struct Outstanding {
+    tx: Transaction,
+    cross_shard: bool,
+    submitted_at: sharper_common::SimTime,
+    replies: HashSet<NodeId>,
+    retry_timer: TimerId,
+}
+
+/// A closed-loop client actor.
+pub struct ClientActor {
+    id: ClientId,
+    cfg: Arc<ReplicaConfig>,
+    params: ClientParams,
+    /// The transactions this client will submit, in order.
+    script: Box<dyn Iterator<Item = Transaction> + Send>,
+    outstanding: Option<Outstanding>,
+    stats: StatsHandle,
+    completed: usize,
+    retransmissions: usize,
+}
+
+impl ClientActor {
+    /// Creates a client that will submit the transactions yielded by
+    /// `script` one at a time.
+    pub fn new(
+        id: ClientId,
+        cfg: Arc<ReplicaConfig>,
+        params: ClientParams,
+        script: impl Iterator<Item = Transaction> + Send + 'static,
+        stats: StatsHandle,
+    ) -> Self {
+        Self {
+            id,
+            cfg,
+            params,
+            script: Box::new(script),
+            outstanding: None,
+            stats,
+            completed: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Number of transactions this client has seen through to commit.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Number of retransmissions this client performed.
+    pub fn retransmissions(&self) -> usize {
+        self.retransmissions
+    }
+
+    /// The replies a client must collect before accepting the result: one in
+    /// the crash model, `f+1` matching replies in the Byzantine model (§3.1).
+    fn required_replies(&self, involved: &[ClusterId]) -> usize {
+        if !self.cfg.system.failure_model.requires_signatures() {
+            return 1;
+        }
+        let f = involved
+            .iter()
+            .filter_map(|c| self.cfg.system.cluster(*c).ok())
+            .map(|c| c.f)
+            .max()
+            .unwrap_or(1);
+        f + 1
+    }
+
+    fn sign(&self, tx: &Transaction) -> Signature {
+        if self.cfg.system.failure_model.requires_signatures() {
+            self.cfg
+                .registry
+                .signer(client_signer_id(self.id))
+                .expect("client key registered")
+                .sign(&tx.canonical_bytes())
+        } else {
+            Signature::unsigned(client_signer_id(self.id).0)
+        }
+    }
+
+    /// The replica a request should be sent to: the primary of the initiator
+    /// cluster (super-primary policy for cross-shard transactions).
+    fn target_of(&self, tx: &Transaction) -> NodeId {
+        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        let cluster = self
+            .cfg
+            .system
+            .initiator_cluster(&involved, None)
+            .expect("transaction touches known clusters");
+        self.cfg.system.primary(cluster, 0).expect("cluster exists")
+    }
+
+    fn submit_next(&mut self, ctx: &mut Context<Msg>) {
+        let Some(tx) = self.script.next() else {
+            self.outstanding = None;
+            return;
+        };
+        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        let cross_shard = involved.len() > 1;
+        let target = self.target_of(&tx);
+        let sig = self.sign(&tx);
+        ctx.charge(self.cfg.cost.client());
+        self.stats.record_submission();
+        let retry_timer = ctx.set_timer(self.params.retry_timeout, timer_tags::CLIENT_RETRY);
+        self.outstanding = Some(Outstanding {
+            tx: tx.clone(),
+            cross_shard,
+            submitted_at: ctx.now(),
+            replies: HashSet::new(),
+            retry_timer,
+        });
+        ctx.send(ActorId::Node(target), Msg::Request { tx, sig });
+    }
+}
+
+impl Actor<Msg> for ClientActor {
+    fn id(&self) -> ActorId {
+        ActorId::Client(self.id)
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        self.submit_next(ctx);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<Msg>) {
+        let Msg::Reply { tx, node, .. } = msg else {
+            return;
+        };
+        ctx.charge(self.cfg.cost.client());
+        let Some(outstanding) = self.outstanding.as_mut() else {
+            return;
+        };
+        if outstanding.tx.id != tx {
+            return;
+        }
+        outstanding.replies.insert(node);
+        let involved = outstanding
+            .tx
+            .involved_clusters(&self.cfg.partitioner);
+        if outstanding.replies.len() < self.required_replies(&involved) {
+            return;
+        }
+        // Committed: record the latency sample and move on.
+        let outstanding = self.outstanding.take().expect("checked above");
+        ctx.cancel_timer(outstanding.retry_timer);
+        self.completed += 1;
+        self.stats.record_commit(CommitSample {
+            tx,
+            submitted_at: outstanding.submitted_at,
+            committed_at: ctx.now(),
+            cross_shard: outstanding.cross_shard,
+        });
+        if self.params.think_time == Duration::ZERO {
+            self.submit_next(ctx);
+        } else {
+            ctx.set_timer(self.params.think_time, timer_tags::CLIENT_SUBMIT);
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, tag: u64, ctx: &mut Context<Msg>) {
+        match tag {
+            timer_tags::CLIENT_SUBMIT => self.submit_next(ctx),
+            timer_tags::CLIENT_RETRY => {
+                let Some(outstanding) = self.outstanding.as_mut() else {
+                    return;
+                };
+                if outstanding.retry_timer != timer {
+                    return;
+                }
+                // No quorum of replies yet: retransmit to the (possibly new)
+                // primary and arm a fresh timer.
+                self.retransmissions += 1;
+                let tx = outstanding.tx.clone();
+                let target = self.target_of(&tx);
+                let sig = self.sign(&tx);
+                let retry_timer =
+                    ctx.set_timer(self.params.retry_timeout, timer_tags::CLIENT_RETRY);
+                self.outstanding.as_mut().expect("checked").retry_timer = retry_timer;
+                ctx.send(ActorId::Node(target), Msg::Request { tx, sig });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::{
+        AccountId, CostModel, FailureModel, SimTime, SystemConfig,
+    };
+    use sharper_consensus::replica::node_signer_id;
+    use sharper_consensus::TimerConfig;
+    use sharper_crypto::KeyRegistry;
+    use sharper_state::Partitioner;
+
+    fn config(model: FailureModel) -> Arc<ReplicaConfig> {
+        let system = SystemConfig::uniform(model, 2, 1).unwrap();
+        let signers = system
+            .node_ids()
+            .map(node_signer_id)
+            .chain((0..8).map(|c| client_signer_id(ClientId(c))));
+        let (registry, _) = KeyRegistry::generate(3, signers);
+        ReplicaConfig::shared(
+            system,
+            Partitioner::range(2, 100),
+            CostModel::default(),
+            TimerConfig::default(),
+            registry,
+        )
+    }
+
+    fn txs(n: u64) -> impl Iterator<Item = Transaction> + Send {
+        (0..n).map(|seq| Transaction::transfer(ClientId(1), seq, AccountId(1), AccountId(2), 1))
+    }
+
+    #[test]
+    fn client_submits_to_the_primary_of_the_responsible_cluster() {
+        let cfg = config(FailureModel::Crash);
+        let mut client = ClientActor::new(
+            ClientId(1),
+            Arc::clone(&cfg),
+            ClientParams::default(),
+            txs(3),
+            StatsHandle::new(),
+        );
+        let mut ctx = Context::detached(SimTime::ZERO, ActorId::Client(ClientId(1)));
+        client.on_start(&mut ctx);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 1);
+        // Accounts 1/2 are in shard 0, whose primary (view 0) is node 0.
+        assert_eq!(out[0].0, ActorId::Node(NodeId(0)));
+        assert!(matches!(out[0].1, Msg::Request { .. }));
+    }
+
+    #[test]
+    fn crash_client_completes_after_one_reply_and_submits_the_next() {
+        let cfg = config(FailureModel::Crash);
+        let stats = StatsHandle::new();
+        let mut client = ClientActor::new(
+            ClientId(1),
+            cfg,
+            ClientParams::default(),
+            txs(2),
+            stats.clone(),
+        );
+        let mut ctx = Context::detached(SimTime::ZERO, ActorId::Client(ClientId(1)));
+        client.on_start(&mut ctx);
+        ctx.take_outbox();
+
+        let first = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 1);
+        let mut ctx = Context::detached(SimTime::from_millis(30), ActorId::Client(ClientId(1)));
+        client.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::Reply {
+                tx: first.id,
+                node: NodeId(0),
+                applied: true,
+            },
+            &mut ctx,
+        );
+        assert_eq!(client.completed(), 1);
+        assert_eq!(stats.committed(), 1);
+        // The next request went out immediately (closed loop, no think time).
+        assert!(ctx
+            .take_outbox()
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::Request { .. })));
+        let sample = stats.samples()[0];
+        assert_eq!(sample.latency(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn byzantine_client_waits_for_f_plus_one_matching_replies() {
+        let cfg = config(FailureModel::Byzantine);
+        let stats = StatsHandle::new();
+        let mut client = ClientActor::new(
+            ClientId(1),
+            cfg,
+            ClientParams::default(),
+            txs(1),
+            stats.clone(),
+        );
+        let mut ctx = Context::detached(SimTime::ZERO, ActorId::Client(ClientId(1)));
+        client.on_start(&mut ctx);
+        ctx.take_outbox();
+
+        let tx = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 1);
+        let mut ctx = Context::detached(SimTime::from_millis(10), ActorId::Client(ClientId(1)));
+        client.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::Reply { tx: tx.id, node: NodeId(0), applied: true },
+            &mut ctx,
+        );
+        assert_eq!(client.completed(), 0, "one reply is not enough with f=1");
+        client.on_message(
+            ActorId::Node(NodeId(1)),
+            Msg::Reply { tx: tx.id, node: NodeId(1), applied: true },
+            &mut ctx,
+        );
+        assert_eq!(client.completed(), 1);
+        assert_eq!(stats.committed(), 1);
+    }
+
+    #[test]
+    fn duplicate_replies_from_the_same_node_do_not_count_twice() {
+        let cfg = config(FailureModel::Byzantine);
+        let mut client = ClientActor::new(
+            ClientId(1),
+            cfg,
+            ClientParams::default(),
+            txs(1),
+            StatsHandle::new(),
+        );
+        let mut ctx = Context::detached(SimTime::ZERO, ActorId::Client(ClientId(1)));
+        client.on_start(&mut ctx);
+        let tx = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 1);
+        for _ in 0..3 {
+            client.on_message(
+                ActorId::Node(NodeId(0)),
+                Msg::Reply { tx: tx.id, node: NodeId(0), applied: true },
+                &mut ctx,
+            );
+        }
+        assert_eq!(client.completed(), 0);
+    }
+
+    #[test]
+    fn retry_timer_retransmits_the_outstanding_request() {
+        let cfg = config(FailureModel::Crash);
+        let mut client = ClientActor::new(
+            ClientId(1),
+            cfg,
+            ClientParams::default(),
+            txs(1),
+            StatsHandle::new(),
+        );
+        let mut ctx = Context::detached(SimTime::ZERO, ActorId::Client(ClientId(1)));
+        client.on_start(&mut ctx);
+        ctx.take_outbox();
+        let timers = ctx.take_timers();
+        assert_eq!(timers.len(), 1);
+        let (timer, _, tag) = timers[0];
+        assert_eq!(tag, timer_tags::CLIENT_RETRY);
+
+        let mut ctx = Context::detached(SimTime::from_secs(3), ActorId::Client(ClientId(1)));
+        client.on_timer(timer, tag, &mut ctx);
+        assert_eq!(client.retransmissions(), 1);
+        assert!(ctx
+            .take_outbox()
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::Request { .. })));
+    }
+
+    #[test]
+    fn client_stops_when_the_script_is_exhausted() {
+        let cfg = config(FailureModel::Crash);
+        let mut client = ClientActor::new(
+            ClientId(1),
+            cfg,
+            ClientParams::default(),
+            txs(1),
+            StatsHandle::new(),
+        );
+        let mut ctx = Context::detached(SimTime::ZERO, ActorId::Client(ClientId(1)));
+        client.on_start(&mut ctx);
+        ctx.take_outbox();
+        let tx = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 1);
+        let mut ctx = Context::detached(SimTime::from_millis(5), ActorId::Client(ClientId(1)));
+        client.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::Reply { tx: tx.id, node: NodeId(0), applied: true },
+            &mut ctx,
+        );
+        assert_eq!(client.completed(), 1);
+        assert!(ctx.take_outbox().is_empty(), "no further request");
+    }
+}

@@ -1,0 +1,41 @@
+//! # sharper-core
+//!
+//! The SharPer system: everything needed to stand up a sharded permissioned
+//! blockchain deployment and drive it with clients.
+//!
+//! * [`ClientActor`] — a closed-loop client of the accounting application: it
+//!   keeps one request outstanding, routes it to the primary of the
+//!   responsible cluster (super-primary policy for cross-shard transactions),
+//!   collects the required number of replies (1 for crash-only deployments,
+//!   `f+1` matching for Byzantine ones), records latency samples and submits
+//!   the next transaction. The paper's throughput/latency curves are produced
+//!   by sweeping the number of such clients.
+//! * [`SharperSystem`] — the deployment builder: it creates the replicas of
+//!   every cluster, the clients, the simulated network (latency model, cost
+//!   model, fault plan) and runs the experiment, returning a
+//!   [`RunReport`] with the steady-state throughput/latency summary, the
+//!   per-replica statistics and the result of the ledger safety audit.
+//!
+//! ```no_run
+//! use sharper_core::{SharperSystem, SystemParams};
+//! use sharper_common::FailureModel;
+//!
+//! let params = SystemParams::new(FailureModel::Crash, 4, 1);
+//! let mut system = SharperSystem::build(params, 16, |client| {
+//!     // 20% cross-shard workload, 1000 transactions per client.
+//!     sharper_core::simple_workload(client, 4, 1000, 0.2)
+//! });
+//! let report = system.run(sharper_common::SimTime::from_secs(10));
+//! println!("{} tx/s", report.summary.throughput_tps);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod client;
+pub mod system;
+
+pub use actor::SharperActor;
+pub use client::{ClientActor, ClientParams};
+pub use system::{simple_workload, RunReport, SharperSystem, SystemParams};

@@ -1,0 +1,432 @@
+//! Deployment builder and experiment runner for SharPer.
+//!
+//! [`SharperSystem`] assembles a full deployment — clusters of replicas,
+//! closed-loop clients, the simulated network — runs it for a configured
+//! amount of simulated time and returns a [`RunReport`] containing the
+//! steady-state throughput/latency summary (the numbers plotted in Figures
+//! 6–8), per-replica statistics and the ledger safety audit.
+
+use crate::actor::SharperActor;
+use crate::client::{ClientActor, ClientParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sharper_common::{
+    AccountId, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy, LatencyModel,
+    NodeId, SimTime, SystemConfig,
+};
+use sharper_consensus::replica::{client_signer_id, node_signer_id, ReplicaStats};
+use sharper_consensus::{Msg, Replica, ReplicaConfig, TimerConfig};
+use sharper_crypto::KeyRegistry;
+use sharper_ledger::{audit_replica_views, AuditReport, LedgerView};
+use sharper_net::{
+    FaultPlan, LatencySummary, Simulation, SimulationReport, StatsHandle, Topology,
+};
+use sharper_state::{Partitioner, Transaction};
+use std::sync::Arc;
+
+/// Parameters of a SharPer deployment.
+#[derive(Debug, Clone)]
+pub struct SystemParams {
+    /// Failure model of all replicas.
+    pub failure_model: FailureModel,
+    /// Number of clusters (= shards).
+    pub clusters: usize,
+    /// Fault budget per cluster.
+    pub f: usize,
+    /// Accounts hosted by each shard.
+    pub accounts_per_shard: u64,
+    /// Initial balance of every account.
+    pub initial_balance: u64,
+    /// Cross-shard initiation policy (super primary by default).
+    pub initiation_policy: InitiationPolicy,
+    /// CPU cost model for the simulation.
+    pub cost: CostModel,
+    /// Network latency model for the simulation.
+    pub latency: LatencyModel,
+    /// Protocol timers.
+    pub timers: TimerConfig,
+    /// Fault injection plan.
+    pub faults: FaultPlan,
+    /// Seed for all pseudo-randomness (network jitter, workload).
+    pub seed: u64,
+    /// Client behaviour.
+    pub client: ClientParams,
+    /// Length of the warm-up period excluded from the steady-state summary.
+    pub warmup: SimTime,
+}
+
+impl SystemParams {
+    /// Parameters matching the paper's deployments: `clusters` clusters of
+    /// the minimum size for fault budget `f`, default models and timers.
+    pub fn new(failure_model: FailureModel, clusters: usize, f: usize) -> Self {
+        Self {
+            failure_model,
+            clusters,
+            f,
+            accounts_per_shard: 10_000,
+            initial_balance: 1_000_000,
+            initiation_policy: InitiationPolicy::SuperPrimary,
+            cost: CostModel::default(),
+            latency: LatencyModel::default(),
+            timers: TimerConfig::default(),
+            faults: FaultPlan::none(),
+            seed: 42,
+            client: ClientParams::default(),
+            warmup: SimTime::from_millis(500),
+        }
+    }
+
+    /// Sets the fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the initiation policy (builder style).
+    pub fn with_initiation_policy(mut self, policy: InitiationPolicy) -> Self {
+        self.initiation_policy = policy;
+        self
+    }
+
+    /// Builds the shared replica configuration for these parameters.
+    pub fn replica_config(&self, num_clients: usize) -> Arc<ReplicaConfig> {
+        let system = SystemConfig::uniform(self.failure_model, self.clusters, self.f)
+            .expect("valid uniform configuration")
+            .with_initiation_policy(self.initiation_policy);
+        let signers = system
+            .node_ids()
+            .map(node_signer_id)
+            .chain((0..num_clients as u64).map(|c| client_signer_id(ClientId(c))))
+            .collect::<Vec<_>>();
+        let (registry, _) = KeyRegistry::generate(self.seed, signers);
+        ReplicaConfig::shared(
+            system,
+            Partitioner::range(self.clusters as u32, self.accounts_per_shard),
+            self.cost,
+            self.timers,
+            registry,
+        )
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Steady-state throughput/latency summary over the measurement window.
+    pub summary: LatencySummary,
+    /// Ledger safety audit over every replica's view.
+    pub audit: AuditReport,
+    /// The simulator's own counters (delivered/dropped messages, ...).
+    pub simulation: SimulationReport,
+    /// Per-replica protocol statistics.
+    pub replica_stats: Vec<(NodeId, ReplicaStats)>,
+    /// Total transactions completed by the clients.
+    pub client_completed: usize,
+    /// Total client retransmissions (an indicator of stalls/faults).
+    pub retransmissions: usize,
+}
+
+/// A fully assembled SharPer deployment ready to run.
+pub struct SharperSystem {
+    params: SystemParams,
+    cfg: Arc<ReplicaConfig>,
+    sim: Simulation<Msg, SharperActor>,
+    stats: StatsHandle,
+}
+
+impl SharperSystem {
+    /// Builds a deployment with `num_clients` closed-loop clients whose
+    /// workloads are produced by `workload_for` (one script per client).
+    pub fn build<W, I>(params: SystemParams, num_clients: usize, mut workload_for: W) -> Self
+    where
+        W: FnMut(ClientId) -> I,
+        I: Iterator<Item = Transaction> + Send + 'static,
+    {
+        let cfg = params.replica_config(num_clients);
+        let mut topology = Topology::from_config(&cfg.system);
+        let stats = StatsHandle::new();
+
+        let mut sim: Simulation<Msg, SharperActor> = {
+            // Register client homes round-robin across clusters ("the load is
+            // equally distributed among all the nodes", §4).
+            for c in 0..num_clients {
+                topology.add_client(
+                    ClientId(c as u64),
+                    ClusterId((c % params.clusters) as u32),
+                );
+            }
+            Simulation::new(
+                topology,
+                params.latency,
+                params.faults.clone(),
+                params.seed,
+            )
+        };
+
+        for node in cfg.system.node_ids() {
+            sim.add_actor(SharperActor::Replica(Replica::with_genesis(
+                node,
+                Arc::clone(&cfg),
+                params.accounts_per_shard,
+                params.initial_balance,
+            )));
+        }
+        for c in 0..num_clients {
+            let client = ClientId(c as u64);
+            sim.add_actor(SharperActor::Client(ClientActor::new(
+                client,
+                Arc::clone(&cfg),
+                params.client,
+                workload_for(client),
+                stats.clone(),
+            )));
+        }
+        Self {
+            params,
+            cfg,
+            sim,
+            stats,
+        }
+    }
+
+    /// The shared replica configuration of this deployment.
+    pub fn config(&self) -> &Arc<ReplicaConfig> {
+        &self.cfg
+    }
+
+    /// Runs the deployment for `duration` of simulated time and reports the
+    /// steady-state results.
+    pub fn run(&mut self, duration: SimTime) -> RunReport {
+        let report = self.sim.run_until(duration);
+        let window = duration.saturating_since(self.params.warmup);
+        let summary = self.stats.summarize(self.params.warmup, window);
+
+        let mut views: Vec<(ClusterId, LedgerView)> = Vec::new();
+        let mut replica_stats = Vec::new();
+        let mut client_completed = 0usize;
+        let mut retransmissions = 0usize;
+        for actor in self.sim.actors() {
+            match actor {
+                SharperActor::Replica(r) => {
+                    views.push((r.cluster(), r.ledger().clone()));
+                    replica_stats.push((r.node(), r.stats()));
+                }
+                SharperActor::Client(c) => {
+                    client_completed += c.completed();
+                    retransmissions += c.retransmissions();
+                }
+            }
+        }
+        let audit = audit_replica_views(&views).expect("ledger safety audit must pass");
+        RunReport {
+            summary,
+            audit,
+            simulation: report,
+            replica_stats,
+            client_completed,
+            retransmissions,
+        }
+    }
+
+    /// Read access to a replica after (or before) a run.
+    pub fn replica(&self, node: NodeId) -> Option<&Replica> {
+        self.sim.actor(node).and_then(SharperActor::as_replica)
+    }
+
+    /// Read access to a client after (or before) a run.
+    pub fn client(&self, client: ClientId) -> Option<&ClientActor> {
+        self.sim.actor(client).and_then(SharperActor::as_client)
+    }
+
+    /// The statistics handle shared with the clients.
+    pub fn stats(&self) -> &StatsHandle {
+        &self.stats
+    }
+}
+
+/// The evaluation workload: transfers between accounts of the accounting
+/// application with a configurable fraction of cross-shard transactions,
+/// each cross-shard transaction touching two (randomly chosen) shards (§4).
+///
+/// `client` seeds the generator so different clients submit different
+/// transactions; accounts are drawn uniformly from each shard.
+pub fn simple_workload(
+    client: ClientId,
+    clusters: usize,
+    transactions: u64,
+    cross_shard_ratio: f64,
+) -> impl Iterator<Item = Transaction> + Send {
+    workload_with(client, clusters, 10_000, transactions, cross_shard_ratio, 2)
+}
+
+/// Like [`simple_workload`] but with every knob exposed: number of accounts
+/// per shard, number of shards each cross-shard transaction touches.
+pub fn workload_with(
+    client: ClientId,
+    clusters: usize,
+    accounts_per_shard: u64,
+    transactions: u64,
+    cross_shard_ratio: f64,
+    shards_per_cross_tx: usize,
+) -> impl Iterator<Item = Transaction> + Send {
+    assert!((0.0..=1.0).contains(&cross_shard_ratio));
+    assert!(clusters >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5AA5_0000 ^ client.0);
+    let partitioner = Partitioner::range(clusters as u32, accounts_per_shard);
+    // The client owns one account per shard (account index = client id), so
+    // every debit it issues passes the ownership check.
+    let owned: Vec<AccountId> = (0..clusters as u32)
+        .map(|shard| {
+            partitioner
+                .account_in_shard(ClusterId(shard), client.0 % accounts_per_shard)
+                .expect("account index within shard")
+        })
+        .collect();
+    (0..transactions).map(move |seq| {
+        let cross = clusters > 1 && rng.gen_bool(cross_shard_ratio);
+        let home_shard = rng.gen_range(0..clusters as u32);
+        let from = owned[home_shard as usize];
+        if cross {
+            let involved = shards_per_cross_tx.min(clusters).max(2);
+            let mut ops = Vec::with_capacity(involved - 1);
+            let mut other = home_shard;
+            for _ in 0..involved - 1 {
+                // Pick a distinct shard for each additional leg.
+                loop {
+                    let candidate = rng.gen_range(0..clusters as u32);
+                    if candidate != home_shard && candidate != other {
+                        other = candidate;
+                        break;
+                    }
+                }
+                let to = partitioner
+                    .account_in_shard(ClusterId(other), rng.gen_range(0..accounts_per_shard))
+                    .expect("account index within shard");
+                ops.push(sharper_state::Operation::Transfer { from, to, amount: 1 });
+            }
+            Transaction::new(sharper_common::TxId::new(client, seq), ops)
+        } else {
+            let to = partitioner
+                .account_in_shard(ClusterId(home_shard), rng.gen_range(0..accounts_per_shard))
+                .expect("account index within shard");
+            Transaction::transfer(client, seq, from, to, 1)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_respects_cross_shard_ratio_and_ownership() {
+        let p = Partitioner::range(4, 10_000);
+        let txs: Vec<Transaction> =
+            workload_with(ClientId(3), 4, 10_000, 2_000, 0.2, 2).collect();
+        assert_eq!(txs.len(), 2_000);
+        let cross = txs.iter().filter(|t| t.is_cross_shard(&p)).count();
+        let ratio = cross as f64 / txs.len() as f64;
+        assert!((0.15..=0.25).contains(&ratio), "observed ratio {ratio}");
+        // Every debit account index equals the client id, so ownership holds.
+        for tx in &txs {
+            for op in &tx.operations {
+                if let sharper_state::Operation::Transfer { from, .. } = op {
+                    assert_eq!(from.0 % 10_000, 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_extremes_are_all_intra_or_all_cross() {
+        let p = Partitioner::range(4, 10_000);
+        let all_intra: Vec<Transaction> =
+            workload_with(ClientId(1), 4, 10_000, 200, 0.0, 2).collect();
+        assert!(all_intra.iter().all(|t| !t.is_cross_shard(&p)));
+        let all_cross: Vec<Transaction> =
+            workload_with(ClientId(1), 4, 10_000, 200, 1.0, 2).collect();
+        assert!(all_cross.iter().all(|t| t.is_cross_shard(&p)));
+        // Cross-shard transactions touch exactly two shards.
+        assert!(all_cross
+            .iter()
+            .all(|t| t.involved_clusters(&p).len() == 2));
+    }
+
+    #[test]
+    fn single_cluster_workload_never_produces_cross_shard() {
+        let p = Partitioner::range(1, 10_000);
+        let txs: Vec<Transaction> = workload_with(ClientId(1), 1, 10_000, 100, 0.9, 2).collect();
+        assert!(txs.iter().all(|t| !t.is_cross_shard(&p)));
+    }
+
+    #[test]
+    fn end_to_end_crash_deployment_commits_transactions() {
+        let mut params = SystemParams::new(FailureModel::Crash, 2, 1);
+        params.accounts_per_shard = 1_000;
+        params.warmup = SimTime::from_millis(100);
+        let mut system = SharperSystem::build(params, 4, |client| {
+            workload_with(client, 2, 1_000, 200, 0.2, 2)
+        });
+        let report = system.run(SimTime::from_secs(3));
+        assert!(report.client_completed > 50, "completed {}", report.client_completed);
+        assert!(report.summary.throughput_tps > 0.0);
+        assert!(report.audit.distinct_transactions > 0);
+        assert_eq!(report.retransmissions, 0);
+    }
+
+    #[test]
+    fn end_to_end_byzantine_deployment_commits_transactions() {
+        let mut params = SystemParams::new(FailureModel::Byzantine, 2, 1);
+        params.accounts_per_shard = 1_000;
+        params.warmup = SimTime::from_millis(100);
+        let mut system = SharperSystem::build(params, 4, |client| {
+            workload_with(client, 2, 1_000, 200, 0.2, 2)
+        });
+        let report = system.run(SimTime::from_secs(3));
+        assert!(report.client_completed > 20, "completed {}", report.client_completed);
+        assert!(report.audit.cross_shard_transactions > 0);
+    }
+
+    #[test]
+    fn deployment_accessors_expose_replicas_and_clients() {
+        let params = SystemParams::new(FailureModel::Crash, 2, 1);
+        let system = SharperSystem::build(params, 2, |client| {
+            workload_with(client, 2, 10_000, 10, 0.0, 2)
+        });
+        assert!(system.replica(NodeId(0)).is_some());
+        assert!(system.replica(NodeId(99)).is_none());
+        assert!(system.client(ClientId(1)).is_some());
+        assert_eq!(system.config().system.cluster_count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn debug_crash_run() {
+        let mut params = SystemParams::new(FailureModel::Crash, 2, 1);
+        params.accounts_per_shard = 1_000;
+        params.warmup = SimTime::from_millis(100);
+        let mut system = SharperSystem::build(params, 4, |client| {
+            workload_with(client, 2, 1_000, 200, 0.2, 2)
+        });
+        let report = system.run(SimTime::from_secs(3));
+        println!("completed={} retrans={} summary={:?}", report.client_completed, report.retransmissions, report.summary);
+        println!("sim={:?}", report.simulation);
+        for (n, s) in &report.replica_stats { println!("{n}: {s:?}"); }
+        for n in 0..6u32 { let r = system.replica(NodeId(n)).unwrap(); println!("{n}: {}", r.debug_state()); }
+        let samples = system.stats().samples();
+        for s in samples.iter().take(40) {
+            println!("tx={} cross={} sub={} lat={:.1}ms", s.tx, s.cross_shard, s.submitted_at, s.latency().as_millis_f64());
+        }
+    }
+}

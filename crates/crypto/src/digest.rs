@@ -1,0 +1,90 @@
+//! The 32-byte digest type used for block parents and message digests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A SHA-256 digest. The paper writes `D(m)` for the digest of a message `m`
+/// and `H(t)` for the hash of a block `t`; both are values of this type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the parent of the genesis block λ.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Hex representation (lowercase, 64 chars).
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// A short prefix of the hex representation, for logs and Display.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+
+    /// Builds a digest from raw bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash;
+
+    #[test]
+    fn zero_digest_is_all_zero() {
+        assert_eq!(Digest::ZERO.as_bytes(), &[0u8; 32]);
+        assert_eq!(Digest::default(), Digest::ZERO);
+    }
+
+    #[test]
+    fn hex_and_short_formats() {
+        let d = hash(b"abc");
+        assert_eq!(d.to_hex().len(), 64);
+        assert_eq!(d.short().len(), 8);
+        assert!(d.to_hex().starts_with(&d.short()));
+        assert_eq!(
+            d.to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn debug_and_display_are_short() {
+        let d = hash(b"abc");
+        assert!(format!("{d:?}").contains(&d.short()));
+        assert_eq!(format!("{d}"), d.short());
+    }
+
+    #[test]
+    fn as_ref_exposes_bytes() {
+        let d = hash(b"xyz");
+        assert_eq!(d.as_ref().len(), 32);
+        assert_eq!(Digest::from_bytes(*d.as_bytes()), d);
+    }
+}

@@ -1,0 +1,138 @@
+//! A minimal binary Merkle tree.
+//!
+//! SharPer uses single-transaction blocks (§2.3), so the production protocol
+//! path never needs a Merkle tree. The tree is provided for the batching
+//! ablation in the benchmark crate (measuring how the "blocks decrease
+//! performance in permissioned settings" observation from StreamChain [26]
+//! plays out in the simulator) and as a general utility.
+
+use crate::digest::Digest;
+use crate::sha256::Sha256;
+
+/// Computes the Merkle root of a list of leaf digests.
+///
+/// * An empty list hashes to [`Digest::ZERO`].
+/// * A single leaf is its own root.
+/// * Odd levels duplicate the last element (Bitcoin-style).
+pub fn merkle_root(leaves: &[Digest]) -> Digest {
+    if leaves.is_empty() {
+        return Digest::ZERO;
+    }
+    let mut level: Vec<Digest> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            let left = pair[0];
+            let right = if pair.len() == 2 { pair[1] } else { pair[0] };
+            next.push(hash_pair(left, right));
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Computes the Merkle root and an inclusion proof for `index`.
+pub fn merkle_proof(leaves: &[Digest], index: usize) -> Option<(Digest, Vec<Digest>)> {
+    if index >= leaves.len() {
+        return None;
+    }
+    let mut proof = Vec::new();
+    let mut level: Vec<Digest> = leaves.to_vec();
+    let mut idx = index;
+    while level.len() > 1 {
+        let sibling = if idx % 2 == 0 {
+            *level.get(idx + 1).unwrap_or(&level[idx])
+        } else {
+            level[idx - 1]
+        };
+        proof.push(sibling);
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            let left = pair[0];
+            let right = if pair.len() == 2 { pair[1] } else { pair[0] };
+            next.push(hash_pair(left, right));
+        }
+        level = next;
+        idx /= 2;
+    }
+    Some((level[0], proof))
+}
+
+/// Verifies an inclusion proof produced by [`merkle_proof`].
+pub fn verify_proof(leaf: Digest, index: usize, proof: &[Digest], root: Digest) -> bool {
+    let mut acc = leaf;
+    let mut idx = index;
+    for sibling in proof {
+        acc = if idx % 2 == 0 {
+            hash_pair(acc, *sibling)
+        } else {
+            hash_pair(*sibling, acc)
+        };
+        idx /= 2;
+    }
+    acc == root
+}
+
+fn hash_pair(left: Digest, right: Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"sharper-merkle-node");
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    Digest(h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| hash(&(i as u64).to_le_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(merkle_root(&[]), Digest::ZERO);
+        let l = leaves(1);
+        assert_eq!(merkle_root(&l), l[0]);
+    }
+
+    #[test]
+    fn root_changes_when_any_leaf_changes() {
+        let base = leaves(8);
+        let root = merkle_root(&base);
+        for i in 0..8 {
+            let mut modified = base.clone();
+            modified[i] = hash(b"tampered");
+            assert_ne!(merkle_root(&modified), root, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf_and_size() {
+        for n in 1..=17usize {
+            let l = leaves(n);
+            let root = merkle_root(&l);
+            for (i, leaf) in l.iter().enumerate() {
+                let (proved_root, proof) = merkle_proof(&l, i).unwrap();
+                assert_eq!(proved_root, root);
+                assert!(verify_proof(*leaf, i, &proof, root), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_or_index_fails_verification() {
+        let l = leaves(6);
+        let root = merkle_root(&l);
+        let (_, proof) = merkle_proof(&l, 2).unwrap();
+        assert!(!verify_proof(hash(b"other"), 2, &proof, root));
+        assert!(!verify_proof(l[2], 3, &proof, root));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let l = leaves(3);
+        assert!(merkle_proof(&l, 3).is_none());
+    }
+}

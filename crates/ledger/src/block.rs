@@ -1,0 +1,217 @@
+//! Blocks of the SharPer ledger.
+//!
+//! Each block contains a single transaction (§2.3) plus one parent digest per
+//! involved cluster: "each cross-shard transaction includes the cryptographic
+//! hash of the previous transaction of every involved cluster".
+
+use serde::{Deserialize, Serialize};
+use sharper_common::{ClusterId, TxId};
+use sharper_crypto::{hash_parts, Digest};
+use sharper_state::Transaction;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The payload of a block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockBody {
+    /// The unique initialisation block λ (§2.3). Every cluster's view starts
+    /// with the same genesis block.
+    Genesis,
+    /// A block carrying exactly one transaction.
+    Transaction(Transaction),
+}
+
+/// A block of the DAG ledger.
+///
+/// `parents` maps every involved cluster to the digest of the previous block
+/// of that cluster; for an intra-shard block this map has a single entry.
+/// The block digest commits to the body and to all parents, so the chaining
+/// is tamper-evident exactly as in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Parent digests, one per involved cluster, keyed by cluster id.
+    pub parents: BTreeMap<ClusterId, Digest>,
+    /// The block body (genesis or a single transaction).
+    pub body: BlockBody,
+    /// The digest of this block (computed over parents and body).
+    digest: Digest,
+}
+
+impl Block {
+    /// The genesis block λ shared by every cluster.
+    pub fn genesis() -> Self {
+        let digest = Self::compute_digest(&BTreeMap::new(), &BlockBody::Genesis);
+        Self {
+            parents: BTreeMap::new(),
+            body: BlockBody::Genesis,
+            digest,
+        }
+    }
+
+    /// Creates a transaction block with the given parents.
+    ///
+    /// The caller (the consensus layer) supplies one parent digest per
+    /// involved cluster; this constructor does not check that the set of
+    /// parents matches the transaction's involved clusters because the
+    /// consensus layer may legitimately involve a superset (e.g. a read-only
+    /// shard); the audit layer verifies the correspondence that matters —
+    /// that each *view* chains correctly.
+    pub fn transaction(tx: Transaction, parents: BTreeMap<ClusterId, Digest>) -> Self {
+        let body = BlockBody::Transaction(tx);
+        let digest = Self::compute_digest(&parents, &body);
+        Self {
+            parents,
+            body,
+            digest,
+        }
+    }
+
+    /// The digest of this block (`H(t)` in the paper).
+    pub fn digest(&self) -> Digest {
+        self.digest
+    }
+
+    /// The transaction carried by this block, if it is not the genesis.
+    pub fn tx(&self) -> Option<&Transaction> {
+        match &self.body {
+            BlockBody::Genesis => None,
+            BlockBody::Transaction(tx) => Some(tx),
+        }
+    }
+
+    /// The id of the carried transaction, if any.
+    pub fn tx_id(&self) -> Option<TxId> {
+        self.tx().map(|t| t.id)
+    }
+
+    /// Whether this is the genesis block.
+    pub fn is_genesis(&self) -> bool {
+        matches!(self.body, BlockBody::Genesis)
+    }
+
+    /// The clusters this block is chained into (the key set of `parents`).
+    pub fn involved_clusters(&self) -> Vec<ClusterId> {
+        self.parents.keys().copied().collect()
+    }
+
+    /// Whether the block spans more than one cluster.
+    pub fn is_cross_shard(&self) -> bool {
+        self.parents.len() > 1
+    }
+
+    /// The parent digest recorded for `cluster`, if the block involves it.
+    pub fn parent_for(&self, cluster: ClusterId) -> Option<Digest> {
+        self.parents.get(&cluster).copied()
+    }
+
+    /// Recomputes the digest from the current contents and checks it matches
+    /// the stored digest. Returns `false` for tampered blocks.
+    pub fn verify_integrity(&self) -> bool {
+        Self::compute_digest(&self.parents, &self.body) == self.digest
+    }
+
+    fn compute_digest(parents: &BTreeMap<ClusterId, Digest>, body: &BlockBody) -> Digest {
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(2 + parents.len() * 2);
+        parts.push(b"sharper-block".to_vec());
+        for (cluster, parent) in parents {
+            parts.push(cluster.0.to_le_bytes().to_vec());
+            parts.push(parent.as_bytes().to_vec());
+        }
+        match body {
+            BlockBody::Genesis => parts.push(b"genesis-lambda".to_vec()),
+            BlockBody::Transaction(tx) => parts.push(tx.canonical_bytes()),
+        }
+        let slices: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        hash_parts(&slices)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.body {
+            BlockBody::Genesis => write!(f, "λ[{}]", self.digest),
+            BlockBody::Transaction(tx) => write!(f, "B({tx})[{}]", self.digest),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::{AccountId, ClientId};
+
+    fn tx(seq: u64) -> Transaction {
+        Transaction::transfer(ClientId(1), seq, AccountId(1), AccountId(2), 10)
+    }
+
+    fn single_parent(cluster: u32, d: Digest) -> BTreeMap<ClusterId, Digest> {
+        let mut m = BTreeMap::new();
+        m.insert(ClusterId(cluster), d);
+        m
+    }
+
+    #[test]
+    fn genesis_has_no_parents_and_is_stable() {
+        let g1 = Block::genesis();
+        let g2 = Block::genesis();
+        assert!(g1.is_genesis());
+        assert!(g1.parents.is_empty());
+        assert_eq!(g1.digest(), g2.digest());
+        assert!(g1.verify_integrity());
+        assert!(g1.tx().is_none());
+        assert!(g1.tx_id().is_none());
+        assert!(!g1.is_cross_shard());
+    }
+
+    #[test]
+    fn intra_shard_block_has_one_parent() {
+        let g = Block::genesis();
+        let b = Block::transaction(tx(0), single_parent(0, g.digest()));
+        assert!(!b.is_cross_shard());
+        assert_eq!(b.involved_clusters(), vec![ClusterId(0)]);
+        assert_eq!(b.parent_for(ClusterId(0)), Some(g.digest()));
+        assert_eq!(b.parent_for(ClusterId(1)), None);
+        assert!(b.verify_integrity());
+        assert_eq!(b.tx_id(), Some(TxId::new(ClientId(1), 0)));
+    }
+
+    #[test]
+    fn cross_shard_block_records_parent_per_cluster() {
+        let g = Block::genesis();
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(0), g.digest());
+        parents.insert(ClusterId(2), g.digest());
+        let b = Block::transaction(tx(1), parents);
+        assert!(b.is_cross_shard());
+        assert_eq!(b.involved_clusters(), vec![ClusterId(0), ClusterId(2)]);
+    }
+
+    #[test]
+    fn digest_commits_to_parents_and_body() {
+        let g = Block::genesis();
+        let a = Block::transaction(tx(0), single_parent(0, g.digest()));
+        let b = Block::transaction(tx(0), single_parent(1, g.digest()));
+        let c = Block::transaction(tx(1), single_parent(0, g.digest()));
+        let d = Block::transaction(tx(0), single_parent(0, a.digest()));
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let g = Block::genesis();
+        let mut b = Block::transaction(tx(0), single_parent(0, g.digest()));
+        assert!(b.verify_integrity());
+        b.body = BlockBody::Transaction(tx(99));
+        assert!(!b.verify_integrity());
+    }
+
+    #[test]
+    fn display_formats_genesis_and_transactions() {
+        let g = Block::genesis();
+        assert!(g.to_string().starts_with('λ'));
+        let b = Block::transaction(tx(0), single_parent(0, g.digest()));
+        assert!(b.to_string().contains("t1.0"));
+    }
+}

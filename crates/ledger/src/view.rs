@@ -1,0 +1,290 @@
+//! A cluster's view of the blockchain ledger.
+//!
+//! "The entire blockchain ledger is not maintained by any cluster and each
+//! cluster only maintains its own view of the blockchain ledger including the
+//! transactions that access the data shard of the cluster" (§2.3). Within a
+//! view the blocks are totally ordered and chained by hashes: an incoming
+//! block is accepted only if its parent digest *for this cluster* equals the
+//! digest of the view's current head.
+
+use crate::block::Block;
+use serde::{Deserialize, Serialize};
+use sharper_common::{ClusterId, Error, Result, TxId};
+use sharper_crypto::Digest;
+use std::collections::HashMap;
+
+/// The totally-ordered ledger view maintained by every replica of a cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LedgerView {
+    cluster: ClusterId,
+    /// Blocks in commit order; `blocks[0]` is the genesis block.
+    blocks: Vec<Block>,
+    /// Index from block digest to position in `blocks`.
+    index: HashMap<Digest, usize>,
+    /// Index from transaction id to position in `blocks`.
+    tx_index: HashMap<TxId, usize>,
+}
+
+impl LedgerView {
+    /// Creates a view containing only the genesis block λ.
+    pub fn new(cluster: ClusterId) -> Self {
+        let genesis = Block::genesis();
+        let mut index = HashMap::new();
+        index.insert(genesis.digest(), 0);
+        Self {
+            cluster,
+            blocks: vec![genesis],
+            index,
+            tx_index: HashMap::new(),
+        }
+    }
+
+    /// The cluster whose view this is.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// The digest of the last block in the view — `H(t)` of "the previous
+    /// transaction (intra- or cross-shard) that is ordered by the cluster",
+    /// which the primary embeds in `pre-prepare`/`propose` messages.
+    pub fn head(&self) -> Digest {
+        self.blocks.last().expect("view always has genesis").digest()
+    }
+
+    /// Number of blocks including the genesis block.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the view contains only the genesis block.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.len() == 1
+    }
+
+    /// Number of committed transactions (excludes the genesis block).
+    pub fn committed_count(&self) -> usize {
+        self.blocks.len() - 1
+    }
+
+    /// Appends a block, enforcing the hash chain for this cluster.
+    ///
+    /// Returns an error if the block does not reference this cluster, if its
+    /// parent digest for this cluster is not the current head, if its digest
+    /// does not verify, or if the transaction was already committed
+    /// (duplicate detection).
+    pub fn append(&mut self, block: Block) -> Result<()> {
+        if block.is_genesis() {
+            return Err(Error::ProtocolViolation(
+                "the genesis block cannot be appended".into(),
+            ));
+        }
+        if !block.verify_integrity() {
+            return Err(Error::IntegrityViolation(format!(
+                "block {} fails digest verification",
+                block.digest()
+            )));
+        }
+        let parent = block.parent_for(self.cluster).ok_or_else(|| {
+            Error::ProtocolViolation(format!(
+                "block {} does not involve cluster {}",
+                block.digest(),
+                self.cluster
+            ))
+        })?;
+        if parent != self.head() {
+            return Err(Error::SafetyViolation(format!(
+                "block {} chains to {} but the head of {} is {}",
+                block.digest(),
+                parent,
+                self.cluster,
+                self.head()
+            )));
+        }
+        if let Some(tx_id) = block.tx_id() {
+            if self.tx_index.contains_key(&tx_id) {
+                return Err(Error::ProtocolViolation(format!(
+                    "transaction {tx_id} is already committed in this view"
+                )));
+            }
+            self.tx_index.insert(tx_id, self.blocks.len());
+        }
+        self.index.insert(block.digest(), self.blocks.len());
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Whether a transaction has been committed in this view.
+    pub fn contains_tx(&self, tx: TxId) -> bool {
+        self.tx_index.contains_key(&tx)
+    }
+
+    /// The position (1-based block height) of a committed transaction.
+    pub fn position_of(&self, tx: TxId) -> Option<usize> {
+        self.tx_index.get(&tx).copied()
+    }
+
+    /// Looks up a block by digest.
+    pub fn block(&self, digest: Digest) -> Option<&Block> {
+        self.index.get(&digest).map(|&i| &self.blocks[i])
+    }
+
+    /// Iterates over the blocks in commit order (starting with the genesis).
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// The committed transactions in order (excluding the genesis block).
+    pub fn transactions(&self) -> impl Iterator<Item = &sharper_state::Transaction> {
+        self.blocks.iter().filter_map(|b| b.tx())
+    }
+
+    /// Verifies the whole chain: every block's integrity and parent link.
+    pub fn verify_chain(&self) -> Result<()> {
+        let mut head = self.blocks[0].digest();
+        if !self.blocks[0].is_genesis() {
+            return Err(Error::SafetyViolation(
+                "view does not start with the genesis block".into(),
+            ));
+        }
+        for block in &self.blocks[1..] {
+            if !block.verify_integrity() {
+                return Err(Error::IntegrityViolation(format!(
+                    "block {} fails digest verification",
+                    block.digest()
+                )));
+            }
+            match block.parent_for(self.cluster) {
+                Some(parent) if parent == head => head = block.digest(),
+                Some(parent) => {
+                    return Err(Error::SafetyViolation(format!(
+                        "block {} chains to {parent} but expected {head}",
+                        block.digest()
+                    )))
+                }
+                None => {
+                    return Err(Error::SafetyViolation(format!(
+                        "block {} does not involve cluster {}",
+                        block.digest(),
+                        self.cluster
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::{AccountId, ClientId};
+    use sharper_state::Transaction;
+    use std::collections::BTreeMap;
+
+    fn tx(client: u64, seq: u64) -> Transaction {
+        Transaction::transfer(ClientId(client), seq, AccountId(1), AccountId(2), 5)
+    }
+
+    fn intra_block(view: &LedgerView, t: Transaction) -> Block {
+        let mut parents = BTreeMap::new();
+        parents.insert(view.cluster(), view.head());
+        Block::transaction(t, parents)
+    }
+
+    #[test]
+    fn new_view_contains_only_genesis() {
+        let v = LedgerView::new(ClusterId(2));
+        assert_eq!(v.len(), 1);
+        assert!(v.is_empty());
+        assert_eq!(v.committed_count(), 0);
+        assert_eq!(v.head(), Block::genesis().digest());
+        assert_eq!(v.cluster(), ClusterId(2));
+        v.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn append_extends_the_chain() {
+        let mut v = LedgerView::new(ClusterId(0));
+        for seq in 0..5 {
+            let b = intra_block(&v, tx(1, seq));
+            let d = b.digest();
+            v.append(b).unwrap();
+            assert_eq!(v.head(), d);
+        }
+        assert_eq!(v.committed_count(), 5);
+        assert!(v.contains_tx(sharper_common::TxId::new(ClientId(1), 3)));
+        assert_eq!(
+            v.position_of(sharper_common::TxId::new(ClientId(1), 0)),
+            Some(1)
+        );
+        v.verify_chain().unwrap();
+        assert_eq!(v.transactions().count(), 5);
+    }
+
+    #[test]
+    fn append_rejects_wrong_parent() {
+        let mut v = LedgerView::new(ClusterId(0));
+        let b1 = intra_block(&v, tx(1, 0));
+        v.append(b1).unwrap();
+        // A block chaining to the genesis (not the new head) must be refused.
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(0), Block::genesis().digest());
+        let stale = Block::transaction(tx(1, 1), parents);
+        let err = v.append(stale).unwrap_err();
+        assert!(matches!(err, Error::SafetyViolation(_)));
+    }
+
+    #[test]
+    fn append_rejects_foreign_and_duplicate_blocks() {
+        let mut v = LedgerView::new(ClusterId(0));
+        // Block for another cluster.
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(1), v.head());
+        let foreign = Block::transaction(tx(1, 0), parents);
+        assert!(v.append(foreign).is_err());
+
+        // Duplicate transaction id.
+        let b = intra_block(&v, tx(1, 0));
+        v.append(b).unwrap();
+        let dup = intra_block(&v, tx(1, 0));
+        let err = v.append(dup).unwrap_err();
+        assert!(matches!(err, Error::ProtocolViolation(_)));
+
+        // Genesis cannot be appended.
+        assert!(v.append(Block::genesis()).is_err());
+    }
+
+    #[test]
+    fn cross_shard_blocks_chain_into_both_views() {
+        let mut v0 = LedgerView::new(ClusterId(0));
+        let mut v1 = LedgerView::new(ClusterId(1));
+
+        // One intra-shard block in each cluster first.
+        let b0 = intra_block(&v0, tx(1, 0));
+        v0.append(b0).unwrap();
+        let b1 = intra_block(&v1, tx(2, 0));
+        v1.append(b1).unwrap();
+
+        // A cross-shard block referencing both heads.
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(0), v0.head());
+        parents.insert(ClusterId(1), v1.head());
+        let cross = Block::transaction(tx(3, 0), parents);
+        v0.append(cross.clone()).unwrap();
+        v1.append(cross).unwrap();
+
+        v0.verify_chain().unwrap();
+        v1.verify_chain().unwrap();
+        assert_eq!(v0.head(), v1.head());
+    }
+
+    #[test]
+    fn block_lookup_by_digest() {
+        let mut v = LedgerView::new(ClusterId(0));
+        let b = intra_block(&v, tx(1, 0));
+        let d = b.digest();
+        v.append(b).unwrap();
+        assert!(v.block(d).is_some());
+        assert!(v.block(Digest::ZERO).is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! Fault injection for the simulated network.
+//!
+//! The paper's model (§2.1) allows the network to "drop, delay, corrupt,
+//! duplicate, or reorder messages" and up to `f` replicas per cluster to
+//! crash (or behave arbitrarily). The [`FaultPlan`] expresses the faults a
+//! simulation run should inject:
+//!
+//! * probabilistic message drops,
+//! * probabilistic message duplication,
+//! * extra random delay (reordering follows from unequal delays),
+//! * scheduled replica crashes and recoveries,
+//! * scheduled network partitions between groups of actors.
+//!
+//! Byzantine *behaviour* (equivocation, forged content) is expressed at the
+//! actor level — a Byzantine replica is simply a different actor
+//! implementation — so it does not appear here.
+
+use crate::actor::ActorId;
+use sharper_common::{Duration, SimTime};
+
+/// A scheduled crash (and optional recovery) of one actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The actor that crashes.
+    pub actor: ActorId,
+    /// When it stops processing and emitting messages.
+    pub at: SimTime,
+    /// When it comes back, if ever. A recovered crash-only replica resumes
+    /// with the state it had when it crashed (it "may restart", §2.1).
+    pub recover_at: Option<SimTime>,
+}
+
+/// A scheduled partition separating two groups of actors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the partition.
+    pub group_a: Vec<ActorId>,
+    /// The other side. Messages between the two groups are dropped while the
+    /// partition is active; messages within a group are unaffected.
+    pub group_b: Vec<ActorId>,
+    /// When the partition starts.
+    pub from: SimTime,
+    /// When it heals.
+    pub until: SimTime,
+}
+
+/// The set of faults injected into a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that any given message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` that a delivered message is delivered twice.
+    pub duplicate_probability: f64,
+    /// Upper bound of extra uniformly-random delay added to each message.
+    pub extra_delay: Duration,
+    /// Scheduled crashes.
+    pub crashes: Vec<CrashEvent>,
+    /// Scheduled partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a probabilistic message drop rate (builder style).
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Adds a probabilistic duplication rate (builder style).
+    pub fn with_duplicate_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Adds bounded random extra delay (builder style).
+    pub fn with_extra_delay(mut self, d: Duration) -> Self {
+        self.extra_delay = d;
+        self
+    }
+
+    /// Schedules a permanent crash of `actor` at `at` (builder style).
+    pub fn with_crash(mut self, actor: impl Into<ActorId>, at: SimTime) -> Self {
+        self.crashes.push(CrashEvent {
+            actor: actor.into(),
+            at,
+            recover_at: None,
+        });
+        self
+    }
+
+    /// Schedules a crash followed by a recovery (builder style).
+    pub fn with_crash_and_recovery(
+        mut self,
+        actor: impl Into<ActorId>,
+        at: SimTime,
+        recover_at: SimTime,
+    ) -> Self {
+        assert!(recover_at > at, "recovery must follow the crash");
+        self.crashes.push(CrashEvent {
+            actor: actor.into(),
+            at,
+            recover_at: Some(recover_at),
+        });
+        self
+    }
+
+    /// Schedules a partition (builder style).
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        assert!(partition.until > partition.from, "partition must have positive length");
+        self.partitions.push(partition);
+        self
+    }
+
+    /// Whether `actor` is crashed at time `now`.
+    pub fn is_crashed(&self, actor: ActorId, now: SimTime) -> bool {
+        self.crashes.iter().any(|c| {
+            c.actor == actor
+                && now >= c.at
+                && match c.recover_at {
+                    Some(r) => now < r,
+                    None => true,
+                }
+        })
+    }
+
+    /// Whether a message sent from `from` to `to` at `now` is cut by an
+    /// active partition.
+    pub fn is_partitioned(&self, from: ActorId, to: ActorId, now: SimTime) -> bool {
+        self.partitions.iter().any(|p| {
+            now >= p.from
+                && now < p.until
+                && ((p.group_a.contains(&from) && p.group_b.contains(&to))
+                    || (p.group_b.contains(&from) && p.group_a.contains(&to)))
+        })
+    }
+
+    /// Whether the plan contains any fault at all (used by fast paths).
+    pub fn is_trivial(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.extra_delay == Duration::ZERO
+            && self.crashes.is_empty()
+            && self.partitions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::NodeId;
+
+    fn node(i: u32) -> ActorId {
+        ActorId::Node(NodeId(i))
+    }
+
+    #[test]
+    fn empty_plan_is_trivial() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_trivial());
+        assert!(!plan.is_crashed(node(0), SimTime::from_secs(10)));
+        assert!(!plan.is_partitioned(node(0), node(1), SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn crash_without_recovery_is_permanent() {
+        let plan = FaultPlan::none().with_crash(NodeId(2), SimTime::from_millis(100));
+        assert!(!plan.is_trivial());
+        assert!(!plan.is_crashed(node(2), SimTime::from_millis(99)));
+        assert!(plan.is_crashed(node(2), SimTime::from_millis(100)));
+        assert!(plan.is_crashed(node(2), SimTime::from_secs(1_000)));
+        assert!(!plan.is_crashed(node(3), SimTime::from_secs(1_000)));
+    }
+
+    #[test]
+    fn crash_with_recovery_heals() {
+        let plan = FaultPlan::none().with_crash_and_recovery(
+            NodeId(1),
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        );
+        assert!(plan.is_crashed(node(1), SimTime::from_millis(15)));
+        assert!(!plan.is_crashed(node(1), SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn partitions_cut_cross_group_links_while_active() {
+        let p = Partition {
+            group_a: vec![node(0), node(1)],
+            group_b: vec![node(2)],
+            from: SimTime::from_millis(5),
+            until: SimTime::from_millis(10),
+        };
+        let plan = FaultPlan::none().with_partition(p);
+        // Before and after: connected.
+        assert!(!plan.is_partitioned(node(0), node(2), SimTime::from_millis(4)));
+        assert!(!plan.is_partitioned(node(0), node(2), SimTime::from_millis(10)));
+        // During: cut both directions, but intra-group links stay up.
+        assert!(plan.is_partitioned(node(0), node(2), SimTime::from_millis(7)));
+        assert!(plan.is_partitioned(node(2), node(1), SimTime::from_millis(7)));
+        assert!(!plan.is_partitioned(node(0), node(1), SimTime::from_millis(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_is_rejected() {
+        let _ = FaultPlan::none().with_drop_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must follow")]
+    fn recovery_before_crash_is_rejected() {
+        let _ = FaultPlan::none().with_crash_and_recovery(
+            NodeId(0),
+            SimTime::from_millis(10),
+            SimTime::from_millis(5),
+        );
+    }
+}

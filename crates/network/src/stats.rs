@@ -1,0 +1,288 @@
+//! Measurement collection for simulation runs.
+//!
+//! The paper reports end-to-end throughput (committed transactions per
+//! second) and latency (request submission to client-observed commit) "as the
+//! average measured during the steady state of an experiment" (§4). The
+//! [`StatsCollector`] records exactly those samples; clients hold a cheap
+//! clonable [`StatsHandle`] and record one sample per committed transaction.
+
+use parking_lot::Mutex;
+use sharper_common::{Duration, SimTime, TxId};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// One committed-transaction sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitSample {
+    /// The transaction that committed.
+    pub tx: TxId,
+    /// When the client submitted it.
+    pub submitted_at: SimTime,
+    /// When the client considered it committed (enough replies received).
+    pub committed_at: SimTime,
+    /// Whether the transaction was cross-shard.
+    pub cross_shard: bool,
+}
+
+impl CommitSample {
+    /// The end-to-end latency of this sample.
+    pub fn latency(&self) -> Duration {
+        self.committed_at.saturating_since(self.submitted_at)
+    }
+}
+
+/// Aggregated latency/throughput figures over a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of committed transactions in the window.
+    pub committed: usize,
+    /// Committed transactions per second of simulated time.
+    pub throughput_tps: f64,
+    /// Mean latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_latency_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_latency_ms: f64,
+}
+
+impl LatencySummary {
+    /// A summary with no samples.
+    pub fn empty() -> Self {
+        Self {
+            committed: 0,
+            throughput_tps: 0.0,
+            mean_latency_ms: 0.0,
+            p50_latency_ms: 0.0,
+            p95_latency_ms: 0.0,
+            p99_latency_ms: 0.0,
+        }
+    }
+}
+
+/// Collects commit samples and submission counts during a run.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    samples: Vec<CommitSample>,
+    submitted: usize,
+    duplicate_guard: HashSet<TxId>,
+}
+
+impl StatsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that a client submitted a transaction.
+    pub fn record_submission(&mut self) {
+        self.submitted += 1;
+    }
+
+    /// Records a commit sample. Duplicate commits of the same transaction
+    /// (possible when a client receives replies from several replicas) are
+    /// counted once, keeping throughput honest.
+    pub fn record_commit(&mut self, sample: CommitSample) {
+        if self.duplicate_guard.insert(sample.tx) {
+            self.samples.push(sample);
+        }
+    }
+
+    /// Number of transactions submitted.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Number of distinct committed transactions.
+    pub fn committed(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// All samples recorded so far.
+    pub fn samples(&self) -> &[CommitSample] {
+        &self.samples
+    }
+
+    /// Summarises the samples whose commit time falls in
+    /// `[warmup, warmup + window)` — the paper's "steady state" measurement.
+    /// `window` of zero means "until the last sample".
+    pub fn summarize(&self, warmup: SimTime, window: Duration) -> LatencySummary {
+        let end = if window == Duration::ZERO {
+            SimTime(u64::MAX)
+        } else {
+            warmup + window
+        };
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut max_commit = warmup;
+        for s in &self.samples {
+            if s.committed_at >= warmup && s.committed_at < end {
+                latencies.push(s.latency().as_millis_f64());
+                if s.committed_at > max_commit {
+                    max_commit = s.committed_at;
+                }
+            }
+        }
+        if latencies.is_empty() {
+            return LatencySummary::empty();
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let committed = latencies.len();
+        let elapsed = if window == Duration::ZERO {
+            max_commit.saturating_since(warmup)
+        } else {
+            window
+        };
+        let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+        let mean = latencies.iter().sum::<f64>() / committed as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((committed as f64 - 1.0) * p).round() as usize;
+            latencies[idx.min(committed - 1)]
+        };
+        LatencySummary {
+            committed,
+            throughput_tps: committed as f64 / elapsed_s,
+            mean_latency_ms: mean,
+            p50_latency_ms: pct(0.50),
+            p95_latency_ms: pct(0.95),
+            p99_latency_ms: pct(0.99),
+        }
+    }
+}
+
+/// A cheaply clonable, shareable handle to a [`StatsCollector`].
+///
+/// The simulator is single-threaded, but the handle uses a mutex so the same
+/// types also work under the thread-based transport and inside Criterion.
+#[derive(Debug, Clone, Default)]
+pub struct StatsHandle(Arc<Mutex<StatsCollector>>);
+
+impl StatsHandle {
+    /// Creates a handle to a fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a submission.
+    pub fn record_submission(&self) {
+        self.0.lock().record_submission();
+    }
+
+    /// Records a commit sample.
+    pub fn record_commit(&self, sample: CommitSample) {
+        self.0.lock().record_commit(sample);
+    }
+
+    /// Number of submitted transactions.
+    pub fn submitted(&self) -> usize {
+        self.0.lock().submitted()
+    }
+
+    /// Number of distinct committed transactions.
+    pub fn committed(&self) -> usize {
+        self.0.lock().committed()
+    }
+
+    /// Summarises the steady-state window (see [`StatsCollector::summarize`]).
+    pub fn summarize(&self, warmup: SimTime, window: Duration) -> LatencySummary {
+        self.0.lock().summarize(warmup, window)
+    }
+
+    /// Clones the raw samples out of the collector.
+    pub fn samples(&self) -> Vec<CommitSample> {
+        self.0.lock().samples().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::ClientId;
+
+    fn sample(seq: u64, submit_ms: u64, commit_ms: u64) -> CommitSample {
+        CommitSample {
+            tx: TxId::new(ClientId(1), seq),
+            submitted_at: SimTime::from_millis(submit_ms),
+            committed_at: SimTime::from_millis(commit_ms),
+            cross_shard: false,
+        }
+    }
+
+    #[test]
+    fn latency_of_a_sample() {
+        assert_eq!(sample(0, 10, 25).latency(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn duplicate_commits_are_counted_once() {
+        let mut c = StatsCollector::new();
+        c.record_submission();
+        c.record_commit(sample(0, 0, 10));
+        c.record_commit(sample(0, 0, 12));
+        assert_eq!(c.submitted(), 1);
+        assert_eq!(c.committed(), 1);
+        assert_eq!(c.samples().len(), 1);
+    }
+
+    #[test]
+    fn summary_over_full_run() {
+        let mut c = StatsCollector::new();
+        for i in 0..100u64 {
+            // Commits every 10 ms, each with 20 ms latency.
+            c.record_commit(sample(i, i * 10, i * 10 + 20));
+        }
+        let s = c.summarize(SimTime::ZERO, Duration::ZERO);
+        assert_eq!(s.committed, 100);
+        assert!((s.mean_latency_ms - 20.0).abs() < 1e-9);
+        assert!((s.p50_latency_ms - 20.0).abs() < 1e-9);
+        // 100 commits over ~1.01 s of samples.
+        assert!(s.throughput_tps > 90.0 && s.throughput_tps < 110.0);
+    }
+
+    #[test]
+    fn summary_respects_warmup_and_window() {
+        let mut c = StatsCollector::new();
+        for i in 0..100u64 {
+            c.record_commit(sample(i, i * 10, i * 10 + 20));
+        }
+        // Window covering commits in [200 ms, 700 ms).
+        let s = c.summarize(SimTime::from_millis(200), Duration::from_millis(500));
+        assert_eq!(s.committed, 50);
+        assert!((s.throughput_tps - 100.0).abs() < 1.0);
+        // Empty window.
+        let s = c.summarize(SimTime::from_secs(100), Duration::from_millis(10));
+        assert_eq!(s.committed, 0);
+        assert_eq!(s.throughput_tps, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut c = StatsCollector::new();
+        for i in 0..1000u64 {
+            c.record_commit(sample(i, 0, 1 + i % 50));
+        }
+        let s = c.summarize(SimTime::ZERO, Duration::ZERO);
+        assert!(s.p50_latency_ms <= s.p95_latency_ms);
+        assert!(s.p95_latency_ms <= s.p99_latency_ms);
+    }
+
+    #[test]
+    fn handle_shares_one_collector() {
+        let h = StatsHandle::new();
+        let h2 = h.clone();
+        h.record_submission();
+        h2.record_commit(sample(0, 0, 5));
+        assert_eq!(h.submitted(), 1);
+        assert_eq!(h.committed(), 1);
+        assert_eq!(h2.samples().len(), 1);
+        let s = h.summarize(SimTime::ZERO, Duration::ZERO);
+        assert_eq!(s.committed, 1);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = StatsCollector::new().summarize(SimTime::ZERO, Duration::ZERO);
+        assert_eq!(s, LatencySummary::empty());
+    }
+}

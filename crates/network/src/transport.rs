@@ -1,0 +1,187 @@
+//! A small thread-based in-process transport.
+//!
+//! The simulator is the primary substrate for experiments, but the examples
+//! also demonstrate the protocol state machines running on real OS threads,
+//! exchanging messages over crossbeam channels. The transport delivers
+//! messages with no modelled latency or cost; it exists to show that the
+//! actor state machines are runtime-agnostic, not to measure performance.
+
+use crate::actor::ActorId;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::time::Duration as StdDuration;
+
+/// An addressed message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// The sending actor.
+    pub from: ActorId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// The hub wiring every participant's mailbox together.
+#[derive(Debug)]
+pub struct Hub<M> {
+    senders: HashMap<ActorId, Sender<Envelope<M>>>,
+}
+
+impl<M> Default for Hub<M> {
+    fn default() -> Self {
+        Self {
+            senders: HashMap::new(),
+        }
+    }
+}
+
+impl<M: Send + 'static> Hub<M> {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a participant and returns its mailbox endpoint.
+    pub fn register(&mut self, id: impl Into<ActorId>) -> Mailbox<M> {
+        let id = id.into();
+        let (tx, rx) = unbounded();
+        self.senders.insert(id, tx);
+        Mailbox { id, rx }
+    }
+
+    /// Builds a cheap sending handle that can reach every registered mailbox.
+    /// Call after all participants have been registered.
+    pub fn postman(&self) -> Postman<M> {
+        Postman {
+            senders: self.senders.clone(),
+        }
+    }
+
+    /// Number of registered participants.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Whether no participant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+}
+
+/// A clonable handle used by threads to send messages to any participant.
+#[derive(Debug, Clone)]
+pub struct Postman<M> {
+    senders: HashMap<ActorId, Sender<Envelope<M>>>,
+}
+
+impl<M: Send + 'static> Postman<M> {
+    /// Sends `msg` from `from` to `to`. Returns `false` if the recipient is
+    /// unknown or has hung up.
+    pub fn send(&self, from: ActorId, to: impl Into<ActorId>, msg: M) -> bool {
+        match self.senders.get(&to.into()) {
+            Some(tx) => tx.send(Envelope { from, msg }).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Sends clones of `msg` to every actor in `recipients`; returns how many
+    /// sends succeeded.
+    pub fn multicast(
+        &self,
+        from: ActorId,
+        recipients: impl IntoIterator<Item = ActorId>,
+        msg: M,
+    ) -> usize
+    where
+        M: Clone,
+    {
+        recipients
+            .into_iter()
+            .filter(|r| self.send(from, *r, msg.clone()))
+            .count()
+    }
+}
+
+/// The receiving endpoint owned by one participant's thread.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    id: ActorId,
+    rx: Receiver<Envelope<M>>,
+}
+
+impl<M> Mailbox<M> {
+    /// The owner of this mailbox.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: StdDuration) -> Option<Envelope<M>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Some(env),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::{ClientId, NodeId};
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery_across_threads() {
+        let mut hub: Hub<String> = Hub::new();
+        let alice = hub.register(NodeId(0));
+        let bob = hub.register(NodeId(1));
+        let postman = hub.postman();
+        assert_eq!(hub.len(), 2);
+        assert!(!hub.is_empty());
+
+        let sender = thread::spawn({
+            let postman = postman.clone();
+            move || {
+                assert!(postman.send(ActorId::Node(NodeId(0)), NodeId(1), "hello".to_string()));
+            }
+        });
+        sender.join().unwrap();
+
+        let env = bob.recv_timeout(StdDuration::from_secs(1)).unwrap();
+        assert_eq!(env.from, ActorId::Node(NodeId(0)));
+        assert_eq!(env.msg, "hello");
+        assert!(alice.try_recv().is_none());
+        assert_eq!(bob.id(), ActorId::Node(NodeId(1)));
+    }
+
+    #[test]
+    fn multicast_counts_successes_and_unknown_recipients_fail() {
+        let mut hub: Hub<u32> = Hub::new();
+        let _a = hub.register(NodeId(0));
+        let _b = hub.register(NodeId(1));
+        let postman = hub.postman();
+
+        let n = postman.multicast(
+            ActorId::Client(ClientId(9)),
+            [
+                ActorId::Node(NodeId(0)),
+                ActorId::Node(NodeId(1)),
+                ActorId::Node(NodeId(7)), // unknown
+            ],
+            42,
+        );
+        assert_eq!(n, 2);
+        assert!(!postman.send(ActorId::Client(ClientId(9)), NodeId(7), 1));
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let mut hub: Hub<u32> = Hub::new();
+        let mb = hub.register(NodeId(0));
+        assert!(mb.recv_timeout(StdDuration::from_millis(10)).is_none());
+    }
+}

@@ -1,0 +1,306 @@
+//! Validation and execution of transactions against a shard's account store.
+//!
+//! Replicas execute a transaction when its block commits (intra-shard: after
+//! the Paxos/PBFT commit; cross-shard: after the flattened protocol's commit
+//! phase, §3.2–§3.3). Each replica holds only its own shard, so for a
+//! cross-shard transaction it validates and applies only the operations that
+//! touch accounts of its shard; the flattened protocol's `accept` quorum from
+//! every involved cluster is what guarantees the other shards do the same.
+
+use crate::account::AccountStore;
+use crate::partition::Partitioner;
+use crate::transaction::{Operation, Transaction};
+use serde::{Deserialize, Serialize};
+use sharper_common::{ClusterId, Error, Result};
+
+/// The result of executing a transaction on a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionOutcome {
+    /// Every local operation validated and was applied.
+    Applied,
+    /// The transaction failed validation and was recorded as aborted; the
+    /// block is still appended to the ledger (the order is decided by
+    /// consensus, the application outcome is deterministic given that order).
+    Aborted,
+    /// No operation of the transaction touches this shard; nothing was done.
+    NotLocal,
+}
+
+/// Executes transactions against one shard's [`AccountStore`].
+#[derive(Debug, Clone)]
+pub struct Executor {
+    shard: ClusterId,
+    partitioner: Partitioner,
+}
+
+impl Executor {
+    /// Creates an executor for `shard`.
+    pub fn new(shard: ClusterId, partitioner: Partitioner) -> Self {
+        Self { shard, partitioner }
+    }
+
+    /// The shard this executor serves.
+    pub fn shard(&self) -> ClusterId {
+        self.shard
+    }
+
+    /// The partitioner in use.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// Validates the locally-checkable part of a transaction without
+    /// modifying the store. Used when a replica receives a `propose` /
+    /// `pre-prepare` and must decide whether the request "is valid"
+    /// (Algorithm 1 line 7, Algorithm 2 line 7).
+    pub fn validate_local(&self, store: &AccountStore, tx: &Transaction) -> Result<()> {
+        let mut any_local = false;
+        for op in &tx.operations {
+            match op {
+                Operation::Transfer { from, amount, .. } => {
+                    if self.partitioner.owns(self.shard, *from) {
+                        any_local = true;
+                        let account = store.account(*from).ok_or_else(|| {
+                            Error::InvalidTransaction {
+                                tx: tx.id,
+                                reason: format!("unknown account {from}"),
+                            }
+                        })?;
+                        if account.owner != tx.client() {
+                            return Err(Error::InvalidTransaction {
+                                tx: tx.id,
+                                reason: format!(
+                                    "client {} does not own account {from}",
+                                    tx.client()
+                                ),
+                            });
+                        }
+                        if account.balance < *amount {
+                            return Err(Error::InvalidTransaction {
+                                tx: tx.id,
+                                reason: format!(
+                                    "insufficient balance in {from}: {} < {amount}",
+                                    account.balance
+                                ),
+                            });
+                        }
+                    }
+                    if self.partitioner.owns(self.shard, op.accounts()[1]) {
+                        any_local = true;
+                    }
+                }
+                Operation::Read { account } => {
+                    if self.partitioner.owns(self.shard, *account) {
+                        any_local = true;
+                        if !store.contains(*account) {
+                            return Err(Error::InvalidTransaction {
+                                tx: tx.id,
+                                reason: format!("unknown account {account}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if !any_local {
+            return Err(Error::InvalidTransaction {
+                tx: tx.id,
+                reason: format!("no operation touches shard {}", self.shard),
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies the local part of a committed transaction to the store.
+    ///
+    /// Validation failures surface as [`ExecutionOutcome::Aborted`] rather
+    /// than errors: the ordering decision has already been made by consensus,
+    /// and every correct replica of the shard reaches the same outcome
+    /// because it applies the same transactions in the same order.
+    pub fn apply(&self, store: &mut AccountStore, tx: &Transaction) -> ExecutionOutcome {
+        let touches_local = tx
+            .accounts()
+            .iter()
+            .any(|a| self.partitioner.owns(self.shard, *a));
+        if !touches_local {
+            return ExecutionOutcome::NotLocal;
+        }
+        if self.validate_local(store, tx).is_err() {
+            return ExecutionOutcome::Aborted;
+        }
+        for op in &tx.operations {
+            if let Operation::Transfer { from, to, amount } = op {
+                if self.partitioner.owns(self.shard, *from) {
+                    // Validation above guarantees this cannot fail.
+                    store
+                        .debit(*from, tx.client(), *amount)
+                        .expect("validated debit");
+                }
+                if self.partitioner.owns(self.shard, *to) {
+                    if !store.contains(*to) {
+                        // Transfers may create the destination account, as in
+                        // the UTXO-to-account translation of the workload.
+                        store.create_account(*to, tx.client(), 0);
+                    }
+                    store.credit(*to, *amount).expect("destination exists");
+                }
+            }
+        }
+        ExecutionOutcome::Applied
+    }
+
+    /// Initialises a store with `accounts_per_shard` accounts for this shard,
+    /// each owned by the client returned by `owner_of` and holding
+    /// `initial_balance` units. Used by deployments and benchmarks.
+    pub fn genesis_store(
+        &self,
+        accounts_per_shard: u64,
+        initial_balance: u64,
+        owner_of: impl Fn(u64) -> sharper_common::ClientId,
+    ) -> AccountStore {
+        let mut store = AccountStore::new(self.shard);
+        for i in 0..accounts_per_shard {
+            if let Some(account) = self.partitioner.account_in_shard(self.shard, i) {
+                store.create_account(account, owner_of(i), initial_balance);
+            }
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::{AccountId, ClientId, TxId};
+
+    fn setup() -> (Executor, AccountStore) {
+        let partitioner = Partitioner::range(4, 100);
+        let exec = Executor::new(ClusterId(0), partitioner);
+        let store = exec.genesis_store(100, 1_000, |i| ClientId(i));
+        (exec, store)
+    }
+
+    #[test]
+    fn genesis_store_populates_only_local_accounts() {
+        let (exec, store) = setup();
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.balance(AccountId(0)), Some(1_000));
+        assert_eq!(store.balance(AccountId(99)), Some(1_000));
+        assert!(!store.contains(AccountId(100)));
+        assert_eq!(exec.shard(), ClusterId(0));
+    }
+
+    #[test]
+    fn intra_shard_transfer_applies() {
+        let (exec, mut store) = setup();
+        let tx = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 250);
+        assert_eq!(exec.apply(&mut store, &tx), ExecutionOutcome::Applied);
+        assert_eq!(store.balance(AccountId(1)), Some(750));
+        assert_eq!(store.balance(AccountId(2)), Some(1_250));
+    }
+
+    #[test]
+    fn conservation_of_money_for_intra_shard_transfers() {
+        let (exec, mut store) = setup();
+        let before = store.total_balance();
+        for seq in 0..20u64 {
+            let tx = Transaction::transfer(
+                ClientId(seq % 100),
+                seq,
+                AccountId(seq % 100),
+                AccountId((seq + 1) % 100),
+                seq * 3,
+            );
+            exec.apply(&mut store, &tx);
+        }
+        assert_eq!(store.total_balance(), before);
+    }
+
+    #[test]
+    fn cross_shard_transfer_applies_only_local_half() {
+        let (exec, mut store) = setup();
+        // Account 150 lives in shard 1; this executor serves shard 0.
+        let tx = Transaction::transfer(ClientId(5), 0, AccountId(5), AccountId(150), 100);
+        assert_eq!(exec.apply(&mut store, &tx), ExecutionOutcome::Applied);
+        assert_eq!(store.balance(AccountId(5)), Some(900));
+        assert!(!store.contains(AccountId(150)), "remote account untouched");
+
+        // The mirror executor for shard 1 applies the credit half.
+        let exec1 = Executor::new(ClusterId(1), Partitioner::range(4, 100));
+        let mut store1 = exec1.genesis_store(100, 1_000, |i| ClientId(i));
+        assert_eq!(exec1.apply(&mut store1, &tx), ExecutionOutcome::Applied);
+        assert_eq!(store1.balance(AccountId(150)), Some(1_100));
+    }
+
+    #[test]
+    fn invalid_transactions_abort_without_state_change() {
+        let (exec, mut store) = setup();
+        let before = store.clone();
+
+        // Wrong owner (client 9 does not own account 1).
+        let tx = Transaction::transfer(ClientId(9), 0, AccountId(1), AccountId(2), 10);
+        assert_eq!(exec.apply(&mut store, &tx), ExecutionOutcome::Aborted);
+        // Insufficient funds.
+        let tx = Transaction::transfer(ClientId(1), 1, AccountId(1), AccountId(2), 10_000);
+        assert_eq!(exec.apply(&mut store, &tx), ExecutionOutcome::Aborted);
+        // Unknown source account local to this shard.
+        let mut p = Partitioner::range(4, 100);
+        p = p.with_override(AccountId(7777), ClusterId(0));
+        let exec2 = Executor::new(ClusterId(0), p);
+        let tx = Transaction::transfer(ClientId(1), 2, AccountId(7777), AccountId(2), 1);
+        assert_eq!(exec2.apply(&mut store, &tx), ExecutionOutcome::Aborted);
+
+        assert_eq!(store, before);
+    }
+
+    #[test]
+    fn non_local_transaction_is_reported_not_local() {
+        let (exec, mut store) = setup();
+        let tx = Transaction::transfer(ClientId(1), 0, AccountId(150), AccountId(250), 10);
+        assert_eq!(exec.apply(&mut store, &tx), ExecutionOutcome::NotLocal);
+    }
+
+    #[test]
+    fn validate_local_checks_ownership_funds_and_locality() {
+        let (exec, store) = setup();
+        let good = Transaction::transfer(ClientId(3), 0, AccountId(3), AccountId(4), 10);
+        assert!(exec.validate_local(&store, &good).is_ok());
+
+        let wrong_owner = Transaction::transfer(ClientId(4), 0, AccountId(3), AccountId(4), 10);
+        assert!(exec.validate_local(&store, &wrong_owner).is_err());
+
+        let not_local = Transaction::transfer(ClientId(3), 0, AccountId(150), AccountId(151), 10);
+        assert!(exec.validate_local(&store, &not_local).is_err());
+
+        // Credit-only involvement is local and valid (the debit side is
+        // validated by the owning shard).
+        let credit_only = Transaction::transfer(ClientId(3), 0, AccountId(150), AccountId(3), 10);
+        assert!(exec.validate_local(&store, &credit_only).is_ok());
+    }
+
+    #[test]
+    fn read_operations_validate_against_existing_accounts() {
+        let (exec, store) = setup();
+        let ok = Transaction::new(
+            TxId::new(ClientId(1), 0),
+            vec![Operation::Read { account: AccountId(5) }],
+        );
+        assert!(exec.validate_local(&store, &ok).is_ok());
+        let missing = Transaction::new(
+            TxId::new(ClientId(1), 1),
+            vec![Operation::Read { account: AccountId(4242) }],
+        );
+        // Account 4242 maps to shard 2 under range(4,100); not local → error.
+        assert!(exec.validate_local(&store, &missing).is_err());
+    }
+
+    #[test]
+    fn transfer_to_unknown_local_destination_creates_account() {
+        let partitioner = Partitioner::range(2, 10).with_override(AccountId(555), ClusterId(0));
+        let exec = Executor::new(ClusterId(0), partitioner);
+        let mut store = exec.genesis_store(10, 100, |i| ClientId(i));
+        let tx = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(555), 30);
+        assert_eq!(exec.apply(&mut store, &tx), ExecutionOutcome::Applied);
+        assert_eq!(store.balance(AccountId(555)), Some(30));
+    }
+}

@@ -1,0 +1,26 @@
+//! # sharper-state
+//!
+//! The application layer of the SharPer reproduction: the account-based data
+//! model (§2.4), the accounting application used throughout the paper's
+//! evaluation (§4: "a simple blockchain-based accounting application where
+//! the data records are client accounts"), the partitioner that maps accounts
+//! to shards, and the execution engine applied by replicas when a block
+//! commits.
+//!
+//! The store kept by each replica holds exactly one shard (§2.2): the
+//! accounts assigned to its cluster. Cross-shard transactions touch several
+//! stores; each involved replica validates and applies only the operations
+//! that concern accounts in its own shard.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod executor;
+pub mod partition;
+pub mod transaction;
+
+pub use account::{Account, AccountStore};
+pub use executor::{ExecutionOutcome, Executor};
+pub use partition::Partitioner;
+pub use transaction::{Operation, Transaction};

@@ -1,0 +1,195 @@
+//! Mapping of accounts to shards.
+//!
+//! SharPer shards the data into `|P|` shards, one per cluster (§2.2). The
+//! paper notes that "an appropriate sharding usually needs to have prior
+//! knowledge of the data and how the data is accessed by different
+//! transactions (workload-aware)". This module provides:
+//!
+//! * a range partitioner (the default for the evaluation workload, where the
+//!   workload generator chooses accounts per shard explicitly),
+//! * a hash partitioner, and
+//! * explicit per-account overrides, which is how a workload-aware placement
+//!   (e.g. produced by a tool like Schism [20]) is expressed.
+
+use serde::{Deserialize, Serialize};
+use sharper_common::{AccountId, ClusterId};
+use std::collections::HashMap;
+
+/// Strategy for the default (non-overridden) mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Strategy {
+    /// Account `a` lives in shard `(a / accounts_per_shard) % shards`.
+    Range { accounts_per_shard: u64 },
+    /// Account `a` lives in shard `a % shards`.
+    Hash,
+}
+
+/// Maps accounts to the cluster (shard) that owns them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partitioner {
+    shards: u32,
+    strategy: Strategy,
+    /// Workload-aware overrides taking precedence over the strategy.
+    overrides: HashMap<AccountId, ClusterId>,
+}
+
+impl Partitioner {
+    /// Range partitioning: accounts `[0, accounts_per_shard)` in shard 0,
+    /// `[accounts_per_shard, 2*accounts_per_shard)` in shard 1, and so on
+    /// (wrapping around after `shards`).
+    pub fn range(shards: u32, accounts_per_shard: u64) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        assert!(accounts_per_shard > 0, "accounts_per_shard must be positive");
+        Self {
+            shards,
+            strategy: Strategy::Range { accounts_per_shard },
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Hash (modulo) partitioning.
+    pub fn hashed(shards: u32) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        Self {
+            shards,
+            strategy: Strategy::Hash,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Adds a workload-aware override pinning `account` to `shard`.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn with_override(mut self, account: AccountId, shard: ClusterId) -> Self {
+        assert!(shard.0 < self.shards, "override shard out of range");
+        self.overrides.insert(account, shard);
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard that owns `account`.
+    pub fn shard_of(&self, account: AccountId) -> ClusterId {
+        if let Some(s) = self.overrides.get(&account) {
+            return *s;
+        }
+        match self.strategy {
+            Strategy::Range { accounts_per_shard } => {
+                ClusterId(((account.0 / accounts_per_shard) % self.shards as u64) as u32)
+            }
+            Strategy::Hash => ClusterId((account.0 % self.shards as u64) as u32),
+        }
+    }
+
+    /// Whether `account` is owned by `shard`.
+    pub fn owns(&self, shard: ClusterId, account: AccountId) -> bool {
+        self.shard_of(account) == shard
+    }
+
+    /// The canonical `i`-th account of a shard under range partitioning.
+    ///
+    /// Workload generators use this to draw accounts from a specific shard.
+    /// Returns `None` if the partitioner is not range-based or `i` is outside
+    /// the shard's range.
+    pub fn account_in_shard(&self, shard: ClusterId, i: u64) -> Option<AccountId> {
+        match self.strategy {
+            Strategy::Range { accounts_per_shard } => {
+                if shard.0 >= self.shards || i >= accounts_per_shard {
+                    None
+                } else {
+                    Some(AccountId(shard.0 as u64 * accounts_per_shard + i))
+                }
+            }
+            Strategy::Hash => {
+                if shard.0 >= self.shards {
+                    None
+                } else {
+                    Some(AccountId(i * self.shards as u64 + shard.0 as u64))
+                }
+            }
+        }
+    }
+
+    /// Number of accounts per shard for range partitioning (`None` for hash
+    /// partitioning, which is unbounded).
+    pub fn accounts_per_shard(&self) -> Option<u64> {
+        match self.strategy {
+            Strategy::Range { accounts_per_shard } => Some(accounts_per_shard),
+            Strategy::Hash => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_partitioning_assigns_contiguous_blocks() {
+        let p = Partitioner::range(4, 100);
+        assert_eq!(p.shard_of(AccountId(0)), ClusterId(0));
+        assert_eq!(p.shard_of(AccountId(99)), ClusterId(0));
+        assert_eq!(p.shard_of(AccountId(100)), ClusterId(1));
+        assert_eq!(p.shard_of(AccountId(399)), ClusterId(3));
+        // Wraps after the last shard.
+        assert_eq!(p.shard_of(AccountId(400)), ClusterId(0));
+    }
+
+    #[test]
+    fn hash_partitioning_uses_modulo() {
+        let p = Partitioner::hashed(3);
+        assert_eq!(p.shard_of(AccountId(0)), ClusterId(0));
+        assert_eq!(p.shard_of(AccountId(4)), ClusterId(1));
+        assert_eq!(p.shard_of(AccountId(5)), ClusterId(2));
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let p = Partitioner::range(4, 100).with_override(AccountId(5), ClusterId(3));
+        assert_eq!(p.shard_of(AccountId(5)), ClusterId(3));
+        assert_eq!(p.shard_of(AccountId(6)), ClusterId(0));
+        assert!(p.owns(ClusterId(3), AccountId(5)));
+        assert!(!p.owns(ClusterId(0), AccountId(5)));
+    }
+
+    #[test]
+    fn account_in_shard_round_trips_for_range() {
+        let p = Partitioner::range(5, 50);
+        for shard in 0..5u32 {
+            for i in [0u64, 1, 25, 49] {
+                let a = p.account_in_shard(ClusterId(shard), i).unwrap();
+                assert_eq!(p.shard_of(a), ClusterId(shard));
+            }
+        }
+        assert!(p.account_in_shard(ClusterId(0), 50).is_none());
+        assert!(p.account_in_shard(ClusterId(5), 0).is_none());
+    }
+
+    #[test]
+    fn account_in_shard_round_trips_for_hash() {
+        let p = Partitioner::hashed(4);
+        for shard in 0..4u32 {
+            for i in 0..10u64 {
+                let a = p.account_in_shard(ClusterId(shard), i).unwrap();
+                assert_eq!(p.shard_of(a), ClusterId(shard));
+            }
+        }
+    }
+
+    #[test]
+    fn accounts_per_shard_reporting() {
+        assert_eq!(Partitioner::range(2, 7).accounts_per_shard(), Some(7));
+        assert_eq!(Partitioner::hashed(2).accounts_per_shard(), None);
+        assert_eq!(Partitioner::range(2, 7).shard_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = Partitioner::hashed(0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Scalability sweep (the experiment behind Figure 8): SharPer throughput as
+//! the number of clusters grows from 2 to 5 under a 90% intra-shard / 10%
+//! cross-shard workload.
+//!
+//! Run with: `cargo run --release --example scalability`
+
+use sharper_common::{FailureModel, SimTime};
+use sharper_core::{SharperSystem, SystemParams};
+use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    println!("{:<10} {:>12} {:>14}", "clusters", "tput (tx/s)", "latency (ms)");
+    for clusters in 2..=5usize {
+        let mut params = SystemParams::new(FailureModel::Crash, clusters, 1);
+        params.accounts_per_shard = 2_000;
+        let mut system = SharperSystem::build(params, 12 * clusters, |client| {
+            let mut cfg = WorkloadConfig::scaling(clusters as u32);
+            cfg.accounts_per_shard = 2_000;
+            WorkloadGenerator::new(client, cfg)
+        });
+        let report = system.run(SimTime::from_secs(2));
+        println!(
+            "{:<10} {:>12.0} {:>14.1}",
+            clusters, report.summary.throughput_tps, report.summary.mean_latency_ms
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Workspace-level integration tests: full SharPer deployments, fault
+//! injection, baseline comparisons and the reproduction's headline claims.
+
+use sharper_baselines::{BaselineKind, BaselineParams, BaselineSystem};
+use sharper_common::{FailureModel, NodeId, SimTime};
+use sharper_core::{SharperSystem, SystemParams};
+use sharper_net::FaultPlan;
+use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+
+const ACCOUNTS: u64 = 1_000;
+
+fn sharper_run(
+    model: FailureModel,
+    clusters: usize,
+    cross_ratio: f64,
+    clients: usize,
+    faults: FaultPlan,
+    secs: u64,
+) -> sharper_core::RunReport {
+    let mut params = SystemParams::new(model, clusters, 1).with_faults(faults);
+    params.accounts_per_shard = ACCOUNTS;
+    params.warmup = SimTime::from_millis(200);
+    let mut system = SharperSystem::build(params, clients, |client| {
+        let mut cfg = WorkloadConfig::evaluation(clusters as u32, cross_ratio);
+        cfg.accounts_per_shard = ACCOUNTS;
+        WorkloadGenerator::new(client, cfg)
+    });
+    system.run(SimTime::from_secs(secs))
+}
+
+fn baseline_run(kind: BaselineKind, cross_ratio: f64, clients: usize, secs: u64) -> f64 {
+    let mut params = BaselineParams::paper(kind);
+    params.accounts_per_shard = ACCOUNTS;
+    params.warmup = SimTime::from_millis(200);
+    let clusters = params.clusters as u32;
+    let mut system = BaselineSystem::build(params, clients, |client| {
+        let mut cfg = WorkloadConfig::evaluation(clusters, cross_ratio);
+        cfg.accounts_per_shard = ACCOUNTS;
+        WorkloadGenerator::new(client, cfg)
+    });
+    system.run(SimTime::from_secs(secs)).summary.throughput_tps
+}
+
+#[test]
+fn crash_deployment_sustains_mixed_workload_and_passes_audit() {
+    let report = sharper_run(FailureModel::Crash, 4, 0.2, 16, FaultPlan::none(), 3);
+    assert!(report.summary.throughput_tps > 30.0, "{:?}", report.summary);
+    assert!(report.audit.cross_shard_transactions > 0);
+}
+
+#[test]
+fn byzantine_deployment_sustains_mixed_workload_and_passes_audit() {
+    // Safety (the audit inside run()) and progress are the assertions here;
+    // Byzantine cross-shard throughput under contended concurrent initiators
+    // is a documented deviation (EXPERIMENTS.md) and is measured by the
+    // figures harness rather than asserted in the test suite.
+    let report = sharper_run(FailureModel::Byzantine, 4, 0.2, 16, FaultPlan::none(), 3);
+    assert!(report.audit.distinct_transactions > 0, "{:?}", report.audit);
+    assert!(report.audit.cross_shard_transactions > 0);
+}
+
+#[test]
+fn pure_cross_shard_workload_commits_and_stays_consistent() {
+    let report = sharper_run(FailureModel::Crash, 4, 1.0, 8, FaultPlan::none(), 3);
+    assert!(report.audit.cross_shard_transactions > 20, "{:?}", report.audit);
+    assert!(report.summary.committed > 0);
+}
+
+#[test]
+fn safety_holds_under_message_loss_and_a_backup_crash() {
+    // 2% message loss plus a crashed backup of cluster 0 (within f = 1).
+    let faults = FaultPlan::none()
+        .with_drop_probability(0.02)
+        .with_crash(NodeId(1), SimTime::from_millis(300));
+    let report = sharper_run(FailureModel::Crash, 4, 0.1, 8, faults, 4);
+    // The audit inside run() already checks chains and cross-shard order; here
+    // we additionally require that progress continued despite the faults.
+    assert!(report.audit.distinct_transactions > 50, "{:?}", report.audit);
+}
+
+#[test]
+#[ignore = "long-running performance comparison; run the figures harness (see EXPERIMENTS.md)"]
+fn throughput_scales_with_the_number_of_clusters() {
+    // Figure 8 shape: more clusters → more throughput at 10% cross-shard.
+    // This is a saturation experiment (hundreds of clients, several simulated
+    // seconds); it is executed by `cargo run -p sharper-bench --bin figures`
+    // and verified there rather than in the default test run.
+    let two = sharper_run(FailureModel::Crash, 2, 0.1, 80, FaultPlan::none(), 3);
+    let five = sharper_run(FailureModel::Crash, 5, 0.1, 200, FaultPlan::none(), 3);
+    assert!(
+        five.summary.throughput_tps > 1.5 * two.summary.throughput_tps,
+        "2 clusters: {:.0} tps, 5 clusters: {:.0} tps",
+        two.summary.throughput_tps,
+        five.summary.throughput_tps
+    );
+}
+
+#[test]
+fn sharper_outperforms_non_sharded_baselines_without_cross_shard_load() {
+    // Figure 6(a)/7(a) shape: sharding wins big at 0% cross-shard.
+    let sharper = sharper_run(FailureModel::Crash, 4, 0.0, 224, FaultPlan::none(), 2)
+        .summary
+        .throughput_tps;
+    let apr = baseline_run(BaselineKind::AprC, 0.0, 224, 2);
+    let fpaxos = baseline_run(BaselineKind::FPaxos, 0.0, 224, 2);
+    assert!(
+        sharper > 1.5 * apr && sharper > 1.5 * fpaxos,
+        "SharPer {sharper:.0} vs APR-C {apr:.0} vs FPaxos {fpaxos:.0}"
+    );
+}
+
+#[test]
+#[ignore = "long-running performance comparison; run the figures harness (see EXPERIMENTS.md)"]
+fn sharper_outperforms_ahl_under_cross_shard_load() {
+    // Figure 6(c)/(d) shape: the flattened protocol beats the reference
+    // committee when cross-shard transactions dominate. See EXPERIMENTS.md
+    // for the measured curves and the discussion of conflict behaviour under
+    // highly contended cross-shard workloads.
+    let sharper = sharper_run(FailureModel::Crash, 4, 0.8, 96, FaultPlan::none(), 3)
+        .summary
+        .throughput_tps;
+    let ahl = baseline_run(BaselineKind::AhlC, 0.8, 96, 3);
+    assert!(
+        sharper > ahl,
+        "SharPer {sharper:.0} tps must exceed AHL-C {ahl:.0} tps at 80% cross-shard"
+    );
+}
+
+#[test]
+fn ahl_matches_sharper_on_intra_shard_only_workloads() {
+    // Figure 6(a) shape: with no cross-shard transactions the two systems use
+    // the same intra-shard path, so they should be in the same ballpark.
+    let sharper = sharper_run(FailureModel::Crash, 4, 0.0, 48, FaultPlan::none(), 2)
+        .summary
+        .throughput_tps;
+    let ahl = baseline_run(BaselineKind::AhlC, 0.0, 48, 2);
+    let ratio = sharper / ahl.max(1.0);
+    assert!((0.5..=2.5).contains(&ratio), "ratio {ratio:.2}");
+}
