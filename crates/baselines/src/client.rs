@@ -6,6 +6,7 @@ use sharper_net::{Actor, ActorId, CommitSample, Context, StatsHandle, TimerId};
 use sharper_state::{Partitioner, Transaction};
 use std::collections::BTreeMap;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Where a baseline client sends its requests.
 #[derive(Debug, Clone)]
@@ -21,6 +22,16 @@ pub struct RouteTable {
     pub fast_multicast: Option<Vec<NodeId>>,
 }
 
+/// The request currently awaiting replies at a baseline client:
+/// `(transaction, submitted_at, repliers, retry timer, cross-shard?)`.
+type Outstanding = (
+    Arc<Transaction>,
+    sharper_common::SimTime,
+    HashSet<NodeId>,
+    TimerId,
+    bool,
+);
+
 /// A closed-loop baseline client: one outstanding request at a time.
 pub struct BaselineClient {
     id: ClientId,
@@ -31,7 +42,7 @@ pub struct BaselineClient {
     stats: StatsHandle,
     cost: CostModel,
     retry_timeout: Duration,
-    outstanding: Option<(Transaction, sharper_common::SimTime, HashSet<NodeId>, TimerId, bool)>,
+    outstanding: Option<Outstanding>,
     completed: usize,
 }
 
@@ -71,12 +82,13 @@ impl BaselineClient {
             self.outstanding = None;
             return;
         };
+        let tx = Arc::new(tx);
         let involved = tx.involved_clusters(&self.partitioner);
         let cross = involved.len() > 1;
         ctx.charge(self.cost.client());
         self.stats.record_submission();
         let msg = BMsg::Request {
-            tx: tx.clone(),
+            tx: Arc::clone(&tx),
             reply_to: ActorIdWire::Client(self.id.0),
         };
         if let Some(members) = &self.route.fast_multicast {
@@ -115,9 +127,12 @@ impl Actor<BMsg> for BaselineClient {
     }
 
     fn on_message(&mut self, _from: ActorId, msg: BMsg, ctx: &mut Context<BMsg>) {
-        let BMsg::Reply { tx, node } = msg else { return };
+        let BMsg::Reply { tx, node } = msg else {
+            return;
+        };
         ctx.charge(self.cost.client());
-        let Some((outstanding, submitted, replies, timer, cross)) = self.outstanding.as_mut() else {
+        let Some((outstanding, submitted, replies, timer, cross)) = self.outstanding.as_mut()
+        else {
             return;
         };
         if outstanding.id != tx {
@@ -150,7 +165,7 @@ impl Actor<BMsg> for BaselineClient {
         if *pending_timer != timer {
             return;
         }
-        let tx = tx.clone();
+        let tx = Arc::clone(tx);
         let involved = tx.involved_clusters(&self.partitioner);
         let cross = involved.len() > 1;
         let msg = BMsg::Request {

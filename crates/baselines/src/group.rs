@@ -19,15 +19,19 @@ use sharper_ledger::{Block, LedgerView};
 use sharper_net::{Actor, ActorId, Context};
 use sharper_state::{AccountStore, Executor, Partitioner, Transaction};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Messages exchanged by the baseline systems.
+///
+/// As with the SharPer protocol messages, transactions ride behind [`Arc`]
+/// so request forwarding, proposals and fast-path multicasts clone in O(1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum BMsg {
     /// A request to order `tx`; the reply goes to `reply_to` (a client, or
     /// the AHL reference committee acting as 2PC coordinator).
     Request {
         /// The transaction to order.
-        tx: Transaction,
+        tx: Arc<Transaction>,
         /// Who should receive the reply.
         reply_to: ActorIdWire,
     },
@@ -38,7 +42,7 @@ pub enum BMsg {
         /// Parent block hash in the group's chain.
         parent: Digest,
         /// The transaction.
-        tx: Transaction,
+        tx: Arc<Transaction>,
         /// Who should receive replies once the transaction executes.
         reply_to: ActorIdWire,
     },
@@ -56,7 +60,7 @@ pub enum BMsg {
         /// Parent block hash in the group's chain.
         parent: Digest,
         /// The transaction.
-        tx: Transaction,
+        tx: Arc<Transaction>,
         /// Who should receive replies once the transaction executes.
         reply_to: ActorIdWire,
     },
@@ -70,7 +74,7 @@ pub enum BMsg {
     /// Primary → passive replicas: execution result notification.
     StateUpdate {
         /// The executed transaction.
-        tx: Transaction,
+        tx: Arc<Transaction>,
     },
     /// Reference-committee coordinator → members: run an internal consensus
     /// step (`phase` 1 = prepare, 2 = decide) for cross-shard transaction `d`.
@@ -154,7 +158,7 @@ impl GroupParams {
 /// One in-flight ordering round.
 #[derive(Debug)]
 struct Round {
-    tx: Transaction,
+    tx: Arc<Transaction>,
     parent: Digest,
     reply_to: ActorId,
     votes: BTreeSet<NodeId>,
@@ -181,7 +185,12 @@ pub struct GroupReplica {
 
 impl GroupReplica {
     /// Creates a group member with a pre-populated shard store.
-    pub fn new(node: NodeId, params: GroupParams, partitioner: Partitioner, store: AccountStore) -> Self {
+    pub fn new(
+        node: NodeId,
+        params: GroupParams,
+        partitioner: Partitioner,
+        store: AccountStore,
+    ) -> Self {
         let executor = Executor::new(params.shard, partitioner);
         let shard = params.shard;
         Self {
@@ -228,8 +237,16 @@ impl GroupReplica {
     }
 
     fn charge(&self, ctx: &mut Context<BMsg>, verify: usize, sign: usize) {
-        let (v, s) = if self.params.signed { (verify, sign) } else { (0, 0) };
-        ctx.charge(self.params.cost.protocol_message(self.params.failure_model, v, s));
+        let (v, s) = if self.params.signed {
+            (verify, sign)
+        } else {
+            (0, 0)
+        };
+        ctx.charge(
+            self.params
+                .cost
+                .protocol_message(self.params.failure_model, v, s),
+        );
     }
 
     fn commit_block(&mut self, ctx: &mut Context<BMsg>, block: Block, reply_to: ActorId) {
@@ -244,13 +261,18 @@ impl GroupReplica {
             .parent_for(self.ledger.cluster())
             .expect("group blocks involve the group shard");
         if parent != self.ledger.head() {
-            self.deferred.entry(parent).or_default().push((block, reply_to));
+            self.deferred
+                .entry(parent)
+                .or_default()
+                .push((block, reply_to));
             return;
         }
         self.apply(ctx, block, reply_to);
         loop {
             let head = self.ledger.head();
-            let Some(children) = self.deferred.remove(&head) else { break };
+            let Some(children) = self.deferred.remove(&head) else {
+                break;
+            };
             let mut advanced = false;
             for (child, child_reply) in children {
                 if child.parent_for(self.ledger.cluster()) == Some(self.ledger.head()) {
@@ -265,7 +287,7 @@ impl GroupReplica {
     }
 
     fn apply(&mut self, ctx: &mut Context<BMsg>, block: Block, reply_to: ActorId) {
-        let tx = block.tx().expect("transaction block").clone();
+        let tx = block.tx_arc().expect("transaction block");
         self.ledger.append(block).expect("parent checked");
         self.committed.insert(tx.id);
         ctx.charge(self.params.cost.execution());
@@ -273,7 +295,13 @@ impl GroupReplica {
         self.executed += 1;
         let should_reply = self.params.all_reply || self.is_primary();
         if should_reply {
-            ctx.send(reply_to, BMsg::Reply { tx: tx.id, node: self.node });
+            ctx.send(
+                reply_to,
+                BMsg::Reply {
+                    tx: tx.id,
+                    node: self.node,
+                },
+            );
         }
         // The primary keeps the passive replicas up to date.
         if self.is_primary() && !self.params.passives.is_empty() {
@@ -284,14 +312,20 @@ impl GroupReplica {
         }
     }
 
-    fn start_round(&mut self, tx: Transaction, reply_to: ActorId, ctx: &mut Context<BMsg>) {
+    fn start_round(&mut self, tx: Arc<Transaction>, reply_to: ActorId, ctx: &mut Context<BMsg>) {
         let d = tx.digest();
         if self.committed.contains(&tx.id) {
-            ctx.send(reply_to, BMsg::Reply { tx: tx.id, node: self.node });
+            ctx.send(
+                reply_to,
+                BMsg::Reply {
+                    tx: tx.id,
+                    node: self.node,
+                },
+            );
             return;
         }
         let round = self.rounds.entry(d).or_insert_with(|| Round {
-            tx: tx.clone(),
+            tx: Arc::clone(&tx),
             parent: self.tail,
             reply_to,
             votes: BTreeSet::new(),
@@ -303,31 +337,43 @@ impl GroupReplica {
             // Advance the proposal chain past this round.
             let mut parents = BTreeMap::new();
             parents.insert(self.ledger.cluster(), parent);
-            let block = Block::transaction(tx.clone(), parents);
+            let block = Block::transaction(Arc::clone(&tx), parents);
             if parent == self.tail {
                 self.tail = block.digest();
             }
             self.charge(ctx, 0, 1);
             ctx.multicast(
                 self.peers(),
-                BMsg::Propose { d, parent, tx, reply_to: reply_to.into() },
+                BMsg::Propose {
+                    d,
+                    parent,
+                    tx,
+                    reply_to: reply_to.into(),
+                },
             );
         }
         self.try_decide(d, ctx);
     }
 
     fn try_decide(&mut self, d: Digest, ctx: &mut Context<BMsg>) {
-        let Some(round) = self.rounds.get_mut(&d) else { return };
+        let Some(round) = self.rounds.get_mut(&d) else {
+            return;
+        };
         if round.decided || round.votes.len() < self.params.quorum {
             return;
         }
         round.decided = true;
-        let tx = round.tx.clone();
+        let tx = Arc::clone(&round.tx);
         let parent = round.parent;
         let reply_to = round.reply_to;
         ctx.multicast(
             self.peers(),
-            BMsg::Commit { d, parent, tx: tx.clone(), reply_to: reply_to.into() },
+            BMsg::Commit {
+                d,
+                parent,
+                tx: Arc::clone(&tx),
+                reply_to: reply_to.into(),
+            },
         );
         let mut parents = BTreeMap::new();
         parents.insert(self.ledger.cluster(), parent);
@@ -361,11 +407,19 @@ impl Actor<BMsg> for GroupReplica {
                     // Forward to the primary.
                     ctx.send(
                         ActorId::Node(self.params.primary()),
-                        BMsg::Request { tx, reply_to: reply_to.into() },
+                        BMsg::Request {
+                            tx,
+                            reply_to: reply_to.into(),
+                        },
                     );
                 }
             }
-            BMsg::Propose { d, parent: _, tx, reply_to } => {
+            BMsg::Propose {
+                d,
+                parent: _,
+                tx,
+                reply_to,
+            } => {
                 if from != ActorId::Node(self.params.primary()) {
                     return;
                 }
@@ -386,7 +440,12 @@ impl Actor<BMsg> for GroupReplica {
                 }
                 self.try_decide(d, ctx);
             }
-            BMsg::Commit { d, parent, tx, reply_to } => {
+            BMsg::Commit {
+                d,
+                parent,
+                tx,
+                reply_to,
+            } => {
                 if from != ActorId::Node(self.params.primary()) {
                     return;
                 }
@@ -395,7 +454,10 @@ impl Actor<BMsg> for GroupReplica {
                 parents.insert(self.ledger.cluster(), parent);
                 self.commit_block(ctx, Block::transaction(tx, parents), reply_to.into());
             }
-            BMsg::Reply { .. } | BMsg::StateUpdate { .. } | BMsg::RcStep { .. } | BMsg::RcAck { .. } => {}
+            BMsg::Reply { .. }
+            | BMsg::StateUpdate { .. }
+            | BMsg::RcStep { .. }
+            | BMsg::RcAck { .. } => {}
         }
     }
 

@@ -34,4 +34,4 @@ pub mod systems;
 pub use client::BaselineClient;
 pub use group::{BMsg, GroupParams, GroupReplica, PassiveReplica};
 pub use rc::{RcCoordinator, RcMember};
-pub use systems::{BaselineKind, BaselineSystem, BaselineParams, BaselineReport};
+pub use systems::{BaselineKind, BaselineParams, BaselineReport, BaselineSystem};

@@ -18,6 +18,7 @@ use sharper_crypto::Digest;
 use sharper_net::{Actor, ActorId, Context};
 use sharper_state::{Partitioner, Transaction};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Phases of the coordinator's state machine for one cross-shard transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +33,7 @@ enum Phase {
 
 #[derive(Debug)]
 struct InFlight {
-    tx: Transaction,
+    tx: Arc<Transaction>,
     client: ActorId,
     involved: Vec<ClusterId>,
     phase: Phase,
@@ -51,7 +52,7 @@ pub struct RcCoordinator {
     cost: CostModel,
     failure_model: FailureModel,
     signed: bool,
-    queue: VecDeque<(Transaction, ActorId)>,
+    queue: VecDeque<(Arc<Transaction>, ActorId)>,
     current: Option<InFlight>,
     /// Number of cross-shard transactions fully committed.
     completed: usize,
@@ -143,12 +144,14 @@ impl RcCoordinator {
         // after releasing the borrow.
         enum Action {
             Nothing,
-            SendClusterRequests(Transaction, Vec<ClusterId>),
+            SendClusterRequests(Arc<Transaction>, Vec<ClusterId>),
             StartDecide,
             Finish(ActorId, sharper_common::TxId),
         }
         let action = {
-            let Some(current) = self.current.as_mut() else { return };
+            let Some(current) = self.current.as_mut() else {
+                return;
+            };
             if current.tx.digest() != d {
                 return;
             }
@@ -160,7 +163,10 @@ impl RcCoordinator {
                     } else {
                         current.phase = Phase::ClusterVotes;
                         current.rc_acks.clear();
-                        Action::SendClusterRequests(current.tx.clone(), current.involved.clone())
+                        Action::SendClusterRequests(
+                            Arc::clone(&current.tx),
+                            current.involved.clone(),
+                        )
                     }
                 }
                 Phase::ClusterVotes => {
@@ -190,7 +196,7 @@ impl RcCoordinator {
                     ctx.send(
                         ActorId::Node(primary),
                         BMsg::Request {
-                            tx: tx.clone(),
+                            tx: Arc::clone(&tx),
                             reply_to: ActorIdWire::Node(self.node.0),
                         },
                     );
@@ -206,7 +212,13 @@ impl RcCoordinator {
             Action::Finish(client, tx_id) => {
                 self.current = None;
                 self.completed += 1;
-                ctx.send(client, BMsg::Reply { tx: tx_id, node: self.node });
+                ctx.send(
+                    client,
+                    BMsg::Reply {
+                        tx: tx_id,
+                        node: self.node,
+                    },
+                );
                 self.start_next(ctx);
             }
         }
@@ -268,7 +280,12 @@ pub struct RcMember {
 
 impl RcMember {
     /// Creates a committee member.
-    pub fn new(node: NodeId, coordinator: NodeId, cost: CostModel, failure_model: FailureModel) -> Self {
+    pub fn new(
+        node: NodeId,
+        coordinator: NodeId,
+        cost: CostModel,
+        failure_model: FailureModel,
+    ) -> Self {
         Self {
             node,
             coordinator,
@@ -297,7 +314,11 @@ impl Actor<BMsg> for RcMember {
             self.acked += 1;
             ctx.send(
                 ActorId::Node(self.coordinator),
-                BMsg::RcAck { phase, d, node: self.node },
+                BMsg::RcAck {
+                    phase,
+                    d,
+                    node: self.node,
+                },
             );
         }
     }

@@ -3,9 +3,7 @@
 use crate::client::{BaselineClient, RouteTable};
 use crate::group::{BMsg, GroupParams, GroupReplica, PassiveReplica};
 use crate::rc::{RcCoordinator, RcMember};
-use sharper_common::{
-    ClientId, ClusterId, CostModel, FailureModel, LatencyModel, NodeId, SimTime,
-};
+use sharper_common::{ClientId, ClusterId, CostModel, FailureModel, LatencyModel, NodeId, SimTime};
 use sharper_net::{
     Actor, ActorId, Context, FaultPlan, LatencySummary, Simulation, StatsHandle, TimerId, Topology,
 };
@@ -111,7 +109,9 @@ impl BaselineParams {
     }
 }
 
-/// The actor type of a baseline simulation.
+/// The actor type of a baseline simulation. As with `SharperActor`, actors
+/// are stored once and never copied, so the variant size gap is harmless.
+#[allow(clippy::large_enum_variant)]
 pub enum BaselineActor {
     /// A member of a consensus group (active replica or AHL cluster replica).
     Group(GroupReplica),
@@ -205,7 +205,7 @@ impl BaselineSystem {
             reference_committee: None,
             fast_multicast: None,
         };
-        let mut required_replies = 1;
+        let required_replies;
 
         if params.kind.is_sharded() {
             // --- AHL: one group per shard + reference committee -----------
@@ -238,8 +238,7 @@ impl BaselineSystem {
                     cost,
                 };
                 for &m in &members {
-                    let executor =
-                        Executor::new(ClusterId(shard), workload_partitioner.clone());
+                    let executor = Executor::new(ClusterId(shard), workload_partitioner.clone());
                     let store = executor.genesis_store(
                         params.accounts_per_shard,
                         params.initial_balance,
@@ -279,7 +278,12 @@ impl BaselineSystem {
                 model,
             )));
             for &m in &rc_members[1..] {
-                actors.push(BaselineActor::Member(RcMember::new(m, coordinator, cost, model)));
+                actors.push(BaselineActor::Member(RcMember::new(
+                    m,
+                    coordinator,
+                    cost,
+                    model,
+                )));
             }
             required_replies = 1;
         } else {
@@ -292,8 +296,9 @@ impl BaselineSystem {
                 _ => unreachable!("sharded kinds handled above"),
             };
             let members: Vec<NodeId> = (0..active as u32).map(NodeId).collect();
-            let passives: Vec<NodeId> =
-                (active as u32..params.total_nodes.max(active) as u32).map(NodeId).collect();
+            let passives: Vec<NodeId> = (active as u32..params.total_nodes.max(active) as u32)
+                .map(NodeId)
+                .collect();
             for &m in members.iter().chain(passives.iter()) {
                 topology.add_node(m, ClusterId(0));
             }
@@ -440,7 +445,10 @@ mod tests {
     fn ahl_c_commits_both_intra_and_cross_shard_transactions() {
         let report = run(BaselineKind::AhlC, 0.3, 6);
         assert!(report.client_completed > 50, "{report:?}");
-        assert!(report.rc_completed > 0, "the reference committee must see cross-shard work");
+        assert!(
+            report.rc_completed > 0,
+            "the reference committee must see cross-shard work"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ fn ablation(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     let duration = SimTime::from_millis(800);
-    for (label, clusters) in [("global_f_2_clusters", 2usize), ("group_aware_5_clusters", 5)] {
+    for (label, clusters) in [
+        ("global_f_2_clusters", 2usize),
+        ("group_aware_5_clusters", 5),
+    ] {
         group.bench_with_input(BenchmarkId::new(label, clusters), &clusters, |b, &n| {
             b.iter(|| sharper_point(FailureModel::Byzantine, n, 0.10, 4 * n, duration))
         });

@@ -14,9 +14,11 @@ fn fig8(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("crash", clusters), &clusters, |b, &n| {
             b.iter(|| sharper_point(FailureModel::Crash, n, 0.10, 4 * n, duration))
         });
-        group.bench_with_input(BenchmarkId::new("byzantine", clusters), &clusters, |b, &n| {
-            b.iter(|| sharper_point(FailureModel::Byzantine, n, 0.10, 4 * n, duration))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("byzantine", clusters),
+            &clusters,
+            |b, &n| b.iter(|| sharper_point(FailureModel::Byzantine, n, 0.10, 4 * n, duration)),
+        );
     }
     group.finish();
 }

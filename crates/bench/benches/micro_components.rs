@@ -1,12 +1,65 @@
 //! Micro-benchmarks of the substrates: SHA-256 hashing, block construction,
-//! ledger append and transaction execution.
+//! ledger append, transaction execution and the zero-copy message plane.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sharper_common::{AccountId, ClientId, ClusterId};
-use sharper_crypto::Sha256;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sharper_common::{AccountId, ClientId, ClusterId, NodeId, SimTime};
+use sharper_consensus::Msg;
+use sharper_crypto::{Digest, Sha256, Signature};
 use sharper_ledger::{Block, LedgerView};
-use sharper_state::{Executor, Partitioner, Transaction};
+use sharper_net::{ActorId, Context};
+use sharper_state::{Executor, Operation, Partitioner, Transaction};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A transaction with `ops` transfer operations (its serialised size grows
+/// linearly with `ops`).
+fn tx_with_ops(ops: usize) -> Transaction {
+    let operations = (0..ops)
+        .map(|i| Operation::Transfer {
+            from: AccountId(1),
+            to: AccountId(2 + i as u64),
+            amount: 1,
+        })
+        .collect();
+    Transaction::new(sharper_common::TxId::new(ClientId(1), 0), operations)
+}
+
+/// Broadcast fan-out: cloning a consensus message must be O(1) in payload
+/// size (an `Arc` bump), and batching a 100-peer broadcast must not copy the
+/// payload at all. Compare the `msg_clone_*` series across payload sizes —
+/// the times should be flat — and against `tx_deep_clone_*`, which shows the
+/// per-recipient cost the old message plane paid.
+fn message_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_plane");
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for ops in [1usize, 64, 4096] {
+        let msg = Msg::PrePrepare {
+            view: 0,
+            parent: Digest::ZERO,
+            tx: Arc::new(tx_with_ops(ops)),
+            sig: Signature::unsigned(0),
+        };
+        group.bench_function(format!("msg_clone_{ops}_ops"), |b| {
+            b.iter(|| black_box(msg.clone()))
+        });
+        let tx = tx_with_ops(ops);
+        group.bench_function(format!("tx_deep_clone_{ops}_ops"), |b| {
+            b.iter(|| black_box(tx.clone()))
+        });
+        group.bench_function(format!("broadcast_100_peers_{ops}_ops"), |b| {
+            let recipients: Vec<ActorId> = (0..100).map(|n| ActorId::Node(NodeId(n))).collect();
+            b.iter(|| {
+                let mut ctx: Context<Msg> =
+                    Context::detached(SimTime::ZERO, ActorId::Node(NodeId(200)));
+                ctx.broadcast(recipients.clone(), msg.clone());
+                black_box(ctx.outbox_len())
+            })
+        });
+    }
+    group.finish();
+}
 
 fn micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro");
@@ -51,5 +104,5 @@ fn micro(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, micro);
+criterion_group!(benches, micro, message_plane);
 criterion_main!(benches);

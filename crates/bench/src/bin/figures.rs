@@ -3,16 +3,23 @@
 //! Usage:
 //!   cargo run -p sharper-bench --release --bin figures            # all figures
 //!   cargo run -p sharper-bench --release --bin figures -- --fig 6a --quick
+//!   cargo run -p sharper-bench --release --bin figures -- --out results/
 //!
 //! Output: one text table per figure (system, clients, throughput, latency),
-//! plus a JSON dump per figure for plotting.
+//! plus a machine-readable `BENCH_<figure>.json` file per figure so the
+//! performance trajectory of the reproduction can be tracked commit over
+//! commit.
 
-use sharper_bench::{figure_cross_shard_sweep, figure_scalability, Series};
+use sharper_bench::{figure_cross_shard_sweep, figure_scalability, figure_to_json, Series};
 use sharper_common::{FailureModel, SimTime};
+use std::path::Path;
 
 fn print_series(title: &str, series: &[Series]) {
     println!("\n=== {title} ===");
-    println!("{:<12} {:>8} {:>16} {:>14}", "system", "clients", "throughput(tps)", "latency(ms)");
+    println!(
+        "{:<12} {:>8} {:>16} {:>14}",
+        "system", "clients", "throughput(tps)", "latency(ms)"
+    );
     for s in series {
         for p in &s.points {
             println!(
@@ -21,24 +28,52 @@ fn print_series(title: &str, series: &[Series]) {
             );
         }
     }
-    match serde_json::to_string(series) {
-        Ok(json) => println!("JSON {title}: {json}"),
-        Err(e) => eprintln!("failed to serialise {title}: {e}"),
+}
+
+fn emit(out_dir: &Path, name: &str, title: &str, series: &[Series]) {
+    print_series(title, series);
+    let json = figure_to_json(name, series);
+    let path = out_dir.join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("BENCH_JSON {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let only: Option<String> = args
-        .iter()
-        .position(|a| a == "--fig")
-        .and_then(|i| args.get(i + 1).cloned());
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let only = flag_value("--fig");
+    let out_dir = std::path::PathBuf::from(flag_value("--out").unwrap_or_else(|| ".".into()));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("failed to create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
 
-    let duration = if quick { SimTime::from_secs(2) } else { SimTime::from_secs(5) };
-    let clients: Vec<usize> = if quick { vec![8, 48, 128] } else { vec![8, 24, 64, 128, 224, 320] };
+    let duration = if quick {
+        SimTime::from_secs(2)
+    } else {
+        SimTime::from_secs(5)
+    };
+    let clients: Vec<usize> = if quick {
+        vec![8, 48, 128]
+    } else {
+        vec![8, 24, 64, 128, 224, 320]
+    };
 
-    let wants = |name: &str| only.as_deref().map_or(true, |f| f.eq_ignore_ascii_case(name));
+    let known = ["6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b"];
+    if let Some(f) = only.as_deref() {
+        if !known.iter().any(|k| k.eq_ignore_ascii_case(f)) {
+            eprintln!("unknown figure {f:?}; known figures: {}", known.join(", "));
+            std::process::exit(2);
+        }
+    }
+    let wants = |name: &str| only.as_deref().is_none_or(|f| f.eq_ignore_ascii_case(name));
 
     let cross_figs = [
         ("6a", FailureModel::Crash, 0.0),
@@ -53,18 +88,33 @@ fn main() {
     for (name, model, ratio) in cross_figs {
         if wants(name) {
             let series = figure_cross_shard_sweep(model, ratio, &clients, duration);
-            print_series(
-                &format!("Figure {name}: {model} nodes, {:.0}% cross-shard", ratio * 100.0),
+            emit(
+                &out_dir,
+                &format!("fig{name}"),
+                &format!(
+                    "Figure {name}: {model} nodes, {:.0}% cross-shard",
+                    ratio * 100.0
+                ),
                 &series,
             );
         }
     }
     if wants("8a") {
         let series = figure_scalability(FailureModel::Crash, &[2, 3, 4, 5], 12, duration);
-        print_series("Figure 8a: SharPer scalability, crash-only, 10% cross-shard", &series);
+        emit(
+            &out_dir,
+            "fig8a",
+            "Figure 8a: SharPer scalability, crash-only, 10% cross-shard",
+            &series,
+        );
     }
     if wants("8b") {
         let series = figure_scalability(FailureModel::Byzantine, &[2, 3, 4, 5], 12, duration);
-        print_series("Figure 8b: SharPer scalability, Byzantine, 10% cross-shard", &series);
+        emit(
+            &out_dir,
+            "fig8b",
+            "Figure 8b: SharPer scalability, Byzantine, 10% cross-shard",
+            &series,
+        );
     }
 }

@@ -48,6 +48,60 @@ pub struct Series {
     pub points: Vec<CurvePoint>,
 }
 
+impl CurvePoint {
+    /// Renders this point as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"clients\":{},\"throughput_tps\":{:.3},\"latency_ms\":{:.3},\"committed\":{}}}",
+            self.clients, self.throughput_tps, self.latency_ms, self.committed
+        )
+    }
+}
+
+impl Series {
+    /// Renders this series as a JSON object.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self.points.iter().map(CurvePoint::to_json).collect();
+        format!(
+            "{{\"system\":{},\"points\":[{}]}}",
+            json_string(&self.system),
+            points.join(",")
+        )
+    }
+}
+
+/// Renders a figure (several series) as one machine-readable JSON document,
+/// the payload of the `BENCH_<figure>.json` files written by the `figures`
+/// binary. The format is intentionally dependency-free and stable so the
+/// performance trajectory can be diffed across commits.
+pub fn figure_to_json(figure: &str, series: &[Series]) -> String {
+    let rendered: Vec<String> = series.iter().map(Series::to_json).collect();
+    format!(
+        "{{\"figure\":{},\"series\":[{}]}}",
+        json_string(figure),
+        rendered.join(",")
+    )
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Runs SharPer at one operating point.
 pub fn sharper_point(
     model: FailureModel,
@@ -160,7 +214,10 @@ pub fn figure_cross_shard_sweep(
                     Some(k) => baseline_point(k, cross_ratio, clients, duration),
                 })
                 .collect();
-            Series { system: label, points }
+            Series {
+                system: label,
+                points,
+            }
         })
         .collect()
 }

@@ -201,7 +201,9 @@ impl SystemConfig {
     /// (16 nodes, Fig. 7).
     pub fn uniform(model: FailureModel, clusters: usize, f: usize) -> Result<Self> {
         if clusters == 0 {
-            return Err(Error::InvalidConfig("at least one cluster is required".into()));
+            return Err(Error::InvalidConfig(
+                "at least one cluster is required".into(),
+            ));
         }
         let size = model.cluster_size(f);
         let mut cfgs = Vec::with_capacity(clusters);
@@ -239,7 +241,11 @@ impl SystemConfig {
                     let mut remaining = group.nodes;
                     for k in 0..whole_clusters {
                         // The paper notes the last cluster may absorb leftover nodes.
-                        let take = if k + 1 == whole_clusters { remaining } else { size };
+                        let take = if k + 1 == whole_clusters {
+                            remaining
+                        } else {
+                            size
+                        };
                         let nodes: Vec<NodeId> = (0..take)
                             .map(|_| {
                                 let id = NodeId(next_node);
@@ -269,7 +275,9 @@ impl SystemConfig {
         initiation_policy: InitiationPolicy,
     ) -> Result<Self> {
         if clusters.is_empty() {
-            return Err(Error::InvalidConfig("at least one cluster is required".into()));
+            return Err(Error::InvalidConfig(
+                "at least one cluster is required".into(),
+            ));
         }
         let mut by_id = BTreeMap::new();
         let mut node_cluster = BTreeMap::new();
@@ -331,9 +339,7 @@ impl SystemConfig {
 
     /// The configuration of a cluster.
     pub fn cluster(&self, id: ClusterId) -> Result<&ClusterConfig> {
-        self.clusters
-            .get(&id)
-            .ok_or(Error::UnknownCluster(id))
+        self.clusters.get(&id).ok_or(Error::UnknownCluster(id))
     }
 
     /// The cluster a node belongs to.
@@ -456,7 +462,10 @@ mod tests {
     fn super_primary_is_minimum_involved_cluster() {
         let cfg = SystemConfig::uniform(FailureModel::Crash, 4, 1).unwrap();
         let init = cfg
-            .initiator_cluster(&[ClusterId(2), ClusterId(1), ClusterId(3)], Some(ClusterId(3)))
+            .initiator_cluster(
+                &[ClusterId(2), ClusterId(1), ClusterId(3)],
+                Some(ClusterId(3)),
+            )
             .unwrap();
         assert_eq!(init, ClusterId(1));
 
@@ -510,8 +519,16 @@ mod tests {
 
         let grouped = ClusterLayout::Grouped {
             groups: vec![
-                ClusterGroup { name: "A".into(), nodes: 7, f: 2 },
-                ClusterGroup { name: "B".into(), nodes: 16, f: 1 },
+                ClusterGroup {
+                    name: "A".into(),
+                    nodes: 7,
+                    f: 2,
+                },
+                ClusterGroup {
+                    name: "B".into(),
+                    nodes: 16,
+                    f: 1,
+                },
             ],
         };
         assert_eq!(grouped.cluster_count(FailureModel::Byzantine), 5);
@@ -539,6 +556,8 @@ mod tests {
     #[test]
     fn zero_clusters_is_invalid() {
         assert!(SystemConfig::uniform(FailureModel::Crash, 0, 1).is_err());
-        assert!(SystemConfig::from_clusters(FailureModel::Crash, vec![], Default::default()).is_err());
+        assert!(
+            SystemConfig::from_clusters(FailureModel::Crash, vec![], Default::default()).is_err()
+        );
     }
 }

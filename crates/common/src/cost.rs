@@ -222,10 +222,7 @@ mod tests {
         let cost = CostModel::default();
         let one = cost.protocol_message(FailureModel::Byzantine, 1, 1);
         let three = cost.protocol_message(FailureModel::Byzantine, 3, 1);
-        assert_eq!(
-            three.as_micros() - one.as_micros(),
-            2 * cost.verify_us
-        );
+        assert_eq!(three.as_micros() - one.as_micros(), 2 * cost.verify_us);
     }
 
     #[test]

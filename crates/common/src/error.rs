@@ -83,13 +83,7 @@ mod tests {
 
     #[test]
     fn errors_compare_by_value() {
-        assert_eq!(
-            Error::UnknownNode(NodeId(1)),
-            Error::UnknownNode(NodeId(1))
-        );
-        assert_ne!(
-            Error::UnknownNode(NodeId(1)),
-            Error::UnknownNode(NodeId(2))
-        );
+        assert_eq!(Error::UnknownNode(NodeId(1)), Error::UnknownNode(NodeId(1)));
+        assert_ne!(Error::UnknownNode(NodeId(1)), Error::UnknownNode(NodeId(2)));
     }
 }

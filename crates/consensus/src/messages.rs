@@ -10,6 +10,7 @@ use sharper_common::{ClusterId, NodeId, TxId};
 use sharper_crypto::{Digest, Signature};
 use sharper_state::Transaction;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Timer tags used by replicas and clients (the simulator hands the tag back
 /// when a timer fires).
@@ -30,6 +31,12 @@ pub mod timer_tags {
 }
 
 /// All messages of the SharPer protocol family.
+///
+/// Bulky payloads — transactions and assembled parent maps — are held behind
+/// [`Arc`], so cloning a message is a pointer bump regardless of payload
+/// size. This is what makes the simulator's broadcast fan-out zero-copy: one
+/// allocation is shared by every recipient of a multicast and by every round
+/// that retains the payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Msg {
     // ------------------------------------------------------------------
@@ -39,8 +46,9 @@ pub enum Msg {
     /// Also used replica→replica to forward a request to the responsible
     /// primary.
     Request {
-        /// The requested transaction.
-        tx: Transaction,
+        /// The requested transaction (shared, so high-fan-out forwarding and
+        /// cloning is a pointer bump).
+        tx: Arc<Transaction>,
         /// Client signature over the transaction (checked in the Byzantine
         /// model).
         sig: Signature,
@@ -66,7 +74,7 @@ pub enum Msg {
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
         /// The transaction to order.
-        tx: Transaction,
+        tx: Arc<Transaction>,
     },
     /// Backup → primary: the backup accepted the proposal.
     PaxosAccepted {
@@ -84,7 +92,7 @@ pub enum Msg {
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
         /// The committed transaction.
-        tx: Transaction,
+        tx: Arc<Transaction>,
     },
 
     // ------------------------------------------------------------------
@@ -97,7 +105,7 @@ pub enum Msg {
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
         /// The transaction to order.
-        tx: Transaction,
+        tx: Arc<Transaction>,
         /// The primary's signature over `(view, parent, d)`.
         sig: Signature,
     },
@@ -141,7 +149,7 @@ pub enum Msg {
         /// `h_i`: hash of the previous block ordered by the initiator cluster.
         parent: Digest,
         /// The cross-shard transaction.
-        tx: Transaction,
+        tx: Arc<Transaction>,
     },
     /// Node of an involved cluster → initiator primary:
     /// `⟨ACCEPT, h_i, h_j, d, r⟩`.
@@ -162,10 +170,10 @@ pub enum Msg {
     XCommit {
         /// Digest of the committed transaction.
         d: Digest,
-        /// One parent hash per involved cluster.
-        parents: BTreeMap<ClusterId, Digest>,
+        /// One parent hash per involved cluster (shared across the fan-out).
+        parents: Arc<BTreeMap<ClusterId, Digest>>,
         /// The committed transaction (carried so lagging replicas can apply).
-        tx: Transaction,
+        tx: Arc<Transaction>,
     },
 
     // ------------------------------------------------------------------
@@ -180,7 +188,7 @@ pub enum Msg {
         /// `h_i`: hash of the previous block ordered by the initiator cluster.
         parent: Digest,
         /// The cross-shard transaction.
-        tx: Transaction,
+        tx: Arc<Transaction>,
         /// The initiator primary's signature over `(initiator, parent, d)`.
         sig: Signature,
     },
@@ -204,8 +212,8 @@ pub enum Msg {
         /// Digest of the committed transaction.
         d: Digest,
         /// One parent hash per involved cluster (as assembled from the accept
-        /// quorum observed by the sender).
-        parents: BTreeMap<ClusterId, Digest>,
+        /// quorum observed by the sender; shared across the fan-out).
+        parents: Arc<BTreeMap<ClusterId, Digest>>,
         /// The sender's cluster.
         cluster: ClusterId,
         /// The sending node.
@@ -228,6 +236,14 @@ pub enum Msg {
     // View change (liveness)
     // ------------------------------------------------------------------
     /// A replica votes to replace the primary of its cluster.
+    ///
+    /// In the crash model the vote carries the voter's accepted-but-
+    /// uncommitted intra-shard rounds: any value committed in the old view
+    /// gathered accepts from `f+1` replicas, and every view-change quorum of
+    /// `f+1` intersects that set, so the new primary is guaranteed to learn
+    /// (and re-propose at the same chain position) every possibly-committed
+    /// value — the Paxos prepare-phase invariant that keeps the cluster's
+    /// chain fork-free across primary replacement.
     ViewChange {
         /// The replica's cluster.
         cluster: ClusterId,
@@ -235,6 +251,10 @@ pub enum Msg {
         new_view: u64,
         /// The voting replica.
         node: NodeId,
+        /// The voter's accepted-but-uncommitted rounds (crash model only;
+        /// empty in the Byzantine model, whose new-view transfer needs
+        /// signed prepared-certificates and is tracked in the roadmap).
+        accepted: Vec<AcceptedRound>,
         /// Signature over `(cluster, new_view)`.
         sig: Signature,
     },
@@ -303,6 +323,18 @@ impl Msg {
     }
 }
 
+/// An accepted-but-uncommitted intra-shard round carried by a crash-model
+/// view-change vote: enough for the new primary to re-propose the value at
+/// the same chain position (the block digest is a pure function of `parent`
+/// and `tx`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceptedRound {
+    /// The parent hash the value was accepted under.
+    pub parent: Digest,
+    /// The accepted transaction.
+    pub tx: Arc<Transaction>,
+}
+
 /// Canonical bytes signed by the primary for a `PrePrepare`/`XProposeB`.
 pub fn proposal_sign_bytes(view_or_initiator: u64, parent: &Digest, d: &Digest) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + 64 + 16);
@@ -328,8 +360,14 @@ mod tests {
     use super::*;
     use sharper_common::{AccountId, ClientId};
 
-    fn tx() -> Transaction {
-        Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 5)
+    fn tx() -> Arc<Transaction> {
+        Arc::new(Transaction::transfer(
+            ClientId(1),
+            0,
+            AccountId(1),
+            AccountId(2),
+            5,
+        ))
     }
 
     #[test]
@@ -357,7 +395,7 @@ mod tests {
         .starts_new_transaction());
         assert!(!Msg::XCommit {
             d: Digest::ZERO,
-            parents: BTreeMap::new(),
+            parents: Arc::new(BTreeMap::new()),
             tx: tx()
         }
         .starts_new_transaction());

@@ -23,6 +23,7 @@ use sharper_ledger::Block;
 use sharper_net::{ActorId, Context, TimerId};
 use sharper_state::Transaction;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Digest of a parents map, used as the signing context of commit votes.
 fn parents_digest(parents: &BTreeMap<ClusterId, Digest>) -> Digest {
@@ -41,7 +42,7 @@ impl Replica {
     /// the primary of the initiator cluster.
     pub(super) fn start_cross(
         &mut self,
-        tx: Transaction,
+        tx: Arc<Transaction>,
         involved: Vec<ClusterId>,
         ctx: &mut Context<Msg>,
     ) {
@@ -50,7 +51,7 @@ impl Replica {
             return;
         }
         let parent = self.ordering_tail();
-        let mut round = CrossRound::new(tx.clone(), involved.clone(), self.cluster, 0);
+        let mut round = CrossRound::new(Arc::clone(&tx), involved.clone(), self.cluster, 0);
         round
             .accepts
             .entry(self.cluster)
@@ -75,9 +76,9 @@ impl Replica {
                 );
             }
             FailureModel::Byzantine => {
-                let sig = self
-                    .signer
-                    .sign(&proposal_sign_bytes(self.cluster.0 as u64, &parent, &d));
+                let sig =
+                    self.signer
+                        .sign(&proposal_sign_bytes(self.cluster.0 as u64, &parent, &d));
                 self.charge_message(ctx, 0, 1);
                 ctx.multicast(
                     recipients.clone(),
@@ -124,7 +125,7 @@ impl Replica {
         initiator: ClusterId,
         attempt: u32,
         _parent: Digest,
-        tx: Transaction,
+        tx: Arc<Transaction>,
         ctx: &mut Context<Msg>,
     ) {
         if self.model() != FailureModel::Crash {
@@ -171,7 +172,7 @@ impl Replica {
         let round = self
             .cross
             .entry(d)
-            .or_insert_with(|| CrossRound::new(tx.clone(), involved, initiator, attempt));
+            .or_insert_with(|| CrossRound::new(Arc::clone(&tx), involved, initiator, attempt));
         round.attempt = attempt;
         // Reserve this node for the proposal: no other transaction is
         // processed until the commit arrives or the conflict timer fires.
@@ -222,7 +223,11 @@ impl Replica {
         if round.sent_commit || round.attempt != attempt || !round.involved.contains(&cluster) {
             return;
         }
-        round.accepts.entry(cluster).or_default().insert(node, parent);
+        round
+            .accepts
+            .entry(cluster)
+            .or_default()
+            .insert(node, parent);
         self.try_commit_cross_crash(d, ctx);
     }
 
@@ -240,17 +245,19 @@ impl Replica {
         round.sent_commit = true;
         round.committed = true;
         round.parents = Some(parents.clone());
-        let tx = round.tx.clone();
+        let tx = Arc::clone(&round.tx);
         let involved = round.involved.clone();
         if let Some(timer) = round.retry_timer.take() {
             ctx.cancel_timer(timer);
         }
+        // One allocation backs the fan-out message and the appended block.
+        let parents = Arc::new(parents);
         ctx.multicast(
             self.members_of_all_except_self(&involved),
             Msg::XCommit {
                 d,
-                parents: parents.clone(),
-                tx: tx.clone(),
+                parents: Arc::clone(&parents),
+                tx: Arc::clone(&tx),
             },
         );
         self.initiating = None;
@@ -264,8 +271,8 @@ impl Replica {
     pub(super) fn handle_xcommit(
         &mut self,
         d: Digest,
-        parents: BTreeMap<ClusterId, Digest>,
-        tx: Transaction,
+        parents: Arc<BTreeMap<ClusterId, Digest>>,
+        tx: Arc<Transaction>,
         ctx: &mut Context<Msg>,
     ) {
         if self.model() != FailureModel::Crash {
@@ -299,7 +306,7 @@ impl Replica {
         initiator: ClusterId,
         attempt: u32,
         parent: Digest,
-        tx: Transaction,
+        tx: Arc<Transaction>,
         sig: Signature,
         ctx: &mut Context<Msg>,
     ) {
@@ -327,9 +334,9 @@ impl Replica {
         // two blocks commit with the same parent. Conflicts between
         // concurrently initiating primaries are instead resolved by the
         // bounded give-up in the retry path plus client retransmission.
-        self.cross
-            .entry(d)
-            .or_insert_with(|| CrossRound::new(tx.clone(), involved.clone(), initiator, attempt));
+        self.cross.entry(d).or_insert_with(|| {
+            CrossRound::new(Arc::clone(&tx), involved.clone(), initiator, attempt)
+        });
         match self.reservation {
             Some(res) if res.d == d => {}
             Some(_) => return,
@@ -415,7 +422,11 @@ impl Replica {
         if round.attempt != attempt || !round.involved.contains(&cluster) {
             return;
         }
-        round.accepts.entry(cluster).or_default().insert(node, parent);
+        round
+            .accepts
+            .entry(cluster)
+            .or_default()
+            .insert(node, parent);
         self.try_send_xcommit_b(d, ctx);
     }
 
@@ -447,7 +458,7 @@ impl Replica {
             self.members_of_all_except_self(&involved),
             Msg::XCommitB {
                 d,
-                parents,
+                parents: Arc::new(parents),
                 cluster: self.cluster,
                 node: self.node,
                 sig,
@@ -462,7 +473,7 @@ impl Replica {
         &mut self,
         from: ActorId,
         d: Digest,
-        parents: BTreeMap<ClusterId, Digest>,
+        parents: Arc<BTreeMap<ClusterId, Digest>>,
         cluster: ClusterId,
         node: NodeId,
         sig: Signature,
@@ -496,7 +507,7 @@ impl Replica {
             return;
         }
         match &round.parents {
-            Some(ours) if *ours == parents => {
+            Some(ours) if *ours == *parents => {
                 round.commit_votes.entry(cluster).or_default().insert(node);
                 self.try_finalize_cross_bft(d, ctx);
             }
@@ -540,7 +551,7 @@ impl Replica {
         let round = self.cross.get_mut(&d).expect("round exists");
         round.committed = true;
         let parents = round.parents.clone().expect("checked above");
-        let tx = round.tx.clone();
+        let tx = Arc::clone(&round.tx);
         if let Some(timer) = round.retry_timer.take() {
             ctx.cancel_timer(timer);
         }
@@ -640,7 +651,12 @@ impl Replica {
 
     /// An initiator withdrew its proposal: release the reservation and drop
     /// the round so the slot can be used by other transactions.
-    pub(super) fn handle_xabort(&mut self, d: Digest, initiator: ClusterId, ctx: &mut Context<Msg>) {
+    pub(super) fn handle_xabort(
+        &mut self,
+        d: Digest,
+        initiator: ClusterId,
+        ctx: &mut Context<Msg>,
+    ) {
         let drop_round = match self.cross.get(&d) {
             Some(round) => !round.committed && round.initiator == initiator,
             None => false,
@@ -648,6 +664,25 @@ impl Replica {
         if drop_round {
             self.cross.remove(&d);
         }
+        // The withdrawn proposal may still be sitting in the buffer (it
+        // arrived while this replica was reserved for another transaction).
+        // Replaying it later would reserve this replica for a transaction
+        // whose initiator has already moved on — a reservation nothing will
+        // ever release on a primary — so it must be purged alongside the
+        // round.
+        self.buffered.retain(|(_, msg)| match msg {
+            Msg::XPropose {
+                tx,
+                initiator: proposer,
+                ..
+            }
+            | Msg::XProposeB {
+                tx,
+                initiator: proposer,
+                ..
+            } => !(*proposer == initiator && tx.digest() == d),
+            _ => true,
+        });
         self.release_reservation_if(d, ctx);
         self.process_buffered(ctx);
     }
@@ -694,8 +729,23 @@ impl Replica {
             // retrying instead (its signed propose and accept are already out
             // there), relying on the view change for liveness if it is truly
             // stuck.
+            //
+            // The withdrawal must be announced: remote replicas that accepted
+            // one of the attempts hold reservations for it, and reserved
+            // *primaries* never release on the conflict timeout (releasing
+            // would let them fork their chain position). Without the explicit
+            // abort those primaries stay reserved forever and the whole
+            // cluster livelocks behind them.
+            let involved = round.involved.clone();
             self.cross.remove(&d);
             self.initiating = None;
+            ctx.multicast(
+                self.members_of_all_except_self(&involved),
+                Msg::XAbort {
+                    d,
+                    initiator: self.cluster,
+                },
+            );
             self.process_buffered(ctx);
             return;
         }
@@ -705,7 +755,7 @@ impl Replica {
         round.parents = None;
         self.stats.retries += 1;
         let attempt = round.attempt;
-        let tx = round.tx.clone();
+        let tx = Arc::clone(&round.tx);
         let involved = round.involved.clone();
         let parent = self.ordering_tail();
         self.cross
@@ -730,11 +780,9 @@ impl Replica {
                 },
             ),
             FailureModel::Byzantine => {
-                let sig = self.signer.sign(&proposal_sign_bytes(
-                    self.cluster.0 as u64,
-                    &parent,
-                    &d,
-                ));
+                let sig =
+                    self.signer
+                        .sign(&proposal_sign_bytes(self.cluster.0 as u64, &parent, &d));
                 self.charge_message(ctx, 0, 1);
                 ctx.multicast(
                     recipients.clone(),

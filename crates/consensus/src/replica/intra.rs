@@ -15,10 +15,11 @@ use sharper_net::{ActorId, Context};
 use sharper_state::Transaction;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 impl Replica {
     /// Starts ordering an intra-shard transaction. Called on the primary.
-    pub(super) fn start_intra(&mut self, tx: Transaction, ctx: &mut Context<Msg>) {
+    pub(super) fn start_intra(&mut self, tx: Arc<Transaction>, ctx: &mut Context<Msg>) {
         match self.model() {
             FailureModel::Crash => self.start_paxos(tx, ctx),
             FailureModel::Byzantine => self.start_pbft(tx, ctx),
@@ -29,16 +30,43 @@ impl Replica {
     // Paxos (crash-only clusters), Figure 3(a)
     // ------------------------------------------------------------------
 
-    fn start_paxos(&mut self, tx: Transaction, ctx: &mut Context<Msg>) {
+    fn start_paxos(&mut self, tx: Arc<Transaction>, ctx: &mut Context<Msg>) {
         let d = tx.digest();
         if self.committed_txs.contains(&tx.id) || self.intra.contains_key(&d) {
             return;
         }
         let parent = self.ordering_tail();
+        self.propose_paxos_round(tx, parent, d, ctx);
+    }
+
+    /// Proposes `tx` at an explicit chain position (used by the view-change
+    /// state transfer to replay accepted rounds of the previous view at
+    /// their original positions). Any existing round state for the digest is
+    /// replaced: votes gathered under the old view are void in the new one.
+    pub(super) fn propose_paxos_at(
+        &mut self,
+        tx: Arc<Transaction>,
+        parent: Digest,
+        ctx: &mut Context<Msg>,
+    ) {
+        let d = tx.digest();
+        if self.committed_txs.contains(&tx.id) {
+            return;
+        }
+        self.intra.remove(&d);
+        self.propose_paxos_round(tx, parent, d, ctx);
+    }
+
+    fn propose_paxos_round(
+        &mut self,
+        tx: Arc<Transaction>,
+        parent: Digest,
+        d: Digest,
+        ctx: &mut Context<Msg>,
+    ) {
         let mut round = IntraRound {
-            tx: tx.clone(),
+            tx: Arc::clone(&tx),
             parent,
-            view: self.view,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
             sent_commit: false,
@@ -69,7 +97,7 @@ impl Replica {
         from: ActorId,
         view: u64,
         parent: Digest,
-        tx: Transaction,
+        tx: Arc<Transaction>,
         ctx: &mut Context<Msg>,
     ) {
         if self.model() != FailureModel::Crash {
@@ -81,14 +109,32 @@ impl Replica {
         }
         let d = tx.digest();
         if self.committed_txs.contains(&tx.id) {
+            // The proposal may be the new primary's replay of a round this
+            // replica already committed (view-change state transfer). If it
+            // names the bit-identical block, endorse it so the new primary
+            // can gather its quorum and the cluster converges on one chain;
+            // anything else for a committed transaction is stale and is
+            // dropped.
+            let mut parents = BTreeMap::new();
+            parents.insert(self.cluster, parent);
+            let replay = Block::transaction(Arc::clone(&tx), parents);
+            if self.ledger.block(replay.digest()).is_some() {
+                ctx.send(
+                    from,
+                    Msg::PaxosAccepted {
+                        view,
+                        d,
+                        node: self.node,
+                    },
+                );
+            }
             return;
         }
         // Remember the request so the view-change path can re-propose it and
         // start the liveness timer for the in-flight request.
         self.intra.entry(d).or_insert_with(|| IntraRound {
-            tx: tx.clone(),
+            tx: Arc::clone(&tx),
             parent,
-            view,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
             sent_commit: false,
@@ -137,7 +183,7 @@ impl Replica {
         }
         round.sent_commit = true;
         round.committed = true;
-        let tx = round.tx.clone();
+        let tx = Arc::clone(&round.tx);
         let parent = round.parent;
         ctx.multicast(
             self.cluster_peers(),
@@ -159,7 +205,7 @@ impl Replica {
         &mut self,
         view: u64,
         parent: Digest,
-        tx: Transaction,
+        tx: Arc<Transaction>,
         ctx: &mut Context<Msg>,
     ) {
         if self.model() != FailureModel::Crash || view < self.view {
@@ -179,7 +225,7 @@ impl Replica {
     // PBFT (Byzantine clusters), Figure 3(b)
     // ------------------------------------------------------------------
 
-    fn start_pbft(&mut self, tx: Transaction, ctx: &mut Context<Msg>) {
+    fn start_pbft(&mut self, tx: Arc<Transaction>, ctx: &mut Context<Msg>) {
         let d = tx.digest();
         if self.committed_txs.contains(&tx.id) || self.intra.contains_key(&d) {
             return;
@@ -189,9 +235,8 @@ impl Replica {
             .signer
             .sign(&proposal_sign_bytes(self.view, &parent, &d));
         let mut round = IntraRound {
-            tx: tx.clone(),
+            tx: Arc::clone(&tx),
             parent,
-            view: self.view,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
             sent_commit: false,
@@ -224,7 +269,7 @@ impl Replica {
         from: ActorId,
         view: u64,
         parent: Digest,
-        tx: Transaction,
+        tx: Arc<Transaction>,
         sig: Signature,
         ctx: &mut Context<Msg>,
     ) {
@@ -246,15 +291,14 @@ impl Replica {
             return;
         }
         let round = self.intra.entry(d).or_insert_with(|| IntraRound {
-            tx: tx.clone(),
+            tx: Arc::clone(&tx),
             parent,
-            view,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
             sent_commit: false,
             committed: false,
         });
-        round.tx = tx.clone();
+        round.tx = Arc::clone(&tx);
         round.parent = parent;
         // The pre-prepare carries the primary's implicit prepare; this
         // replica's own prepare is counted when it multicasts below.
@@ -303,9 +347,11 @@ impl Replica {
         let round = self.intra.entry(d).or_insert_with(|| IntraRound {
             // Transaction not yet known (prepare overtook the pre-prepare);
             // a placeholder is stored and replaced when pre-prepare arrives.
-            tx: Transaction::new(sharper_common::TxId::new(sharper_common::ClientId(u64::MAX), 0), vec![]),
+            tx: Arc::new(Transaction::new(
+                sharper_common::TxId::new(sharper_common::ClientId(u64::MAX), 0),
+                vec![],
+            )),
             parent,
-            view,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
             sent_commit: false,
@@ -383,7 +429,7 @@ impl Replica {
             return;
         }
         round.committed = true;
-        let tx = round.tx.clone();
+        let tx = Arc::clone(&round.tx);
         let parent = round.parent;
         let mut parents = BTreeMap::new();
         parents.insert(self.cluster, parent);

@@ -58,9 +58,9 @@ pub struct ReplicaStats {
 /// State of one in-flight intra-shard consensus round.
 #[derive(Debug, Clone)]
 struct IntraRound {
-    tx: Transaction,
+    /// The transaction under agreement (shared with the message plane).
+    tx: Arc<Transaction>,
     parent: Digest,
-    view: u64,
     /// Paxos `accepted` votes / PBFT `prepare` votes (node ids).
     prepares: BTreeSet<NodeId>,
     /// PBFT `commit` votes.
@@ -74,7 +74,8 @@ struct IntraRound {
 /// State of one in-flight cross-shard consensus round.
 #[derive(Debug, Clone)]
 struct CrossRound {
-    tx: Transaction,
+    /// The transaction under agreement (shared with the message plane).
+    tx: Arc<Transaction>,
     involved: Vec<ClusterId>,
     initiator: ClusterId,
     attempt: u32,
@@ -94,7 +95,12 @@ struct CrossRound {
 }
 
 impl CrossRound {
-    fn new(tx: Transaction, involved: Vec<ClusterId>, initiator: ClusterId, attempt: u32) -> Self {
+    fn new(
+        tx: Arc<Transaction>,
+        involved: Vec<ClusterId>,
+        initiator: ClusterId,
+        attempt: u32,
+    ) -> Self {
         Self {
             tx,
             involved,
@@ -149,8 +155,9 @@ pub struct Replica {
     /// keyed by the required parent digest.
     deferred: HashMap<Digest, Vec<(Block, bool)>>,
     committed_txs: HashSet<TxId>,
-    /// View-change votes per proposed view.
-    vc_votes: HashMap<u64, BTreeSet<NodeId>>,
+    /// View-change votes per proposed view: voter → the accepted rounds it
+    /// reported (used by the new primary for state transfer).
+    vc_votes: HashMap<u64, BTreeMap<NodeId, Vec<crate::messages::AcceptedRound>>>,
     vc_timer: Option<TimerId>,
     stats: ReplicaStats,
 }
@@ -294,7 +301,11 @@ impl Replica {
     /// clusters view 0 is assumed (view changes are a per-cluster affair and
     /// the evaluation workloads do not exercise remote view changes).
     fn primary_of(&self, cluster: ClusterId) -> NodeId {
-        let view = if cluster == self.cluster { self.view } else { 0 };
+        let view = if cluster == self.cluster {
+            self.view
+        } else {
+            0
+        };
         self.cfg
             .system
             .primary(cluster, view)
@@ -383,7 +394,10 @@ impl Replica {
         if parent != self.ledger.head() {
             // The parent has not been appended yet (out-of-order commit
             // delivery); park the block until the chain catches up.
-            self.deferred.entry(parent).or_default().push((block, reply));
+            self.deferred
+                .entry(parent)
+                .or_default()
+                .push((block, reply));
             return false;
         }
         self.apply_block(ctx, block, reply);
@@ -412,7 +426,7 @@ impl Replica {
     }
 
     fn apply_block(&mut self, ctx: &mut Context<Msg>, block: Block, reply: bool) {
-        let tx = block.tx().expect("transaction block").clone();
+        let tx = block.tx_arc().expect("transaction block");
         let cross = block.is_cross_shard();
         self.advance_tail(&block);
         self.ledger
@@ -504,9 +518,7 @@ impl Replica {
             Msg::PaxosAccept { view, parent, tx } => {
                 self.handle_paxos_accept(from, view, parent, tx, ctx)
             }
-            Msg::PaxosAccepted { view, d, node } => {
-                self.handle_paxos_accepted(view, d, node, ctx)
-            }
+            Msg::PaxosAccepted { view, d, node } => self.handle_paxos_accepted(view, d, node, ctx),
             Msg::PaxosCommit { view, parent, tx } => {
                 self.handle_paxos_commit(view, parent, tx, ctx)
             }
@@ -575,8 +587,9 @@ impl Replica {
                 cluster,
                 new_view,
                 node,
+                accepted,
                 sig,
-            } => self.handle_view_change(cluster, new_view, node, sig, ctx),
+            } => self.handle_view_change(cluster, new_view, node, accepted, sig, ctx),
             Msg::NewView {
                 cluster,
                 new_view,
@@ -590,7 +603,7 @@ impl Replica {
     fn handle_request(
         &mut self,
         _from: ActorId,
-        tx: Transaction,
+        tx: Arc<Transaction>,
         sig: sharper_crypto::Signature,
         ctx: &mut Context<Msg>,
     ) {
@@ -602,8 +615,8 @@ impl Replica {
         // In the Byzantine model the client signature must verify (§2.1).
         if self.model().requires_signatures() {
             let expected = client_signer_id(tx.client());
-            let ok = sig.signer == expected.0
-                && self.cfg.registry.verify(&tx.canonical_bytes(), &sig);
+            let ok =
+                sig.signer == expected.0 && self.cfg.registry.verify(&tx.canonical_bytes(), &sig);
             if !ok {
                 return;
             }

@@ -90,7 +90,10 @@ impl TestNet {
         self.queue.push_back((
             ActorId::Client(tx.client()),
             ActorId::Node(primary),
-            Msg::Request { tx, sig },
+            Msg::Request {
+                tx: Arc::new(tx),
+                sig,
+            },
         ));
     }
 
@@ -237,7 +240,10 @@ fn paxos_request_to_backup_is_forwarded_to_primary() {
     net.inject(
         ActorId::Client(ClientId(1)),
         NodeId(2),
-        Msg::Request { tx: tx.clone(), sig },
+        Msg::Request {
+            tx: Arc::new(tx.clone()),
+            sig,
+        },
     );
     net.run();
     assert_eq!(net.replica(0).committed_count(), 1);
@@ -297,7 +303,7 @@ fn pbft_rejects_pre_prepare_with_bad_signature() {
         Msg::PrePrepare {
             view: 0,
             parent: net.replica(1).ledger().head(),
-            tx,
+            tx: Arc::new(tx),
             sig: forged,
         },
     );
@@ -317,7 +323,7 @@ fn pbft_rejects_request_with_invalid_client_signature() {
         ActorId::Client(ClientId(1)),
         NodeId(0),
         Msg::Request {
-            tx,
+            tx: Arc::new(tx),
             sig: Signature::unsigned(client_signer_id(ClientId(1)).0),
         },
     );
@@ -433,7 +439,7 @@ fn reserved_replica_buffers_new_transactions_until_commit() {
             initiator: ClusterId(0),
             attempt: 0,
             parent: net.replica(0).ledger().head(),
-            tx: xtx.clone(),
+            tx: Arc::new(xtx.clone()),
         },
     );
     // Deliver it and drop the produced accept (do not run the full network).
@@ -441,13 +447,11 @@ fn reserved_replica_buffers_new_transactions_until_commit() {
         let replica = net.replicas.get_mut(&NodeId(4)).unwrap();
         let mut ctx = Context::detached(SimTime::from_millis(1), ActorId::Node(NodeId(4)));
         let (_, _, msg) = net.queue.pop_front().unwrap();
-        if let (from, to) = (ActorId::Node(NodeId(0)), ActorId::Node(NodeId(4))) {
-            let _ = to;
-            replica.on_message(from, msg, &mut ctx);
-        }
+        replica.on_message(ActorId::Node(NodeId(0)), msg, &mut ctx);
         let out = ctx.take_outbox();
         assert!(
-            out.iter().any(|(_, m)| matches!(m, Msg::XAccept { d: dd, .. } if *dd == d)),
+            out.iter()
+                .any(|(_, m)| matches!(m, Msg::XAccept { d: dd, .. } if *dd == d)),
             "the reserved replica must send an accept"
         );
         assert!(!replica.is_idle(), "the replica is now reserved");
@@ -464,7 +468,7 @@ fn reserved_replica_buffers_new_transactions_until_commit() {
             Msg::PaxosAccept {
                 view: 0,
                 parent: head,
-                tx: intra_tx_in_cluster(1, 9),
+                tx: Arc::new(intra_tx_in_cluster(1, 9)),
             },
             &mut ctx,
         );
@@ -483,8 +487,8 @@ fn reserved_replica_buffers_new_transactions_until_commit() {
             ActorId::Node(NodeId(0)),
             Msg::XCommit {
                 d,
-                parents,
-                tx: xtx,
+                parents: Arc::new(parents),
+                tx: Arc::new(xtx),
             },
             &mut ctx,
         );
@@ -575,7 +579,9 @@ fn cross_shard_bft_three_cluster_transaction() {
         Some(INITIAL_BALANCE - 5)
     );
     assert_eq!(
-        net.replica(4).store().balance(AccountId(ACCOUNTS_PER_SHARD + 3)),
+        net.replica(4)
+            .store()
+            .balance(AccountId(ACCOUNTS_PER_SHARD + 3)),
         Some(INITIAL_BALANCE + 2)
     );
     assert_eq!(
@@ -604,6 +610,7 @@ fn view_change_installs_the_next_primary_on_quorum() {
             cluster: ClusterId(0),
             new_view: 1,
             node: NodeId(2),
+            accepted: vec![],
             sig,
         },
     );
@@ -616,6 +623,7 @@ fn view_change_installs_the_next_primary_on_quorum() {
             cluster: ClusterId(0),
             new_view: 1,
             node: NodeId(1),
+            accepted: vec![],
             sig,
         },
     );
@@ -640,6 +648,7 @@ fn new_primary_serves_requests_after_view_change() {
                 cluster: ClusterId(0),
                 new_view: 1,
                 node: NodeId(voter),
+                accepted: vec![],
                 sig,
             },
         );
@@ -654,11 +663,105 @@ fn new_primary_serves_requests_after_view_change() {
     net.inject(
         ActorId::Client(ClientId(1)),
         NodeId(0),
-        Msg::Request { tx: tx.clone(), sig: csig },
+        Msg::Request {
+            tx: Arc::new(tx.clone()),
+            sig: csig,
+        },
     );
     net.run();
     assert!(net.replica(1).committed_count() >= 1);
     assert_eq!(net.distinct_replies(tx.id), 1);
+}
+
+#[test]
+fn view_change_preserves_a_value_committed_in_the_old_view() {
+    // The fork this guards against: the old primary commits T at height 1
+    // with accepts from itself and one backup, but its commit messages are
+    // lost. If the new primary then proposed fresh work at height 1, the
+    // cluster's chain would diverge from the old primary's. The view-change
+    // state transfer must re-propose T at its original position instead.
+    let cfg = test_config(FailureModel::Crash, 1, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    let tx = intra_tx(0);
+    let genesis = net.replica(0).ledger().head();
+
+    // Step 1: the primary (n0) proposes T; deliver the accept to n1 only.
+    let accept = {
+        let primary = net.replicas.get_mut(&NodeId(0)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(1), ActorId::Node(NodeId(0)));
+        primary.on_message(
+            ActorId::Client(ClientId(1)),
+            Msg::Request {
+                tx: Arc::new(tx.clone()),
+                sig: client_sig(&cfg, &tx),
+            },
+            &mut ctx,
+        );
+        let out = ctx.take_outbox();
+        out.into_iter()
+            .find_map(|(to, m)| {
+                (to == ActorId::Node(NodeId(1)) && matches!(m, Msg::PaxosAccept { .. }))
+                    .then_some(m)
+            })
+            .expect("primary multicasts the accept")
+    };
+    let accepted = {
+        let backup = net.replicas.get_mut(&NodeId(1)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(2), ActorId::Node(NodeId(1)));
+        backup.on_message(ActorId::Node(NodeId(0)), accept, &mut ctx);
+        ctx.take_outbox()
+            .into_iter()
+            .find_map(|(_, m)| matches!(m, Msg::PaxosAccepted { .. }).then_some(m))
+            .expect("backup votes")
+    };
+    // Step 2: the primary reaches quorum {n0, n1} and commits T at height 1;
+    // its PaxosCommit messages are dropped (network loss).
+    {
+        let primary = net.replicas.get_mut(&NodeId(0)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(3), ActorId::Node(NodeId(0)));
+        primary.on_message(ActorId::Node(NodeId(1)), accepted, &mut ctx);
+        let _dropped = ctx.take_outbox();
+    }
+    assert_eq!(net.replica(0).committed_count(), 1);
+    assert_eq!(net.replica(1).committed_count(), 0);
+
+    // Step 3: n1 and n2 elect view 1 (new primary n1). n1's own accepted
+    // round for T rides along in the state transfer.
+    let sig = Signature::unsigned(0);
+    for voter in [1u32, 2u32] {
+        net.inject(
+            ActorId::Node(NodeId(voter)),
+            NodeId(1),
+            Msg::ViewChange {
+                cluster: ClusterId(0),
+                new_view: 1,
+                node: NodeId(voter),
+                accepted: vec![],
+                sig,
+            },
+        );
+    }
+    net.run();
+
+    // The new primary must have re-proposed T as the bit-identical block:
+    // every replica ends with the same chain containing T at height 1.
+    assert_eq!(net.replica(1).view(), 1);
+    let expected_head = {
+        let mut parents = std::collections::BTreeMap::new();
+        parents.insert(ClusterId(0), genesis);
+        sharper_ledger::Block::transaction(tx.clone(), parents).digest()
+    };
+    for node in 0..3u32 {
+        let r = net.replica(node);
+        assert_eq!(r.committed_count(), 1, "replica {node} must hold T");
+        assert_eq!(
+            r.ledger().head(),
+            expected_head,
+            "replica {node} diverged from the old view's committed block"
+        );
+    }
+    assert!(net.replica(0).ledger().block(expected_head).is_some());
+    audit_views(&net.ledgers()).unwrap();
 }
 
 // ---------------------------------------------------------------------

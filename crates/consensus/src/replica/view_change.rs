@@ -12,11 +12,11 @@
 //! forwarded.
 
 use super::Replica;
-use crate::messages::{timer_tags, vote_sign_bytes, Msg};
-use sharper_common::{ClusterId, NodeId};
+use crate::messages::{timer_tags, vote_sign_bytes, AcceptedRound, Msg};
+use sharper_common::{ClusterId, FailureModel, NodeId};
 use sharper_crypto::{Digest, Signature};
 use sharper_net::{Context, TimerId};
-use std::collections::BTreeSet;
+use std::collections::HashSet;
 
 fn view_change_sign_bytes(label: &[u8], cluster: ClusterId, new_view: u64) -> Vec<u8> {
     let context = ((cluster.0 as u64) << 32) | (new_view & 0xFFFF_FFFF);
@@ -27,10 +27,8 @@ impl Replica {
     /// Arms the view-change timer if work is in flight and no timer is armed.
     pub(super) fn ensure_view_change_timer(&mut self, ctx: &mut Context<Msg>) {
         if self.vc_timer.is_none() {
-            self.vc_timer = Some(ctx.set_timer(
-                self.cfg.timers.view_change_timeout,
-                timer_tags::VIEW_CHANGE,
-            ));
+            self.vc_timer =
+                Some(ctx.set_timer(self.cfg.timers.view_change_timeout, timer_tags::VIEW_CHANGE));
         }
     }
 
@@ -47,9 +45,14 @@ impl Replica {
     }
 
     fn has_outstanding_work(&self) -> bool {
+        // Deferred blocks count: a block parked behind a parent that never
+        // arrives (e.g. a chain wedged on a stale view-change replay) must
+        // keep the suspicion timer armed, or the cluster would stall without
+        // ever electing a primary to repair the chain.
         !self.buffered.is_empty()
             || self.intra.values().any(|r| !r.committed)
             || self.cross.values().any(|r| !r.committed)
+            || !self.deferred.is_empty()
     }
 
     /// The view-change timer fired.
@@ -64,10 +67,13 @@ impl Replica {
         // Suspect the primary and vote for the next view.
         let new_view = self.view + 1;
         self.stats.view_changes_started += 1;
-        self.record_view_change_vote(new_view, self.node);
-        let sig = self
-            .signer
-            .sign(&view_change_sign_bytes(b"viewchange", self.cluster, new_view));
+        let accepted = self.accepted_rounds_for_transfer();
+        self.record_view_change_vote(new_view, self.node, accepted.clone());
+        let sig = self.signer.sign(&view_change_sign_bytes(
+            b"viewchange",
+            self.cluster,
+            new_view,
+        ));
         if self.model().requires_signatures() {
             self.charge_message(ctx, 0, 1);
         }
@@ -77,6 +83,7 @@ impl Replica {
                 cluster: self.cluster,
                 new_view,
                 node: self.node,
+                accepted,
                 sig,
             },
         );
@@ -85,19 +92,43 @@ impl Replica {
         self.try_install_view(new_view, ctx);
     }
 
-    fn record_view_change_vote(&mut self, new_view: u64, node: NodeId) {
+    /// The accepted-but-uncommitted intra-shard rounds this replica reports
+    /// in its view-change vote (crash-model state transfer; see
+    /// [`AcceptedRound`]).
+    fn accepted_rounds_for_transfer(&self) -> Vec<AcceptedRound> {
+        if self.model() != FailureModel::Crash {
+            return Vec::new();
+        }
+        self.intra
+            .values()
+            .filter(|round| !round.committed)
+            .map(|round| AcceptedRound {
+                parent: round.parent,
+                tx: std::sync::Arc::clone(&round.tx),
+            })
+            .collect()
+    }
+
+    fn record_view_change_vote(
+        &mut self,
+        new_view: u64,
+        node: NodeId,
+        accepted: Vec<AcceptedRound>,
+    ) {
         self.vc_votes
             .entry(new_view)
-            .or_insert_with(BTreeSet::new)
-            .insert(node);
+            .or_default()
+            .insert(node, accepted);
     }
 
     /// Another replica of this cluster votes for a view change.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn handle_view_change(
         &mut self,
         cluster: ClusterId,
         new_view: u64,
         node: NodeId,
+        accepted: Vec<AcceptedRound>,
         sig: Signature,
         ctx: &mut Context<Msg>,
     ) {
@@ -106,12 +137,13 @@ impl Replica {
         }
         if self.model().requires_signatures() {
             let bytes = view_change_sign_bytes(b"viewchange", cluster, new_view);
-            if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig)
+            if sig.signer != super::node_signer_id(node).0
+                || !self.cfg.registry.verify(&bytes, &sig)
             {
                 return;
             }
         }
-        self.record_view_change_vote(new_view, node);
+        self.record_view_change_vote(new_view, node, accepted);
         self.try_install_view(new_view, ctx);
     }
 
@@ -132,6 +164,18 @@ impl Replica {
             // Wait for the new primary's announcement.
             return;
         }
+        // State transfer (crash model): every value that may have committed
+        // in the old view was accepted by f+1 replicas, and this view-change
+        // quorum of f+1 intersects every such accept quorum, so the union of
+        // the voters' reported rounds plus this replica's own uncommitted
+        // rounds covers all possibly-committed values. They are re-proposed
+        // below, at their original chain positions, before any new work.
+        let mut transfer: Vec<AcceptedRound> = self
+            .vc_votes
+            .get(&new_view)
+            .map(|votes| votes.values().flatten().cloned().collect())
+            .unwrap_or_default();
+        transfer.extend(self.accepted_rounds_for_transfer());
         self.install_view(new_view, ctx);
         let sig = self
             .signer
@@ -148,7 +192,51 @@ impl Replica {
                 sig,
             },
         );
+        if self.model() == FailureModel::Crash {
+            self.repropose_transferred_rounds(transfer, ctx);
+        }
         self.take_over_pending_work(ctx);
+    }
+
+    /// Re-proposes the accepted rounds learned through the view change.
+    ///
+    /// Rounds are replayed in parent-chain order starting from this
+    /// replica's ledger head, so a value committed at height `h` in the old
+    /// view is re-proposed as the bit-identical block at height `h` (block
+    /// digests are pure functions of parent and transaction). Rounds whose
+    /// parent chain cannot be reproduced were never committed anywhere — a
+    /// committed block's whole prefix was committed with quorums this
+    /// view-change quorum intersects — and are re-proposed at fresh
+    /// positions instead.
+    fn repropose_transferred_rounds(
+        &mut self,
+        transfer: Vec<AcceptedRound>,
+        ctx: &mut Context<Msg>,
+    ) {
+        let mut pending: Vec<AcceptedRound> = Vec::new();
+        let mut seen = HashSet::new();
+        for round in transfer {
+            if self.committed_txs.contains(&round.tx.id) {
+                continue;
+            }
+            if seen.insert(round.tx.digest()) {
+                pending.push(round);
+            }
+        }
+        // Chain-ordered replay at original positions.
+        loop {
+            let tail = self.ordering_tail();
+            let Some(idx) = pending.iter().position(|r| r.parent == tail) else {
+                break;
+            };
+            let round = pending.swap_remove(idx);
+            self.propose_paxos_at(round.tx, round.parent, ctx);
+        }
+        // Orphaned rounds (uncommitted anywhere): fresh positions.
+        for round in pending {
+            let parent = self.ordering_tail();
+            self.propose_paxos_at(round.tx, parent, ctx);
+        }
     }
 
     /// The new primary announces the installed view.
@@ -173,7 +261,8 @@ impl Replica {
         }
         if self.model().requires_signatures() {
             let bytes = view_change_sign_bytes(b"newview", cluster, new_view);
-            if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig)
+            if sig.signer != super::node_signer_id(node).0
+                || !self.cfg.registry.verify(&bytes, &sig)
             {
                 return;
             }
@@ -205,6 +294,18 @@ impl Replica {
         if self.initiating.is_some() {
             self.initiating = None;
         }
+        // Drop deferred blocks whose transaction already committed (their
+        // parked copy chains behind an abandoned proposal and would never
+        // append); the rest stay parked until the repaired chain reaches
+        // their parent.
+        self.deferred.retain(|_, blocks| {
+            blocks.retain(|(block, _)| {
+                block
+                    .tx_id()
+                    .is_some_and(|tx| !self.committed_txs.contains(&tx))
+            });
+            !blocks.is_empty()
+        });
     }
 
     /// The freshly installed primary re-initiates the uncommitted work it

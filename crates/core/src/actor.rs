@@ -7,7 +7,11 @@ use sharper_net::{Actor, ActorId, Context, TimerId};
 /// Either a replica or a client of a SharPer deployment.
 ///
 /// The simulator runs over a single actor type, so the two roles are wrapped
-/// in one enum and calls are forwarded to the inner actor.
+/// in one enum and calls are forwarded to the inner actor. The size gap
+/// between the variants is deliberate: actors live once in the simulator's
+/// map and are never copied, so boxing the replica would only add an
+/// indirection to every message dispatch.
+#[allow(clippy::large_enum_variant)]
 pub enum SharperActor {
     /// A consensus replica.
     Replica(Replica),

@@ -39,7 +39,9 @@ impl Default for ClientParams {
 /// State of the request currently outstanding at the client.
 #[derive(Debug)]
 struct Outstanding {
-    tx: Transaction,
+    /// The submitted transaction, shared with the request message so
+    /// retransmissions are pointer bumps.
+    tx: Arc<Transaction>,
     cross_shard: bool,
     submitted_at: sharper_common::SimTime,
     replies: HashSet<NodeId>,
@@ -135,6 +137,7 @@ impl ClientActor {
             self.outstanding = None;
             return;
         };
+        let tx = Arc::new(tx);
         let involved = tx.involved_clusters(&self.cfg.partitioner);
         let cross_shard = involved.len() > 1;
         let target = self.target_of(&tx);
@@ -143,7 +146,7 @@ impl ClientActor {
         self.stats.record_submission();
         let retry_timer = ctx.set_timer(self.params.retry_timeout, timer_tags::CLIENT_RETRY);
         self.outstanding = Some(Outstanding {
-            tx: tx.clone(),
+            tx: Arc::clone(&tx),
             cross_shard,
             submitted_at: ctx.now(),
             replies: HashSet::new(),
@@ -174,9 +177,7 @@ impl Actor<Msg> for ClientActor {
             return;
         }
         outstanding.replies.insert(node);
-        let involved = outstanding
-            .tx
-            .involved_clusters(&self.cfg.partitioner);
+        let involved = outstanding.tx.involved_clusters(&self.cfg.partitioner);
         if outstanding.replies.len() < self.required_replies(&involved) {
             return;
         }
@@ -210,7 +211,7 @@ impl Actor<Msg> for ClientActor {
                 // No quorum of replies yet: retransmit to the (possibly new)
                 // primary and arm a fresh timer.
                 self.retransmissions += 1;
-                let tx = outstanding.tx.clone();
+                let tx = Arc::clone(&outstanding.tx);
                 let target = self.target_of(&tx);
                 let sig = self.sign(&tx);
                 let retry_timer =
@@ -226,9 +227,7 @@ impl Actor<Msg> for ClientActor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sharper_common::{
-        AccountId, CostModel, FailureModel, SimTime, SystemConfig,
-    };
+    use sharper_common::{AccountId, CostModel, FailureModel, SimTime, SystemConfig};
     use sharper_consensus::replica::node_signer_id;
     use sharper_consensus::TimerConfig;
     use sharper_crypto::KeyRegistry;
@@ -329,13 +328,21 @@ mod tests {
         let mut ctx = Context::detached(SimTime::from_millis(10), ActorId::Client(ClientId(1)));
         client.on_message(
             ActorId::Node(NodeId(0)),
-            Msg::Reply { tx: tx.id, node: NodeId(0), applied: true },
+            Msg::Reply {
+                tx: tx.id,
+                node: NodeId(0),
+                applied: true,
+            },
             &mut ctx,
         );
         assert_eq!(client.completed(), 0, "one reply is not enough with f=1");
         client.on_message(
             ActorId::Node(NodeId(1)),
-            Msg::Reply { tx: tx.id, node: NodeId(1), applied: true },
+            Msg::Reply {
+                tx: tx.id,
+                node: NodeId(1),
+                applied: true,
+            },
             &mut ctx,
         );
         assert_eq!(client.completed(), 1);
@@ -358,7 +365,11 @@ mod tests {
         for _ in 0..3 {
             client.on_message(
                 ActorId::Node(NodeId(0)),
-                Msg::Reply { tx: tx.id, node: NodeId(0), applied: true },
+                Msg::Reply {
+                    tx: tx.id,
+                    node: NodeId(0),
+                    applied: true,
+                },
                 &mut ctx,
             );
         }
@@ -409,7 +420,11 @@ mod tests {
         let mut ctx = Context::detached(SimTime::from_millis(5), ActorId::Client(ClientId(1)));
         client.on_message(
             ActorId::Node(NodeId(0)),
-            Msg::Reply { tx: tx.id, node: NodeId(0), applied: true },
+            Msg::Reply {
+                tx: tx.id,
+                node: NodeId(0),
+                applied: true,
+            },
             &mut ctx,
         );
         assert_eq!(client.completed(), 1);

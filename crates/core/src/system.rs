@@ -18,9 +18,7 @@ use sharper_consensus::replica::{client_signer_id, node_signer_id, ReplicaStats}
 use sharper_consensus::{Msg, Replica, ReplicaConfig, TimerConfig};
 use sharper_crypto::KeyRegistry;
 use sharper_ledger::{audit_replica_views, AuditReport, LedgerView};
-use sharper_net::{
-    FaultPlan, LatencySummary, Simulation, SimulationReport, StatsHandle, Topology,
-};
+use sharper_net::{FaultPlan, LatencySummary, Simulation, SimulationReport, StatsHandle, Topology};
 use sharper_state::{Partitioner, Transaction};
 use std::sync::Arc;
 
@@ -156,17 +154,9 @@ impl SharperSystem {
             // Register client homes round-robin across clusters ("the load is
             // equally distributed among all the nodes", §4).
             for c in 0..num_clients {
-                topology.add_client(
-                    ClientId(c as u64),
-                    ClusterId((c % params.clusters) as u32),
-                );
+                topology.add_client(ClientId(c as u64), ClusterId((c % params.clusters) as u32));
             }
-            Simulation::new(
-                topology,
-                params.latency,
-                params.faults.clone(),
-                params.seed,
-            )
+            Simulation::new(topology, params.latency, params.faults.clone(), params.seed)
         };
 
         for node in cfg.system.node_ids() {
@@ -308,7 +298,11 @@ pub fn workload_with(
                 let to = partitioner
                     .account_in_shard(ClusterId(other), rng.gen_range(0..accounts_per_shard))
                     .expect("account index within shard");
-                ops.push(sharper_state::Operation::Transfer { from, to, amount: 1 });
+                ops.push(sharper_state::Operation::Transfer {
+                    from,
+                    to,
+                    amount: 1,
+                });
             }
             Transaction::new(sharper_common::TxId::new(client, seq), ops)
         } else {
@@ -327,8 +321,7 @@ mod tests {
     #[test]
     fn workload_respects_cross_shard_ratio_and_ownership() {
         let p = Partitioner::range(4, 10_000);
-        let txs: Vec<Transaction> =
-            workload_with(ClientId(3), 4, 10_000, 2_000, 0.2, 2).collect();
+        let txs: Vec<Transaction> = workload_with(ClientId(3), 4, 10_000, 2_000, 0.2, 2).collect();
         assert_eq!(txs.len(), 2_000);
         let cross = txs.iter().filter(|t| t.is_cross_shard(&p)).count();
         let ratio = cross as f64 / txs.len() as f64;
@@ -353,9 +346,7 @@ mod tests {
             workload_with(ClientId(1), 4, 10_000, 200, 1.0, 2).collect();
         assert!(all_cross.iter().all(|t| t.is_cross_shard(&p)));
         // Cross-shard transactions touch exactly two shards.
-        assert!(all_cross
-            .iter()
-            .all(|t| t.involved_clusters(&p).len() == 2));
+        assert!(all_cross.iter().all(|t| t.involved_clusters(&p).len() == 2));
     }
 
     #[test]
@@ -374,7 +365,11 @@ mod tests {
             workload_with(client, 2, 1_000, 200, 0.2, 2)
         });
         let report = system.run(SimTime::from_secs(3));
-        assert!(report.client_completed > 50, "completed {}", report.client_completed);
+        assert!(
+            report.client_completed > 50,
+            "completed {}",
+            report.client_completed
+        );
         assert!(report.summary.throughput_tps > 0.0);
         assert!(report.audit.distinct_transactions > 0);
         assert_eq!(report.retransmissions, 0);
@@ -389,7 +384,11 @@ mod tests {
             workload_with(client, 2, 1_000, 200, 0.2, 2)
         });
         let report = system.run(SimTime::from_secs(3));
-        assert!(report.client_completed > 20, "completed {}", report.client_completed);
+        assert!(
+            report.client_completed > 20,
+            "completed {}",
+            report.client_completed
+        );
         assert!(report.audit.cross_shard_transactions > 0);
     }
 
@@ -420,13 +419,27 @@ mod debug_tests {
             workload_with(client, 2, 1_000, 200, 0.2, 2)
         });
         let report = system.run(SimTime::from_secs(3));
-        println!("completed={} retrans={} summary={:?}", report.client_completed, report.retransmissions, report.summary);
+        println!(
+            "completed={} retrans={} summary={:?}",
+            report.client_completed, report.retransmissions, report.summary
+        );
         println!("sim={:?}", report.simulation);
-        for (n, s) in &report.replica_stats { println!("{n}: {s:?}"); }
-        for n in 0..6u32 { let r = system.replica(NodeId(n)).unwrap(); println!("{n}: {}", r.debug_state()); }
+        for (n, s) in &report.replica_stats {
+            println!("{n}: {s:?}");
+        }
+        for n in 0..6u32 {
+            let r = system.replica(NodeId(n)).unwrap();
+            println!("{n}: {}", r.debug_state());
+        }
         let samples = system.stats().samples();
         for s in samples.iter().take(40) {
-            println!("tx={} cross={} sub={} lat={:.1}ms", s.tx, s.cross_shard, s.submitted_at, s.latency().as_millis_f64());
+            println!(
+                "tx={} cross={} sub={} lat={:.1}ms",
+                s.tx,
+                s.cross_shard,
+                s.submitted_at,
+                s.latency().as_millis_f64()
+            );
         }
     }
 }

@@ -140,9 +140,7 @@ impl KeyRegistry {
 
     /// Returns the signer handle for `id`, if it is registered.
     pub fn signer(&self, id: SignerId) -> Option<Signer> {
-        self.secrets
-            .get(&id)
-            .map(|sk| Signer::new(id, sk.clone()))
+        self.secrets.get(&id).map(|sk| Signer::new(id, sk.clone()))
     }
 
     /// Verifies that `sig` is a valid signature by `sig.signer` over

@@ -40,7 +40,7 @@ pub fn merkle_proof(leaves: &[Digest], index: usize) -> Option<(Digest, Vec<Dige
     let mut level: Vec<Digest> = leaves.to_vec();
     let mut idx = index;
     while level.len() > 1 {
-        let sibling = if idx % 2 == 0 {
+        let sibling = if idx.is_multiple_of(2) {
             *level.get(idx + 1).unwrap_or(&level[idx])
         } else {
             level[idx - 1]
@@ -63,7 +63,7 @@ pub fn verify_proof(leaf: Digest, index: usize, proof: &[Digest], root: Digest) 
     let mut acc = leaf;
     let mut idx = index;
     for sibling in proof {
-        acc = if idx % 2 == 0 {
+        acc = if idx.is_multiple_of(2) {
             hash_pair(acc, *sibling)
         } else {
             hash_pair(*sibling, acc)

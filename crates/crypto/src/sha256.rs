@@ -67,14 +67,13 @@ impl Sha256 {
             }
         }
 
-        // Whole blocks straight from the input.
-        while input.len() >= 64 {
-            let (block, rest) = input.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            input = rest;
+        // Whole blocks are compressed straight from the input slice — no
+        // staging copy through the internal buffer.
+        let mut blocks = input.chunks_exact(64);
+        for block in blocks.by_ref() {
+            self.compress(block.try_into().expect("chunk is 64 bytes"));
         }
+        input = blocks.remainder();
 
         // Stash the tail.
         if !input.is_empty() {

@@ -68,7 +68,9 @@ pub fn audit_views(views: &[LedgerView]) -> Result<AuditReport> {
     // 3. Pairwise agreement on the relative order of shared transactions.
     let dag = DagLedger::union(views);
     if !dag.is_acyclic() {
-        return Err(Error::SafetyViolation("the union ledger contains a cycle".into()));
+        return Err(Error::SafetyViolation(
+            "the union ledger contains a cycle".into(),
+        ));
     }
     let per_cluster_tx: HashMap<ClusterId, Vec<sharper_common::TxId>> = views
         .iter()
@@ -285,12 +287,9 @@ mod tests {
         a1.append(blk).unwrap();
         let b0 = LedgerView::new(ClusterId(1));
 
-        let report = audit_replica_views(&[
-            (ClusterId(0), a0),
-            (ClusterId(0), a1),
-            (ClusterId(1), b0),
-        ])
-        .unwrap();
+        let report =
+            audit_replica_views(&[(ClusterId(0), a0), (ClusterId(0), a1), (ClusterId(1), b0)])
+                .unwrap();
         assert_eq!(report.views, 2);
         assert_eq!(report.distinct_transactions, 1);
     }

@@ -10,6 +10,7 @@ use sharper_crypto::{hash_parts, Digest};
 use sharper_state::Transaction;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// The payload of a block.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -17,8 +18,11 @@ pub enum BlockBody {
     /// The unique initialisation block λ (§2.3). Every cluster's view starts
     /// with the same genesis block.
     Genesis,
-    /// A block carrying exactly one transaction.
-    Transaction(Transaction),
+    /// A block carrying exactly one transaction. The transaction is shared
+    /// (`Arc`), so blocks clone in O(1) regardless of transaction size —
+    /// commit paths, deferred-append parking and post-run ledger audits all
+    /// copy blocks freely.
+    Transaction(Arc<Transaction>),
 }
 
 /// A block of the DAG ledger.
@@ -30,7 +34,9 @@ pub enum BlockBody {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Block {
     /// Parent digests, one per involved cluster, keyed by cluster id.
-    pub parents: BTreeMap<ClusterId, Digest>,
+    /// Shared (`Arc`): a cross-shard commit fan-out, the commit message and
+    /// every replica's appended block all reference one map allocation.
+    pub parents: Arc<BTreeMap<ClusterId, Digest>>,
     /// The block body (genesis or a single transaction).
     pub body: BlockBody,
     /// The digest of this block (computed over parents and body).
@@ -40,9 +46,10 @@ pub struct Block {
 impl Block {
     /// The genesis block λ shared by every cluster.
     pub fn genesis() -> Self {
-        let digest = Self::compute_digest(&BTreeMap::new(), &BlockBody::Genesis);
+        let parents = Arc::new(BTreeMap::new());
+        let digest = Self::compute_digest(&parents, &BlockBody::Genesis);
         Self {
-            parents: BTreeMap::new(),
+            parents,
             body: BlockBody::Genesis,
             digest,
         }
@@ -56,8 +63,12 @@ impl Block {
     /// consensus layer may legitimately involve a superset (e.g. a read-only
     /// shard); the audit layer verifies the correspondence that matters —
     /// that each *view* chains correctly.
-    pub fn transaction(tx: Transaction, parents: BTreeMap<ClusterId, Digest>) -> Self {
-        let body = BlockBody::Transaction(tx);
+    pub fn transaction(
+        tx: impl Into<Arc<Transaction>>,
+        parents: impl Into<Arc<BTreeMap<ClusterId, Digest>>>,
+    ) -> Self {
+        let parents = parents.into();
+        let body = BlockBody::Transaction(tx.into());
         let digest = Self::compute_digest(&parents, &body);
         Self {
             parents,
@@ -75,7 +86,17 @@ impl Block {
     pub fn tx(&self) -> Option<&Transaction> {
         match &self.body {
             BlockBody::Genesis => None,
-            BlockBody::Transaction(tx) => Some(tx),
+            BlockBody::Transaction(tx) => Some(tx.as_ref()),
+        }
+    }
+
+    /// The shared handle to the carried transaction, if any. Cloning the
+    /// returned `Arc` is the zero-copy way to retain the transaction past the
+    /// block (e.g. for execution after append).
+    pub fn tx_arc(&self) -> Option<Arc<Transaction>> {
+        match &self.body {
+            BlockBody::Genesis => None,
+            BlockBody::Transaction(tx) => Some(Arc::clone(tx)),
         }
     }
 
@@ -203,7 +224,7 @@ mod tests {
         let g = Block::genesis();
         let mut b = Block::transaction(tx(0), single_parent(0, g.digest()));
         assert!(b.verify_integrity());
-        b.body = BlockBody::Transaction(tx(99));
+        b.body = BlockBody::Transaction(Arc::new(tx(99)));
         assert!(!b.verify_integrity());
     }
 

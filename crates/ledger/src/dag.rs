@@ -34,7 +34,9 @@ impl DagLedger {
             let mut order = Vec::with_capacity(view.len());
             for block in view.blocks() {
                 order.push(block.digest());
-                blocks.entry(block.digest()).or_insert_with(|| block.clone());
+                blocks
+                    .entry(block.digest())
+                    .or_insert_with(|| block.clone());
             }
             orders.insert(view.cluster(), order);
         }
@@ -204,7 +206,7 @@ mod tests {
         let dag = DagLedger::union(&[v0, v1]);
         assert!(dag.is_acyclic());
         // genesis has no parents; each intra block 1 edge; cross block 2.
-        assert_eq!(dag.edges().len(), 3 * 1 + 2);
+        assert_eq!(dag.edges().len(), 3 + 2);
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl LedgerView {
     /// transaction (intra- or cross-shard) that is ordered by the cluster",
     /// which the primary embeds in `pre-prepare`/`propose` messages.
     pub fn head(&self) -> Digest {
-        self.blocks.last().expect("view always has genesis").digest()
+        self.blocks
+            .last()
+            .expect("view always has genesis")
+            .digest()
     }
 
     /// Number of blocks including the genesis block.

@@ -60,6 +60,19 @@ impl From<ClientId> for ActorId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub u64);
 
+/// One batched send: either a point-to-point message or a broadcast that
+/// shares a single payload (and a single recipient list) across all
+/// recipients. Fan-out cost is paid lazily by the simulator — one shallow
+/// clone per delivery — instead of eagerly materialising a copy per peer in
+/// the handler.
+#[derive(Debug, Clone)]
+pub(crate) enum Outgoing<M> {
+    /// A message to a single recipient.
+    Unicast(ActorId, M),
+    /// One payload destined to every listed recipient.
+    Broadcast(Vec<ActorId>, M),
+}
+
 /// The interface an actor uses to affect the world from inside a handler.
 ///
 /// The context batches everything the handler does — outgoing messages, new
@@ -70,7 +83,7 @@ pub struct Context<M> {
     self_id: ActorId,
     rng_state: u64,
     charged: Duration,
-    pub(crate) outbox: Vec<(ActorId, M)>,
+    pub(crate) outbox: Vec<Outgoing<M>>,
     pub(crate) new_timers: Vec<(TimerId, Duration, u64)>,
     pub(crate) cancelled_timers: Vec<TimerId>,
     pub(crate) next_timer: u64,
@@ -100,9 +113,36 @@ impl<M> Context<M> {
         Self::new(now, self_id, 0xD57A_C11E_D000_0001, 0)
     }
 
-    /// Drains and returns the messages sent so far in this context.
-    pub fn take_outbox(&mut self) -> Vec<(ActorId, M)> {
-        std::mem::take(&mut self.outbox)
+    /// Drains and returns the messages sent so far in this context, flattened
+    /// to one `(recipient, message)` pair per delivery. Broadcasts are
+    /// expanded by cloning, so this is a test/inspection helper; the
+    /// simulator consumes the batched [`Outgoing`] entries directly.
+    pub fn take_outbox(&mut self) -> Vec<(ActorId, M)>
+    where
+        M: Clone,
+    {
+        let mut flat = Vec::new();
+        for out in std::mem::take(&mut self.outbox) {
+            match out {
+                Outgoing::Unicast(to, msg) => flat.push((to, msg)),
+                Outgoing::Broadcast(recipients, msg) => {
+                    flat.extend(recipients.into_iter().map(|to| (to, msg.clone())));
+                }
+            }
+        }
+        flat
+    }
+
+    /// Number of individual deliveries batched so far (broadcasts count once
+    /// per recipient).
+    pub fn outbox_len(&self) -> usize {
+        self.outbox
+            .iter()
+            .map(|out| match out {
+                Outgoing::Unicast(..) => 1,
+                Outgoing::Broadcast(recipients, _) => recipients.len(),
+            })
+            .sum()
     }
 
     /// Drains and returns the timers armed so far as `(id, delay, tag)`.
@@ -128,17 +168,28 @@ impl<M> Context<M> {
     /// Sends `msg` to `to`. Delivery time is decided by the simulator from
     /// the latency model, the fault plan and the time this handler finishes.
     pub fn send(&mut self, to: impl Into<ActorId>, msg: M) {
-        self.outbox.push((to.into(), msg));
+        self.outbox.push(Outgoing::Unicast(to.into(), msg));
     }
 
-    /// Sends clones of `msg` to every actor in `recipients`.
-    pub fn multicast(&mut self, recipients: impl IntoIterator<Item = ActorId>, msg: M)
-    where
-        M: Clone,
-    {
-        for r in recipients {
-            self.outbox.push((r, msg.clone()));
+    /// Sends `msg` to every actor in `recipients`, storing the payload once.
+    ///
+    /// This is the zero-copy fan-out path: the handler batches a single
+    /// `(recipients, payload)` entry regardless of the recipient count, and
+    /// the simulator clones the payload only when it materialises each
+    /// delivery event — an `Arc` bump for the protocol messages, which keep
+    /// their bulky fields behind `Arc`.
+    pub fn broadcast(&mut self, recipients: Vec<ActorId>, msg: M) {
+        match recipients.len() {
+            0 => {}
+            1 => self.send(recipients[0], msg),
+            _ => self.outbox.push(Outgoing::Broadcast(recipients, msg)),
         }
+    }
+
+    /// Sends `msg` to every actor in `recipients` (convenience form of
+    /// [`Context::broadcast`] accepting any iterator).
+    pub fn multicast(&mut self, recipients: impl IntoIterator<Item = ActorId>, msg: M) {
+        self.broadcast(recipients.into_iter().collect(), msg);
     }
 
     /// Arms a timer that fires after `delay`; `tag` is an actor-chosen label
@@ -235,7 +286,9 @@ mod tests {
 
         ctx.send(NodeId(1), "a");
         ctx.multicast([ActorId::Node(NodeId(2)), ActorId::Node(NodeId(3))], "b");
-        assert_eq!(ctx.outbox.len(), 3);
+        assert_eq!(ctx.outbox_len(), 3);
+        // The broadcast is batched as one entry sharing a single payload.
+        assert_eq!(ctx.outbox.len(), 2);
 
         let t1 = ctx.set_timer(Duration::from_millis(5), 42);
         let t2 = ctx.set_timer(Duration::from_millis(9), 43);

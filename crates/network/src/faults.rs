@@ -113,7 +113,10 @@ impl FaultPlan {
 
     /// Schedules a partition (builder style).
     pub fn with_partition(mut self, partition: Partition) -> Self {
-        assert!(partition.until > partition.from, "partition must have positive length");
+        assert!(
+            partition.until > partition.from,
+            "partition must have positive length"
+        );
         self.partitions.push(partition);
         self
     }

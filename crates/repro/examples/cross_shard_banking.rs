@@ -23,14 +23,22 @@ fn main() {
                 Transaction::transfer(ClientId(1), 2, AccountId(1), AccountId(309), 10),
             ]
         } else {
-            vec![Transaction::transfer(ClientId(0), 0, AccountId(200), AccountId(210), 5)]
+            vec![Transaction::transfer(
+                ClientId(0),
+                0,
+                AccountId(200),
+                AccountId(210),
+                5,
+            )]
         };
         scripts.into_iter()
     });
     let report = system.run(SimTime::from_secs(2));
 
-    println!("committed {} transactions ({} cross-shard)",
-        report.audit.distinct_transactions, report.audit.cross_shard_transactions);
+    println!(
+        "committed {} transactions ({} cross-shard)",
+        report.audit.distinct_transactions, report.audit.cross_shard_transactions
+    );
     for node in [0u32, 4, 8, 12] {
         let replica = system.replica(NodeId(node)).expect("replica exists");
         println!(
@@ -44,6 +52,12 @@ fn main() {
     let shard1 = system.replica(NodeId(4)).unwrap().store();
     let shard3 = system.replica(NodeId(12)).unwrap().store();
     println!("account 1   (shard 0): {:?}", shard0.balance(AccountId(1)));
-    println!("account 105 (shard 1): {:?}", shard1.balance(AccountId(105)));
-    println!("account 309 (shard 3): {:?}", shard3.balance(AccountId(309)));
+    println!(
+        "account 105 (shard 1): {:?}",
+        shard1.balance(AccountId(105))
+    );
+    println!(
+        "account 309 (shard 3): {:?}",
+        shard3.balance(AccountId(309))
+    );
 }

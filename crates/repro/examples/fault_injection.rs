@@ -24,7 +24,10 @@ fn main() {
     });
     let report = system.run(SimTime::from_secs(3));
     println!("with 2% message loss and one crashed backup:");
-    println!("  committed    : {} transactions", report.audit.distinct_transactions);
+    println!(
+        "  committed    : {} transactions",
+        report.audit.distinct_transactions
+    );
     println!("  throughput   : {:.0} tx/s", report.summary.throughput_tps);
     println!("  retransmits  : {}", report.retransmissions);
     println!("  dropped msgs : {}", report.simulation.dropped);

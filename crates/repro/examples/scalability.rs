@@ -9,7 +9,10 @@ use sharper_core::{SharperSystem, SystemParams};
 use sharper_workload::{WorkloadConfig, WorkloadGenerator};
 
 fn main() {
-    println!("{:<10} {:>12} {:>14}", "clusters", "tput (tx/s)", "latency (ms)");
+    println!(
+        "{:<10} {:>12} {:>14}",
+        "clusters", "tput (tx/s)", "latency (ms)"
+    );
     for clusters in 2..=5usize {
         let mut params = SystemParams::new(FailureModel::Crash, clusters, 1);
         params.accounts_per_shard = 2_000;

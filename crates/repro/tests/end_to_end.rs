@@ -62,7 +62,11 @@ fn byzantine_deployment_sustains_mixed_workload_and_passes_audit() {
 #[test]
 fn pure_cross_shard_workload_commits_and_stays_consistent() {
     let report = sharper_run(FailureModel::Crash, 4, 1.0, 8, FaultPlan::none(), 3);
-    assert!(report.audit.cross_shard_transactions > 20, "{:?}", report.audit);
+    assert!(
+        report.audit.cross_shard_transactions > 20,
+        "{:?}",
+        report.audit
+    );
     assert!(report.summary.committed > 0);
 }
 
@@ -75,7 +79,11 @@ fn safety_holds_under_message_loss_and_a_backup_crash() {
     let report = sharper_run(FailureModel::Crash, 4, 0.1, 8, faults, 4);
     // The audit inside run() already checks chains and cross-shard order; here
     // we additionally require that progress continued despite the faults.
-    assert!(report.audit.distinct_transactions > 50, "{:?}", report.audit);
+    assert!(
+        report.audit.distinct_transactions > 50,
+        "{:?}",
+        report.audit
+    );
 }
 
 #[test]

@@ -60,12 +60,13 @@ impl Executor {
                 Operation::Transfer { from, amount, .. } => {
                     if self.partitioner.owns(self.shard, *from) {
                         any_local = true;
-                        let account = store.account(*from).ok_or_else(|| {
-                            Error::InvalidTransaction {
-                                tx: tx.id,
-                                reason: format!("unknown account {from}"),
-                            }
-                        })?;
+                        let account =
+                            store
+                                .account(*from)
+                                .ok_or_else(|| Error::InvalidTransaction {
+                                    tx: tx.id,
+                                    reason: format!("unknown account {from}"),
+                                })?;
                         if account.owner != tx.client() {
                             return Err(Error::InvalidTransaction {
                                 tx: tx.id,
@@ -176,7 +177,7 @@ mod tests {
     fn setup() -> (Executor, AccountStore) {
         let partitioner = Partitioner::range(4, 100);
         let exec = Executor::new(ClusterId(0), partitioner);
-        let store = exec.genesis_store(100, 1_000, |i| ClientId(i));
+        let store = exec.genesis_store(100, 1_000, ClientId);
         (exec, store)
     }
 
@@ -227,7 +228,7 @@ mod tests {
 
         // The mirror executor for shard 1 applies the credit half.
         let exec1 = Executor::new(ClusterId(1), Partitioner::range(4, 100));
-        let mut store1 = exec1.genesis_store(100, 1_000, |i| ClientId(i));
+        let mut store1 = exec1.genesis_store(100, 1_000, ClientId);
         assert_eq!(exec1.apply(&mut store1, &tx), ExecutionOutcome::Applied);
         assert_eq!(store1.balance(AccountId(150)), Some(1_100));
     }
@@ -283,12 +284,16 @@ mod tests {
         let (exec, store) = setup();
         let ok = Transaction::new(
             TxId::new(ClientId(1), 0),
-            vec![Operation::Read { account: AccountId(5) }],
+            vec![Operation::Read {
+                account: AccountId(5),
+            }],
         );
         assert!(exec.validate_local(&store, &ok).is_ok());
         let missing = Transaction::new(
             TxId::new(ClientId(1), 1),
-            vec![Operation::Read { account: AccountId(4242) }],
+            vec![Operation::Read {
+                account: AccountId(4242),
+            }],
         );
         // Account 4242 maps to shard 2 under range(4,100); not local → error.
         assert!(exec.validate_local(&store, &missing).is_err());
@@ -298,7 +303,7 @@ mod tests {
     fn transfer_to_unknown_local_destination_creates_account() {
         let partitioner = Partitioner::range(2, 10).with_override(AccountId(555), ClusterId(0));
         let exec = Executor::new(ClusterId(0), partitioner);
-        let mut store = exec.genesis_store(10, 100, |i| ClientId(i));
+        let mut store = exec.genesis_store(10, 100, ClientId);
         let tx = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(555), 30);
         assert_eq!(exec.apply(&mut store, &tx), ExecutionOutcome::Applied);
         assert_eq!(store.balance(AccountId(555)), Some(30));

@@ -39,7 +39,10 @@ impl Partitioner {
     /// (wrapping around after `shards`).
     pub fn range(shards: u32, accounts_per_shard: u64) -> Self {
         assert!(shards > 0, "at least one shard is required");
-        assert!(accounts_per_shard > 0, "accounts_per_shard must be positive");
+        assert!(
+            accounts_per_shard > 0,
+            "accounts_per_shard must be positive"
+        );
         Self {
             shards,
             strategy: Strategy::Range { accounts_per_shard },

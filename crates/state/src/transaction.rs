@@ -77,7 +77,13 @@ impl Transaction {
     }
 
     /// Convenience constructor for a single transfer.
-    pub fn transfer(client: ClientId, seq: u64, from: AccountId, to: AccountId, amount: u64) -> Self {
+    pub fn transfer(
+        client: ClientId,
+        seq: u64,
+        from: AccountId,
+        to: AccountId,
+        amount: u64,
+    ) -> Self {
         Self::new(
             TxId::new(client, seq),
             vec![Operation::Transfer { from, to, amount }],
@@ -233,12 +239,20 @@ mod tests {
     #[test]
     fn canonical_bytes_distinguish_op_order() {
         let ops1 = vec![
-            Operation::Read { account: AccountId(1) },
-            Operation::Read { account: AccountId(2) },
+            Operation::Read {
+                account: AccountId(1),
+            },
+            Operation::Read {
+                account: AccountId(2),
+            },
         ];
         let ops2 = vec![
-            Operation::Read { account: AccountId(2) },
-            Operation::Read { account: AccountId(1) },
+            Operation::Read {
+                account: AccountId(2),
+            },
+            Operation::Read {
+                account: AccountId(1),
+            },
         ];
         let t1 = Transaction::new(TxId::new(ClientId(1), 0), ops1);
         let t2 = Transaction::new(TxId::new(ClientId(1), 0), ops2);

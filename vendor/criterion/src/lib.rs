@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API the bench files use —
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros — with a
+//! simple wall-clock harness behind it: one warm-up call, then timed
+//! iterations until the configured measurement time (or an iteration cap) is
+//! reached, reporting mean time per iteration and derived throughput. No
+//! statistics, plots or baselines; swap for the real criterion when the build
+//! environment has registry access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing each call, until the group's
+    /// measurement time is spent (minimum one timed call after one warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let cap = 1_000_000u64;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            if self.elapsed >= self.measurement_time || self.iterations >= cap {
+                break;
+            }
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iterations as u32
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API parity; the harness times a
+    /// single continuous run instead of discrete samples).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up budget (accepted for API parity; the harness always
+    /// performs exactly one untimed warm-up call).
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchIdLike>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchIdLike = id.into();
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        self.report(&id.0, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.name, &bencher);
+        self
+    }
+
+    /// Finishes the group (printing is done per benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, name: &str, bencher: &Bencher) {
+        let mean = bencher.mean();
+        let mean_ns = mean.as_nanos().max(1);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let mibps = bytes as f64 * 1e9 / mean_ns as f64 / (1024.0 * 1024.0);
+                format!("  thrpt: {mibps:.1} MiB/s")
+            }
+            Some(Throughput::Elements(elements)) => {
+                let eps = elements as f64 * 1e9 / mean_ns as f64;
+                format!("  thrpt: {eps:.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {}/{name}: {mean:?}/iter ({} iters){rate}",
+            self.name, bencher.iterations
+        );
+        self.criterion.completed += 1;
+    }
+}
+
+/// Wrapper so `bench_function` accepts both `&str` and [`BenchmarkId`].
+pub struct BenchIdLike(String);
+
+impl From<&str> for BenchIdLike {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchIdLike {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchIdLike {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.name)
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group with a 1-second default budget.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("test");
+            g.measurement_time(Duration::from_millis(5));
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| b.iter(|| n * 2));
+            g.finish();
+        }
+        assert_eq!(c.completed, 2);
+    }
+}

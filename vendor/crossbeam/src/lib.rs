@@ -1,0 +1,36 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel` is consumed by this workspace (the thread-based
+//! transport in `sharper-net`), and only its unbounded MPSC shape, so the
+//! vendored version delegates to `std::sync::mpsc`. Semantics relevant to the
+//! transport are identical: unbounded buffering, `Sender: Clone`,
+//! `recv_timeout`, `try_recv`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels backed by `std::sync::mpsc`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::time::Duration;
+
+    #[test]
+    fn send_and_receive_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap())
+            .join()
+            .unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+        assert!(rx.try_recv().is_err());
+    }
+}

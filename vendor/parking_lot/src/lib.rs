@@ -1,0 +1,46 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Provides `Mutex` with parking_lot's infallible `lock()` signature, backed
+//! by `std::sync::Mutex`. Poisoning is transparently ignored (parking_lot has
+//! no poisoning), which matches how the stats collector uses the lock: plain
+//! counters with no invariants that a panicked holder could break.
+
+#![forbid(unsafe_code)]
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion primitive with an infallible `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+}

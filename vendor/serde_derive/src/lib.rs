@@ -1,0 +1,63 @@
+//! Derive macros for the offline serde stand-in (`vendor/serde`).
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` emit empty marker impls.
+//! `#[serde(...)]` helper attributes are accepted and ignored. Generic types
+//! are rejected with a clear error — nothing in this workspace derives serde
+//! on a generic type, and the stand-in keeps its parser trivial on purpose.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive macro was applied to.
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            // Skip outer attributes: `#` (or `#!`) followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Punct(bang)) = tokens.peek() {
+                    if bang.as_char() == '!' {
+                        tokens.next();
+                    }
+                }
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(ident)
+                if ident.to_string() == "struct" || ident.to_string() == "enum" =>
+            {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected a type name after struct/enum, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "the offline serde stand-in does not support deriving on \
+                             generic type `{name}`; write the impls by hand"
+                        );
+                    }
+                }
+                return name;
+            }
+            _ => {}
+        }
+    }
+    panic!("derive input contained no struct or enum");
+}
+
+/// Emits an empty `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Emits an empty `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
