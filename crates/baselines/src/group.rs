@@ -250,7 +250,11 @@ impl GroupReplica {
     }
 
     fn commit_block(&mut self, ctx: &mut Context<BMsg>, block: Block, reply_to: ActorId) {
-        let Some(tx_id) = block.tx_id() else { return };
+        // Baseline groups order one transaction per block (they model the
+        // reference systems, which the paper compares unbatched).
+        let Some(tx_id) = block.tx_ids().next() else {
+            return;
+        };
         if self.committed.contains(&tx_id) {
             return;
         }
@@ -287,7 +291,12 @@ impl GroupReplica {
     }
 
     fn apply(&mut self, ctx: &mut Context<BMsg>, block: Block, reply_to: ActorId) {
-        let tx = block.tx_arc().expect("transaction block");
+        let tx = std::sync::Arc::clone(
+            block
+                .txs()
+                .first()
+                .expect("baseline blocks carry one transaction"),
+        );
         self.ledger.append(block).expect("parent checked");
         self.committed.insert(tx.id);
         ctx.charge(self.params.cost.execution());

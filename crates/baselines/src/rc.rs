@@ -1,6 +1,6 @@
 //! The AHL reference committee (2PC coordinator over consensus).
 //!
-//! In AHL [21], cross-shard transactions are ordered by a dedicated reference
+//! In AHL \[21\], cross-shard transactions are ordered by a dedicated reference
 //! committee using two-phase commit, where *each* 2PC step is itself agreed
 //! inside the committee with a fault-tolerant protocol. Because one committee
 //! coordinates every cross-shard transaction, they are processed one at a

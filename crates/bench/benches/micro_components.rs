@@ -38,7 +38,7 @@ fn message_plane(c: &mut Criterion) {
         let msg = Msg::PrePrepare {
             view: 0,
             parent: Digest::ZERO,
-            tx: Arc::new(tx_with_ops(ops)),
+            batch: sharper_ledger::Batch::single(tx_with_ops(ops)),
             sig: Signature::unsigned(0),
         };
         group.bench_function(format!("msg_clone_{ops}_ops"), |b| {
@@ -91,6 +91,29 @@ fn micro(c: &mut Criterion) {
                 view.append(Block::transaction(tx, parents)).unwrap();
             }
             view.committed_count()
+        })
+    });
+
+    // Digest amortisation: constructing one 16-transaction batch block vs
+    // 16 single-transaction blocks. The batch block hashes 16 leaf digests
+    // plus one root into the block digest instead of 16 full block digests.
+    group.bench_function("block_construction_batch16", |b| {
+        let txs: Vec<Arc<Transaction>> = (0..16)
+            .map(|seq| {
+                Arc::new(Transaction::transfer(
+                    ClientId(1),
+                    seq,
+                    AccountId(1),
+                    AccountId(2),
+                    5,
+                ))
+            })
+            .collect();
+        let genesis = Block::genesis().digest();
+        b.iter(|| {
+            let mut parents = BTreeMap::new();
+            parents.insert(ClusterId(0), genesis);
+            Block::batch(sharper_ledger::Batch::new(txs.clone()), parents)
         })
     });
 

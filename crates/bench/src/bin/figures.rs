@@ -10,7 +10,10 @@
 //! performance trajectory of the reproduction can be tracked commit over
 //! commit.
 
-use sharper_bench::{figure_cross_shard_sweep, figure_scalability, figure_to_json, Series};
+use sharper_bench::{
+    batching_to_json, figure_batching, figure_cross_shard_sweep, figure_scalability,
+    figure_to_json, BatchSeries, Series,
+};
 use sharper_common::{FailureModel, SimTime};
 use std::path::Path;
 
@@ -66,7 +69,9 @@ fn main() {
         vec![8, 24, 64, 128, 224, 320]
     };
 
-    let known = ["6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b"];
+    let known = [
+        "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b", "batching",
+    ];
     if let Some(f) = only.as_deref() {
         if !known.iter().any(|k| k.eq_ignore_ascii_case(f)) {
             eprintln!("unknown figure {f:?}; known figures: {}", known.join(", "));
@@ -115,6 +120,41 @@ fn main() {
             "fig8b",
             "Figure 8b: SharPer scalability, Byzantine, 10% cross-shard",
             &series,
+        );
+    }
+    if wants("batching") {
+        let (batch_sizes, clients): (Vec<usize>, usize) = if quick {
+            (vec![1, 4, 16], 32)
+        } else {
+            (vec![1, 2, 4, 8, 16, 32], 64)
+        };
+        let series = figure_batching(&batch_sizes, clients, duration);
+        print_batching("Batching: throughput vs max_batch_size", &series);
+        let json = batching_to_json(&series);
+        let path = out_dir.join("BENCH_batching.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("BENCH_JSON {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn print_batching(title: &str, series: &[BatchSeries]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<36} {:>6} {:>8} {:>16} {:>14}",
+        "system", "batch", "clients", "throughput(tps)", "latency(ms)"
+    );
+    for s in series {
+        for p in &s.points {
+            println!(
+                "{:<36} {:>6} {:>8} {:>16.0} {:>14.1}",
+                s.system, p.batch_size, p.clients, p.throughput_tps, p.latency_ms
+            );
+        }
+        println!(
+            "{:<36} speedup at largest batch vs unbatched: {:.2}x",
+            s.system, s.speedup_vs_unbatched
         );
     }
 }

@@ -8,9 +8,58 @@
 
 use crate::error::{Error, Result};
 use crate::ids::{ClusterId, NodeId};
+use crate::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// How a primary groups client transactions into blocks.
+///
+/// The paper's base protocol puts a single transaction in every block
+/// (§2.3), which caps throughput at the consensus round rate. The batching
+/// layer lets the primary accumulate up to [`max_batch_size`] pending
+/// requests and order them as one Merkle-committed block per round.
+///
+/// `max_batch_size = 1` preserves the paper's per-round semantics exactly:
+/// every request is proposed the moment it arrives and no batch timer is
+/// ever armed.
+///
+/// [`max_batch_size`]: BatchConfig::max_batch_size
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Maximum number of transactions per block. A full queue is flushed
+    /// immediately; `1` disables batching.
+    pub max_batch_size: usize,
+    /// How long a partially filled batch may wait for more transactions
+    /// before the primary proposes it anyway. Irrelevant when
+    /// `max_batch_size` is `1` (batches are always "full").
+    pub batch_timeout: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_size: 1,
+            batch_timeout: Duration::from_millis(2),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A batching configuration with the given batch size and the default
+    /// timeout.
+    pub fn with_size(max_batch_size: usize) -> Self {
+        Self {
+            max_batch_size: max_batch_size.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Whether batching is enabled (more than one transaction per block).
+    pub fn enabled(&self) -> bool {
+        self.max_batch_size > 1
+    }
+}
 
 /// The failure model followed by the replicas (§2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -410,6 +459,19 @@ impl SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_config_defaults_to_paper_semantics() {
+        let cfg = BatchConfig::default();
+        assert_eq!(cfg.max_batch_size, 1);
+        assert!(!cfg.enabled());
+        assert!(cfg.batch_timeout > Duration::ZERO);
+        let batched = BatchConfig::with_size(16);
+        assert!(batched.enabled());
+        assert_eq!(batched.max_batch_size, 16);
+        // A nonsensical size of 0 clamps to the unbatched protocol.
+        assert_eq!(BatchConfig::with_size(0).max_batch_size, 1);
+    }
 
     #[test]
     fn failure_model_sizes_and_quorums() {

@@ -168,6 +168,24 @@ impl CostModel {
         Duration::from_micros(self.execute_us + self.digest_us)
     }
 
+    /// The cost of executing a committed batch of `n` transactions and
+    /// appending its block: per-transaction execution plus a single block
+    /// digest — the digest is amortised over the whole batch because the
+    /// block commits to the batch's Merkle root.
+    pub fn execution_batch(&self, n: usize) -> Duration {
+        Duration::from_micros(self.execute_us * n as u64 + self.digest_us)
+    }
+
+    /// The cost of verifying one signature (zero in the crash model, which
+    /// does not sign messages).
+    pub fn verification(&self, model: FailureModel) -> Duration {
+        if model.requires_signatures() {
+            Duration::from_micros(self.verify_us)
+        } else {
+            Duration::ZERO
+        }
+    }
+
     /// The cost charged at the client per request or reply.
     pub fn client(&self) -> Duration {
         Duration::from_micros(self.client_us)

@@ -20,7 +20,8 @@ pub mod ids;
 pub mod time;
 
 pub use config::{
-    ClusterConfig, ClusterGroup, ClusterLayout, FailureModel, InitiationPolicy, SystemConfig,
+    BatchConfig, ClusterConfig, ClusterGroup, ClusterLayout, FailureModel, InitiationPolicy,
+    SystemConfig,
 };
 pub use cost::{CostModel, LatencyModel, LinkKind};
 pub use error::{Error, Result};

@@ -1,6 +1,6 @@
 //! Configuration shared by every replica of a deployment.
 
-use sharper_common::{CostModel, Duration, SystemConfig};
+use sharper_common::{BatchConfig, CostModel, Duration, SystemConfig};
 use sharper_crypto::KeyRegistry;
 use sharper_state::Partitioner;
 use std::sync::Arc;
@@ -51,12 +51,16 @@ pub struct ReplicaConfig {
     pub cost: CostModel,
     /// Protocol timers.
     pub timers: TimerConfig,
+    /// How primaries group transactions into blocks (`max_batch_size = 1`
+    /// reproduces the paper's one-transaction blocks).
+    pub batch: BatchConfig,
     /// The key registry modelling the PKI (§2.1).
     pub registry: KeyRegistry,
 }
 
 impl ReplicaConfig {
-    /// Convenience constructor wrapping the config in an [`Arc`].
+    /// Convenience constructor wrapping the config in an [`Arc`]; batching
+    /// stays at the paper-faithful default of one transaction per block.
     pub fn shared(
         system: SystemConfig,
         partitioner: Partitioner,
@@ -64,11 +68,31 @@ impl ReplicaConfig {
         timers: TimerConfig,
         registry: KeyRegistry,
     ) -> Arc<Self> {
+        Self::shared_batched(
+            system,
+            partitioner,
+            cost,
+            timers,
+            BatchConfig::default(),
+            registry,
+        )
+    }
+
+    /// Like [`ReplicaConfig::shared`] with an explicit batching policy.
+    pub fn shared_batched(
+        system: SystemConfig,
+        partitioner: Partitioner,
+        cost: CostModel,
+        timers: TimerConfig,
+        batch: BatchConfig,
+        registry: KeyRegistry,
+    ) -> Arc<Self> {
         Arc::new(Self {
             system,
             partitioner,
             cost,
             timers,
+            batch,
             registry,
         })
     }

@@ -13,7 +13,12 @@
 //!   *every* involved cluster, with per-node reservations, conflict timers,
 //!   retries and the super-primary initiation policy (§3.2–§3.3);
 //! * **view change** — a PBFT-style primary replacement triggered by
-//!   timeouts (liveness, §3.2/§3.3).
+//!   timeouts (liveness, §3.2/§3.3);
+//! * **primary-side batching** — pending client requests are accumulated
+//!   into Merkle-committed batches (`sharper_common::BatchConfig`), so one
+//!   consensus round orders many transactions; `max_batch_size = 1` is the
+//!   paper's one-transaction-per-block protocol. A [`SigCache`] of verified
+//!   `(signer, digest)` pairs lets retransmissions skip signature checks.
 //!
 //! The central type is [`Replica`], one instance per node, which composes the
 //! intra-shard engine, the cross-shard engine, the ledger view of its cluster
@@ -27,7 +32,9 @@
 pub mod config;
 pub mod messages;
 pub mod replica;
+pub mod sigcache;
 
 pub use config::{ReplicaConfig, TimerConfig};
 pub use messages::{timer_tags, Msg};
 pub use replica::Replica;
+pub use sigcache::SigCache;

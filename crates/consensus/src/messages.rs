@@ -2,12 +2,14 @@
 //!
 //! One message enum covers the client interface, Paxos, PBFT, both flattened
 //! cross-shard protocols and the view-change sub-protocol. Field names follow
-//! the paper: `d` is the digest `D(m)` of the requested transaction, `h_i`
-//! (here `parent`) is the hash of the previous block ordered by cluster `p_i`.
+//! the paper: `d` is the digest `D(m)` of the requested payload — with
+//! batching the Merkle root of the proposed [`Batch`] — and `h_i` (here
+//! `parent`) is the hash of the previous block ordered by cluster `p_i`.
 
 use serde::{Deserialize, Serialize};
 use sharper_common::{ClusterId, NodeId, TxId};
 use sharper_crypto::{Digest, Signature};
+use sharper_ledger::Batch;
 use sharper_state::Transaction;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -28,15 +30,19 @@ pub mod timer_tags {
     pub const CLIENT_SUBMIT: u64 = 4;
     /// Client-side retransmission timer.
     pub const CLIENT_RETRY: u64 = 5;
+    /// The primary's batch timer: a partially filled batch is proposed when
+    /// it fires.
+    pub const BATCH: u64 = 6;
 }
 
 /// All messages of the SharPer protocol family.
 ///
-/// Bulky payloads — transactions and assembled parent maps — are held behind
-/// [`Arc`], so cloning a message is a pointer bump regardless of payload
-/// size. This is what makes the simulator's broadcast fan-out zero-copy: one
-/// allocation is shared by every recipient of a multicast and by every round
-/// that retains the payload.
+/// Bulky payloads — transaction batches and assembled parent maps — are held
+/// behind [`Arc`]s (a [`Batch`] shares its transactions), so cloning a
+/// message is a pointer bump regardless of payload size. This is what makes
+/// the simulator's broadcast fan-out zero-copy: one allocation is shared by
+/// every recipient of a multicast and by every round that retains the
+/// payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Msg {
     // ------------------------------------------------------------------
@@ -44,7 +50,8 @@ pub enum Msg {
     // ------------------------------------------------------------------
     /// `⟨REQUEST, tx, τc, c⟩σc` — a client request carrying one transaction.
     /// Also used replica→replica to forward a request to the responsible
-    /// primary.
+    /// primary. Requests stay per-transaction; the responsible primary
+    /// accumulates them into batches.
     Request {
         /// The requested transaction (shared, so high-fan-out forwarding and
         /// cloning is a pointer bump).
@@ -67,20 +74,20 @@ pub enum Msg {
     // ------------------------------------------------------------------
     // Intra-shard consensus, crash model (Paxos, Fig. 3a)
     // ------------------------------------------------------------------
-    /// Primary → backups: order `tx` right after the block `parent`.
+    /// Primary → backups: order `batch` right after the block `parent`.
     PaxosAccept {
         /// The primary's view number.
         view: u64,
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
-        /// The transaction to order.
-        tx: Arc<Transaction>,
+        /// The batch to order.
+        batch: Batch,
     },
     /// Backup → primary: the backup accepted the proposal.
     PaxosAccepted {
         /// The view the backup is in.
         view: u64,
-        /// The digest of the accepted transaction.
+        /// The digest (batch root) of the accepted proposal.
         d: Digest,
         /// The accepting backup.
         node: NodeId,
@@ -91,8 +98,8 @@ pub enum Msg {
         view: u64,
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
-        /// The committed transaction.
-        tx: Arc<Transaction>,
+        /// The committed batch.
+        batch: Batch,
     },
 
     // ------------------------------------------------------------------
@@ -104,8 +111,8 @@ pub enum Msg {
         view: u64,
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
-        /// The transaction to order.
-        tx: Arc<Transaction>,
+        /// The batch to order.
+        batch: Batch,
         /// The primary's signature over `(view, parent, d)`.
         sig: Signature,
     },
@@ -115,7 +122,7 @@ pub enum Msg {
         view: u64,
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
-        /// Digest of the transaction being prepared.
+        /// Digest (batch root) of the proposal being prepared.
         d: Digest,
         /// The preparing replica.
         node: NodeId,
@@ -128,7 +135,7 @@ pub enum Msg {
         view: u64,
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
-        /// Digest of the transaction being committed.
+        /// Digest (batch root) of the proposal being committed.
         d: Digest,
         /// The committing replica.
         node: NodeId,
@@ -148,13 +155,15 @@ pub enum Msg {
         attempt: u32,
         /// `h_i`: hash of the previous block ordered by the initiator cluster.
         parent: Digest,
-        /// The cross-shard transaction.
-        tx: Arc<Transaction>,
+        /// The cross-shard batch (all members share one involved-cluster
+        /// set — cross-shard transactions only batch with same-cluster-set
+        /// peers).
+        batch: Batch,
     },
     /// Node of an involved cluster → initiator primary:
     /// `⟨ACCEPT, h_i, h_j, d, r⟩`.
     XAccept {
-        /// Digest of the proposed transaction.
+        /// Digest (batch root) of the proposed batch.
         d: Digest,
         /// Retry attempt this accept answers.
         attempt: u32,
@@ -168,12 +177,12 @@ pub enum Msg {
     /// Initiator primary → all nodes of all involved clusters:
     /// `⟨COMMIT, h_i, h_j, h_k, ..., d, r⟩`.
     XCommit {
-        /// Digest of the committed transaction.
+        /// Digest (batch root) of the committed batch.
         d: Digest,
         /// One parent hash per involved cluster (shared across the fan-out).
         parents: Arc<BTreeMap<ClusterId, Digest>>,
-        /// The committed transaction (carried so lagging replicas can apply).
-        tx: Arc<Transaction>,
+        /// The committed batch (carried so lagging replicas can apply).
+        batch: Batch,
     },
 
     // ------------------------------------------------------------------
@@ -187,14 +196,14 @@ pub enum Msg {
         attempt: u32,
         /// `h_i`: hash of the previous block ordered by the initiator cluster.
         parent: Digest,
-        /// The cross-shard transaction.
-        tx: Arc<Transaction>,
+        /// The cross-shard batch (one involved-cluster set).
+        batch: Batch,
         /// The initiator primary's signature over `(initiator, parent, d)`.
         sig: Signature,
     },
     /// Node → all nodes of all involved clusters (signed).
     XAcceptB {
-        /// Digest of the proposed transaction.
+        /// Digest (batch root) of the proposed batch.
         d: Digest,
         /// Retry attempt this accept answers.
         attempt: u32,
@@ -209,7 +218,7 @@ pub enum Msg {
     },
     /// Node → all nodes of all involved clusters (signed).
     XCommitB {
-        /// Digest of the committed transaction.
+        /// Digest (batch root) of the committed batch.
         d: Digest,
         /// One parent hash per involved cluster (as assembled from the accept
         /// quorum observed by the sender; shared across the fan-out).
@@ -224,7 +233,7 @@ pub enum Msg {
 
     /// Initiator → involved nodes: the initiator withdraws its proposal for
     /// `d` (it yielded to a higher-priority initiator); release reservations
-    /// and drop the round. The transaction is re-initiated later.
+    /// and drop the round. The transactions are re-initiated later.
     XAbort {
         /// Digest of the withdrawn proposal.
         d: Digest,
@@ -305,16 +314,18 @@ impl Msg {
         )
     }
 
-    /// The transaction digest this message refers to, if it refers to one.
+    /// The proposal digest this message refers to, if it refers to one. For
+    /// batch-carrying messages this is the batch's Merkle root; a `Request`
+    /// answers with its transaction digest (requests are per-transaction).
     pub fn digest(&self) -> Option<Digest> {
         match self {
             Msg::Request { tx, .. } => Some(tx.digest()),
             Msg::Reply { .. } => None,
-            Msg::PaxosAccept { tx, .. } | Msg::PaxosCommit { tx, .. } => Some(tx.digest()),
+            Msg::PaxosAccept { batch, .. } | Msg::PaxosCommit { batch, .. } => Some(batch.digest()),
             Msg::PaxosAccepted { d, .. } => Some(*d),
-            Msg::PrePrepare { tx, .. } => Some(tx.digest()),
+            Msg::PrePrepare { batch, .. } => Some(batch.digest()),
             Msg::Prepare { d, .. } | Msg::PbftCommit { d, .. } => Some(*d),
-            Msg::XPropose { tx, .. } | Msg::XProposeB { tx, .. } => Some(tx.digest()),
+            Msg::XPropose { batch, .. } | Msg::XProposeB { batch, .. } => Some(batch.digest()),
             Msg::XAccept { d, .. } | Msg::XAcceptB { d, .. } => Some(*d),
             Msg::XCommit { d, .. } | Msg::XCommitB { d, .. } => Some(*d),
             Msg::XAbort { d, .. } => Some(*d),
@@ -324,15 +335,15 @@ impl Msg {
 }
 
 /// An accepted-but-uncommitted intra-shard round carried by a crash-model
-/// view-change vote: enough for the new primary to re-propose the value at
+/// view-change vote: enough for the new primary to re-propose the batch at
 /// the same chain position (the block digest is a pure function of `parent`
-/// and `tx`).
+/// and the batch).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AcceptedRound {
-    /// The parent hash the value was accepted under.
+    /// The parent hash the batch was accepted under.
     pub parent: Digest,
-    /// The accepted transaction.
-    pub tx: Arc<Transaction>,
+    /// The accepted batch.
+    pub batch: Batch,
 }
 
 /// Canonical bytes signed by the primary for a `PrePrepare`/`XProposeB`.
@@ -370,6 +381,10 @@ mod tests {
         ))
     }
 
+    fn batch() -> Batch {
+        Batch::single(tx())
+    }
+
     #[test]
     fn new_transaction_classification() {
         let sig = Signature::unsigned(0);
@@ -377,14 +392,14 @@ mod tests {
         assert!(Msg::PaxosAccept {
             view: 0,
             parent: Digest::ZERO,
-            tx: tx()
+            batch: batch()
         }
         .starts_new_transaction());
         assert!(Msg::XPropose {
             initiator: ClusterId(0),
             attempt: 0,
             parent: Digest::ZERO,
-            tx: tx()
+            batch: batch()
         }
         .starts_new_transaction());
         assert!(!Msg::PaxosAccepted {
@@ -396,7 +411,7 @@ mod tests {
         assert!(!Msg::XCommit {
             d: Digest::ZERO,
             parents: Arc::new(BTreeMap::new()),
-            tx: tx()
+            batch: batch()
         }
         .starts_new_transaction());
     }
@@ -407,7 +422,7 @@ mod tests {
         assert!(Msg::PrePrepare {
             view: 0,
             parent: Digest::ZERO,
-            tx: tx(),
+            batch: batch(),
             sig
         }
         .is_signed());
@@ -423,7 +438,7 @@ mod tests {
         assert!(!Msg::PaxosAccept {
             view: 0,
             parent: Digest::ZERO,
-            tx: tx()
+            batch: batch()
         }
         .is_signed());
         assert!(!Msg::Reply {
@@ -437,11 +452,21 @@ mod tests {
     #[test]
     fn digest_extraction() {
         let t = tx();
-        let d = t.digest();
+        let b = Batch::single(Arc::clone(&t));
+        let d = b.digest();
         assert_eq!(
             Msg::Request {
-                tx: t.clone(),
+                tx: Arc::clone(&t),
                 sig: Signature::unsigned(0)
+            }
+            .digest(),
+            Some(t.digest())
+        );
+        assert_eq!(
+            Msg::PaxosAccept {
+                view: 0,
+                parent: Digest::ZERO,
+                batch: b.clone()
             }
             .digest(),
             Some(d)
@@ -489,7 +514,14 @@ mod tests {
     #[test]
     fn timer_tags_are_distinct() {
         use timer_tags::*;
-        let tags = [CONFLICT, RETRY, VIEW_CHANGE, CLIENT_SUBMIT, CLIENT_RETRY];
+        let tags = [
+            CONFLICT,
+            RETRY,
+            VIEW_CHANGE,
+            CLIENT_SUBMIT,
+            CLIENT_RETRY,
+            BATCH,
+        ];
         for (i, a) in tags.iter().enumerate() {
             for b in &tags[i + 1..] {
                 assert_ne!(a, b);

@@ -9,7 +9,12 @@
 //! are all-to-all among the involved clusters' nodes and quorums are `2f+1`
 //! per cluster, with every message signed.
 //!
-//! Conflicts between concurrent overlapping transactions are handled with
+//! With batching, a cross-shard proposal carries a [`Batch`] whose member
+//! transactions all share one involved-cluster set (cross-shard transactions
+//! batch only with same-cluster-set peers), so the commit still needs exactly
+//! one parent hash per involved cluster.
+//!
+//! Conflicts between concurrent overlapping proposals are handled with
 //! per-node reservations (a node that accepted a proposal buffers every other
 //! transaction until the commit or a conflict timeout) and initiator-side
 //! retries; the super-primary policy (chosen in the system configuration)
@@ -19,9 +24,8 @@ use super::{CrossRound, Replica, Reservation};
 use crate::messages::{proposal_sign_bytes, timer_tags, vote_sign_bytes, Msg};
 use sharper_common::{ClusterId, FailureModel, NodeId};
 use sharper_crypto::{hash_parts, Digest, Signature};
-use sharper_ledger::Block;
+use sharper_ledger::{Batch, Block};
 use sharper_net::{ActorId, Context, TimerId};
-use sharper_state::Transaction;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -38,20 +42,21 @@ fn parents_digest(parents: &BTreeMap<ClusterId, Digest>) -> Digest {
 }
 
 impl Replica {
-    /// Starts the flattened protocol for a cross-shard transaction. Called on
-    /// the primary of the initiator cluster.
+    /// Starts the flattened protocol for a cross-shard batch. Called on the
+    /// primary of the initiator cluster.
     pub(super) fn start_cross(
         &mut self,
-        tx: Arc<Transaction>,
+        batch: Batch,
         involved: Vec<ClusterId>,
         ctx: &mut Context<Msg>,
     ) {
-        let d = tx.digest();
-        if self.committed_txs.contains(&tx.id) || self.cross.contains_key(&d) {
+        let d = batch.digest();
+        if self.cross.contains_key(&d) || batch.tx_ids().all(|id| self.committed_txs.contains(&id))
+        {
             return;
         }
         let parent = self.ordering_tail();
-        let mut round = CrossRound::new(Arc::clone(&tx), involved.clone(), self.cluster, 0);
+        let mut round = CrossRound::new(batch.clone(), involved.clone(), self.cluster, 0);
         round
             .accepts
             .entry(self.cluster)
@@ -71,7 +76,7 @@ impl Replica {
                         initiator: self.cluster,
                         attempt: 0,
                         parent,
-                        tx,
+                        batch,
                     },
                 );
             }
@@ -86,7 +91,7 @@ impl Replica {
                         initiator: self.cluster,
                         attempt: 0,
                         parent,
-                        tx,
+                        batch,
                         sig,
                     },
                 );
@@ -125,30 +130,30 @@ impl Replica {
         initiator: ClusterId,
         attempt: u32,
         _parent: Digest,
-        tx: Arc<Transaction>,
+        batch: Batch,
         ctx: &mut Context<Msg>,
     ) {
-        if self.model() != FailureModel::Crash {
+        if self.model() != FailureModel::Crash || batch.is_empty() {
             return;
         }
-        let d = tx.digest();
-        if self.committed_txs.contains(&tx.id) {
+        let d = batch.digest();
+        if batch.tx_ids().any(|id| self.committed_txs.contains(&id)) {
             return;
         }
-        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        let involved = batch.involved_clusters(&self.cfg.partitioner);
         if !involved.contains(&self.cluster) {
             return;
         }
         // Deadlock avoidance: if this replica is the primary of its cluster
-        // and is itself initiating another cross-shard transaction, it yields
-        // to the higher-priority (lower cluster id) initiator: it withdraws
-        // its own proposal (explicit abort, so remote reservations are
-        // released immediately) and re-initiates it from its retry timer once
-        // the higher-priority transaction is out of the way. Yielding is only
+        // and is itself initiating another cross-shard batch, it yields to
+        // the higher-priority (lower cluster id) initiator: it withdraws its
+        // own proposal (explicit abort, so remote reservations are released
+        // immediately) and re-initiates it from its retry timer once the
+        // higher-priority transaction is out of the way. Yielding is only
         // safe while no other cluster has accepted our proposal yet; if it is
         // not safe (or the proposal has lower priority), the incoming
         // proposal waits in the buffer instead — accepting it now would vouch
-        // the same chain position for two different transactions.
+        // the same chain position for two different proposals.
         if let Some(own) = self.initiating {
             if own != d {
                 if initiator < self.cluster {
@@ -161,7 +166,7 @@ impl Replica {
                             initiator,
                             attempt,
                             parent: _parent,
-                            tx,
+                            batch,
                         },
                     );
                     return;
@@ -172,7 +177,7 @@ impl Replica {
         let round = self
             .cross
             .entry(d)
-            .or_insert_with(|| CrossRound::new(Arc::clone(&tx), involved, initiator, attempt));
+            .or_insert_with(|| CrossRound::new(batch.clone(), involved, initiator, attempt));
         round.attempt = attempt;
         // Reserve this node for the proposal: no other transaction is
         // processed until the commit arrives or the conflict timer fires.
@@ -245,7 +250,7 @@ impl Replica {
         round.sent_commit = true;
         round.committed = true;
         round.parents = Some(parents.clone());
-        let tx = Arc::clone(&round.tx);
+        let batch = round.batch.clone();
         let involved = round.involved.clone();
         if let Some(timer) = round.retry_timer.take() {
             ctx.cancel_timer(timer);
@@ -257,12 +262,12 @@ impl Replica {
             Msg::XCommit {
                 d,
                 parents: Arc::clone(&parents),
-                tx: Arc::clone(&tx),
+                batch: batch.clone(),
             },
         );
         self.initiating = None;
-        let block = Block::transaction(tx, parents);
-        // The initiator primary executes, appends and replies to the client.
+        let block = Block::batch(batch, parents);
+        // The initiator primary executes, appends and replies to the clients.
         self.commit_block(ctx, block, true);
         self.process_buffered(ctx);
     }
@@ -272,10 +277,10 @@ impl Replica {
         &mut self,
         d: Digest,
         parents: Arc<BTreeMap<ClusterId, Digest>>,
-        tx: Arc<Transaction>,
+        batch: Batch,
         ctx: &mut Context<Msg>,
     ) {
-        if self.model() != FailureModel::Crash {
+        if self.model() != FailureModel::Crash || batch.is_empty() {
             return;
         }
         if !parents.contains_key(&self.cluster) {
@@ -288,7 +293,7 @@ impl Replica {
                 ctx.cancel_timer(timer);
             }
         }
-        let block = Block::transaction(tx, parents);
+        let block = Block::batch(batch, parents);
         self.commit_block(ctx, block, false);
         self.process_buffered(ctx);
     }
@@ -306,25 +311,30 @@ impl Replica {
         initiator: ClusterId,
         attempt: u32,
         parent: Digest,
-        tx: Arc<Transaction>,
+        batch: Batch,
         sig: Signature,
         ctx: &mut Context<Msg>,
     ) {
-        if self.model() != FailureModel::Byzantine {
+        if self.model() != FailureModel::Byzantine || batch.is_empty() {
             return;
         }
-        let d = tx.digest();
+        let d = batch.digest();
+        // The claimed root must be the root of the carried transactions, and
+        // no transaction may appear twice (double execution / Merkle
+        // odd-level duplication aliasing).
+        if !batch.verify_root() || batch.has_duplicate_tx_ids() {
+            return;
+        }
         // The proposal must be signed by the initiator cluster's primary.
         let primary = self.primary_of(initiator);
         let bytes = proposal_sign_bytes(initiator.0 as u64, &parent, &d);
-        if sig.signer != super::node_signer_id(primary).0 || !self.cfg.registry.verify(&bytes, &sig)
-        {
+        if !self.verify_signed(ctx, super::node_signer_id(primary), &bytes, &sig) {
             return;
         }
-        if self.committed_txs.contains(&tx.id) {
+        if batch.tx_ids().any(|id| self.committed_txs.contains(&id)) {
             return;
         }
-        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        let involved = batch.involved_clusters(&self.cfg.partitioner);
         if !involved.contains(&self.cluster) {
             return;
         }
@@ -335,7 +345,7 @@ impl Replica {
         // concurrently initiating primaries are instead resolved by the
         // bounded give-up in the retry path plus client retransmission.
         self.cross.entry(d).or_insert_with(|| {
-            CrossRound::new(Arc::clone(&tx), involved.clone(), initiator, attempt)
+            CrossRound::new(batch.clone(), involved.clone(), initiator, attempt)
         });
         match self.reservation {
             Some(res) if res.d == d => {}
@@ -396,7 +406,7 @@ impl Replica {
             return;
         }
         let bytes = vote_sign_bytes(b"xaccept", cluster.0 as u64, &parent, &d);
-        if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig) {
+        if !self.verify_signed(ctx, super::node_signer_id(node), &bytes, &sig) {
             return;
         }
         if !self.cross.contains_key(&d) {
@@ -484,7 +494,7 @@ impl Replica {
         }
         let pd = parents_digest(&parents);
         let bytes = vote_sign_bytes(b"xcommit", cluster.0 as u64, &pd, &d);
-        if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig) {
+        if !self.verify_signed(ctx, super::node_signer_id(node), &bytes, &sig) {
             return;
         }
         let Some(round) = self.cross.get_mut(&d) else {
@@ -551,7 +561,7 @@ impl Replica {
         let round = self.cross.get_mut(&d).expect("round exists");
         round.committed = true;
         let parents = round.parents.clone().expect("checked above");
-        let tx = Arc::clone(&round.tx);
+        let batch = round.batch.clone();
         if let Some(timer) = round.retry_timer.take() {
             ctx.cancel_timer(timer);
         }
@@ -559,7 +569,7 @@ impl Replica {
             self.initiating = None;
         }
         self.release_reservation_if(d, ctx);
-        let block = Block::transaction(tx, parents);
+        let block = Block::batch(batch, parents);
         // Every replica replies; the client waits for f+1 matching replies.
         self.commit_block(ctx, block, true);
         self.process_buffered(ctx);
@@ -617,8 +627,8 @@ impl Replica {
 
     /// Withdraws this primary's own in-flight cross-shard initiation so a
     /// higher-priority initiator can make progress. Only performed while no
-    /// foreign cluster has accepted the proposal yet (otherwise the
-    /// transaction may already be committing and is left alone).
+    /// foreign cluster has accepted the proposal yet (otherwise the batch may
+    /// already be committing and is left alone).
     fn yield_initiation(&mut self, own: Digest, ctx: &mut Context<Msg>) {
         let Some(round) = self.cross.get_mut(&own) else {
             self.initiating = None;
@@ -666,31 +676,29 @@ impl Replica {
         }
         // The withdrawn proposal may still be sitting in the buffer (it
         // arrived while this replica was reserved for another transaction).
-        // Replaying it later would reserve this replica for a transaction
-        // whose initiator has already moved on — a reservation nothing will
-        // ever release on a primary — so it must be purged alongside the
-        // round.
+        // Replaying it later would reserve this replica for a proposal whose
+        // initiator has already moved on — a reservation nothing will ever
+        // release on a primary — so it must be purged alongside the round.
         self.buffered.retain(|(_, msg)| match msg {
             Msg::XPropose {
-                tx,
+                batch,
                 initiator: proposer,
                 ..
             }
             | Msg::XProposeB {
-                tx,
+                batch,
                 initiator: proposer,
                 ..
-            } => !(*proposer == initiator && tx.digest() == d),
+            } => !(*proposer == initiator && batch.digest() == d),
             _ => true,
         });
         self.release_reservation_if(d, ctx);
         self.process_buffered(ctx);
     }
 
-    /// The initiator's retry timer fired: if the transaction is still
-    /// uncommitted, re-initiate it with a fresh parent hash (§3.2: "the
-    /// (primary node of) initiator clusters try to resend their own
-    /// transactions").
+    /// The initiator's retry timer fired: if the batch is still uncommitted,
+    /// re-initiate it with a fresh parent hash (§3.2: "the (primary node of)
+    /// initiator clusters try to resend their own transactions").
     pub(super) fn handle_retry_timer(&mut self, timer: TimerId, ctx: &mut Context<Msg>) {
         let Some((&d, _)) = self
             .cross
@@ -721,11 +729,11 @@ impl Replica {
         let give_up_allowed = self.model() == FailureModel::Crash;
         let round = self.cross.get_mut(&d).expect("round exists");
         if round.attempt >= self.cfg.timers.max_retries && give_up_allowed {
-            // Give up: unblock the primary; the client will eventually
-            // retransmit and the transaction will be re-initiated. This is
+            // Give up: unblock the primary; the clients will eventually
+            // retransmit and the transactions will be re-initiated. This is
             // safe in the crash model because the initiator is the only
-            // replica that can send the commit, so an abandoned transaction
-            // can never commit behind its back. A Byzantine initiator keeps
+            // replica that can send the commit, so an abandoned batch can
+            // never commit behind its back. A Byzantine initiator keeps
             // retrying instead (its signed propose and accept are already out
             // there), relying on the view change for liveness if it is truly
             // stuck.
@@ -755,7 +763,7 @@ impl Replica {
         round.parents = None;
         self.stats.retries += 1;
         let attempt = round.attempt;
-        let tx = Arc::clone(&round.tx);
+        let batch = round.batch.clone();
         let involved = round.involved.clone();
         let parent = self.ordering_tail();
         self.cross
@@ -776,7 +784,7 @@ impl Replica {
                     initiator: self.cluster,
                     attempt,
                     parent,
-                    tx,
+                    batch,
                 },
             ),
             FailureModel::Byzantine => {
@@ -790,7 +798,7 @@ impl Replica {
                         initiator: self.cluster,
                         attempt,
                         parent,
-                        tx,
+                        batch,
                         sig,
                     },
                 );

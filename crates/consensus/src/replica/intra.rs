@@ -1,28 +1,28 @@
 //! Intra-shard consensus (§3.1): Paxos for crash-only clusters, PBFT for
 //! Byzantine clusters.
 //!
-//! Both protocols are driven by the cluster's primary and order transactions
-//! by chaining each proposal to the hash of the cluster's previous block
-//! (`H(t)` plays the role of the sequence number). The intra-shard protocol
-//! is pluggable in SharPer; these two are the ones evaluated in the paper.
+//! Both protocols are driven by the cluster's primary and order one
+//! Merkle-committed [`Batch`] per round, chaining each proposal to the hash
+//! of the cluster's previous block (`H(t)` plays the role of the sequence
+//! number). The intra-shard protocol is pluggable in SharPer; these two are
+//! the ones evaluated in the paper. With `max_batch_size = 1` every batch
+//! holds a single transaction and the rounds are bit-for-bit the paper's.
 
 use super::{IntraRound, Replica};
 use crate::messages::{proposal_sign_bytes, vote_sign_bytes, Msg};
 use sharper_common::FailureModel;
 use sharper_crypto::{Digest, Signature};
-use sharper_ledger::Block;
+use sharper_ledger::{Batch, Block};
 use sharper_net::{ActorId, Context};
-use sharper_state::Transaction;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 impl Replica {
-    /// Starts ordering an intra-shard transaction. Called on the primary.
-    pub(super) fn start_intra(&mut self, tx: Arc<Transaction>, ctx: &mut Context<Msg>) {
+    /// Starts ordering an intra-shard batch. Called on the primary.
+    pub(super) fn start_intra(&mut self, batch: Batch, ctx: &mut Context<Msg>) {
         match self.model() {
-            FailureModel::Crash => self.start_paxos(tx, ctx),
-            FailureModel::Byzantine => self.start_pbft(tx, ctx),
+            FailureModel::Crash => self.start_paxos(batch, ctx),
+            FailureModel::Byzantine => self.start_pbft(batch, ctx),
         }
     }
 
@@ -30,42 +30,44 @@ impl Replica {
     // Paxos (crash-only clusters), Figure 3(a)
     // ------------------------------------------------------------------
 
-    fn start_paxos(&mut self, tx: Arc<Transaction>, ctx: &mut Context<Msg>) {
-        let d = tx.digest();
-        if self.committed_txs.contains(&tx.id) || self.intra.contains_key(&d) {
+    fn start_paxos(&mut self, batch: Batch, ctx: &mut Context<Msg>) {
+        let d = batch.digest();
+        if self.intra.contains_key(&d) || batch.tx_ids().all(|id| self.committed_txs.contains(&id))
+        {
             return;
         }
         let parent = self.ordering_tail();
-        self.propose_paxos_round(tx, parent, d, ctx);
+        self.propose_paxos_round(batch, parent, d, ctx);
     }
 
-    /// Proposes `tx` at an explicit chain position (used by the view-change
-    /// state transfer to replay accepted rounds of the previous view at
-    /// their original positions). Any existing round state for the digest is
-    /// replaced: votes gathered under the old view are void in the new one.
+    /// Proposes `batch` at an explicit chain position (used by the
+    /// view-change state transfer to replay accepted rounds of the previous
+    /// view at their original positions). Any existing round state for the
+    /// digest is replaced: votes gathered under the old view are void in the
+    /// new one.
     pub(super) fn propose_paxos_at(
         &mut self,
-        tx: Arc<Transaction>,
+        batch: Batch,
         parent: Digest,
         ctx: &mut Context<Msg>,
     ) {
-        let d = tx.digest();
-        if self.committed_txs.contains(&tx.id) {
+        let d = batch.digest();
+        if batch.tx_ids().all(|id| self.committed_txs.contains(&id)) {
             return;
         }
         self.intra.remove(&d);
-        self.propose_paxos_round(tx, parent, d, ctx);
+        self.propose_paxos_round(batch, parent, d, ctx);
     }
 
     fn propose_paxos_round(
         &mut self,
-        tx: Arc<Transaction>,
+        batch: Batch,
         parent: Digest,
         d: Digest,
         ctx: &mut Context<Msg>,
     ) {
         let mut round = IntraRound {
-            tx: Arc::clone(&tx),
+            batch: batch.clone(),
             parent,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
@@ -78,13 +80,13 @@ impl Replica {
         // Chain the next proposal after this one even before it commits.
         let mut parents = BTreeMap::new();
         parents.insert(self.cluster, parent);
-        self.advance_tail(&Block::transaction(tx.clone(), parents));
+        self.advance_tail(&Block::batch(batch.clone(), parents));
         ctx.multicast(
             self.cluster_peers(),
             Msg::PaxosAccept {
                 view: self.view,
                 parent,
-                tx,
+                batch,
             },
         );
         // A single-node cluster (f = 0) commits immediately.
@@ -97,27 +99,27 @@ impl Replica {
         from: ActorId,
         view: u64,
         parent: Digest,
-        tx: Arc<Transaction>,
+        batch: Batch,
         ctx: &mut Context<Msg>,
     ) {
-        if self.model() != FailureModel::Crash {
+        if self.model() != FailureModel::Crash || batch.is_empty() {
             return;
         }
         // Only the primary of the current view may propose.
         if from != ActorId::Node(self.primary_of(self.cluster)) || view < self.view {
             return;
         }
-        let d = tx.digest();
-        if self.committed_txs.contains(&tx.id) {
+        let d = batch.digest();
+        if batch.tx_ids().any(|id| self.committed_txs.contains(&id)) {
             // The proposal may be the new primary's replay of a round this
             // replica already committed (view-change state transfer). If it
             // names the bit-identical block, endorse it so the new primary
             // can gather its quorum and the cluster converges on one chain;
-            // anything else for a committed transaction is stale and is
-            // dropped.
+            // anything else overlapping committed transactions is stale and
+            // is dropped.
             let mut parents = BTreeMap::new();
             parents.insert(self.cluster, parent);
-            let replay = Block::transaction(Arc::clone(&tx), parents);
+            let replay = Block::batch(batch, parents);
             if self.ledger.block(replay.digest()).is_some() {
                 ctx.send(
                     from,
@@ -130,10 +132,10 @@ impl Replica {
             }
             return;
         }
-        // Remember the request so the view-change path can re-propose it and
+        // Remember the batch so the view-change path can re-propose it and
         // start the liveness timer for the in-flight request.
         self.intra.entry(d).or_insert_with(|| IntraRound {
-            tx: Arc::clone(&tx),
+            batch: batch.clone(),
             parent,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
@@ -144,7 +146,7 @@ impl Replica {
         {
             let mut parents = BTreeMap::new();
             parents.insert(self.cluster, parent);
-            self.advance_tail(&Block::transaction(tx.clone(), parents));
+            self.advance_tail(&Block::batch(batch, parents));
         }
         ctx.send(
             from,
@@ -183,20 +185,20 @@ impl Replica {
         }
         round.sent_commit = true;
         round.committed = true;
-        let tx = Arc::clone(&round.tx);
+        let batch = round.batch.clone();
         let parent = round.parent;
         ctx.multicast(
             self.cluster_peers(),
             Msg::PaxosCommit {
                 view: self.view,
                 parent,
-                tx: tx.clone(),
+                batch: batch.clone(),
             },
         );
         let mut parents = BTreeMap::new();
         parents.insert(self.cluster, parent);
-        let block = Block::transaction(tx, parents);
-        // In the crash model only the primary replies to the client.
+        let block = Block::batch(batch, parents);
+        // In the crash model only the primary replies to the clients.
         self.commit_block(ctx, block, true);
     }
 
@@ -205,19 +207,19 @@ impl Replica {
         &mut self,
         view: u64,
         parent: Digest,
-        tx: Arc<Transaction>,
+        batch: Batch,
         ctx: &mut Context<Msg>,
     ) {
-        if self.model() != FailureModel::Crash || view < self.view {
+        if self.model() != FailureModel::Crash || view < self.view || batch.is_empty() {
             return;
         }
-        let d = tx.digest();
+        let d = batch.digest();
         if let Some(round) = self.intra.get_mut(&d) {
             round.committed = true;
         }
         let mut parents = BTreeMap::new();
         parents.insert(self.cluster, parent);
-        let block = Block::transaction(tx, parents);
+        let block = Block::batch(batch, parents);
         self.commit_block(ctx, block, false);
     }
 
@@ -225,9 +227,10 @@ impl Replica {
     // PBFT (Byzantine clusters), Figure 3(b)
     // ------------------------------------------------------------------
 
-    fn start_pbft(&mut self, tx: Arc<Transaction>, ctx: &mut Context<Msg>) {
-        let d = tx.digest();
-        if self.committed_txs.contains(&tx.id) || self.intra.contains_key(&d) {
+    fn start_pbft(&mut self, batch: Batch, ctx: &mut Context<Msg>) {
+        let d = batch.digest();
+        if self.intra.contains_key(&d) || batch.tx_ids().all(|id| self.committed_txs.contains(&id))
+        {
             return;
         }
         let parent = self.ordering_tail();
@@ -235,7 +238,7 @@ impl Replica {
             .signer
             .sign(&proposal_sign_bytes(self.view, &parent, &d));
         let mut round = IntraRound {
-            tx: Arc::clone(&tx),
+            batch: batch.clone(),
             parent,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
@@ -248,7 +251,7 @@ impl Replica {
         {
             let mut parents = BTreeMap::new();
             parents.insert(self.cluster, parent);
-            self.advance_tail(&Block::transaction(tx.clone(), parents));
+            self.advance_tail(&Block::batch(batch.clone(), parents));
         }
         self.charge_message(ctx, 0, 1);
         ctx.multicast(
@@ -256,7 +259,7 @@ impl Replica {
             Msg::PrePrepare {
                 view: self.view,
                 parent,
-                tx,
+                batch,
                 sig,
             },
         );
@@ -269,36 +272,43 @@ impl Replica {
         from: ActorId,
         view: u64,
         parent: Digest,
-        tx: Arc<Transaction>,
+        batch: Batch,
         sig: Signature,
         ctx: &mut Context<Msg>,
     ) {
-        if self.model() != FailureModel::Byzantine || view != self.view {
+        if self.model() != FailureModel::Byzantine || view != self.view || batch.is_empty() {
             return;
         }
         let primary = self.primary_of(self.cluster);
         if from != ActorId::Node(primary) {
             return;
         }
-        let d = tx.digest();
-        // Verify the primary's signature over (view, parent, d).
-        let bytes = proposal_sign_bytes(view, &parent, &d);
-        if sig.signer != super::node_signer_id(primary).0 || !self.cfg.registry.verify(&bytes, &sig)
-        {
+        let d = batch.digest();
+        // The claimed root must match the carried transactions — a primary
+        // cannot commit the cluster to a root whose preimage it never sent —
+        // and no transaction may appear twice (a duplicated tail would both
+        // double-execute and exploit the Merkle odd-level duplication
+        // ambiguity to alias another batch's root).
+        if !batch.verify_root() || batch.has_duplicate_tx_ids() {
             return;
         }
-        if self.committed_txs.contains(&tx.id) {
+        // Verify the primary's signature over (view, parent, d).
+        let bytes = proposal_sign_bytes(view, &parent, &d);
+        if !self.verify_signed(ctx, super::node_signer_id(primary), &bytes, &sig) {
+            return;
+        }
+        if batch.tx_ids().any(|id| self.committed_txs.contains(&id)) {
             return;
         }
         let round = self.intra.entry(d).or_insert_with(|| IntraRound {
-            tx: Arc::clone(&tx),
+            batch: batch.clone(),
             parent,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
             sent_commit: false,
             committed: false,
         });
-        round.tx = Arc::clone(&tx);
+        round.batch = batch.clone();
         round.parent = parent;
         // The pre-prepare carries the primary's implicit prepare; this
         // replica's own prepare is counted when it multicasts below.
@@ -308,7 +318,7 @@ impl Replica {
         {
             let mut parents = BTreeMap::new();
             parents.insert(self.cluster, parent);
-            self.advance_tail(&Block::transaction(tx, parents));
+            self.advance_tail(&Block::batch(batch, parents));
         }
 
         let vote_bytes = vote_sign_bytes(b"prepare", view, &parent, &d);
@@ -341,16 +351,13 @@ impl Replica {
             return;
         }
         let bytes = vote_sign_bytes(b"prepare", view, &parent, &d);
-        if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig) {
+        if !self.verify_signed(ctx, super::node_signer_id(node), &bytes, &sig) {
             return;
         }
         let round = self.intra.entry(d).or_insert_with(|| IntraRound {
-            // Transaction not yet known (prepare overtook the pre-prepare);
-            // a placeholder is stored and replaced when pre-prepare arrives.
-            tx: Arc::new(Transaction::new(
-                sharper_common::TxId::new(sharper_common::ClientId(u64::MAX), 0),
-                vec![],
-            )),
+            // Batch not yet known (prepare overtook the pre-prepare); the
+            // empty placeholder is replaced when the pre-prepare arrives.
+            batch: Batch::empty(),
             parent,
             prepares: BTreeSet::new(),
             commits: BTreeSet::new(),
@@ -362,7 +369,7 @@ impl Replica {
     }
 
     fn round_has_payload(round: &IntraRound) -> bool {
-        round.tx.client() != sharper_common::ClientId(u64::MAX)
+        !round.batch.is_empty()
     }
 
     fn try_send_pbft_commit(&mut self, d: Digest, ctx: &mut Context<Msg>) {
@@ -407,7 +414,7 @@ impl Replica {
             return;
         }
         let bytes = vote_sign_bytes(b"commit", view, &parent, &d);
-        if sig.signer != super::node_signer_id(node).0 || !self.cfg.registry.verify(&bytes, &sig) {
+        if !self.verify_signed(ctx, super::node_signer_id(node), &bytes, &sig) {
             return;
         }
         if let Some(round) = self.intra.get_mut(&d) {
@@ -429,11 +436,11 @@ impl Replica {
             return;
         }
         round.committed = true;
-        let tx = Arc::clone(&round.tx);
+        let batch = round.batch.clone();
         let parent = round.parent;
         let mut parents = BTreeMap::new();
         parents.insert(self.cluster, parent);
-        let block = Block::transaction(tx, parents);
+        let block = Block::batch(batch, parents);
         // In PBFT every replica replies; the client waits for f+1 matching
         // replies (Figure 3(b)).
         self.commit_block(ctx, block, true);

@@ -2,10 +2,16 @@
 //!
 //! A replica composes
 //!
-//! * the intra-shard engine of its cluster (Paxos or PBFT, [`intra`]),
-//! * the flattened cross-shard engine (Algorithm 1 or 2, [`cross`]),
-//! * the view-change sub-protocol ([`view_change`]),
-//! * its cluster's [`LedgerView`] and the shard's [`AccountStore`].
+//! * the intra-shard engine of its cluster (Paxos or PBFT, `intra`),
+//! * the flattened cross-shard engine (Algorithm 1 or 2, `cross`),
+//! * the view-change sub-protocol (`view_change`),
+//! * its cluster's [`LedgerView`] and the shard's [`AccountStore`],
+//! * the primary-side batching layer: pending client requests are
+//!   accumulated into Merkle-committed [`Batch`]es (up to
+//!   `batch.max_batch_size` per block, flushed early by the batch timer), so
+//!   one consensus round orders many transactions. `max_batch_size = 1`
+//!   reproduces the paper's one-transaction blocks exactly: every request is
+//!   proposed the moment it arrives and no batch timer is armed.
 //!
 //! The replica is a pure [`Actor`]: all inputs arrive as messages or timer
 //! expirations, all outputs leave through the [`Context`]. This module holds
@@ -19,14 +25,20 @@ mod view_change;
 
 use crate::config::ReplicaConfig;
 use crate::messages::{timer_tags, Msg};
+use crate::sigcache::SigCache;
 use sharper_common::{ClientId, ClusterId, FailureModel, NodeId, TxId};
 use sharper_crypto::keys::SignerId;
-use sharper_crypto::{Digest, Signer};
-use sharper_ledger::{Block, LedgerView};
+use sharper_crypto::{hash, Digest, Signature, Signer};
+use sharper_ledger::{Batch, Block, LedgerView};
 use sharper_net::{Actor, ActorId, Context, TimerId};
 use sharper_state::{AccountStore, ExecutionOutcome, Executor, Transaction};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+
+/// Number of `(signer, digest)` pairs remembered by the verified-signature
+/// cache (retransmissions skip re-verification; satellite of the batching
+/// work, see ROADMAP "signature-verification cost").
+const SIG_CACHE_CAPACITY: usize = 4_096;
 
 /// Maps a replica id into the signer-id space of the key registry.
 pub fn node_signer_id(node: NodeId) -> SignerId {
@@ -45,6 +57,8 @@ pub struct ReplicaStats {
     pub committed_intra: usize,
     /// Cross-shard transactions this replica appended.
     pub committed_cross: usize,
+    /// Blocks (batches) this replica appended.
+    pub committed_blocks: usize,
     /// Protocol messages handled.
     pub messages_handled: usize,
     /// Cross-shard re-initiations performed (as initiator primary).
@@ -53,13 +67,16 @@ pub struct ReplicaStats {
     pub view_changes_started: usize,
     /// Transactions whose execution aborted at the application level.
     pub aborted_executions: usize,
+    /// Signature verifications skipped thanks to the verified-pair cache.
+    pub sig_cache_hits: usize,
 }
 
 /// State of one in-flight intra-shard consensus round.
 #[derive(Debug, Clone)]
 struct IntraRound {
-    /// The transaction under agreement (shared with the message plane).
-    tx: Arc<Transaction>,
+    /// The batch under agreement (shares its transactions with the message
+    /// plane).
+    batch: Batch,
     parent: Digest,
     /// Paxos `accepted` votes / PBFT `prepare` votes (node ids).
     prepares: BTreeSet<NodeId>,
@@ -74,8 +91,9 @@ struct IntraRound {
 /// State of one in-flight cross-shard consensus round.
 #[derive(Debug, Clone)]
 struct CrossRound {
-    /// The transaction under agreement (shared with the message plane).
-    tx: Arc<Transaction>,
+    /// The batch under agreement (shares its transactions with the message
+    /// plane). All member transactions have the same involved-cluster set.
+    batch: Batch,
     involved: Vec<ClusterId>,
     initiator: ClusterId,
     attempt: u32,
@@ -95,14 +113,9 @@ struct CrossRound {
 }
 
 impl CrossRound {
-    fn new(
-        tx: Arc<Transaction>,
-        involved: Vec<ClusterId>,
-        initiator: ClusterId,
-        attempt: u32,
-    ) -> Self {
+    fn new(batch: Batch, involved: Vec<ClusterId>, initiator: ClusterId, attempt: u32) -> Self {
         Self {
-            tx,
+            batch,
             involved,
             initiator,
             attempt,
@@ -144,9 +157,19 @@ pub struct Replica {
     intra: HashMap<Digest, IntraRound>,
     cross: HashMap<Digest, CrossRound>,
     reservation: Option<Reservation>,
-    /// Digest of the cross-shard transaction this primary is currently
+    /// Digest of the cross-shard batch this primary is currently
     /// initiating; while set, the primary starts no other transaction.
     initiating: Option<Digest>,
+    /// Primary-side batching: intra-shard requests awaiting proposal, with
+    /// their client signatures (kept so they can be re-forwarded across a
+    /// view change).
+    pending_intra: Vec<(Arc<Transaction>, Signature)>,
+    /// Primary-side batching for cross-shard requests, keyed by the exact
+    /// involved-cluster set — cross-shard transactions only batch with
+    /// same-cluster-set peers, so a batch's parents stay one-per-cluster.
+    pending_cross: BTreeMap<Vec<ClusterId>, Vec<(Arc<Transaction>, Signature)>>,
+    /// The batch timer bounding how long a partial batch may wait.
+    batch_timer: Option<TimerId>,
     /// Transaction-starting messages buffered while reserved/initiating.
     buffered: VecDeque<(ActorId, Msg)>,
     /// Cross-shard votes that arrived before their propose message.
@@ -159,6 +182,9 @@ pub struct Replica {
     /// reported (used by the new primary for state transfer).
     vc_votes: HashMap<u64, BTreeMap<NodeId, Vec<crate::messages::AcceptedRound>>>,
     vc_timer: Option<TimerId>,
+    /// LRU cache of `(signer, digest-of-signed-bytes)` pairs that already
+    /// verified, so retransmissions skip the signature check.
+    verified_sigs: SigCache,
     stats: ReplicaStats,
 }
 
@@ -188,12 +214,16 @@ impl Replica {
             cross: HashMap::new(),
             reservation: None,
             initiating: None,
+            pending_intra: Vec::new(),
+            pending_cross: BTreeMap::new(),
+            batch_timer: None,
             buffered: VecDeque::new(),
             early_cross: HashMap::new(),
             deferred: HashMap::new(),
             committed_txs: HashSet::new(),
             vc_votes: HashMap::new(),
             vc_timer: None,
+            verified_sigs: SigCache::new(SIG_CACHE_CAPACITY),
             stats: ReplicaStats::default(),
         }
     }
@@ -264,11 +294,13 @@ impl Replica {
     #[doc(hidden)]
     pub fn debug_state(&self) -> String {
         format!(
-            "view={} reserved={:?} initiating={:?} buffered={} intra_open={} cross_open={} deferred={}",
+            "view={} reserved={:?} initiating={:?} buffered={} pending_intra={} pending_cross={} intra_open={} cross_open={} deferred={}",
             self.view,
             self.reservation.as_ref().map(|r| r.d.short()),
             self.initiating.as_ref().map(|d| d.short()),
             self.buffered.len(),
+            self.pending_intra.len(),
+            self.pending_cross.values().map(|v| v.len()).sum::<usize>(),
             self.intra.values().filter(|r| !r.committed).count(),
             self.cross.values().filter(|r| !r.committed).count(),
             self.deferred.values().map(|v| v.len()).sum::<usize>(),
@@ -280,6 +312,8 @@ impl Replica {
         self.reservation.is_none()
             && self.initiating.is_none()
             && self.buffered.is_empty()
+            && self.pending_intra.is_empty()
+            && self.pending_cross.values().all(|q| q.is_empty())
             && self.intra.values().all(|r| r.committed)
             && self.cross.values().all(|r| r.committed)
     }
@@ -345,6 +379,54 @@ impl Replica {
         ctx.charge(self.cfg.cost.protocol_message(self.model(), verify, sign));
     }
 
+    /// Verifies a protocol signature that must come from `expected`
+    /// (Byzantine model), charging the verification cost. Protocol
+    /// votes/proposals carry round-unique bytes, so no cache is consulted —
+    /// caching here would add a hash pass to the hot path for repeats that
+    /// never occur in fault-free runs.
+    pub(super) fn verify_signed(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        expected: SignerId,
+        bytes: &[u8],
+        sig: &Signature,
+    ) -> bool {
+        if sig.signer != expected.0 {
+            return false;
+        }
+        ctx.charge(self.cfg.cost.verification(self.model()));
+        self.cfg.registry.verify(bytes, sig)
+    }
+
+    /// Verifies a client request signature through the LRU cache of
+    /// already-verified `(signer, digest)` pairs: a retransmission carrying
+    /// the identical bytes *and tag* skips the recomputation and its
+    /// simulated CPU cost. Only successful verifications enter the cache,
+    /// and a hit requires the cached tag to match, so a replay with a
+    /// swapped signature falls through to real verification.
+    fn verify_request_sig(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        expected: SignerId,
+        bytes: &[u8],
+        sig: &Signature,
+    ) -> bool {
+        if sig.signer != expected.0 {
+            return false;
+        }
+        let key = (sig.signer, hash(bytes));
+        if self.verified_sigs.check(key, sig.tag) {
+            self.stats.sig_cache_hits += 1;
+            return true;
+        }
+        ctx.charge(self.cfg.cost.verification(self.model()));
+        let ok = self.cfg.registry.verify(bytes, sig);
+        if ok {
+            self.verified_sigs.insert(key, sig.tag);
+        }
+        ok
+    }
+
     /// Whether this replica must not start work on new transactions right now.
     fn is_blocked(&self) -> bool {
         self.reservation.is_some() || self.initiating.is_some()
@@ -374,14 +456,186 @@ impl Replica {
         );
     }
 
-    /// Appends (or defers) a committed block, executes its transaction and
-    /// optionally replies to the client. Returns `true` if the block was
-    /// appended immediately.
-    fn commit_block(&mut self, ctx: &mut Context<Msg>, block: Block, reply: bool) -> bool {
-        let Some(tx_id) = block.tx_id() else {
-            return false;
+    /// Whether `id` is already queued for batching or carried by an
+    /// in-flight (uncommitted) round. Guards against proposing the same
+    /// transaction in two different batches (e.g. a client retransmission
+    /// racing a view-change replay).
+    fn tx_pending_or_in_flight(&self, id: TxId) -> bool {
+        self.pending_intra.iter().any(|(tx, _)| tx.id == id)
+            || self
+                .pending_cross
+                .values()
+                .any(|q| q.iter().any(|(tx, _)| tx.id == id))
+            || self
+                .intra
+                .values()
+                .any(|r| !r.committed && r.batch.contains(id))
+            || self
+                .cross
+                .values()
+                .any(|r| !r.committed && r.batch.contains(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Primary-side batching
+    // ------------------------------------------------------------------
+
+    fn max_batch(&self) -> usize {
+        self.cfg.batch.max_batch_size.max(1)
+    }
+
+    fn ensure_batch_timer(&mut self, ctx: &mut Context<Msg>) {
+        if self.batch_timer.is_none() {
+            self.batch_timer = Some(ctx.set_timer(self.cfg.batch.batch_timeout, timer_tags::BATCH));
+        }
+    }
+
+    fn any_pending(&self) -> bool {
+        !self.pending_intra.is_empty() || self.pending_cross.values().any(|q| !q.is_empty())
+    }
+
+    /// Queues an intra-shard request on the primary and flushes a full batch
+    /// immediately. With `max_batch_size = 1` this proposes on arrival,
+    /// exactly like the unbatched protocol.
+    fn enqueue_intra(&mut self, tx: Arc<Transaction>, sig: Signature, ctx: &mut Context<Msg>) {
+        if self.tx_pending_or_in_flight(tx.id) {
+            return;
+        }
+        self.pending_intra.push((tx, sig));
+        if self.pending_intra.len() >= self.max_batch() {
+            self.flush_intra(ctx);
+        } else {
+            self.ensure_batch_timer(ctx);
+        }
+    }
+
+    /// Queues a cross-shard request (keyed by its involved-cluster set) on
+    /// the initiator primary and flushes a full batch if possible.
+    fn enqueue_cross(
+        &mut self,
+        tx: Arc<Transaction>,
+        sig: Signature,
+        involved: Vec<ClusterId>,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.tx_pending_or_in_flight(tx.id) {
+            return;
+        }
+        let max = self.max_batch();
+        let queue = self.pending_cross.entry(involved.clone()).or_default();
+        queue.push((tx, sig));
+        if queue.len() >= max {
+            self.flush_cross_set(&involved, ctx);
+        } else {
+            self.ensure_batch_timer(ctx);
+        }
+    }
+
+    /// Proposes one batch from the intra-shard queue. No-op while the
+    /// replica is reserved/initiating (dispatch buffers request messages in
+    /// that state, but the batch timer can still fire).
+    fn flush_intra(&mut self, ctx: &mut Context<Msg>) {
+        if self.is_blocked() || self.pending_intra.is_empty() {
+            return;
+        }
+        let take = self.max_batch().min(self.pending_intra.len());
+        let txs: Vec<Arc<Transaction>> = self
+            .pending_intra
+            .drain(..take)
+            .map(|(tx, _)| tx)
+            .filter(|tx| !self.committed_txs.contains(&tx.id))
+            .collect();
+        if txs.is_empty() {
+            return;
+        }
+        self.start_intra(Batch::new(txs), ctx);
+    }
+
+    /// Starts the cross-shard protocol for one batch of the given cluster
+    /// set. Initiating blocks the primary, so at most one set flushes.
+    fn flush_cross_set(&mut self, involved: &[ClusterId], ctx: &mut Context<Msg>) {
+        if self.is_blocked() {
+            return;
+        }
+        let max = self.max_batch();
+        let Some(queue) = self.pending_cross.get_mut(involved) else {
+            return;
         };
-        if self.committed_txs.contains(&tx_id) {
+        let take = max.min(queue.len());
+        let committed = &self.committed_txs;
+        let txs: Vec<Arc<Transaction>> = queue
+            .drain(..take)
+            .map(|(tx, _)| tx)
+            .filter(|tx| !committed.contains(&tx.id))
+            .collect();
+        if txs.is_empty() {
+            return;
+        }
+        self.start_cross(Batch::new(txs), involved.to_vec(), ctx);
+    }
+
+    /// Flushes whatever pending work can start right now: all full or timed
+    /// out intra batches, then cross-shard sets until one blocks the
+    /// primary. Called from the batch timer and from every unblock point.
+    pub(super) fn flush_pending(&mut self, ctx: &mut Context<Msg>) {
+        while !self.is_blocked() && !self.pending_intra.is_empty() {
+            self.flush_intra(ctx);
+        }
+        let sets: Vec<Vec<ClusterId>> = self
+            .pending_cross
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(set, _)| set.clone())
+            .collect();
+        for set in sets {
+            if self.is_blocked() {
+                break;
+            }
+            self.flush_cross_set(&set, ctx);
+        }
+        self.pending_cross.retain(|_, q| !q.is_empty());
+        if self.any_pending() {
+            self.ensure_batch_timer(ctx);
+        }
+    }
+
+    fn handle_batch_timer(&mut self, timer: TimerId, ctx: &mut Context<Msg>) {
+        if self.batch_timer != Some(timer) {
+            return;
+        }
+        self.batch_timer = None;
+        self.flush_pending(ctx);
+    }
+
+    /// Drains every pending request (used when this replica stops being the
+    /// primary and must hand its queue to the new one).
+    pub(super) fn drain_pending_requests(&mut self) -> Vec<(Arc<Transaction>, Signature)> {
+        let mut out: Vec<(Arc<Transaction>, Signature)> = self.pending_intra.drain(..).collect();
+        for (_, queue) in std::mem::take(&mut self.pending_cross) {
+            out.extend(queue);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Commit pipeline
+    // ------------------------------------------------------------------
+
+    /// Appends (or defers) a committed block, executes its batch atomically
+    /// in order and optionally replies to the clients. Returns `true` if the
+    /// block was appended immediately.
+    fn commit_block(&mut self, ctx: &mut Context<Msg>, block: Block, reply: bool) -> bool {
+        if block.tx_count() == 0 {
+            return false;
+        }
+        if block.tx_ids().any(|id| self.committed_txs.contains(&id)) {
+            // Usually a duplicate delivery of a fully committed block. A
+            // *partial* overlap (some member transaction already committed
+            // through a different block) can only arise through the
+            // documented Byzantine new-view gap (no prepared-certificate
+            // transfer, see ROADMAP); such a block could never append — the
+            // ledger rejects duplicate transactions — so it is dropped
+            // deterministically instead of poisoning the append path.
             return false;
         }
         // The block is decided for this cluster: the next proposal must chain
@@ -410,9 +664,7 @@ impl Replica {
             let mut advanced = false;
             for (child, child_reply) in children {
                 if child.parent_for(self.cluster) == Some(self.ledger.head())
-                    && !self
-                        .committed_txs
-                        .contains(&child.tx_id().expect("transaction block"))
+                    && !child.tx_ids().any(|id| self.committed_txs.contains(&id))
                 {
                     self.apply_block(ctx, child, child_reply);
                     advanced = true;
@@ -426,27 +678,36 @@ impl Replica {
     }
 
     fn apply_block(&mut self, ctx: &mut Context<Msg>, block: Block, reply: bool) {
-        let tx = block.tx_arc().expect("transaction block");
+        let batch = block
+            .body_batch()
+            .cloned()
+            .expect("only batch blocks are committed");
         let cross = block.is_cross_shard();
         self.advance_tail(&block);
         self.ledger
             .append(block)
             .expect("parent was checked against the head");
-        self.committed_txs.insert(tx.id);
-        ctx.charge(self.cfg.cost.execution());
-        let outcome = self.executor.apply(&mut self.store, &tx);
-        let applied = matches!(outcome, ExecutionOutcome::Applied);
-        if matches!(outcome, ExecutionOutcome::Aborted) {
-            self.stats.aborted_executions += 1;
+        // One execution-cost charge per transaction plus one block digest.
+        ctx.charge(self.cfg.cost.execution_batch(batch.len()));
+        // The whole batch applies atomically in order (commit_block already
+        // rejected blocks overlapping committed transactions).
+        let outcomes = self.executor.apply_batch(&mut self.store, batch.txs());
+        for (tx, outcome) in batch.txs().iter().zip(outcomes) {
+            self.committed_txs.insert(tx.id);
+            let applied = matches!(outcome, ExecutionOutcome::Applied);
+            if matches!(outcome, ExecutionOutcome::Aborted) {
+                self.stats.aborted_executions += 1;
+            }
+            if cross {
+                self.stats.committed_cross += 1;
+            } else {
+                self.stats.committed_intra += 1;
+            }
+            if reply {
+                self.reply_to_client(ctx, tx.id, applied);
+            }
         }
-        if cross {
-            self.stats.committed_cross += 1;
-        } else {
-            self.stats.committed_intra += 1;
-        }
-        if reply {
-            self.reply_to_client(ctx, tx.id, applied);
-        }
+        self.stats.committed_blocks += 1;
         self.after_commit_bookkeeping(ctx);
     }
 
@@ -462,13 +723,17 @@ impl Replica {
         self.buffered.push_back((from, msg));
     }
 
-    /// Re-processes buffered messages while the replica is unblocked.
+    /// Re-processes buffered messages while the replica is unblocked, then
+    /// flushes any batch that can start.
     fn process_buffered(&mut self, ctx: &mut Context<Msg>) {
         let mut guard = 0usize;
         while !self.is_blocked() && !self.buffered.is_empty() && guard < 10_000 {
             let (from, msg) = self.buffered.pop_front().expect("non-empty");
             self.dispatch(from, msg, ctx);
             guard += 1;
+        }
+        if !self.is_blocked() && self.any_pending() {
+            self.flush_pending(ctx);
         }
     }
 
@@ -480,13 +745,13 @@ impl Replica {
         // already-started rounds (accepts, commits, votes) always flow.
         if msg.starts_new_transaction() && self.is_blocked() {
             let pass_through = match &msg {
-                // A re-proposal (retry) of the transaction we are already
-                // reserved for must be processed, not buffered.
-                Msg::XPropose { tx, .. } | Msg::XProposeB { tx, .. } => {
+                // A re-proposal (retry) of the batch we are already reserved
+                // for must be processed, not buffered.
+                Msg::XPropose { batch, .. } | Msg::XProposeB { batch, .. } => {
                     let same_reserved = self
                         .reservation
                         .as_ref()
-                        .is_some_and(|res| res.d == tx.digest());
+                        .is_some_and(|res| res.d == batch.digest());
                     // Deadlock avoidance (crash model only): an initiating
                     // primary yields to cross-shard proposals from
                     // lower-numbered clusters (a total priority order breaks
@@ -498,7 +763,7 @@ impl Replica {
                     let higher_priority = self.model() == FailureModel::Crash
                         && self.reservation.is_none()
                         && self.initiating.is_some()
-                        && tx
+                        && batch
                             .involved_clusters(&self.cfg.partitioner)
                             .first()
                             .is_some_and(|initiator| *initiator < self.cluster);
@@ -515,20 +780,24 @@ impl Replica {
             Msg::Request { tx, sig } => self.handle_request(from, tx, sig, ctx),
             Msg::Reply { .. } => { /* replicas never receive replies */ }
 
-            Msg::PaxosAccept { view, parent, tx } => {
-                self.handle_paxos_accept(from, view, parent, tx, ctx)
-            }
+            Msg::PaxosAccept {
+                view,
+                parent,
+                batch,
+            } => self.handle_paxos_accept(from, view, parent, batch, ctx),
             Msg::PaxosAccepted { view, d, node } => self.handle_paxos_accepted(view, d, node, ctx),
-            Msg::PaxosCommit { view, parent, tx } => {
-                self.handle_paxos_commit(view, parent, tx, ctx)
-            }
+            Msg::PaxosCommit {
+                view,
+                parent,
+                batch,
+            } => self.handle_paxos_commit(view, parent, batch, ctx),
 
             Msg::PrePrepare {
                 view,
                 parent,
-                tx,
+                batch,
                 sig,
-            } => self.handle_pre_prepare(from, view, parent, tx, sig, ctx),
+            } => self.handle_pre_prepare(from, view, parent, batch, sig, ctx),
             Msg::Prepare {
                 view,
                 parent,
@@ -548,8 +817,8 @@ impl Replica {
                 initiator,
                 attempt,
                 parent,
-                tx,
-            } => self.handle_xpropose(from, initiator, attempt, parent, tx, ctx),
+                batch,
+            } => self.handle_xpropose(from, initiator, attempt, parent, batch, ctx),
             Msg::XAccept {
                 d,
                 attempt,
@@ -557,16 +826,16 @@ impl Replica {
                 parent,
                 node,
             } => self.handle_xaccept(d, attempt, cluster, parent, node, ctx),
-            Msg::XCommit { d, parents, tx } => self.handle_xcommit(d, parents, tx, ctx),
+            Msg::XCommit { d, parents, batch } => self.handle_xcommit(d, parents, batch, ctx),
             Msg::XAbort { d, initiator } => self.handle_xabort(d, initiator, ctx),
 
             Msg::XProposeB {
                 initiator,
                 attempt,
                 parent,
-                tx,
+                batch,
                 sig,
-            } => self.handle_xpropose_b(from, initiator, attempt, parent, tx, sig, ctx),
+            } => self.handle_xpropose_b(from, initiator, attempt, parent, batch, sig, ctx),
             Msg::XAcceptB {
                 d,
                 attempt,
@@ -604,7 +873,7 @@ impl Replica {
         &mut self,
         _from: ActorId,
         tx: Arc<Transaction>,
-        sig: sharper_crypto::Signature,
+        sig: Signature,
         ctx: &mut Context<Msg>,
     ) {
         if self.committed_txs.contains(&tx.id) {
@@ -612,15 +881,13 @@ impl Replica {
             self.reply_to_client(ctx, tx.id, true);
             return;
         }
-        // In the Byzantine model the client signature must verify (§2.1).
+        // In the Byzantine model the client signature must verify (§2.1);
+        // retransmissions of an identical signed request hit the cache.
         if self.model().requires_signatures() {
             let expected = client_signer_id(tx.client());
-            let ok =
-                sig.signer == expected.0 && self.cfg.registry.verify(&tx.canonical_bytes(), &sig);
-            if !ok {
+            if !self.verify_request_sig(ctx, expected, &tx.canonical_bytes(), &sig) {
                 return;
             }
-            self.charge_message(ctx, 1, 0);
         }
         let involved = tx.involved_clusters(&self.cfg.partitioner);
         if involved.len() <= 1 {
@@ -641,7 +908,7 @@ impl Replica {
                 );
                 return;
             }
-            self.start_intra(tx, ctx);
+            self.enqueue_intra(tx, sig, ctx);
         } else {
             // Cross-shard transaction: route to the initiator cluster chosen
             // by the configured policy (super primary by default, §3.2).
@@ -664,7 +931,7 @@ impl Replica {
                 );
                 return;
             }
-            self.start_cross(tx, involved, ctx);
+            self.enqueue_cross(tx, sig, involved, ctx);
         }
     }
 }
@@ -676,11 +943,10 @@ impl Actor<Msg> for Replica {
 
     fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<Msg>) {
         self.stats.messages_handled += 1;
-        // Base cost of receiving and (in the Byzantine model) verifying the
-        // message; protocol handlers add signing costs when they emit signed
-        // messages.
-        let verify = usize::from(msg.is_signed() && self.model().requires_signatures());
-        self.charge_message(ctx, verify, 0);
+        // Base cost of receiving and parsing the message; signature
+        // verification is charged where it happens (and skipped on cache
+        // hits), signing costs where messages are emitted.
+        self.charge_message(ctx, 0, 0);
         self.dispatch(from, msg, ctx);
     }
 
@@ -712,6 +978,7 @@ impl Actor<Msg> for Replica {
             }
             timer_tags::RETRY => self.handle_retry_timer(timer, ctx),
             timer_tags::VIEW_CHANGE => self.handle_view_change_timer(timer, ctx),
+            timer_tags::BATCH => self.handle_batch_timer(timer, ctx),
             _ => {}
         }
     }

@@ -9,7 +9,8 @@
 //! it installs the view, announces it with `NewView` and takes over the
 //! uncommitted requests it knows about. Clients additionally retransmit
 //! requests that time out, which covers requests the failed primary never
-//! forwarded.
+//! forwarded. Requests still sitting in the old primary's batching queue are
+//! handed to the new primary as ordinary forwarded requests.
 
 use super::Replica;
 use crate::messages::{timer_tags, vote_sign_bytes, AcceptedRound, Msg};
@@ -101,10 +102,10 @@ impl Replica {
         }
         self.intra
             .values()
-            .filter(|round| !round.committed)
+            .filter(|round| !round.committed && !round.batch.is_empty())
             .map(|round| AcceptedRound {
                 parent: round.parent,
-                tx: std::sync::Arc::clone(&round.tx),
+                batch: round.batch.clone(),
             })
             .collect()
     }
@@ -137,9 +138,7 @@ impl Replica {
         }
         if self.model().requires_signatures() {
             let bytes = view_change_sign_bytes(b"viewchange", cluster, new_view);
-            if sig.signer != super::node_signer_id(node).0
-                || !self.cfg.registry.verify(&bytes, &sig)
-            {
+            if !self.verify_signed(ctx, super::node_signer_id(node), &bytes, &sig) {
                 return;
             }
         }
@@ -164,11 +163,11 @@ impl Replica {
             // Wait for the new primary's announcement.
             return;
         }
-        // State transfer (crash model): every value that may have committed
+        // State transfer (crash model): every batch that may have committed
         // in the old view was accepted by f+1 replicas, and this view-change
         // quorum of f+1 intersects every such accept quorum, so the union of
         // the voters' reported rounds plus this replica's own uncommitted
-        // rounds covers all possibly-committed values. They are re-proposed
+        // rounds covers all possibly-committed batches. They are re-proposed
         // below, at their original chain positions, before any new work.
         let mut transfer: Vec<AcceptedRound> = self
             .vc_votes
@@ -201,10 +200,10 @@ impl Replica {
     /// Re-proposes the accepted rounds learned through the view change.
     ///
     /// Rounds are replayed in parent-chain order starting from this
-    /// replica's ledger head, so a value committed at height `h` in the old
+    /// replica's ledger head, so a batch committed at height `h` in the old
     /// view is re-proposed as the bit-identical block at height `h` (block
-    /// digests are pure functions of parent and transaction). Rounds whose
-    /// parent chain cannot be reproduced were never committed anywhere — a
+    /// digests are pure functions of parent and batch). Rounds whose parent
+    /// chain cannot be reproduced were never committed anywhere — a
     /// committed block's whole prefix was committed with quorums this
     /// view-change quorum intersects — and are re-proposed at fresh
     /// positions instead.
@@ -216,10 +215,14 @@ impl Replica {
         let mut pending: Vec<AcceptedRound> = Vec::new();
         let mut seen = HashSet::new();
         for round in transfer {
-            if self.committed_txs.contains(&round.tx.id) {
+            if round
+                .batch
+                .tx_ids()
+                .all(|id| self.committed_txs.contains(&id))
+            {
                 continue;
             }
-            if seen.insert(round.tx.digest()) {
+            if seen.insert(round.batch.digest()) {
                 pending.push(round);
             }
         }
@@ -230,12 +233,12 @@ impl Replica {
                 break;
             };
             let round = pending.swap_remove(idx);
-            self.propose_paxos_at(round.tx, round.parent, ctx);
+            self.propose_paxos_at(round.batch, round.parent, ctx);
         }
         // Orphaned rounds (uncommitted anywhere): fresh positions.
         for round in pending {
             let parent = self.ordering_tail();
-            self.propose_paxos_at(round.tx, parent, ctx);
+            self.propose_paxos_at(round.batch, parent, ctx);
         }
     }
 
@@ -261,9 +264,7 @@ impl Replica {
         }
         if self.model().requires_signatures() {
             let bytes = view_change_sign_bytes(b"newview", cluster, new_view);
-            if sig.signer != super::node_signer_id(node).0
-                || !self.cfg.registry.verify(&bytes, &sig)
-            {
+            if !self.verify_signed(ctx, super::node_signer_id(node), &bytes, &sig) {
                 return;
             }
         }
@@ -277,6 +278,14 @@ impl Replica {
                     Msg::Request { tx, sig },
                 );
             }
+        }
+        // Requests still waiting in this (demoted) replica's batching queues
+        // belong to the new primary now.
+        for (tx, sig) in self.drain_pending_requests() {
+            ctx.send(
+                sharper_net::ActorId::Node(expected_primary),
+                Msg::Request { tx, sig },
+            );
         }
     }
 
@@ -294,16 +303,12 @@ impl Replica {
         if self.initiating.is_some() {
             self.initiating = None;
         }
-        // Drop deferred blocks whose transaction already committed (their
+        // Drop deferred blocks whose transactions already committed (their
         // parked copy chains behind an abandoned proposal and would never
         // append); the rest stay parked until the repaired chain reaches
         // their parent.
         self.deferred.retain(|_, blocks| {
-            blocks.retain(|(block, _)| {
-                block
-                    .tx_id()
-                    .is_some_and(|tx| !self.committed_txs.contains(&tx))
-            });
+            blocks.retain(|(block, _)| block.tx_ids().any(|tx| !self.committed_txs.contains(&tx)));
             !blocks.is_empty()
         });
     }
@@ -321,13 +326,18 @@ impl Replica {
             .cross
             .iter()
             .filter(|(_, r)| !r.committed && !r.sent_commit && r.initiator == self.cluster)
-            .map(|(d, r)| (*d, r.tx.clone(), r.involved.clone()))
+            .map(|(d, r)| (*d, r.batch.clone(), r.involved.clone()))
             .collect();
-        for (d, tx, involved) in pending {
+        for (d, batch, involved) in pending {
             self.cross.remove(&d);
             if !self.is_blocked() {
-                self.start_cross(tx, involved, ctx);
+                self.start_cross(batch, involved, ctx);
             }
+        }
+        // Batches queued while this replica was a backup (or carried over
+        // from its own past primaryship) can start now.
+        if !self.is_blocked() {
+            self.flush_pending(ctx);
         }
     }
 }

@@ -1,0 +1,222 @@
+//! A bounded LRU cache of already-verified `(signer, digest)` pairs.
+//!
+//! Byzantine-model replicas verify one MAC/signature per signed message. A
+//! retransmitted client request carries bytes this replica has already
+//! verified; the cache lets the signature-check path skip the recomputation
+//! — and the simulator skip charging the `verify` CPU cost — for such
+//! repeats. It is consulted only on the request path, where identical bytes
+//! legitimately repeat; protocol votes are verified directly (their bytes
+//! are round-unique, so caching them would only add overhead).
+//!
+//! Each entry also stores the **tag** that verified, and a hit requires the
+//! incoming tag to match: a replayed message whose bytes were verified
+//! before but whose signature was swapped for garbage misses the cache and
+//! fails ordinary verification — a forged signature can never be laundered
+//! through the cache.
+//!
+//! The implementation is a hash map plus an access-ordered queue with lazy
+//! eviction: a hit re-stamps the entry and pushes a fresh queue record;
+//! eviction pops queue records until one matches its entry's latest stamp.
+//! Every operation is O(1) amortised.
+
+use sharper_crypto::Digest;
+use std::collections::{HashMap, VecDeque};
+
+/// Key of one cached verification: the claimed signer and the digest of the
+/// signed bytes.
+pub type SigKey = (u64, Digest);
+
+/// A fixed-capacity LRU map from verified signature keys to the tag that
+/// verified.
+#[derive(Debug)]
+pub struct SigCache {
+    capacity: usize,
+    /// Entry → (stamp of its most recent use, the tag that verified).
+    entries: HashMap<SigKey, (u64, Digest)>,
+    /// Access order, oldest first; stale records (stamp mismatch) are
+    /// discarded lazily during eviction.
+    order: VecDeque<(SigKey, u64)>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SigCache {
+    /// Creates a cache remembering up to `capacity` verified pairs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    /// Rebuilds the access queue from the live entries once stale records
+    /// dominate it, keeping memory proportional to the capacity. Amortised
+    /// O(1) per operation (each rebuild is paid for by the ≥7·capacity
+    /// stale records that triggered it).
+    fn maybe_compact(&mut self) {
+        if self.order.len() <= self.capacity.saturating_mul(8) {
+            return;
+        }
+        let mut live: Vec<(SigKey, u64)> =
+            self.entries.iter().map(|(k, (s, _))| (*k, *s)).collect();
+        live.sort_unstable_by_key(|(_, s)| *s);
+        self.order = live.into();
+    }
+
+    /// Whether `key` was verified recently **with the same tag**. A hit
+    /// refreshes the entry's recency; a tag mismatch (replay with a swapped
+    /// signature) is a miss, so the caller falls back to real verification.
+    pub fn check(&mut self, key: SigKey, tag: Digest) -> bool {
+        let stamp = self.stamp();
+        match self.entries.get_mut(&key) {
+            Some((entry_stamp, entry_tag)) if *entry_tag == tag => {
+                *entry_stamp = stamp;
+                self.order.push_back((key, stamp));
+                self.hits += 1;
+                self.maybe_compact();
+                true
+            }
+            _ => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Records a successful verification of `key` with `tag`, evicting the
+    /// least recently used entry if the cache is full.
+    pub fn insert(&mut self, key: SigKey, tag: Digest) {
+        let stamp = self.stamp();
+        if self.entries.insert(key, (stamp, tag)).is_none() {
+            while self.entries.len() > self.capacity {
+                let Some((old_key, old_stamp)) = self.order.pop_front() else {
+                    break;
+                };
+                // Only evict if this record is the entry's latest use;
+                // otherwise it is a stale duplicate left by a hit.
+                if self.entries.get(&old_key).map(|(s, _)| *s) == Some(old_stamp) {
+                    self.entries.remove(&old_key);
+                }
+            }
+        }
+        self.order.push_back((key, stamp));
+        self.maybe_compact();
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_crypto::hash;
+
+    fn key(signer: u64, label: u8) -> SigKey {
+        (signer, hash(&[label]))
+    }
+
+    fn tag(label: u8) -> Digest {
+        hash(&[0xF0, label])
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = SigCache::new(4);
+        assert!(!c.check(key(1, 0), tag(0)));
+        c.insert(key(1, 0), tag(0));
+        assert!(c.check(key(1, 0), tag(0)));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn a_swapped_tag_is_a_miss_not_a_laundered_hit() {
+        let mut c = SigCache::new(4);
+        c.insert(key(1, 0), tag(0));
+        // Same signer and same signed bytes, but a forged/garbage signature
+        // tag: the cache must not vouch for it.
+        assert!(!c.check(key(1, 0), tag(9)));
+        // The genuine tag still hits afterwards.
+        assert!(c.check(key(1, 0), tag(0)));
+    }
+
+    #[test]
+    fn distinct_signers_do_not_collide() {
+        let mut c = SigCache::new(4);
+        c.insert(key(1, 0), tag(0));
+        assert!(!c.check(key(2, 0), tag(0)));
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let mut c = SigCache::new(2);
+        c.insert(key(1, 0), tag(0));
+        c.insert(key(1, 1), tag(1));
+        // Touch key 0 so key 1 becomes the least recently used.
+        assert!(c.check(key(1, 0), tag(0)));
+        c.insert(key(1, 2), tag(2));
+        assert!(c.len() <= 2);
+        assert!(c.check(key(1, 0), tag(0)), "recently used entry survives");
+        assert!(
+            !c.check(key(1, 1), tag(1)),
+            "least recently used entry evicted"
+        );
+        assert!(c.check(key(1, 2), tag(2)));
+    }
+
+    #[test]
+    fn reinserting_an_entry_does_not_grow_the_cache() {
+        let mut c = SigCache::new(2);
+        for _ in 0..10 {
+            c.insert(key(1, 0), tag(0));
+        }
+        assert_eq!(c.len(), 1);
+        assert!(c.check(key(1, 0), tag(0)));
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let mut c = SigCache::new(8);
+        for i in 0..1_000u64 {
+            c.insert((i % 16, hash(&i.to_le_bytes())), tag((i % 251) as u8));
+        }
+        assert!(c.len() <= 8);
+        assert!(
+            c.order.len() <= 8 * 8 + 1,
+            "stale queue records are compacted"
+        );
+    }
+
+    #[test]
+    fn repeated_hits_do_not_grow_the_queue_unboundedly() {
+        let mut c = SigCache::new(4);
+        c.insert(key(1, 0), tag(0));
+        for _ in 0..10_000 {
+            assert!(c.check(key(1, 0), tag(0)));
+        }
+        assert!(c.order.len() <= 4 * 8 + 1);
+    }
+}

@@ -1,30 +1,36 @@
 //! The closed-loop client of the accounting application.
 //!
 //! The paper's evaluation uses "an increasing number of clients ... until the
-//! end-to-end throughput is saturated" (§4). Each client keeps one request
-//! outstanding: it submits a transaction to the primary of the responsible
-//! cluster, waits for the required replies, records the end-to-end latency
-//! and immediately submits the next transaction. Requests that receive no
-//! reply within the retransmission timeout are resubmitted (this is what
-//! provides liveness across primary failures together with the view change).
+//! end-to-end throughput is saturated" (§4). Each client keeps a configurable
+//! window of requests outstanding (`max_in_flight`, 1 by default — the
+//! paper's one-outstanding-request client): it submits transactions to the
+//! primary of the responsible cluster until the window is full, records the
+//! end-to-end latency of each reply quorum and refills the window. A window
+//! larger than 1 is what lets the primary's batching layer fill blocks.
+//! Requests that receive no reply within the retransmission timeout are
+//! resubmitted (this is what provides liveness across primary failures
+//! together with the view change).
 
-use sharper_common::{ClientId, ClusterId, Duration, NodeId};
+use sharper_common::{ClientId, ClusterId, Duration, NodeId, TxId};
 use sharper_consensus::replica::client_signer_id;
 use sharper_consensus::{timer_tags, Msg, ReplicaConfig};
 use sharper_crypto::Signature;
 use sharper_net::{Actor, ActorId, CommitSample, Context, StatsHandle, TimerId};
 use sharper_state::Transaction;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// Client behaviour parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct ClientParams {
-    /// How long to wait for replies before retransmitting the request.
+    /// How long to wait for replies before retransmitting a request.
     pub retry_timeout: Duration,
     /// Optional think time between receiving a reply and submitting the next
     /// request (zero for the saturation experiments).
     pub think_time: Duration,
+    /// How many requests the client keeps in flight. `1` is the paper's
+    /// closed-loop client; larger windows feed the primary's batching layer.
+    pub max_in_flight: usize,
 }
 
 impl Default for ClientParams {
@@ -32,11 +38,20 @@ impl Default for ClientParams {
         Self {
             retry_timeout: Duration::from_millis(2_000),
             think_time: Duration::ZERO,
+            max_in_flight: 1,
         }
     }
 }
 
-/// State of the request currently outstanding at the client.
+impl ClientParams {
+    /// Sets the in-flight window (builder style).
+    pub fn with_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight.max(1);
+        self
+    }
+}
+
+/// State of one request currently outstanding at the client.
 #[derive(Debug)]
 struct Outstanding {
     /// The submitted transaction, shared with the request message so
@@ -48,14 +63,17 @@ struct Outstanding {
     retry_timer: TimerId,
 }
 
-/// A closed-loop client actor.
+/// A closed-loop client actor with a configurable pipeline depth.
 pub struct ClientActor {
     id: ClientId,
     cfg: Arc<ReplicaConfig>,
     params: ClientParams,
     /// The transactions this client will submit, in order.
     script: Box<dyn Iterator<Item = Transaction> + Send>,
-    outstanding: Option<Outstanding>,
+    /// In-flight requests keyed by transaction id (BTreeMap for
+    /// deterministic iteration).
+    outstanding: BTreeMap<TxId, Outstanding>,
+    script_exhausted: bool,
     stats: StatsHandle,
     completed: usize,
     retransmissions: usize,
@@ -63,7 +81,7 @@ pub struct ClientActor {
 
 impl ClientActor {
     /// Creates a client that will submit the transactions yielded by
-    /// `script` one at a time.
+    /// `script`, keeping up to `params.max_in_flight` of them outstanding.
     pub fn new(
         id: ClientId,
         cfg: Arc<ReplicaConfig>,
@@ -76,7 +94,8 @@ impl ClientActor {
             cfg,
             params,
             script: Box::new(script),
-            outstanding: None,
+            outstanding: BTreeMap::new(),
+            script_exhausted: false,
             stats,
             completed: 0,
             retransmissions: 0,
@@ -132,9 +151,10 @@ impl ClientActor {
         self.cfg.system.primary(cluster, 0).expect("cluster exists")
     }
 
+    /// Submits the next scripted transaction, if any.
     fn submit_next(&mut self, ctx: &mut Context<Msg>) {
         let Some(tx) = self.script.next() else {
-            self.outstanding = None;
+            self.script_exhausted = true;
             return;
         };
         let tx = Arc::new(tx);
@@ -145,14 +165,24 @@ impl ClientActor {
         ctx.charge(self.cfg.cost.client());
         self.stats.record_submission();
         let retry_timer = ctx.set_timer(self.params.retry_timeout, timer_tags::CLIENT_RETRY);
-        self.outstanding = Some(Outstanding {
-            tx: Arc::clone(&tx),
-            cross_shard,
-            submitted_at: ctx.now(),
-            replies: HashSet::new(),
-            retry_timer,
-        });
+        self.outstanding.insert(
+            tx.id,
+            Outstanding {
+                tx: Arc::clone(&tx),
+                cross_shard,
+                submitted_at: ctx.now(),
+                replies: HashSet::new(),
+                retry_timer,
+            },
+        );
         ctx.send(ActorId::Node(target), Msg::Request { tx, sig });
+    }
+
+    /// Refills the in-flight window up to `max_in_flight`.
+    fn fill_window(&mut self, ctx: &mut Context<Msg>) {
+        while !self.script_exhausted && self.outstanding.len() < self.params.max_in_flight.max(1) {
+            self.submit_next(ctx);
+        }
     }
 }
 
@@ -162,7 +192,7 @@ impl Actor<Msg> for ClientActor {
     }
 
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
-        self.submit_next(ctx);
+        self.fill_window(ctx);
     }
 
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<Msg>) {
@@ -170,19 +200,16 @@ impl Actor<Msg> for ClientActor {
             return;
         };
         ctx.charge(self.cfg.cost.client());
-        let Some(outstanding) = self.outstanding.as_mut() else {
+        let Some(outstanding) = self.outstanding.get_mut(&tx) else {
             return;
         };
-        if outstanding.tx.id != tx {
-            return;
-        }
         outstanding.replies.insert(node);
         let involved = outstanding.tx.involved_clusters(&self.cfg.partitioner);
         if outstanding.replies.len() < self.required_replies(&involved) {
             return;
         }
         // Committed: record the latency sample and move on.
-        let outstanding = self.outstanding.take().expect("checked above");
+        let outstanding = self.outstanding.remove(&tx).expect("checked above");
         ctx.cancel_timer(outstanding.retry_timer);
         self.completed += 1;
         self.stats.record_commit(CommitSample {
@@ -192,7 +219,7 @@ impl Actor<Msg> for ClientActor {
             cross_shard: outstanding.cross_shard,
         });
         if self.params.think_time == Duration::ZERO {
-            self.submit_next(ctx);
+            self.fill_window(ctx);
         } else {
             ctx.set_timer(self.params.think_time, timer_tags::CLIENT_SUBMIT);
         }
@@ -200,23 +227,33 @@ impl Actor<Msg> for ClientActor {
 
     fn on_timer(&mut self, timer: TimerId, tag: u64, ctx: &mut Context<Msg>) {
         match tag {
-            timer_tags::CLIENT_SUBMIT => self.submit_next(ctx),
+            // Each completion schedules its own think-time timer, so each
+            // firing replaces exactly the one slot whose think time elapsed
+            // (refilling the whole window here would cut short the think
+            // time of completions whose timers are still pending).
+            timer_tags::CLIENT_SUBMIT
+                if self.outstanding.len() < self.params.max_in_flight.max(1) =>
+            {
+                self.submit_next(ctx)
+            }
             timer_tags::CLIENT_RETRY => {
-                let Some(outstanding) = self.outstanding.as_mut() else {
+                let Some((&id, _)) = self
+                    .outstanding
+                    .iter()
+                    .find(|(_, o)| o.retry_timer == timer)
+                else {
                     return;
                 };
-                if outstanding.retry_timer != timer {
-                    return;
-                }
                 // No quorum of replies yet: retransmit to the (possibly new)
                 // primary and arm a fresh timer.
                 self.retransmissions += 1;
+                let outstanding = self.outstanding.get_mut(&id).expect("found above");
                 let tx = Arc::clone(&outstanding.tx);
-                let target = self.target_of(&tx);
-                let sig = self.sign(&tx);
                 let retry_timer =
                     ctx.set_timer(self.params.retry_timeout, timer_tags::CLIENT_RETRY);
-                self.outstanding.as_mut().expect("checked").retry_timer = retry_timer;
+                outstanding.retry_timer = retry_timer;
+                let target = self.target_of(&tx);
+                let sig = self.sign(&tx);
                 ctx.send(ActorId::Node(target), Msg::Request { tx, sig });
             }
             _ => {}
@@ -429,5 +466,78 @@ mod tests {
         );
         assert_eq!(client.completed(), 1);
         assert!(ctx.take_outbox().is_empty(), "no further request");
+    }
+
+    #[test]
+    fn pipelined_client_keeps_a_window_of_requests_in_flight() {
+        let cfg = config(FailureModel::Crash);
+        let stats = StatsHandle::new();
+        let mut client = ClientActor::new(
+            ClientId(1),
+            cfg,
+            ClientParams::default().with_in_flight(4),
+            txs(10),
+            stats.clone(),
+        );
+        let mut ctx = Context::detached(SimTime::ZERO, ActorId::Client(ClientId(1)));
+        client.on_start(&mut ctx);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 4, "the window fills on start");
+        assert_eq!(ctx.take_timers().len(), 4, "one retry timer per request");
+
+        // One reply frees one slot; exactly one new request goes out.
+        let tx = Transaction::transfer(ClientId(1), 2, AccountId(1), AccountId(2), 1);
+        let mut ctx = Context::detached(SimTime::from_millis(10), ActorId::Client(ClientId(1)));
+        client.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::Reply {
+                tx: tx.id,
+                node: NodeId(0),
+                applied: true,
+            },
+            &mut ctx,
+        );
+        assert_eq!(client.completed(), 1);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 1, "window refilled by one");
+        // Out-of-order replies for still-outstanding requests are accepted.
+        let tx0 = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 1);
+        client.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::Reply {
+                tx: tx0.id,
+                node: NodeId(0),
+                applied: true,
+            },
+            &mut ctx,
+        );
+        assert_eq!(client.completed(), 2);
+    }
+
+    #[test]
+    fn per_request_retry_timers_only_retransmit_their_own_request() {
+        let cfg = config(FailureModel::Crash);
+        let mut client = ClientActor::new(
+            ClientId(1),
+            cfg,
+            ClientParams::default().with_in_flight(2),
+            txs(2),
+            StatsHandle::new(),
+        );
+        let mut ctx = Context::detached(SimTime::ZERO, ActorId::Client(ClientId(1)));
+        client.on_start(&mut ctx);
+        ctx.take_outbox();
+        let timers = ctx.take_timers();
+        assert_eq!(timers.len(), 2);
+
+        let mut ctx = Context::detached(SimTime::from_secs(3), ActorId::Client(ClientId(1)));
+        client.on_timer(timers[1].0, timers[1].2, &mut ctx);
+        assert_eq!(client.retransmissions(), 1);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 1, "only the timed-out request is retransmitted");
+        let Msg::Request { tx, .. } = &out[0].1 else {
+            panic!("expected a request");
+        };
+        assert_eq!(tx.id.seq, 1, "the second request's timer fired");
     }
 }

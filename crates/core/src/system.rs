@@ -11,8 +11,8 @@ use crate::client::{ClientActor, ClientParams};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sharper_common::{
-    AccountId, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy, LatencyModel,
-    NodeId, SimTime, SystemConfig,
+    AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy,
+    LatencyModel, NodeId, SimTime, SystemConfig,
 };
 use sharper_consensus::replica::{client_signer_id, node_signer_id, ReplicaStats};
 use sharper_consensus::{Msg, Replica, ReplicaConfig, TimerConfig};
@@ -43,6 +43,9 @@ pub struct SystemParams {
     pub latency: LatencyModel,
     /// Protocol timers.
     pub timers: TimerConfig,
+    /// Primary-side transaction batching (`max_batch_size = 1` reproduces
+    /// the paper's one-transaction blocks).
+    pub batch: BatchConfig,
     /// Fault injection plan.
     pub faults: FaultPlan,
     /// Seed for all pseudo-randomness (network jitter, workload).
@@ -67,6 +70,7 @@ impl SystemParams {
             cost: CostModel::default(),
             latency: LatencyModel::default(),
             timers: TimerConfig::default(),
+            batch: BatchConfig::default(),
             faults: FaultPlan::none(),
             seed: 42,
             client: ClientParams::default(),
@@ -92,6 +96,14 @@ impl SystemParams {
         self
     }
 
+    /// Sets the batching policy and sizes the clients' in-flight window to
+    /// match, so batches actually fill (builder style).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self.client.max_in_flight = self.client.max_in_flight.max(batch.max_batch_size);
+        self
+    }
+
     /// Builds the shared replica configuration for these parameters.
     pub fn replica_config(&self, num_clients: usize) -> Arc<ReplicaConfig> {
         let system = SystemConfig::uniform(self.failure_model, self.clusters, self.f)
@@ -103,11 +115,12 @@ impl SystemParams {
             .chain((0..num_clients as u64).map(|c| client_signer_id(ClientId(c))))
             .collect::<Vec<_>>();
         let (registry, _) = KeyRegistry::generate(self.seed, signers);
-        ReplicaConfig::shared(
+        ReplicaConfig::shared_batched(
             system,
             Partitioner::range(self.clusters as u32, self.accounts_per_shard),
             self.cost,
             self.timers,
+            self.batch,
             registry,
         )
     }
@@ -390,6 +403,35 @@ mod tests {
             report.client_completed
         );
         assert!(report.audit.cross_shard_transactions > 0);
+    }
+
+    #[test]
+    fn batched_deployment_amortises_rounds_and_passes_audit() {
+        let mut params = SystemParams::new(FailureModel::Crash, 2, 1)
+            .with_batching(sharper_common::BatchConfig::with_size(8));
+        params.accounts_per_shard = 1_000;
+        params.warmup = SimTime::from_millis(100);
+        let mut system = SharperSystem::build(params, 4, |client| {
+            workload_with(client, 2, 1_000, 400, 0.1, 2)
+        });
+        let report = system.run(SimTime::from_secs(3));
+        assert!(
+            report.client_completed > 50,
+            "completed {}",
+            report.client_completed
+        );
+        // Batching must actually group transactions: fewer blocks than txs.
+        let (blocks, txs): (usize, usize) = report
+            .replica_stats
+            .iter()
+            .map(|(_, s)| (s.committed_blocks, s.committed_intra + s.committed_cross))
+            .fold((0, 0), |(b, t), (bb, tt)| (b + bb, t + tt));
+        assert!(blocks > 0);
+        assert!(
+            txs >= 2 * blocks,
+            "batches stayed singletons: {txs} txs in {blocks} blocks"
+        );
+        assert_eq!(report.retransmissions, 0);
     }
 
     #[test]

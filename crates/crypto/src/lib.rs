@@ -19,7 +19,8 @@
 //!   within the simulation. The CPU cost of real asymmetric signatures is
 //!   charged separately by the simulator's cost model (see
 //!   `sharper_common::CostModel`).
-//! * a small [`merkle`] utility used by tests and by batching experiments.
+//! * a [`merkle`] tree with leaf/node domain separation, used by the ledger
+//!   to commit a block's transaction batch to a single root digest.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +32,7 @@ pub mod sha256;
 
 pub use digest::Digest;
 pub use keys::{KeyRegistry, SecretKey, Signature, Signer};
+pub use merkle::{merkle_proof, merkle_root, verify_proof};
 pub use sha256::Sha256;
 
 /// Convenience: hash a byte slice with SHA-256.

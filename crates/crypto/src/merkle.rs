@@ -1,43 +1,98 @@
-//! A minimal binary Merkle tree.
+//! A binary Merkle tree over transaction digests.
 //!
-//! SharPer uses single-transaction blocks (§2.3), so the production protocol
-//! path never needs a Merkle tree. The tree is provided for the batching
-//! ablation in the benchmark crate (measuring how the "blocks decrease
-//! performance in permissioned settings" observation from StreamChain [26]
-//! plays out in the simulator) and as a general utility.
+//! Blocks carry a *batch* of transactions whose block digest commits to the
+//! Merkle root of the batch (the batching layer at the primary amortises the
+//! per-transaction digest cost and makes inclusion proofs possible). The
+//! ledger audit re-derives the root from the carried transactions, so any
+//! post-commit tampering with a transaction inside a batch is detected.
+//!
+//! # Domain separation
+//!
+//! Leaf hashes and internal-node hashes live in disjoint hash domains:
+//!
+//! * a **leaf** digest `l` enters the tree as `H("sharper-merkle-leaf" ‖ l)`;
+//! * an **internal node** over children `a, b` is
+//!   `H("sharper-merkle-node" ‖ a ‖ b)`.
+//!
+//! Without the split, an attacker could present an internal node as a leaf
+//! (or vice versa) and forge a second preimage for the root of a different
+//! tree shape. With it, no concatenation of node digests can collide with a
+//! leaf encoding.
+//!
+//! Domain separation does **not** remove the classic odd-level-duplication
+//! ambiguity of Bitcoin-style trees (CVE-2012-2459): because odd levels
+//! duplicate their last element, `[a, b, c]` and `[a, b, c, c]` hash to the
+//! identical root. Callers that key protocol state on a root must therefore
+//! reject inputs with duplicated entries — the ledger's batch validation
+//! does exactly that (`Batch::has_duplicate_tx_ids`), mirroring Bitcoin's
+//! fix of rejecting blocks with duplicate transactions.
+//!
+//! # Edge cases (handled explicitly)
+//!
+//! * An **empty** leaf set has the reserved root [`Digest::ZERO`]. No
+//!   non-empty tree can produce it (that would be a SHA-256 preimage of
+//!   zero), so the empty batch is distinguishable by construction.
+//! * A **single leaf** has root `hash_leaf(l)` — the leaf-domain hash, *not*
+//!   the raw leaf, so a one-element tree cannot be confused with the bare
+//!   digest it commits to.
+//! * Odd levels duplicate the last element (Bitcoin-style).
 
 use crate::digest::Digest;
 use crate::sha256::Sha256;
 
+/// Hashes a leaf digest into the leaf domain of the tree.
+pub fn hash_leaf(leaf: Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"sharper-merkle-leaf");
+    h.update(leaf.as_bytes());
+    Digest(h.finalize())
+}
+
+/// Hashes two child digests into an internal node.
+fn hash_node(left: Digest, right: Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"sharper-merkle-node");
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    Digest(h.finalize())
+}
+
+fn next_level(level: &[Digest]) -> Vec<Digest> {
+    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+    for pair in level.chunks(2) {
+        let left = pair[0];
+        let right = if pair.len() == 2 { pair[1] } else { pair[0] };
+        next.push(hash_node(left, right));
+    }
+    next
+}
+
 /// Computes the Merkle root of a list of leaf digests.
 ///
-/// * An empty list hashes to [`Digest::ZERO`].
-/// * A single leaf is its own root.
-/// * Odd levels duplicate the last element (Bitcoin-style).
+/// * An empty list hashes to the reserved root [`Digest::ZERO`].
+/// * A single leaf's root is `hash_leaf(leaf)`.
+/// * Odd levels duplicate the last element.
 pub fn merkle_root(leaves: &[Digest]) -> Digest {
     if leaves.is_empty() {
         return Digest::ZERO;
     }
-    let mut level: Vec<Digest> = leaves.to_vec();
+    let mut level: Vec<Digest> = leaves.iter().copied().map(hash_leaf).collect();
     while level.len() > 1 {
-        let mut next = Vec::with_capacity(level.len().div_ceil(2));
-        for pair in level.chunks(2) {
-            let left = pair[0];
-            let right = if pair.len() == 2 { pair[1] } else { pair[0] };
-            next.push(hash_pair(left, right));
-        }
-        level = next;
+        level = next_level(&level);
     }
     level[0]
 }
 
 /// Computes the Merkle root and an inclusion proof for `index`.
+///
+/// The proof is the list of sibling digests from the leaf level up; the leaf
+/// itself is *not* part of the proof.
 pub fn merkle_proof(leaves: &[Digest], index: usize) -> Option<(Digest, Vec<Digest>)> {
     if index >= leaves.len() {
         return None;
     }
     let mut proof = Vec::new();
-    let mut level: Vec<Digest> = leaves.to_vec();
+    let mut level: Vec<Digest> = leaves.iter().copied().map(hash_leaf).collect();
     let mut idx = index;
     while level.len() > 1 {
         let sibling = if idx.is_multiple_of(2) {
@@ -46,13 +101,7 @@ pub fn merkle_proof(leaves: &[Digest], index: usize) -> Option<(Digest, Vec<Dige
             level[idx - 1]
         };
         proof.push(sibling);
-        let mut next = Vec::with_capacity(level.len().div_ceil(2));
-        for pair in level.chunks(2) {
-            let left = pair[0];
-            let right = if pair.len() == 2 { pair[1] } else { pair[0] };
-            next.push(hash_pair(left, right));
-        }
-        level = next;
+        level = next_level(&level);
         idx /= 2;
     }
     Some((level[0], proof))
@@ -60,25 +109,17 @@ pub fn merkle_proof(leaves: &[Digest], index: usize) -> Option<(Digest, Vec<Dige
 
 /// Verifies an inclusion proof produced by [`merkle_proof`].
 pub fn verify_proof(leaf: Digest, index: usize, proof: &[Digest], root: Digest) -> bool {
-    let mut acc = leaf;
+    let mut acc = hash_leaf(leaf);
     let mut idx = index;
     for sibling in proof {
         acc = if idx.is_multiple_of(2) {
-            hash_pair(acc, *sibling)
+            hash_node(acc, *sibling)
         } else {
-            hash_pair(*sibling, acc)
+            hash_node(*sibling, acc)
         };
         idx /= 2;
     }
     acc == root
-}
-
-fn hash_pair(left: Digest, right: Digest) -> Digest {
-    let mut h = Sha256::new();
-    h.update(b"sharper-merkle-node");
-    h.update(left.as_bytes());
-    h.update(right.as_bytes());
-    Digest(h.finalize())
 }
 
 #[cfg(test)]
@@ -91,10 +132,28 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_singleton() {
+    fn empty_leaf_set_has_the_reserved_zero_root() {
         assert_eq!(merkle_root(&[]), Digest::ZERO);
+    }
+
+    #[test]
+    fn single_leaf_root_is_the_leaf_domain_hash_not_the_raw_leaf() {
         let l = leaves(1);
-        assert_eq!(merkle_root(&l), l[0]);
+        assert_eq!(merkle_root(&l), hash_leaf(l[0]));
+        assert_ne!(merkle_root(&l), l[0], "leaf domain separation");
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_disjoint() {
+        // An internal node over (a, a) must differ from the leaf hash of any
+        // digest derived from a, and a leaf must never equal a node encoding.
+        let a = hash(b"a");
+        let node = merkle_root(&[a, a]);
+        assert_ne!(node, hash_leaf(a));
+        assert_ne!(hash_leaf(a), a, "leaf hashing is not the identity");
+        // A single-leaf tree routes through the leaf domain, so its root can
+        // never equal the raw digest it commits to.
+        assert_eq!(merkle_root(&[node]), hash_leaf(node));
     }
 
     #[test]
@@ -106,6 +165,28 @@ mod tests {
             modified[i] = hash(b"tampered");
             assert_ne!(merkle_root(&modified), root, "leaf {i}");
         }
+    }
+
+    #[test]
+    fn root_is_sensitive_to_leaf_order_and_count() {
+        let base = leaves(4);
+        let mut swapped = base.clone();
+        swapped.swap(0, 1);
+        assert_ne!(merkle_root(&swapped), merkle_root(&base));
+        assert_ne!(merkle_root(&base[..3]), merkle_root(&base));
+    }
+
+    #[test]
+    fn odd_level_duplication_ambiguity_is_a_known_property() {
+        // CVE-2012-2459 pattern: duplicating the trailing leaf of an
+        // odd-length list reproduces the same root. This is pinned here so
+        // the property stays visible — callers (the ledger's batch
+        // validation) must reject duplicated entries rather than rely on
+        // root uniqueness.
+        let abc = leaves(3);
+        let mut abcc = abc.clone();
+        abcc.push(abc[2]);
+        assert_eq!(merkle_root(&abc), merkle_root(&abcc));
     }
 
     #[test]
@@ -134,5 +215,13 @@ mod tests {
     fn out_of_range_proof_is_none() {
         let l = leaves(3);
         assert!(merkle_proof(&l, 3).is_none());
+    }
+
+    #[test]
+    fn single_leaf_proof_is_empty() {
+        let l = leaves(1);
+        let (root, proof) = merkle_proof(&l, 0).unwrap();
+        assert!(proof.is_empty());
+        assert!(verify_proof(l[0], 0, &proof, root));
     }
 }

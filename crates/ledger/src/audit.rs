@@ -44,12 +44,13 @@ pub fn audit_views(views: &[LedgerView]) -> Result<AuditReport> {
     }
 
     // 2. A transaction that appears in several views must be carried by the
-    //    same block everywhere (same parents, same digest): the cross-shard
-    //    commit message distributes one block to all involved clusters.
+    //    same block everywhere (same parents, same batch, same digest): the
+    //    cross-shard commit message distributes one block to all involved
+    //    clusters.
     let mut tx_digest: HashMap<sharper_common::TxId, sharper_crypto::Digest> = HashMap::new();
     for view in views {
         for block in view.blocks() {
-            if let Some(tx) = block.tx_id() {
+            for tx in block.tx_ids() {
                 match tx_digest.get(&tx) {
                     None => {
                         tx_digest.insert(tx, block.digest());
@@ -100,12 +101,13 @@ pub fn audit_views(views: &[LedgerView]) -> Result<AuditReport> {
     let cross = dag
         .order_of(clusters[0])
         .map(|_| {
-            // Count distinct cross-shard blocks over the union.
+            // Count distinct cross-shard transactions over the union (a
+            // cross-shard block may batch several of them).
             views
                 .iter()
                 .flat_map(|v| v.blocks())
                 .filter(|b| b.is_cross_shard())
-                .map(|b| b.digest())
+                .flat_map(|b| b.tx_ids())
                 .collect::<std::collections::HashSet<_>>()
                 .len()
         })

@@ -1,9 +1,13 @@
 //! Blocks of the SharPer ledger.
 //!
-//! Each block contains a single transaction (§2.3) plus one parent digest per
-//! involved cluster: "each cross-shard transaction includes the cryptographic
-//! hash of the previous transaction of every involved cluster".
+//! The paper's base protocol puts a single transaction in each block (§2.3);
+//! the reproduction generalises this to a [`Batch`] of transactions whose
+//! Merkle root the block digest commits to. A single-transaction batch
+//! reproduces the paper's semantics exactly. Each block carries one parent
+//! digest per involved cluster: "each cross-shard transaction includes the
+//! cryptographic hash of the previous transaction of every involved cluster".
 
+use crate::batch::Batch;
 use serde::{Deserialize, Serialize};
 use sharper_common::{ClusterId, TxId};
 use sharper_crypto::{hash_parts, Digest};
@@ -18,26 +22,27 @@ pub enum BlockBody {
     /// The unique initialisation block λ (§2.3). Every cluster's view starts
     /// with the same genesis block.
     Genesis,
-    /// A block carrying exactly one transaction. The transaction is shared
-    /// (`Arc`), so blocks clone in O(1) regardless of transaction size —
-    /// commit paths, deferred-append parking and post-run ledger audits all
-    /// copy blocks freely.
-    Transaction(Arc<Transaction>),
+    /// A block carrying an ordered batch of transactions. The batch shares
+    /// its transactions (`Arc`), so blocks clone in O(1) regardless of batch
+    /// size — commit paths, deferred-append parking and post-run ledger
+    /// audits all copy blocks freely.
+    Batch(Batch),
 }
 
 /// A block of the DAG ledger.
 ///
 /// `parents` maps every involved cluster to the digest of the previous block
 /// of that cluster; for an intra-shard block this map has a single entry.
-/// The block digest commits to the body and to all parents, so the chaining
-/// is tamper-evident exactly as in the paper.
+/// The block digest commits to all parents and to the batch's Merkle root
+/// (re-derived from the transactions, never trusted from the cache), so both
+/// the chaining and the batch contents are tamper-evident.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Block {
     /// Parent digests, one per involved cluster, keyed by cluster id.
     /// Shared (`Arc`): a cross-shard commit fan-out, the commit message and
     /// every replica's appended block all reference one map allocation.
     pub parents: Arc<BTreeMap<ClusterId, Digest>>,
-    /// The block body (genesis or a single transaction).
+    /// The block body (genesis or a transaction batch).
     pub body: BlockBody,
     /// The digest of this block (computed over parents and body).
     digest: Digest,
@@ -55,20 +60,20 @@ impl Block {
         }
     }
 
-    /// Creates a transaction block with the given parents.
+    /// Creates a block carrying `batch` with the given parents.
     ///
     /// The caller (the consensus layer) supplies one parent digest per
     /// involved cluster; this constructor does not check that the set of
-    /// parents matches the transaction's involved clusters because the
-    /// consensus layer may legitimately involve a superset (e.g. a read-only
-    /// shard); the audit layer verifies the correspondence that matters —
-    /// that each *view* chains correctly.
-    pub fn transaction(
-        tx: impl Into<Arc<Transaction>>,
+    /// parents matches the batch's involved clusters because the consensus
+    /// layer may legitimately involve a superset (e.g. a read-only shard);
+    /// the audit layer verifies the correspondence that matters — that each
+    /// *view* chains correctly.
+    pub fn batch(
+        batch: impl Into<Batch>,
         parents: impl Into<Arc<BTreeMap<ClusterId, Digest>>>,
     ) -> Self {
         let parents = parents.into();
-        let body = BlockBody::Transaction(tx.into());
+        let body = BlockBody::Batch(batch.into());
         let digest = Self::compute_digest(&parents, &body);
         Self {
             parents,
@@ -77,32 +82,41 @@ impl Block {
         }
     }
 
+    /// Convenience: a block carrying a single-transaction batch (the paper's
+    /// one-transaction block).
+    pub fn transaction(
+        tx: impl Into<Arc<Transaction>>,
+        parents: impl Into<Arc<BTreeMap<ClusterId, Digest>>>,
+    ) -> Self {
+        Self::batch(Batch::single(tx.into()), parents)
+    }
+
     /// The digest of this block (`H(t)` in the paper).
     pub fn digest(&self) -> Digest {
         self.digest
     }
 
-    /// The transaction carried by this block, if it is not the genesis.
-    pub fn tx(&self) -> Option<&Transaction> {
+    /// The batch carried by this block, if it is not the genesis.
+    pub fn body_batch(&self) -> Option<&Batch> {
         match &self.body {
             BlockBody::Genesis => None,
-            BlockBody::Transaction(tx) => Some(tx.as_ref()),
+            BlockBody::Batch(batch) => Some(batch),
         }
     }
 
-    /// The shared handle to the carried transaction, if any. Cloning the
-    /// returned `Arc` is the zero-copy way to retain the transaction past the
-    /// block (e.g. for execution after append).
-    pub fn tx_arc(&self) -> Option<Arc<Transaction>> {
-        match &self.body {
-            BlockBody::Genesis => None,
-            BlockBody::Transaction(tx) => Some(Arc::clone(tx)),
-        }
+    /// The transactions carried by this block, in order (empty for genesis).
+    pub fn txs(&self) -> &[Arc<Transaction>] {
+        self.body_batch().map_or(&[], Batch::txs)
     }
 
-    /// The id of the carried transaction, if any.
-    pub fn tx_id(&self) -> Option<TxId> {
-        self.tx().map(|t| t.id)
+    /// The ids of the carried transactions, in order.
+    pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.txs().iter().map(|tx| tx.id)
+    }
+
+    /// Number of transactions in this block (0 for the genesis block).
+    pub fn tx_count(&self) -> usize {
+        self.txs().len()
     }
 
     /// Whether this is the genesis block.
@@ -125,14 +139,21 @@ impl Block {
         self.parents.get(&cluster).copied()
     }
 
-    /// Recomputes the digest from the current contents and checks it matches
-    /// the stored digest. Returns `false` for tampered blocks.
+    /// Recomputes the digest from the current contents — re-deriving the
+    /// batch's Merkle root from the transactions — and checks it matches the
+    /// stored digest. Returns `false` for tampered blocks, including a
+    /// transaction swapped inside the batch.
     pub fn verify_integrity(&self) -> bool {
+        if let BlockBody::Batch(batch) = &self.body {
+            if !batch.verify_root() {
+                return false;
+            }
+        }
         Self::compute_digest(&self.parents, &self.body) == self.digest
     }
 
     fn compute_digest(parents: &BTreeMap<ClusterId, Digest>, body: &BlockBody) -> Digest {
-        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(2 + parents.len() * 2);
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(3 + parents.len() * 2);
         parts.push(b"sharper-block".to_vec());
         for (cluster, parent) in parents {
             parts.push(cluster.0.to_le_bytes().to_vec());
@@ -140,7 +161,19 @@ impl Block {
         }
         match body {
             BlockBody::Genesis => parts.push(b"genesis-lambda".to_vec()),
-            BlockBody::Transaction(tx) => parts.push(tx.canonical_bytes()),
+            BlockBody::Batch(batch) => {
+                // The cached root keeps block construction O(1) in batch
+                // size; it is safe to trust here because verify_integrity
+                // first re-derives the root from the transactions
+                // (Batch::verify_root), so a batch whose contents were
+                // swapped under a stale cached root can never verify.
+                let root = batch.digest();
+                let mut encoded = Vec::with_capacity(8 + 8 + 32);
+                encoded.extend_from_slice(b"batch:");
+                encoded.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+                encoded.extend_from_slice(root.as_bytes());
+                parts.push(encoded);
+            }
         }
         let slices: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
         hash_parts(&slices)
@@ -151,7 +184,7 @@ impl fmt::Display for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.body {
             BlockBody::Genesis => write!(f, "λ[{}]", self.digest),
-            BlockBody::Transaction(tx) => write!(f, "B({tx})[{}]", self.digest),
+            BlockBody::Batch(batch) => write!(f, "B({batch})[{}]", self.digest),
         }
     }
 }
@@ -179,8 +212,8 @@ mod tests {
         assert!(g1.parents.is_empty());
         assert_eq!(g1.digest(), g2.digest());
         assert!(g1.verify_integrity());
-        assert!(g1.tx().is_none());
-        assert!(g1.tx_id().is_none());
+        assert!(g1.txs().is_empty());
+        assert_eq!(g1.tx_count(), 0);
         assert!(!g1.is_cross_shard());
     }
 
@@ -193,7 +226,10 @@ mod tests {
         assert_eq!(b.parent_for(ClusterId(0)), Some(g.digest()));
         assert_eq!(b.parent_for(ClusterId(1)), None);
         assert!(b.verify_integrity());
-        assert_eq!(b.tx_id(), Some(TxId::new(ClientId(1), 0)));
+        assert_eq!(
+            b.tx_ids().collect::<Vec<_>>(),
+            vec![TxId::new(ClientId(1), 0)]
+        );
     }
 
     #[test]
@@ -220,11 +256,43 @@ mod tests {
     }
 
     #[test]
+    fn digest_commits_to_the_whole_batch() {
+        let g = Block::genesis();
+        let two = Block::batch(
+            Batch::new(vec![Arc::new(tx(0)), Arc::new(tx(1))]),
+            single_parent(0, g.digest()),
+        );
+        let reordered = Block::batch(
+            Batch::new(vec![Arc::new(tx(1)), Arc::new(tx(0))]),
+            single_parent(0, g.digest()),
+        );
+        let one = Block::transaction(tx(0), single_parent(0, g.digest()));
+        assert_eq!(two.tx_count(), 2);
+        assert!(two.verify_integrity());
+        assert_ne!(two.digest(), reordered.digest());
+        assert_ne!(two.digest(), one.digest());
+    }
+
+    #[test]
     fn tampering_is_detected() {
         let g = Block::genesis();
         let mut b = Block::transaction(tx(0), single_parent(0, g.digest()));
         assert!(b.verify_integrity());
-        b.body = BlockBody::Transaction(Arc::new(tx(99)));
+        b.body = BlockBody::Batch(Batch::single(tx(99)));
+        assert!(!b.verify_integrity());
+    }
+
+    #[test]
+    fn tampered_transaction_inside_a_batch_is_detected() {
+        // The adversary swaps one transaction inside a committed batch while
+        // keeping the cached Merkle root — the re-derived root exposes it.
+        let g = Block::genesis();
+        let honest = Batch::new(vec![Arc::new(tx(0)), Arc::new(tx(1)), Arc::new(tx(2))]);
+        let mut b = Block::batch(honest.clone(), single_parent(0, g.digest()));
+        assert!(b.verify_integrity());
+        let mut txs = honest.txs().to_vec();
+        txs[1] = Arc::new(tx(77));
+        b.body = BlockBody::Batch(Batch::with_claimed_root(txs, honest.digest()));
         assert!(!b.verify_integrity());
     }
 

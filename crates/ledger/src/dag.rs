@@ -48,9 +48,13 @@ impl DagLedger {
         self.blocks.len()
     }
 
-    /// Number of distinct committed transactions.
+    /// Number of distinct committed transactions (blocks may carry batches).
     pub fn transaction_count(&self) -> usize {
-        self.blocks.values().filter(|b| !b.is_genesis()).count()
+        self.blocks
+            .values()
+            .flat_map(|b| b.tx_ids())
+            .collect::<HashSet<TxId>>()
+            .len()
     }
 
     /// The clusters contributing views to the union.
@@ -65,7 +69,7 @@ impl DagLedger {
 
     /// Whether a transaction is committed anywhere in the DAG.
     pub fn contains_tx(&self, tx: TxId) -> bool {
-        self.blocks.values().any(|b| b.tx_id() == Some(tx))
+        self.blocks.values().any(|b| b.tx_ids().any(|id| id == tx))
     }
 
     /// The per-cluster commit order (digests) of a cluster's view.

@@ -1,7 +1,8 @@
 //! # sharper-ledger
 //!
 //! The SharPer blockchain ledger (§2.3): a directed acyclic graph of
-//! single-transaction blocks in which
+//! Merkle-committed transaction-batch blocks (a single-transaction batch
+//! reproduces the paper's one-transaction blocks exactly) in which
 //!
 //! * every block carries the cryptographic hash of the previous block of
 //!   **each involved cluster**, so intra-shard blocks have one parent and a
@@ -22,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod batch;
 pub mod block;
 pub mod dag;
 pub mod view;
 
 pub use audit::{audit_replica_views, audit_views, check_replica_agreement, AuditReport};
+pub use batch::Batch;
 pub use block::{Block, BlockBody};
 pub use dag::DagLedger;
 pub use view::LedgerView;

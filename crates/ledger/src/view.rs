@@ -64,8 +64,15 @@ impl LedgerView {
         self.blocks.len() == 1
     }
 
-    /// Number of committed transactions (excludes the genesis block).
+    /// Number of committed transactions (excludes the genesis block). With
+    /// batching a block may carry several transactions, so this can exceed
+    /// `len() - 1`.
     pub fn committed_count(&self) -> usize {
+        self.tx_index.len()
+    }
+
+    /// Number of committed blocks (excludes the genesis block).
+    pub fn committed_blocks(&self) -> usize {
         self.blocks.len() - 1
     }
 
@@ -73,8 +80,8 @@ impl LedgerView {
     ///
     /// Returns an error if the block does not reference this cluster, if its
     /// parent digest for this cluster is not the current head, if its digest
-    /// does not verify, or if the transaction was already committed
-    /// (duplicate detection).
+    /// does not verify (including the batch's re-derived Merkle root), or if
+    /// any carried transaction was already committed (duplicate detection).
     pub fn append(&mut self, block: Block) -> Result<()> {
         if block.is_genesis() {
             return Err(Error::ProtocolViolation(
@@ -103,12 +110,23 @@ impl LedgerView {
                 self.head()
             )));
         }
-        if let Some(tx_id) = block.tx_id() {
+        if block
+            .body_batch()
+            .is_some_and(crate::batch::Batch::has_duplicate_tx_ids)
+        {
+            return Err(Error::ProtocolViolation(format!(
+                "block {} carries a transaction more than once",
+                block.digest()
+            )));
+        }
+        for tx_id in block.tx_ids() {
             if self.tx_index.contains_key(&tx_id) {
                 return Err(Error::ProtocolViolation(format!(
                     "transaction {tx_id} is already committed in this view"
                 )));
             }
+        }
+        for tx_id in block.tx_ids() {
             self.tx_index.insert(tx_id, self.blocks.len());
         }
         self.index.insert(block.digest(), self.blocks.len());
@@ -137,8 +155,11 @@ impl LedgerView {
     }
 
     /// The committed transactions in order (excluding the genesis block).
+    /// Within a block, transactions appear in batch (execution) order.
     pub fn transactions(&self) -> impl Iterator<Item = &sharper_state::Transaction> {
-        self.blocks.iter().filter_map(|b| b.tx())
+        self.blocks
+            .iter()
+            .flat_map(|b| b.txs().iter().map(|tx| tx.as_ref()))
     }
 
     /// Verifies the whole chain: every block's integrity and parent link.
@@ -279,6 +300,77 @@ mod tests {
         v0.verify_chain().unwrap();
         v1.verify_chain().unwrap();
         assert_eq!(v0.head(), v1.head());
+    }
+
+    #[test]
+    fn batched_blocks_index_every_transaction() {
+        use crate::batch::Batch;
+        use std::sync::Arc;
+        let mut v = LedgerView::new(ClusterId(0));
+        let batch = Batch::new(vec![
+            Arc::new(tx(1, 0)),
+            Arc::new(tx(1, 1)),
+            Arc::new(tx(2, 0)),
+        ]);
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(0), v.head());
+        v.append(Block::batch(batch, parents)).unwrap();
+        assert_eq!(v.committed_count(), 3);
+        assert_eq!(v.committed_blocks(), 1);
+        assert!(v.contains_tx(sharper_common::TxId::new(ClientId(2), 0)));
+        assert_eq!(v.transactions().count(), 3);
+        v.verify_chain().unwrap();
+
+        // A later batch that re-carries an already committed transaction is
+        // rejected.
+        let dup = Batch::new(vec![Arc::new(tx(3, 0)), Arc::new(tx(1, 1))]);
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(0), v.head());
+        let err = v.append(Block::batch(dup, parents)).unwrap_err();
+        assert!(matches!(err, Error::ProtocolViolation(_)));
+        assert!(!v.contains_tx(sharper_common::TxId::new(ClientId(3), 0)));
+    }
+
+    #[test]
+    fn a_batch_carrying_the_same_transaction_twice_is_rejected() {
+        use crate::batch::Batch;
+        use std::sync::Arc;
+        let mut v = LedgerView::new(ClusterId(0));
+        let dup = Batch::new(vec![
+            Arc::new(tx(1, 0)),
+            Arc::new(tx(2, 0)),
+            Arc::new(tx(1, 0)),
+        ]);
+        assert!(dup.has_duplicate_tx_ids());
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(0), v.head());
+        let err = v.append(Block::batch(dup, parents)).unwrap_err();
+        assert!(matches!(err, Error::ProtocolViolation(_)));
+        assert_eq!(v.committed_count(), 0, "nothing was indexed");
+    }
+
+    #[test]
+    fn audit_detects_a_tampered_transaction_inside_a_committed_batch() {
+        use crate::batch::Batch;
+        use std::sync::Arc;
+        let mut v = LedgerView::new(ClusterId(0));
+        let honest = Batch::new(vec![Arc::new(tx(1, 0)), Arc::new(tx(1, 1))]);
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(0), v.head());
+        v.append(Block::batch(honest.clone(), parents)).unwrap();
+        v.verify_chain().unwrap();
+        crate::audit::audit_views(std::slice::from_ref(&v)).unwrap();
+
+        // Tamper with the committed copy: swap a transaction inside the batch
+        // while keeping the cached Merkle root. The chain audit re-derives the
+        // root and rejects the view.
+        let mut forged_txs = honest.txs().to_vec();
+        forged_txs[0] = Arc::new(tx(9, 9));
+        v.blocks[1].body =
+            crate::block::BlockBody::Batch(Batch::with_claimed_root(forged_txs, honest.digest()));
+        let err = v.verify_chain().unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)));
+        assert!(crate::audit::audit_views(std::slice::from_ref(&v)).is_err());
     }
 
     #[test]

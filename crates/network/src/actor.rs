@@ -116,7 +116,7 @@ impl<M> Context<M> {
     /// Drains and returns the messages sent so far in this context, flattened
     /// to one `(recipient, message)` pair per delivery. Broadcasts are
     /// expanded by cloning, so this is a test/inspection helper; the
-    /// simulator consumes the batched [`Outgoing`] entries directly.
+    /// simulator consumes the batched `Outgoing` entries directly.
     pub fn take_outbox(&mut self) -> Vec<(ActorId, M)>
     where
         M: Clone,

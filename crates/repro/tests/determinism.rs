@@ -33,10 +33,15 @@ fn ledger_digest(system: &SharperSystem, nodes: u32) -> Digest {
 }
 
 fn run_once(model: FailureModel, seed: u64) -> (RunReport, Digest) {
+    run_once_batched(model, seed, 1)
+}
+
+fn run_once_batched(model: FailureModel, seed: u64, max_batch: u64) -> (RunReport, Digest) {
     let clusters = 3usize;
     let mut params = SystemParams::new(model, clusters, 1)
         .with_faults(FaultPlan::none().with_drop_probability(0.01))
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_batching(sharper_common::BatchConfig::with_size(max_batch as usize));
     params.accounts_per_shard = ACCOUNTS;
     params.warmup = SimTime::from_millis(100);
     let mut system = SharperSystem::build(params, 6, |client| {
@@ -79,6 +84,34 @@ fn byzantine_runs_with_the_same_seed_are_bit_identical() {
     );
     assert_eq!(first_digest, second_digest, "ledger digests differ");
     assert_eq!(first.client_completed, second.client_completed);
+}
+
+#[test]
+fn batched_runs_with_the_same_seed_are_bit_identical() {
+    // The batching pipeline (pending queues, batch timers, Merkle-committed
+    // multi-transaction blocks) must stay a pure function of the seed, for
+    // both failure models, alongside the max_batch_size = 1 goldens above.
+    for model in [FailureModel::Crash, FailureModel::Byzantine] {
+        let (first, first_digest) = run_once_batched(model, 0xBA7C4, 16);
+        let (second, second_digest) = run_once_batched(model, 0xBA7C4, 16);
+        assert!(first.client_completed > 0, "{model}: no progress");
+        assert_eq!(
+            first.simulation, second.simulation,
+            "{model}: simulator reports differ"
+        );
+        assert_eq!(
+            first_digest, second_digest,
+            "{model}: ledger digests differ"
+        );
+        assert_eq!(first.client_completed, second.client_completed);
+        // Batching actually batched: strictly fewer blocks than transactions.
+        let (blocks, txs): (usize, usize) = first
+            .replica_stats
+            .iter()
+            .map(|(_, s)| (s.committed_blocks, s.committed_intra + s.committed_cross))
+            .fold((0, 0), |(b, t), (bb, tt)| (b + bb, t + tt));
+        assert!(txs > blocks, "{model}: {txs} txs in {blocks} blocks");
+    }
 }
 
 #[test]

@@ -150,6 +150,24 @@ impl Executor {
         ExecutionOutcome::Applied
     }
 
+    /// Applies a committed batch to the store: every transaction in batch
+    /// order, as one unit of work.
+    ///
+    /// Atomicity here is the consensus-layer guarantee that matters: the
+    /// whole batch is applied at the point its block is appended, with no
+    /// other transaction interleaved, and each member transaction is itself
+    /// all-or-nothing (validation precedes any mutation, so an aborting
+    /// transaction leaves the store untouched while the rest of the batch
+    /// still applies — the deterministic outcome every correct replica
+    /// reaches from the same order).
+    pub fn apply_batch(
+        &self,
+        store: &mut AccountStore,
+        txs: &[std::sync::Arc<Transaction>],
+    ) -> Vec<ExecutionOutcome> {
+        txs.iter().map(|tx| self.apply(store, tx)).collect()
+    }
+
     /// Initialises a store with `accounts_per_shard` accounts for this shard,
     /// each owned by the client returned by `owner_of` and holding
     /// `initial_balance` units. Used by deployments and benchmarks.
@@ -252,6 +270,85 @@ mod tests {
         assert_eq!(exec2.apply(&mut store, &tx), ExecutionOutcome::Aborted);
 
         assert_eq!(store, before);
+    }
+
+    #[test]
+    fn batch_application_is_in_order_and_member_atomic() {
+        use std::sync::Arc;
+        let (exec, mut store) = setup();
+        let before_total = store.total_balance();
+        // Three transfers in order; the middle one over-draws and must abort
+        // without disturbing the others or leaving a partial debit behind.
+        let batch = vec![
+            Arc::new(Transaction::transfer(
+                ClientId(1),
+                0,
+                AccountId(1),
+                AccountId(2),
+                400,
+            )),
+            Arc::new(Transaction::transfer(
+                ClientId(1),
+                1,
+                AccountId(1),
+                AccountId(3),
+                5_000,
+            )),
+            Arc::new(Transaction::transfer(
+                ClientId(1),
+                2,
+                AccountId(1),
+                AccountId(4),
+                600,
+            )),
+        ];
+        let outcomes = exec.apply_batch(&mut store, &batch);
+        assert_eq!(
+            outcomes,
+            vec![
+                ExecutionOutcome::Applied,
+                ExecutionOutcome::Aborted,
+                ExecutionOutcome::Applied,
+            ]
+        );
+        assert_eq!(store.balance(AccountId(1)), Some(0));
+        assert_eq!(store.balance(AccountId(2)), Some(1_400));
+        assert_eq!(
+            store.balance(AccountId(3)),
+            Some(1_000),
+            "abort left no trace"
+        );
+        assert_eq!(store.balance(AccountId(4)), Some(1_600));
+        assert_eq!(store.total_balance(), before_total);
+    }
+
+    #[test]
+    fn batch_order_determines_which_member_aborts() {
+        use std::sync::Arc;
+        // The same two transfers succeed or abort depending on their order
+        // inside the batch — order is part of the consensus decision.
+        let mk = |seq, amount| {
+            Arc::new(Transaction::transfer(
+                ClientId(1),
+                seq,
+                AccountId(1),
+                AccountId(2),
+                amount,
+            ))
+        };
+        let (exec, mut store_a) = setup();
+        let a = exec.apply_batch(&mut store_a, &[mk(0, 900), mk(1, 200)]);
+        assert_eq!(
+            a,
+            vec![ExecutionOutcome::Applied, ExecutionOutcome::Aborted]
+        );
+        let (exec, mut store_b) = setup();
+        let b = exec.apply_batch(&mut store_b, &[mk(1, 200), mk(0, 900)]);
+        assert_eq!(
+            b,
+            vec![ExecutionOutcome::Applied, ExecutionOutcome::Aborted]
+        );
+        assert_ne!(store_a, store_b);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   workload generator chooses accounts per shard explicitly),
 //! * a hash partitioner, and
 //! * explicit per-account overrides, which is how a workload-aware placement
-//!   (e.g. produced by a tool like Schism [20]) is expressed.
+//!   (e.g. produced by a tool like Schism \[20\]) is expressed.
 
 use serde::{Deserialize, Serialize};
 use sharper_common::{AccountId, ClusterId};
