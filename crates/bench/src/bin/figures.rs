@@ -3,7 +3,16 @@
 //! Usage:
 //!   cargo run -p sharper-bench --release --bin figures            # all figures
 //!   cargo run -p sharper-bench --release --bin figures -- --fig 6a --quick
+//!   cargo run -p sharper-bench --release --bin figures -- --fig parallel
+//!   cargo run -p sharper-bench --release --bin figures -- --threads per-cluster
 //!   cargo run -p sharper-bench --release --bin figures -- --out results/
+//!
+//! `--threads` selects the simulator execution strategy (`sequential`,
+//! `per-cluster` or a worker count) for every SharPer sweep; by the engine's
+//! determinism guarantee it changes wall-clock time only, never the curves.
+//! `--fig parallel` runs the speedup sweep that measures exactly that
+//! trade-off: the same fig8-style deployments executed sequentially and in
+//! parallel, with both wall-clock times recorded.
 //!
 //! Output: one text table per figure (system, clients, throughput, latency),
 //! plus a machine-readable `BENCH_<figure>.json` file per figure so the
@@ -11,10 +20,11 @@
 //! commit.
 
 use sharper_bench::{
-    batching_to_json, figure_batching, figure_cross_shard_sweep, figure_scalability,
-    figure_to_json, BatchSeries, Series,
+    batching_to_json, cli_flag_value, cli_thread_mode, figure_batching, figure_cross_shard_sweep,
+    figure_parallel, figure_scalability, figure_to_json, parallel_to_json, BatchSeries,
+    ParallelSweep, Series,
 };
-use sharper_common::{FailureModel, SimTime};
+use sharper_common::{FailureModel, SimTime, ThreadMode};
 use std::path::Path;
 
 fn print_series(title: &str, series: &[Series]) {
@@ -36,8 +46,12 @@ fn print_series(title: &str, series: &[Series]) {
 fn emit(out_dir: &Path, name: &str, title: &str, series: &[Series]) {
     print_series(title, series);
     let json = figure_to_json(name, series);
+    write_json(out_dir, name, &json);
+}
+
+fn write_json(out_dir: &Path, name: &str, json: &str) {
     let path = out_dir.join(format!("BENCH_{name}.json"));
-    match std::fs::write(&path, &json) {
+    match std::fs::write(&path, json) {
         Ok(()) => println!("BENCH_JSON {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
@@ -46,17 +60,14 @@ fn emit(out_dir: &Path, name: &str, title: &str, series: &[Series]) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let flag_value = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let only = flag_value("--fig");
-    let out_dir = std::path::PathBuf::from(flag_value("--out").unwrap_or_else(|| ".".into()));
+    let only = cli_flag_value(&args, "--fig");
+    let out_dir =
+        std::path::PathBuf::from(cli_flag_value(&args, "--out").unwrap_or_else(|| ".".into()));
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("failed to create {}: {e}", out_dir.display());
         std::process::exit(1);
     }
+    let threads = cli_thread_mode(&args);
 
     let duration = if quick {
         SimTime::from_secs(2)
@@ -70,7 +81,7 @@ fn main() {
     };
 
     let known = [
-        "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b", "batching",
+        "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b", "batching", "parallel",
     ];
     if let Some(f) = only.as_deref() {
         if !known.iter().any(|k| k.eq_ignore_ascii_case(f)) {
@@ -92,7 +103,7 @@ fn main() {
     ];
     for (name, model, ratio) in cross_figs {
         if wants(name) {
-            let series = figure_cross_shard_sweep(model, ratio, &clients, duration);
+            let series = figure_cross_shard_sweep(model, ratio, &clients, threads, duration);
             emit(
                 &out_dir,
                 &format!("fig{name}"),
@@ -105,7 +116,7 @@ fn main() {
         }
     }
     if wants("8a") {
-        let series = figure_scalability(FailureModel::Crash, &[2, 3, 4, 5], 12, duration);
+        let series = figure_scalability(FailureModel::Crash, &[2, 3, 4, 5], 12, threads, duration);
         emit(
             &out_dir,
             "fig8a",
@@ -114,7 +125,13 @@ fn main() {
         );
     }
     if wants("8b") {
-        let series = figure_scalability(FailureModel::Byzantine, &[2, 3, 4, 5], 12, duration);
+        let series = figure_scalability(
+            FailureModel::Byzantine,
+            &[2, 3, 4, 5],
+            12,
+            threads,
+            duration,
+        );
         emit(
             &out_dir,
             "fig8b",
@@ -128,14 +145,59 @@ fn main() {
         } else {
             (vec![1, 2, 4, 8, 16, 32], 64)
         };
-        let series = figure_batching(&batch_sizes, clients, duration);
+        let series = figure_batching(&batch_sizes, clients, threads, duration);
         print_batching("Batching: throughput vs max_batch_size", &series);
-        let json = batching_to_json(&series);
-        let path = out_dir.join("BENCH_batching.json");
-        match std::fs::write(&path, &json) {
-            Ok(()) => println!("BENCH_JSON {}", path.display()),
-            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        write_json(&out_dir, "batching", &batching_to_json(&series));
+    }
+    if wants("parallel") {
+        let cluster_counts: Vec<usize> = if quick {
+            vec![2, 4, 8]
+        } else {
+            vec![2, 4, 8, 12]
+        };
+        let mode = if threads.is_parallel() {
+            threads
+        } else {
+            ThreadMode::PerCluster
+        };
+        let sweep = figure_parallel(&cluster_counts, 8, mode, duration);
+        print_parallel(&sweep);
+        write_json(&out_dir, "parallel", &parallel_to_json(&sweep));
+        if sweep.points.iter().any(|p| !p.identical) {
+            eprintln!("parallel run diverged from sequential run — determinism bug");
+            std::process::exit(1);
         }
+    }
+}
+
+fn print_parallel(sweep: &ParallelSweep) {
+    println!(
+        "\n=== Parallel simulation speedup ({} workers, {} host cpus) ===",
+        sweep.threads, sweep.host_cpus
+    );
+    println!(
+        "{:>8} {:>9} {:>8} {:>16} {:>12} {:>12} {:>8} {:>10}",
+        "clusters",
+        "replicas",
+        "clients",
+        "throughput(tps)",
+        "seq(ms)",
+        "par(ms)",
+        "speedup",
+        "identical"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>8} {:>9} {:>8} {:>16.0} {:>12.1} {:>12.1} {:>7.2}x {:>10}",
+            p.clusters,
+            p.replicas,
+            p.clients,
+            p.throughput_tps,
+            p.wall_ms_sequential,
+            p.wall_ms_parallel,
+            p.speedup,
+            p.identical
+        );
     }
 }
 

@@ -1,0 +1,128 @@
+//! Emits the golden-seed ledger digests of a fixed set of deployments.
+//!
+//! Usage:
+//!   cargo run -p sharper-bench --release --bin golden -- \
+//!       --threads sequential --out golden-sequential.txt
+//!   cargo run -p sharper-bench --release --bin golden -- \
+//!       --threads per-cluster --out golden-per-cluster.txt
+//!
+//! Each line of the output file is `<config> <ledger-digest> <committed>
+//! <delivered> <dropped>`. The CI determinism gate runs this binary once per
+//! thread mode and `diff`s the files: the conservative parallel scheduler
+//! guarantees bit-identical results, so any divergence is a scheduler bug
+//! and fails the build.
+
+use sharper_bench::{cli_flag_value, cli_thread_mode};
+use sharper_common::{BatchConfig, FailureModel, SimTime, ThreadMode};
+use sharper_core::{SharperSystem, SystemParams};
+use sharper_net::FaultPlan;
+use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+use std::io::Write;
+
+struct GoldenConfig {
+    name: &'static str,
+    model: FailureModel,
+    clusters: usize,
+    cross_ratio: f64,
+    clients: usize,
+    max_batch: usize,
+    drop_probability: f64,
+    seed: u64,
+}
+
+/// The golden deployments: both failure models, intra-dominant and pure
+/// cross-shard loads, unbatched and batched, clean and lossy networks, and
+/// enough clusters that per-cluster mode actually runs several workers.
+const CONFIGS: &[GoldenConfig] = &[
+    GoldenConfig {
+        name: "crash-3c-30cross-drop1-seed-c0ffee",
+        model: FailureModel::Crash,
+        clusters: 3,
+        cross_ratio: 0.3,
+        clients: 6,
+        max_batch: 1,
+        drop_probability: 0.01,
+        seed: 0xC0FFEE,
+    },
+    GoldenConfig {
+        name: "byz-3c-30cross-drop1-seed-beef",
+        model: FailureModel::Byzantine,
+        clusters: 3,
+        cross_ratio: 0.3,
+        clients: 6,
+        max_batch: 1,
+        drop_probability: 0.01,
+        seed: 0xBEEF,
+    },
+    GoldenConfig {
+        name: "crash-4c-100cross-batch16-seed-7",
+        model: FailureModel::Crash,
+        clusters: 4,
+        cross_ratio: 1.0,
+        clients: 8,
+        max_batch: 16,
+        drop_probability: 0.0,
+        seed: 7,
+    },
+    GoldenConfig {
+        name: "byz-4c-0cross-batch8-seed-99",
+        model: FailureModel::Byzantine,
+        clusters: 4,
+        cross_ratio: 0.0,
+        clients: 8,
+        max_batch: 8,
+        drop_probability: 0.0,
+        seed: 99,
+    },
+];
+
+const ACCOUNTS: u64 = 1_000;
+
+fn run_config(cfg: &GoldenConfig, threads: ThreadMode) -> String {
+    let mut params = SystemParams::new(cfg.model, cfg.clusters, 1)
+        .with_faults(FaultPlan::none().with_drop_probability(cfg.drop_probability))
+        .with_seed(cfg.seed)
+        .with_batching(BatchConfig::with_size(cfg.max_batch))
+        .with_threads(threads);
+    params.accounts_per_shard = ACCOUNTS;
+    params.warmup = SimTime::from_millis(100);
+    let clusters = cfg.clusters as u32;
+    let cross_ratio = cfg.cross_ratio;
+    let mut system = SharperSystem::build(params, cfg.clients, |client| {
+        let mut wl = WorkloadConfig::evaluation(clusters, cross_ratio);
+        wl.accounts_per_shard = ACCOUNTS;
+        WorkloadGenerator::new(client, wl)
+    });
+    let report = system.run(SimTime::from_secs(2));
+    format!(
+        "{} {} {} {} {}",
+        cfg.name,
+        system.ledger_digest().to_hex(),
+        report.summary.committed,
+        report.simulation.delivered,
+        report.simulation.dropped
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli_thread_mode(&args);
+    let out = cli_flag_value(&args, "--out");
+
+    let mut lines = Vec::with_capacity(CONFIGS.len());
+    for cfg in CONFIGS {
+        let line = run_config(cfg, threads);
+        println!("[{threads}] {line}");
+        lines.push(line);
+    }
+    let body = lines.join("\n") + "\n";
+    if let Some(path) = out {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+            Ok(()) => println!("GOLDEN {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -17,9 +17,10 @@
 
 use serde::Serialize;
 use sharper_baselines::{BaselineKind, BaselineParams, BaselineSystem};
-use sharper_common::{BatchConfig, FailureModel, InitiationPolicy, SimTime};
+use sharper_common::{BatchConfig, FailureModel, InitiationPolicy, SimTime, ThreadMode};
 use sharper_core::{SharperSystem, SystemParams};
 use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+use std::time::Instant;
 
 /// Accounts per shard used by all experiments (smaller than the default so
 /// the harness stays fast; the protocols are insensitive to the account count
@@ -102,7 +103,7 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Runs SharPer at one operating point.
+/// Runs SharPer at one operating point on the sequential engine.
 pub fn sharper_point(
     model: FailureModel,
     clusters: usize,
@@ -110,7 +111,28 @@ pub fn sharper_point(
     clients: usize,
     duration: SimTime,
 ) -> CurvePoint {
-    let mut params = SystemParams::new(model, clusters, 1);
+    sharper_point_threads(
+        model,
+        clusters,
+        cross_ratio,
+        clients,
+        ThreadMode::Sequential,
+        duration,
+    )
+}
+
+/// Runs SharPer at one operating point under an explicit simulator thread
+/// mode. The mode never changes the measured results — parallel runs are
+/// bit-identical to sequential ones — only the harness's wall-clock time.
+pub fn sharper_point_threads(
+    model: FailureModel,
+    clusters: usize,
+    cross_ratio: f64,
+    clients: usize,
+    threads: ThreadMode,
+    duration: SimTime,
+) -> CurvePoint {
+    let mut params = SystemParams::new(model, clusters, 1).with_threads(threads);
     params.accounts_per_shard = ACCOUNTS_PER_SHARD;
     params.warmup = SimTime::from_millis(300);
     params.initiation_policy = InitiationPolicy::SuperPrimary;
@@ -138,8 +160,32 @@ pub fn sharper_point_batched(
     max_batch_size: usize,
     duration: SimTime,
 ) -> CurvePoint {
-    let mut params =
-        SystemParams::new(model, clusters, 1).with_batching(BatchConfig::with_size(max_batch_size));
+    sharper_point_batched_threads(
+        model,
+        clusters,
+        cross_ratio,
+        clients,
+        max_batch_size,
+        ThreadMode::Sequential,
+        duration,
+    )
+}
+
+/// Like [`sharper_point_batched`] but under an explicit simulator thread
+/// mode (which never changes the measured results).
+#[allow(clippy::too_many_arguments)]
+pub fn sharper_point_batched_threads(
+    model: FailureModel,
+    clusters: usize,
+    cross_ratio: f64,
+    clients: usize,
+    max_batch_size: usize,
+    threads: ThreadMode,
+    duration: SimTime,
+) -> CurvePoint {
+    let mut params = SystemParams::new(model, clusters, 1)
+        .with_batching(BatchConfig::with_size(max_batch_size))
+        .with_threads(threads);
     params.accounts_per_shard = ACCOUNTS_PER_SHARD;
     params.warmup = SimTime::from_millis(300);
     params.initiation_policy = InitiationPolicy::SuperPrimary;
@@ -228,18 +274,20 @@ pub fn batching_to_json(series: &[BatchSeries]) -> String {
 pub fn figure_batching(
     batch_sizes: &[usize],
     clients: usize,
+    threads: ThreadMode,
     duration: SimTime,
 ) -> Vec<BatchSeries> {
     let clusters = 2usize;
     let mut series = Vec::new();
     let mut points = Vec::new();
     for &batch in batch_sizes {
-        let p = sharper_point_batched(
+        let p = sharper_point_batched_threads(
             FailureModel::Byzantine,
             clusters,
             0.0,
             clients,
             batch,
+            threads,
             duration,
         );
         points.push(BatchPoint {
@@ -337,6 +385,7 @@ pub fn figure_cross_shard_sweep(
     model: FailureModel,
     cross_ratio: f64,
     client_counts: &[usize],
+    threads: ThreadMode,
     duration: SimTime,
 ) -> Vec<Series> {
     figure_systems(model)
@@ -345,7 +394,9 @@ pub fn figure_cross_shard_sweep(
             let points = client_counts
                 .iter()
                 .map(|&clients| match kind {
-                    None => sharper_point(model, 4, cross_ratio, clients, duration),
+                    None => {
+                        sharper_point_threads(model, 4, cross_ratio, clients, threads, duration)
+                    }
                     Some(k) => baseline_point(k, cross_ratio, clients, duration),
                 })
                 .collect();
@@ -363,19 +414,182 @@ pub fn figure_scalability(
     model: FailureModel,
     cluster_counts: &[usize],
     clients_per_cluster: usize,
+    threads: ThreadMode,
     duration: SimTime,
 ) -> Vec<Series> {
     cluster_counts
         .iter()
         .map(|&clusters| {
             let clients = clients_per_cluster * clusters;
-            let point = sharper_point(model, clusters, 0.10, clients, duration);
+            let point = sharper_point_threads(model, clusters, 0.10, clients, threads, duration);
             Series {
                 system: format!("{clusters} clusters"),
                 points: vec![point],
             }
         })
         .collect()
+}
+
+/// One point of the parallel-simulation speedup sweep: the same fig8-style
+/// deployment executed by the sequential engine and by the conservative
+/// parallel engine, with wall-clock times for both.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelPoint {
+    /// Number of clusters (= lanes = workers in per-cluster mode).
+    pub clusters: usize,
+    /// Total replicas across all clusters.
+    pub replicas: usize,
+    /// Closed-loop clients driving the deployment.
+    pub clients: usize,
+    /// Transactions committed in the measurement window (identical across
+    /// modes by the determinism guarantee).
+    pub committed: usize,
+    /// Simulated steady-state throughput (identical across modes).
+    pub throughput_tps: f64,
+    /// Wall-clock milliseconds of the sequential run.
+    pub wall_ms_sequential: f64,
+    /// Wall-clock milliseconds of the parallel run.
+    pub wall_ms_parallel: f64,
+    /// `wall_ms_sequential / wall_ms_parallel`.
+    pub speedup: f64,
+    /// Whether the two modes produced bit-identical ledger digests and
+    /// simulator reports (must always be true; recorded so the bench artifact
+    /// double-checks the determinism gate).
+    pub identical: bool,
+    /// Hex ledger digest of the sequential run (the golden value).
+    pub digest: String,
+}
+
+/// The parallel speedup sweep: per-point results plus the environment that
+/// produced them (wall-clock speedup is meaningless without the core count).
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelSweep {
+    /// The parallel thread mode that was measured (e.g. "per-cluster").
+    pub threads: String,
+    /// Worker threads available to the harness process.
+    pub host_cpus: usize,
+    /// One point per cluster count.
+    pub points: Vec<ParallelPoint>,
+}
+
+/// Runs one fig8-style deployment (crash model, 10% cross-shard) under the
+/// given thread mode, returning the report, the ledger digest and the
+/// wall-clock milliseconds the run took.
+fn parallel_probe(
+    clusters: usize,
+    clients: usize,
+    threads: ThreadMode,
+    duration: SimTime,
+) -> (sharper_core::RunReport, sharper_crypto::Digest, f64) {
+    let mut params = SystemParams::new(FailureModel::Crash, clusters, 1).with_threads(threads);
+    params.accounts_per_shard = ACCOUNTS_PER_SHARD;
+    params.warmup = SimTime::from_millis(300);
+    params.initiation_policy = InitiationPolicy::SuperPrimary;
+    let mut system = SharperSystem::build(params, clients, |client| {
+        let mut cfg = WorkloadConfig::evaluation(clusters as u32, 0.10);
+        cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
+        WorkloadGenerator::new(client, cfg)
+    });
+    let started = Instant::now();
+    let report = system.run(duration);
+    let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    (report, system.ledger_digest(), wall_ms)
+}
+
+/// Runs the parallel-simulation speedup sweep: for each cluster count the
+/// same deployment is executed sequentially and under `threads`, and both
+/// wall-clock times are recorded. The simulated results must be — and are
+/// checked to be — bit-identical; only wall-clock time may differ.
+pub fn figure_parallel(
+    cluster_counts: &[usize],
+    clients_per_cluster: usize,
+    threads: ThreadMode,
+    duration: SimTime,
+) -> ParallelSweep {
+    let points = cluster_counts
+        .iter()
+        .map(|&clusters| {
+            let clients = clients_per_cluster * clusters;
+            let (seq_report, seq_digest, seq_ms) =
+                parallel_probe(clusters, clients, ThreadMode::Sequential, duration);
+            let (par_report, par_digest, par_ms) =
+                parallel_probe(clusters, clients, threads, duration);
+            ParallelPoint {
+                clusters,
+                replicas: clusters * 3, // crash model, f = 1 ⇒ 2f+1 per cluster
+                clients,
+                committed: seq_report.summary.committed,
+                throughput_tps: seq_report.summary.throughput_tps,
+                wall_ms_sequential: seq_ms,
+                wall_ms_parallel: par_ms,
+                speedup: if par_ms > 0.0 { seq_ms / par_ms } else { 0.0 },
+                identical: seq_digest == par_digest
+                    && seq_report.simulation == par_report.simulation
+                    && seq_report.summary.committed == par_report.summary.committed,
+                digest: seq_digest.to_hex(),
+            }
+        })
+        .collect();
+    ParallelSweep {
+        threads: threads.to_string(),
+        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        points,
+    }
+}
+
+/// Returns the value following `flag` in `args` — the one tiny piece of CLI
+/// parsing shared by this crate's binaries (`figures`, `golden`, `perfgate`).
+pub fn cli_flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses the `--threads` flag out of `args` (defaulting to sequential);
+/// prints the parse error and exits with status 2 on an invalid value.
+pub fn cli_thread_mode(args: &[String]) -> ThreadMode {
+    match cli_flag_value(args, "--threads").as_deref() {
+        None => ThreadMode::Sequential,
+        Some(s) => match ThreadMode::parse(s) {
+            Ok(mode) => mode,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Renders the parallel sweep as the `BENCH_parallel.json` document.
+pub fn parallel_to_json(sweep: &ParallelSweep) -> String {
+    let points: Vec<String> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"clusters\":{},\"replicas\":{},\"clients\":{},\"committed\":{},\
+                 \"throughput_tps\":{:.3},\"wall_ms_sequential\":{:.1},\
+                 \"wall_ms_parallel\":{:.1},\"speedup\":{:.3},\"identical\":{},\
+                 \"digest\":{}}}",
+                p.clusters,
+                p.replicas,
+                p.clients,
+                p.committed,
+                p.throughput_tps,
+                p.wall_ms_sequential,
+                p.wall_ms_parallel,
+                p.speedup,
+                p.identical,
+                json_string(&p.digest)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"figure\":\"parallel\",\"threads\":{},\"host_cpus\":{},\"points\":[{}]}}",
+        json_string(&sweep.threads),
+        sweep.host_cpus,
+        points.join(",")
+    )
 }
 
 #[cfg(test)]

@@ -61,6 +61,82 @@ impl BatchConfig {
     }
 }
 
+/// How many worker threads the discrete-event simulator uses.
+///
+/// SharPer's clusters only interact through cross-cluster links with a
+/// known minimum latency, so the simulator can run one worker per cluster
+/// as a *conservative parallel* discrete-event simulation (lookahead = the
+/// minimum cross-lane link latency) and still produce results that are
+/// bit-identical to a sequential run. The mode only selects the execution
+/// strategy — never the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ThreadMode {
+    /// One worker processes every event in global timestamp order.
+    #[default]
+    Sequential,
+    /// One worker per cluster (clients run on their home cluster's worker).
+    PerCluster,
+    /// A fixed number of workers; clusters are assigned round-robin.
+    /// `Fixed(0)` and `Fixed(1)` behave like [`ThreadMode::Sequential`].
+    Fixed(usize),
+}
+
+impl ThreadMode {
+    /// Parses a command-line value: `seq`/`sequential`/`0`/`1` → sequential,
+    /// `per-cluster`/`percluster` → one worker per cluster, `N` → fixed.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "seq" | "sequential" => Ok(ThreadMode::Sequential),
+            "per-cluster" | "percluster" => Ok(ThreadMode::PerCluster),
+            other => match other.parse::<usize>() {
+                Ok(0) | Ok(1) => Ok(ThreadMode::Sequential),
+                Ok(n) => Ok(ThreadMode::Fixed(n)),
+                Err(_) => Err(Error::InvalidConfig(format!(
+                    "invalid thread mode {s:?}: expected `sequential`, `per-cluster` or a count"
+                ))),
+            },
+        }
+    }
+
+    /// Whether this mode may run more than one worker.
+    pub fn is_parallel(self) -> bool {
+        !matches!(self, ThreadMode::Sequential | ThreadMode::Fixed(0 | 1))
+    }
+}
+
+impl fmt::Display for ThreadMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadMode::Sequential => write!(f, "sequential"),
+            ThreadMode::PerCluster => write!(f, "per-cluster"),
+            ThreadMode::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Simulator execution configuration (independent of the modelled system:
+/// none of these knobs may change simulation results, only how fast the
+/// simulator produces them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimConfig {
+    /// Worker threading mode of the discrete-event engine.
+    pub threads: ThreadMode,
+}
+
+impl SimConfig {
+    /// A configuration running one worker per cluster.
+    pub fn per_cluster() -> Self {
+        Self {
+            threads: ThreadMode::PerCluster,
+        }
+    }
+
+    /// A configuration with an explicit thread mode.
+    pub fn with_threads(threads: ThreadMode) -> Self {
+        Self { threads }
+    }
+}
+
 /// The failure model followed by the replicas (§2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FailureModel {
@@ -621,5 +697,32 @@ mod tests {
         assert!(
             SystemConfig::from_clusters(FailureModel::Crash, vec![], Default::default()).is_err()
         );
+    }
+
+    #[test]
+    fn thread_mode_parses_aliases_and_counts() {
+        assert_eq!(
+            ThreadMode::parse("sequential").unwrap(),
+            ThreadMode::Sequential
+        );
+        assert_eq!(ThreadMode::parse("seq").unwrap(), ThreadMode::Sequential);
+        assert_eq!(
+            ThreadMode::parse("per-cluster").unwrap(),
+            ThreadMode::PerCluster
+        );
+        assert_eq!(
+            ThreadMode::parse("PerCluster").unwrap(),
+            ThreadMode::PerCluster
+        );
+        // 0 and 1 workers both mean "no parallelism", consistent with
+        // Fixed(0 | 1) behaving sequentially in the engine.
+        assert_eq!(ThreadMode::parse("0").unwrap(), ThreadMode::Sequential);
+        assert_eq!(ThreadMode::parse("1").unwrap(), ThreadMode::Sequential);
+        assert_eq!(ThreadMode::parse("4").unwrap(), ThreadMode::Fixed(4));
+        assert!(ThreadMode::parse("warp-speed").is_err());
+        assert!(!ThreadMode::Sequential.is_parallel());
+        assert!(!ThreadMode::Fixed(1).is_parallel());
+        assert!(ThreadMode::PerCluster.is_parallel());
+        assert!(ThreadMode::Fixed(2).is_parallel());
     }
 }

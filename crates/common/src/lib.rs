@@ -21,7 +21,7 @@ pub mod time;
 
 pub use config::{
     BatchConfig, ClusterConfig, ClusterGroup, ClusterLayout, FailureModel, InitiationPolicy,
-    SystemConfig,
+    SimConfig, SystemConfig, ThreadMode,
 };
 pub use cost::{CostModel, LatencyModel, LinkKind};
 pub use error::{Error, Result};

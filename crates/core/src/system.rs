@@ -12,11 +12,11 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sharper_common::{
     AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy,
-    LatencyModel, NodeId, SimTime, SystemConfig,
+    LatencyModel, NodeId, SimConfig, SimTime, SystemConfig, ThreadMode,
 };
 use sharper_consensus::replica::{client_signer_id, node_signer_id, ReplicaStats};
 use sharper_consensus::{Msg, Replica, ReplicaConfig, TimerConfig};
-use sharper_crypto::KeyRegistry;
+use sharper_crypto::{hash_parts, Digest, KeyRegistry};
 use sharper_ledger::{audit_replica_views, AuditReport, LedgerView};
 use sharper_net::{FaultPlan, LatencySummary, Simulation, SimulationReport, StatsHandle, Topology};
 use sharper_state::{Partitioner, Transaction};
@@ -48,6 +48,9 @@ pub struct SystemParams {
     pub batch: BatchConfig,
     /// Fault injection plan.
     pub faults: FaultPlan,
+    /// Simulator execution strategy (sequential or conservative-parallel
+    /// lanes). Never changes results, only wall-clock time.
+    pub sim: SimConfig,
     /// Seed for all pseudo-randomness (network jitter, workload).
     pub seed: u64,
     /// Client behaviour.
@@ -72,6 +75,7 @@ impl SystemParams {
             timers: TimerConfig::default(),
             batch: BatchConfig::default(),
             faults: FaultPlan::none(),
+            sim: SimConfig::default(),
             seed: 42,
             client: ClientParams::default(),
             warmup: SimTime::from_millis(500),
@@ -87,6 +91,14 @@ impl SystemParams {
     /// Sets the seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the simulator threading mode (builder style). Parallel modes
+    /// produce bit-identical results to sequential runs — the golden-seed
+    /// suite enforces it — so this only trades wall-clock time.
+    pub fn with_threads(mut self, threads: ThreadMode) -> Self {
+        self.sim.threads = threads;
         self
     }
 
@@ -170,6 +182,7 @@ impl SharperSystem {
                 topology.add_client(ClientId(c as u64), ClusterId((c % params.clusters) as u32));
             }
             Simulation::new(topology, params.latency, params.faults.clone(), params.seed)
+                .with_threads(params.sim.threads)
         };
 
         for node in cfg.system.node_ids() {
@@ -240,6 +253,25 @@ impl SharperSystem {
     /// Read access to a replica after (or before) a run.
     pub fn replica(&self, node: NodeId) -> Option<&Replica> {
         self.sim.actor(node).and_then(SharperActor::as_replica)
+    }
+
+    /// A digest over every replica's entire ledger view: cluster, node, hash
+    /// chain head and length of each view, folded in ascending node order.
+    /// Any divergence in commit order anywhere in the deployment changes this
+    /// value, which makes it the oracle of the golden-seed determinism suite
+    /// and of the CI gate comparing sequential against parallel runs.
+    pub fn ledger_digest(&self) -> Digest {
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        for actor in self.sim.actors() {
+            if let SharperActor::Replica(r) = actor {
+                parts.push(r.cluster().0.to_le_bytes().to_vec());
+                parts.push(r.node().0.to_le_bytes().to_vec());
+                parts.push(r.ledger().head().as_bytes().to_vec());
+                parts.push((r.ledger().len() as u64).to_le_bytes().to_vec());
+            }
+        }
+        let slices: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        hash_parts(&slices)
     }
 
     /// Read access to a client after (or before) a run.
@@ -432,6 +464,29 @@ mod tests {
             "batches stayed singletons: {txs} txs in {blocks} blocks"
         );
         assert_eq!(report.retransmissions, 0);
+    }
+
+    #[test]
+    fn parallel_deployment_is_bit_identical_to_sequential() {
+        let run = |threads: ThreadMode| {
+            let mut params = SystemParams::new(FailureModel::Crash, 3, 1).with_threads(threads);
+            params.accounts_per_shard = 1_000;
+            params.warmup = SimTime::from_millis(100);
+            let mut system = SharperSystem::build(params, 6, |client| {
+                workload_with(client, 3, 1_000, 300, 0.3, 2)
+            });
+            let report = system.run(SimTime::from_secs(2));
+            (
+                report.simulation,
+                report.client_completed,
+                report.retransmissions,
+                report.audit.distinct_transactions,
+            )
+        };
+        let sequential = run(ThreadMode::Sequential);
+        assert!(sequential.1 > 50, "completed {}", sequential.1);
+        assert_eq!(sequential, run(ThreadMode::PerCluster));
+        assert_eq!(sequential, run(ThreadMode::Fixed(2)));
     }
 
     #[test]

@@ -33,9 +33,11 @@ pub mod sim;
 pub mod stats;
 pub mod topology;
 pub mod transport;
+pub mod wheel;
 
 pub use actor::{Actor, ActorId, Context, TimerId};
 pub use faults::FaultPlan;
 pub use sim::{Simulation, SimulationReport};
 pub use stats::{CommitSample, LatencySummary, StatsCollector, StatsHandle};
 pub use topology::Topology;
+pub use wheel::{EventKey, EventWheel};

@@ -1,23 +1,51 @@
 //! The discrete-event simulation engine.
 //!
-//! The engine owns a set of actors, an event queue and the latency/cost/fault
-//! models. It delivers messages and timer expirations in timestamp order,
-//! charges each actor the CPU time its handler reports, and models every
-//! actor as a single-server FIFO queue: an event arriving while the actor is
-//! still busy is parked in that actor's private defer queue and drained — in
-//! arrival order — when the actor frees up. Saturation therefore shows up
-//! exactly where it does on a real deployment — at the replica that handles
-//! the most messages per transaction — and a busy actor's backlog costs O(1)
-//! per event instead of churning through the global heap repeatedly.
+//! The engine owns a set of actors, per-cluster event queues and the
+//! latency/cost/fault models. It delivers messages and timer expirations in
+//! timestamp order, charges each actor the CPU time its handler reports, and
+//! models every actor as a single-server FIFO queue: an event arriving while
+//! the actor is still busy is parked in that actor's private defer queue and
+//! drained — in arrival order — when the actor frees up. Saturation
+//! therefore shows up exactly where it does on a real deployment — at the
+//! replica that handles the most messages per transaction.
+//!
+//! ## Conservative parallel execution
+//!
+//! SharPer's clusters only interact over cross-cluster links with a known
+//! minimum latency, so the engine partitions actors into **lanes** (one per
+//! cluster; clients ride on their home cluster's lane) and can execute the
+//! lanes on worker threads as a conservative parallel discrete-event
+//! simulation. Each lane owns a hierarchical timing wheel ([`crate::wheel`])
+//! and advances through *safe-time windows*: a lane may process every event
+//! strictly before `min(other lanes' earliest-output-time)`, where a lane's
+//! earliest output time is its own event horizon plus the **lookahead** —
+//! the minimum base latency of any cross-lane link. Cross-lane messages
+//! travel through per-lane inboxes; no barrier is ever taken.
+//!
+//! ## Determinism guarantee
+//!
+//! Every source of randomness and every tie-break is *per-actor*, never
+//! global: each actor owns a seeded RNG stream (handler seeds, jitter, drop
+//! and duplication draws for the messages it sends), a sequence counter that
+//! keys the events it emits, and a timer-id counter. Events are totally
+//! ordered by `(at, source rank, source sequence)`, and both execution modes
+//! process each actor's events in exactly that order — the sequential engine
+//! by merging all lanes globally, the parallel engine lane-locally under the
+//! lookahead rule. Parallel runs are therefore **bit-identical** to
+//! sequential runs: same [`SimulationReport`], same ledger digests. The
+//! golden-seed suite exercises this equivalence as the correctness oracle
+//! for the scheduler itself.
 
 use crate::actor::{Actor, ActorId, Context, Outgoing, TimerId};
 use crate::faults::FaultPlan;
 use crate::topology::Topology;
+use crate::wheel::{EventKey, EventWheel};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sharper_common::{Duration, LatencyModel, SimTime};
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
+use sharper_common::{ClusterId, Duration, LatencyModel, LinkKind, SimTime, ThreadMode};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 
 /// What happens at a scheduled instant.
 #[derive(Debug, Clone)]
@@ -57,32 +85,11 @@ impl<M> EventKind<M> {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Event<M> {
+/// An event staged for another lane's queue.
+struct Routed<M> {
     at: SimTime,
-    seq: u64,
+    key: EventKey,
     kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering so the BinaryHeap acts as a min-heap on (at, seq).
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// Statistics about a completed (or partially completed) run.
@@ -103,63 +110,470 @@ pub struct SimulationReport {
     pub finished_at: SimTime,
 }
 
-/// The discrete-event simulator.
-///
-/// `M` is the message type exchanged by the actors, `A` the actor type
-/// (systems typically use an enum covering replicas and clients).
-pub struct Simulation<M, A: Actor<M>> {
-    actors: BTreeMap<ActorId, A>,
+impl SimulationReport {
+    /// Adds another report's event counters into this one (used to merge
+    /// per-lane counters; `finished_at` is set by the engine, not summed).
+    fn absorb(&mut self, other: &SimulationReport) {
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.timers_fired += other.timers_fired;
+        self.deferred += other.deferred;
+    }
+}
+
+/// The stable tie-break rank of an actor: nodes sort before clients, each in
+/// id order. Together with the per-actor sequence counter this keys every
+/// event an actor emits, independent of any global state.
+fn rank_of(actor: ActorId) -> u64 {
+    match actor {
+        ActorId::Node(n) => n.0 as u64,
+        ActorId::Client(c) => (1u64 << 63) | c.0,
+    }
+}
+
+/// SplitMix64: derives an independent per-actor RNG seed from the run seed.
+fn mix_seed(seed: u64, rank: u64) -> u64 {
+    let mut z = seed ^ rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Read-only configuration shared by all lanes during a run.
+struct SharedCfg {
     topology: Topology,
     latency: LatencyModel,
     faults: FaultPlan,
-    queue: BinaryHeap<Event<M>>,
-    busy_until: HashMap<ActorId, SimTime>,
+    /// Which lane owns each registered actor (unknown actors route to 0).
+    assignment: HashMap<ActorId, usize>,
+}
+
+impl SharedCfg {
+    fn lane_of(&self, actor: ActorId) -> usize {
+        self.assignment.get(&actor).copied().unwrap_or(0)
+    }
+}
+
+/// Per-actor simulation state: the actor itself plus everything the engine
+/// tracks about it. All of it is private to the actor's lane, which is what
+/// makes lane-parallel execution free of shared mutable state.
+struct ActorSlot<M, A> {
+    actor: A,
+    rank: u64,
+    /// This actor's private randomness stream (handler seeds and the fault/
+    /// jitter draws of the messages it sends).
+    rng: ChaCha8Rng,
+    /// Sequence counter keying the events this actor emits.
+    emit_seq: u64,
+    /// Timer-id counter (timer ids are unique per actor).
+    next_timer: u64,
+    busy_until: SimTime,
+    wake_at: Option<SimTime>,
+    defer: VecDeque<EventKind<M>>,
+    cancelled: HashSet<TimerId>,
+}
+
+impl<M, A> ActorSlot<M, A> {
+    fn new(actor: A, rank: u64, seed: u64) -> Self {
+        Self {
+            actor,
+            rank,
+            rng: ChaCha8Rng::seed_from_u64(mix_seed(seed, rank)),
+            emit_seq: 0,
+            next_timer: 0,
+            busy_until: SimTime::ZERO,
+            wake_at: None,
+            defer: VecDeque::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// The key for the next event this actor emits.
+    fn next_key(&mut self) -> EventKey {
+        emit_key(self.rank, &mut self.emit_seq)
+    }
+}
+
+/// Mints the next `(rank, seq)` event key from an actor's emit counter — the
+/// single definition of the key format the determinism contract rests on
+/// (callers that hold a split borrow of `ActorSlot` use it directly).
+fn emit_key(rank: u64, emit_seq: &mut u64) -> EventKey {
+    let key = (rank, *emit_seq);
+    *emit_seq += 1;
+    key
+}
+
+/// The event plumbing of one lane, split from the actor map so handler
+/// dispatch can borrow an actor and the queues simultaneously.
+struct LaneIo<M> {
+    index: usize,
+    queue: EventWheel<EventKind<M>>,
     /// Last scheduled arrival per (from, to) link, enforcing FIFO links.
     link_clock: HashMap<(ActorId, ActorId), SimTime>,
-    /// Per-actor FIFO queues of events that arrived while the actor was
-    /// busy. Each deferred event is parked here exactly once and drained in
-    /// arrival order by a single [`EventKind::Wake`], instead of being
-    /// re-pushed through the global heap until the actor frees up.
-    defer_queues: HashMap<ActorId, VecDeque<EventKind<M>>>,
-    /// Earliest pending wake per actor (dedups wake scheduling).
-    wake_at: HashMap<ActorId, SimTime>,
-    cancelled_timers: HashSet<TimerId>,
+    /// Events produced for other lanes, flushed by the driver.
+    outbound: Vec<(usize, Routed<M>)>,
+    counters: SimulationReport,
+}
+
+impl<M: Clone> LaneIo<M> {
+    /// Enqueues an event locally or stages it for its owning lane.
+    fn route(&mut self, shared: &SharedCfg, at: SimTime, key: EventKey, kind: EventKind<M>) {
+        let dest = shared.lane_of(kind.target());
+        if dest == self.index {
+            self.queue.push(at, key, kind);
+        } else {
+            self.outbound.push((dest, Routed { at, key, kind }));
+        }
+    }
+
+    /// Sends `msg` from `from` (whose rng/sequence state is passed in) to
+    /// `to`, applying sender-side faults, latency, jitter and the FIFO link
+    /// clamp. All randomness comes from the sender's private stream, so the
+    /// outcome is independent of global event interleaving.
+    #[allow(clippy::too_many_arguments)]
+    fn send_message(
+        &mut self,
+        shared: &SharedCfg,
+        rng: &mut ChaCha8Rng,
+        key_seq: &mut dyn FnMut() -> EventKey,
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+        departure: SimTime,
+    ) {
+        // Sender-side faults: a crashed sender emits nothing; partitions cut
+        // the link at send time.
+        if shared.faults.is_crashed(from, departure)
+            || shared.faults.is_partitioned(from, to, departure)
+        {
+            self.counters.dropped += 1;
+            return;
+        }
+        if shared.faults.drop_probability > 0.0 && rng.gen_bool(shared.faults.drop_probability) {
+            self.counters.dropped += 1;
+            return;
+        }
+        let kind = shared.topology.link_kind(from, to);
+        let mut delay = shared.latency.base(kind);
+        if shared.latency.jitter_us > 0 {
+            delay += Duration::from_micros(rng.gen_range(0..=shared.latency.jitter_us));
+        }
+        if shared.faults.extra_delay > Duration::ZERO {
+            delay +=
+                Duration::from_micros(rng.gen_range(0..=shared.faults.extra_delay.as_micros()));
+        }
+        // Point-to-point links are FIFO (deployments speak TCP): a message may
+        // not overtake an earlier message on the same (from, to) link, so the
+        // jittered arrival is clamped to the link's previous arrival. Events
+        // with equal timestamps keep their send order through the sender's
+        // sequence number, preserving FIFO exactly.
+        let mut arrival = departure + delay;
+        let link_clock = self.link_clock.entry((from, to)).or_insert(SimTime::ZERO);
+        if arrival < *link_clock {
+            arrival = *link_clock;
+        } else {
+            *link_clock = arrival;
+        }
+        let duplicate = shared.faults.duplicate_probability > 0.0
+            && rng.gen_bool(shared.faults.duplicate_probability);
+        if duplicate {
+            self.counters.duplicated += 1;
+            let extra_arrival = arrival + Duration::from_micros(rng.gen_range(1..=1_000));
+            self.route(
+                shared,
+                extra_arrival,
+                key_seq(),
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        self.route(
+            shared,
+            arrival,
+            key_seq(),
+            EventKind::Deliver { from, to, msg },
+        );
+    }
+}
+
+/// One lane: a set of actors (one cluster's replicas plus its home clients)
+/// with their private event queue. Lanes share no mutable state; cross-lane
+/// messages travel through [`LaneIo::outbound`] and the driver.
+struct Lane<M, A> {
+    actors: BTreeMap<ActorId, ActorSlot<M, A>>,
+    io: LaneIo<M>,
     now: SimTime,
-    seq: u64,
-    next_timer: u64,
-    rng: ChaCha8Rng,
-    report: SimulationReport,
+}
+
+enum Invocation<M> {
+    Start,
+    Message { from: ActorId, msg: M },
+    Timer { id: TimerId, tag: u64 },
+}
+
+impl<M: Clone, A: Actor<M>> Lane<M, A> {
+    fn new(index: usize) -> Self {
+        Self {
+            actors: BTreeMap::new(),
+            io: LaneIo {
+                index,
+                queue: EventWheel::new(),
+                link_clock: HashMap::new(),
+                outbound: Vec::new(),
+                counters: SimulationReport::default(),
+            },
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn dispatch(&mut self, shared: &SharedCfg, kind: EventKind<M>) {
+        if let EventKind::Wake { actor } = kind {
+            if let Some(slot) = self.actors.get_mut(&actor) {
+                slot.wake_at = None;
+            }
+            self.drain_deferred(shared, actor);
+            return;
+        }
+        let target = kind.target();
+        // A crashed receiver loses its queue: events addressed to it are
+        // dropped at arrival, never parked for replay after a recovery.
+        if shared.faults.is_crashed(target, self.now) {
+            if matches!(kind, EventKind::Deliver { .. }) {
+                self.io.counters.dropped += 1;
+            }
+            return;
+        }
+        let Some(slot) = self.actors.get_mut(&target) else {
+            // No such actor: preserve the accounting of a delivery into the
+            // void (protocols may address replicas that were never built).
+            match kind {
+                EventKind::Deliver { .. } => self.io.counters.delivered += 1,
+                EventKind::Timer { .. } => self.io.counters.timers_fired += 1,
+                EventKind::Wake { .. } => unreachable!("handled above"),
+            }
+            return;
+        };
+        let busy = slot.busy_until > self.now;
+        if busy || !slot.defer.is_empty() {
+            // Single-server FIFO queueing: the event waits its turn behind
+            // the actor's current work and earlier arrivals. It is parked
+            // once in the actor's own queue; a single wake event drains it.
+            self.io.counters.deferred += 1;
+            let wake_at = slot.busy_until.max(self.now);
+            slot.defer.push_back(kind);
+            self.ensure_wake(shared, target, wake_at);
+            return;
+        }
+        self.process(shared, kind);
+    }
+
+    /// Executes a Deliver/Timer event against an idle actor at `self.now`.
+    fn process(&mut self, shared: &SharedCfg, kind: EventKind<M>) {
+        match kind {
+            EventKind::Deliver { from, to, msg } => {
+                if shared.faults.is_crashed(to, self.now) {
+                    self.io.counters.dropped += 1;
+                    return;
+                }
+                self.io.counters.delivered += 1;
+                self.invoke(shared, to, Invocation::Message { from, msg });
+            }
+            EventKind::Timer { actor, id, tag } => {
+                if let Some(slot) = self.actors.get_mut(&actor) {
+                    if slot.cancelled.remove(&id) {
+                        return;
+                    }
+                }
+                if shared.faults.is_crashed(actor, self.now) {
+                    return;
+                }
+                self.io.counters.timers_fired += 1;
+                self.invoke(shared, actor, Invocation::Timer { id, tag });
+            }
+            EventKind::Wake { .. } => unreachable!("wakes are handled in dispatch"),
+        }
+    }
+
+    /// Drains `actor`'s defer queue in arrival order for as long as the actor
+    /// is free, re-arming a wake at the new busy horizon if events remain.
+    fn drain_deferred(&mut self, shared: &SharedCfg, actor: ActorId) {
+        loop {
+            let Some(slot) = self.actors.get_mut(&actor) else {
+                return;
+            };
+            if slot.busy_until > self.now {
+                if !slot.defer.is_empty() {
+                    let at = slot.busy_until;
+                    self.ensure_wake(shared, actor, at);
+                }
+                return;
+            }
+            let Some(kind) = slot.defer.pop_front() else {
+                return;
+            };
+            self.process(shared, kind);
+        }
+    }
+
+    /// Schedules a wake for `actor` at `at` unless one is already pending at
+    /// or before that time.
+    fn ensure_wake(&mut self, shared: &SharedCfg, actor: ActorId, at: SimTime) {
+        let Some(slot) = self.actors.get_mut(&actor) else {
+            return;
+        };
+        match slot.wake_at {
+            Some(pending) if pending <= at => {}
+            _ => {
+                slot.wake_at = Some(at);
+                let key = slot.next_key();
+                self.io.route(shared, at, key, EventKind::Wake { actor });
+            }
+        }
+    }
+
+    fn invoke(&mut self, shared: &SharedCfg, target: ActorId, invocation: Invocation<M>) {
+        let now = self.now;
+        let Some(slot) = self.actors.get_mut(&target) else {
+            return;
+        };
+        let mut ctx = Context::new(now, target, slot.rng.gen(), slot.next_timer);
+        match invocation {
+            Invocation::Start => slot.actor.on_start(&mut ctx),
+            Invocation::Message { from, msg } => slot.actor.on_message(from, msg, &mut ctx),
+            Invocation::Timer { id, tag } => slot.actor.on_timer(id, tag, &mut ctx),
+        }
+        slot.next_timer = ctx.next_timer;
+        let finish = now + ctx.charged();
+        slot.busy_until = finish;
+
+        for id in ctx.cancelled_timers.drain(..) {
+            slot.cancelled.insert(id);
+        }
+        let new_timers = std::mem::take(&mut ctx.new_timers);
+        for (id, delay, tag) in new_timers {
+            let key = slot.next_key();
+            self.io.route(
+                shared,
+                finish + delay,
+                key,
+                EventKind::Timer {
+                    actor: target,
+                    id,
+                    tag,
+                },
+            );
+        }
+        let outbox = std::mem::take(&mut ctx.outbox);
+        let rank = slot.rank;
+        let ActorSlot { rng, emit_seq, .. } = slot;
+        let mut key_seq = move || emit_key(rank, emit_seq);
+        for out in outbox {
+            match out {
+                Outgoing::Unicast(to, msg) => {
+                    self.io
+                        .send_message(shared, rng, &mut key_seq, target, to, msg, finish);
+                }
+                Outgoing::Broadcast(recipients, msg) => {
+                    // One payload shared by the whole fan-out: clone per
+                    // delivery event (an Arc bump for messages that keep
+                    // bulky fields behind Arc), moving it into the last.
+                    if let Some((&last, rest)) = recipients.split_last() {
+                        for &to in rest {
+                            self.io.send_message(
+                                shared,
+                                rng,
+                                &mut key_seq,
+                                target,
+                                to,
+                                msg.clone(),
+                                finish,
+                            );
+                        }
+                        self.io
+                            .send_message(shared, rng, &mut key_seq, target, last, msg, finish);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// `M` is the message type exchanged by the actors, `A` the actor type
+/// (systems typically use an enum covering replicas and clients). Both must
+/// be `Send` so lanes can run on worker threads; all actor state remains
+/// lane-private, so no `Sync` is required of the actors themselves.
+pub struct Simulation<M, A: Actor<M>> {
+    /// Construction-time inputs, consumed by `start()`.
+    topology: Option<Topology>,
+    latency: LatencyModel,
+    faults: Option<FaultPlan>,
+    seed: u64,
+    threads: ThreadMode,
+    /// Actors registered before `start()`.
+    pending: BTreeMap<ActorId, A>,
+    lanes: Vec<Lane<M, A>>,
+    shared: Option<Arc<SharedCfg>>,
+    /// Minimum base latency of any cross-lane link (µs); `u64::MAX` when no
+    /// cross-lane link can exist.
+    lookahead_us: u64,
+    now: SimTime,
     started: bool,
 }
 
-impl<M: Clone, A: Actor<M>> Simulation<M, A> {
+impl<M: Clone + Send, A: Actor<M> + Send> Simulation<M, A> {
     /// Creates a simulation over the given topology and models, seeded so the
-    /// run is reproducible.
+    /// run is reproducible. Runs sequentially unless a parallel
+    /// [`ThreadMode`] is selected with [`Self::with_threads`] — the mode
+    /// changes wall-clock time only, never the simulation's outcome.
     pub fn new(topology: Topology, latency: LatencyModel, faults: FaultPlan, seed: u64) -> Self {
         Self {
-            actors: BTreeMap::new(),
-            topology,
+            topology: Some(topology),
             latency,
-            faults,
-            queue: BinaryHeap::new(),
-            busy_until: HashMap::new(),
-            link_clock: HashMap::new(),
-            defer_queues: HashMap::new(),
-            wake_at: HashMap::new(),
-            cancelled_timers: HashSet::new(),
+            faults: Some(faults),
+            seed,
+            threads: ThreadMode::Sequential,
+            pending: BTreeMap::new(),
+            lanes: Vec::new(),
+            shared: None,
+            lookahead_us: u64::MAX,
             now: SimTime::ZERO,
-            seq: 0,
-            next_timer: 0,
-            rng: ChaCha8Rng::seed_from_u64(seed),
-            report: SimulationReport::default(),
             started: false,
         }
     }
 
+    /// Selects the execution strategy (builder style). Must be called before
+    /// the simulation starts.
+    pub fn with_threads(mut self, threads: ThreadMode) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Selects the execution strategy. Must be called before the simulation
+    /// starts.
+    pub fn set_threads(&mut self, threads: ThreadMode) {
+        assert!(
+            !self.started,
+            "thread mode must be set before the run starts"
+        );
+        self.threads = threads;
+    }
+
+    /// The configured execution strategy.
+    pub fn threads(&self) -> ThreadMode {
+        self.threads
+    }
+
     /// Registers an actor. Panics if an actor with the same id already exists.
     pub fn add_actor(&mut self, actor: A) {
+        assert!(!self.started, "actors must be added before the run starts");
         let id = actor.id();
-        let previous = self.actors.insert(id, actor);
+        let previous = self.pending.insert(id, actor);
         assert!(previous.is_none(), "duplicate actor {id}");
     }
 
@@ -170,29 +584,84 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
 
     /// Read access to an actor (for post-run inspection and assertions).
     pub fn actor(&self, id: impl Into<ActorId>) -> Option<&A> {
-        self.actors.get(&id.into())
+        let id = id.into();
+        if let Some(actor) = self.pending.get(&id) {
+            return Some(actor);
+        }
+        self.lanes
+            .iter()
+            .find_map(|lane| lane.actors.get(&id).map(|slot| &slot.actor))
     }
 
     /// Mutable access to an actor (used by tests to inject state).
     pub fn actor_mut(&mut self, id: impl Into<ActorId>) -> Option<&mut A> {
-        self.actors.get_mut(&id.into())
+        let id = id.into();
+        if let Some(actor) = self.pending.get_mut(&id) {
+            return Some(actor);
+        }
+        self.lanes
+            .iter_mut()
+            .find_map(|lane| lane.actors.get_mut(&id).map(|slot| &mut slot.actor))
     }
 
-    /// Iterates over all actors.
+    /// Iterates over all actors in ascending id order.
     pub fn actors(&self) -> impl Iterator<Item = &A> {
-        self.actors.values()
+        let mut all: Vec<(ActorId, &A)> = self
+            .pending
+            .iter()
+            .map(|(id, actor)| (*id, actor))
+            .chain(
+                self.lanes
+                    .iter()
+                    .flat_map(|lane| lane.actors.iter().map(|(id, slot)| (*id, &slot.actor))),
+            )
+            .collect();
+        all.sort_by_key(|(id, _)| *id);
+        all.into_iter().map(|(_, actor)| actor)
     }
 
-    /// Consumes the simulation and returns its actors (for final auditing).
+    /// Consumes the simulation and returns its actors in ascending id order
+    /// (for final auditing).
     pub fn into_actors(self) -> Vec<A> {
-        self.actors.into_values().collect()
+        let mut all: BTreeMap<ActorId, A> = self.pending.into_iter().collect();
+        for lane in self.lanes {
+            for (id, slot) in lane.actors {
+                all.insert(id, slot.actor);
+            }
+        }
+        all.into_values().collect()
     }
 
     /// The report accumulated so far.
     pub fn report(&self) -> SimulationReport {
-        let mut r = self.report;
-        r.finished_at = self.now;
-        r
+        let mut report = SimulationReport::default();
+        for lane in &self.lanes {
+            report.absorb(&lane.io.counters);
+        }
+        report.finished_at = self.now;
+        report
+    }
+
+    /// Number of events currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.lanes.iter().map(|lane| lane.io.queue.len()).sum()
+    }
+
+    /// The number of lanes (parallel workers) this simulation partitioned
+    /// its actors into. Zero before the simulation starts.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lookahead of the conservative scheduler: the minimum base latency
+    /// of any link that can cross lanes. `None` before the simulation starts
+    /// or when no cross-lane link exists.
+    pub fn lookahead(&self) -> Option<Duration> {
+        if self.started && self.lookahead_us != u64::MAX {
+            Some(Duration::from_micros(self.lookahead_us))
+        } else {
+            None
+        }
     }
 
     /// Runs every actor's `on_start` handler at time zero. Called
@@ -202,22 +671,117 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             return;
         }
         self.started = true;
-        let ids: Vec<ActorId> = self.actors.keys().copied().collect();
-        for id in ids {
-            self.invoke(id, Invocation::Start);
+        let topology = self.topology.take().expect("topology present until start");
+        let faults = self.faults.take().expect("faults present until start");
+
+        // Partition actors into lanes by their cluster. The partition can
+        // never change results — only which worker executes an actor — so
+        // sequential mode simply collapses everything into one lane.
+        let mut clusters: Vec<ClusterId> = self
+            .pending
+            .keys()
+            .filter_map(|&id| topology.location(id))
+            .collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        let lane_count = match self.threads {
+            ThreadMode::Sequential | ThreadMode::Fixed(0 | 1) => 1,
+            ThreadMode::PerCluster => clusters.len().max(1),
+            ThreadMode::Fixed(n) => n.min(clusters.len()).max(1),
+        };
+        let lane_of_cluster: HashMap<ClusterId, usize> = clusters
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i % lane_count))
+            .collect();
+        let mut assignment: HashMap<ActorId, usize> = HashMap::new();
+        for &id in self.pending.keys() {
+            let lane = topology
+                .location(id)
+                .and_then(|c| lane_of_cluster.get(&c).copied())
+                .unwrap_or(0);
+            assignment.insert(id, lane);
+        }
+
+        // Lookahead: the minimum base latency of any link that can connect
+        // two different lanes. Replicas of one cluster always share a lane,
+        // so only cross-cluster and client links count.
+        let mut lookahead = u64::MAX;
+        if lane_count > 1 {
+            let node_lanes: HashSet<usize> = self
+                .pending
+                .keys()
+                .filter(|id| matches!(id, ActorId::Node(_)))
+                .map(|&id| assignment[&id])
+                .collect();
+            if node_lanes.len() > 1 {
+                lookahead = lookahead.min(self.latency.base(LinkKind::CrossCluster).as_micros());
+            }
+            let any_client = self
+                .pending
+                .keys()
+                .any(|id| matches!(id, ActorId::Client(_)));
+            if any_client {
+                lookahead = lookahead.min(self.latency.base(LinkKind::ClientToNode).as_micros());
+            }
+        }
+        self.lookahead_us = lookahead;
+
+        let shared = Arc::new(SharedCfg {
+            topology,
+            latency: self.latency,
+            faults,
+            assignment,
+        });
+        self.lanes = (0..lane_count).map(Lane::new).collect();
+        let pending = std::mem::take(&mut self.pending);
+        for (id, actor) in pending {
+            let lane = shared.lane_of(id);
+            let rank = rank_of(id);
+            self.lanes[lane]
+                .actors
+                .insert(id, ActorSlot::new(actor, rank, self.seed));
+        }
+
+        // Start every actor at time zero, then route the resulting events to
+        // their owning lanes (this happens on the driver thread, before any
+        // worker runs, so start order cannot introduce nondeterminism — all
+        // per-actor state is independent).
+        for lane in &mut self.lanes {
+            let ids: Vec<ActorId> = lane.actors.keys().copied().collect();
+            for id in ids {
+                lane.invoke(&shared, id, Invocation::Start);
+            }
+        }
+        self.shared = Some(shared);
+        self.flush_outbound();
+    }
+
+    /// Moves every staged cross-lane event into its destination lane's queue
+    /// (sequential driver only; parallel workers flush through inboxes).
+    fn flush_outbound(&mut self) {
+        for i in 0..self.lanes.len() {
+            let staged = std::mem::take(&mut self.lanes[i].io.outbound);
+            for (dest, routed) in staged {
+                self.lanes[dest]
+                    .io
+                    .queue
+                    .push(routed.at, routed.key, routed.kind);
+            }
         }
     }
 
     /// Runs the simulation until `end` (inclusive) or until no events remain.
+    ///
+    /// With a parallel [`ThreadMode`] and more than one lane this executes
+    /// the lanes on worker threads under the conservative lookahead rule;
+    /// the results are bit-identical to a sequential run.
     pub fn run_until(&mut self, end: SimTime) -> SimulationReport {
         self.start();
-        while let Some(event) = self.queue.peek() {
-            if event.at > end {
-                break;
-            }
-            let event = self.queue.pop().expect("peeked");
-            self.now = event.at;
-            self.dispatch(event);
+        if self.lanes.len() > 1 && self.threads.is_parallel() && self.lookahead_us > 0 {
+            self.run_parallel(end);
+        } else {
+            self.run_sequential(end, usize::MAX);
         }
         if self.now < end {
             self.now = end;
@@ -226,236 +790,167 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
     }
 
     /// Runs until the event queue is empty or `max_events` have been
-    /// processed (a safety valve for tests).
+    /// processed (a safety valve for tests). Always executes on the calling
+    /// thread, merging lanes in global timestamp order.
     pub fn run_to_quiescence(&mut self, max_events: usize) -> SimulationReport {
         self.start();
-        let mut processed = 0usize;
-        while processed < max_events {
-            let Some(event) = self.queue.pop() else { break };
-            self.now = event.at;
-            self.dispatch(event);
-            processed += 1;
-        }
+        self.run_sequential(SimTime(u64::MAX), max_events);
         self.report()
     }
 
-    /// Number of events currently queued.
-    pub fn pending_events(&self) -> usize {
-        self.queue.len()
-    }
-
-    fn dispatch(&mut self, event: Event<M>) {
-        if let EventKind::Wake { actor } = event.kind {
-            self.wake_at.remove(&actor);
-            self.drain_deferred(actor);
-            return;
-        }
-        let target = event.kind.target();
-        // A crashed receiver loses its queue: events addressed to it are
-        // dropped at arrival (matching the pre-defer-queue engine), never
-        // parked for replay after a recovery.
-        if self.faults.is_crashed(target, self.now) {
-            if matches!(event.kind, EventKind::Deliver { .. }) {
-                self.report.dropped += 1;
-            }
-            return;
-        }
-        let busy = self
-            .busy_until
-            .get(&target)
-            .copied()
-            .unwrap_or(SimTime::ZERO);
-        let backlog = self
-            .defer_queues
-            .get(&target)
-            .is_some_and(|q| !q.is_empty());
-        if busy > self.now || backlog {
-            // Single-server FIFO queueing: the event waits its turn behind
-            // the actor's current work and earlier arrivals. It is parked
-            // once in the actor's own queue; a single wake event drains it.
-            self.report.deferred += 1;
-            self.defer_queues
-                .entry(target)
-                .or_default()
-                .push_back(event.kind);
-            self.ensure_wake(target, busy.max(self.now));
-            return;
-        }
-        self.process(event.kind);
-    }
-
-    /// Executes a Deliver/Timer event against an idle actor at `self.now`.
-    fn process(&mut self, kind: EventKind<M>) {
-        match kind {
-            EventKind::Deliver { from, to, msg } => {
-                if self.faults.is_crashed(to, self.now) {
-                    self.report.dropped += 1;
-                    return;
-                }
-                self.report.delivered += 1;
-                self.invoke(to, Invocation::Message { from, msg });
-            }
-            EventKind::Timer { actor, id, tag } => {
-                if self.cancelled_timers.remove(&id) {
-                    return;
-                }
-                if self.faults.is_crashed(actor, self.now) {
-                    return;
-                }
-                self.report.timers_fired += 1;
-                self.invoke(actor, Invocation::Timer { id, tag });
-            }
-            EventKind::Wake { .. } => unreachable!("wakes are handled in dispatch"),
-        }
-    }
-
-    /// Drains `actor`'s defer queue in arrival order for as long as the actor
-    /// is free, re-arming a wake at the new busy horizon if events remain.
-    fn drain_deferred(&mut self, actor: ActorId) {
-        loop {
-            let busy = self
-                .busy_until
-                .get(&actor)
-                .copied()
-                .unwrap_or(SimTime::ZERO);
-            if busy > self.now {
-                if self.defer_queues.get(&actor).is_some_and(|q| !q.is_empty()) {
-                    self.ensure_wake(actor, busy);
-                }
-                return;
-            }
-            let Some(kind) = self
-                .defer_queues
-                .get_mut(&actor)
-                .and_then(VecDeque::pop_front)
-            else {
-                return;
-            };
-            self.process(kind);
-        }
-    }
-
-    /// Schedules a wake for `actor` at `at` unless one is already pending at
-    /// or before that time.
-    fn ensure_wake(&mut self, actor: ActorId, at: SimTime) {
-        match self.wake_at.get(&actor) {
-            Some(&pending) if pending <= at => {}
-            _ => {
-                self.wake_at.insert(actor, at);
-                self.push_event(at, EventKind::Wake { actor });
-            }
-        }
-    }
-
-    fn invoke(&mut self, target: ActorId, invocation: Invocation<M>) {
-        let Some(actor) = self.actors.get_mut(&target) else {
-            return;
-        };
-        let mut ctx = Context::new(self.now, target, self.rng.gen(), self.next_timer);
-        match invocation {
-            Invocation::Start => actor.on_start(&mut ctx),
-            Invocation::Message { from, msg } => actor.on_message(from, msg, &mut ctx),
-            Invocation::Timer { id, tag } => actor.on_timer(id, tag, &mut ctx),
-        }
-        self.next_timer = ctx.next_timer;
-        let finish = self.now + ctx.charged();
-        self.busy_until.insert(target, finish);
-
-        for id in ctx.cancelled_timers.drain(..) {
-            self.cancelled_timers.insert(id);
-        }
-        let new_timers = std::mem::take(&mut ctx.new_timers);
-        for (id, delay, tag) in new_timers {
-            self.push_event(
-                finish + delay,
-                EventKind::Timer {
-                    actor: target,
-                    id,
-                    tag,
-                },
-            );
-        }
-        let outbox = std::mem::take(&mut ctx.outbox);
-        for out in outbox {
-            match out {
-                Outgoing::Unicast(to, msg) => self.send_message(target, to, msg, finish),
-                Outgoing::Broadcast(recipients, msg) => {
-                    // One payload shared by the whole fan-out: clone per
-                    // delivery event (an Arc bump for messages that keep
-                    // bulky fields behind Arc), moving it into the last.
-                    if let Some((&last, rest)) = recipients.split_last() {
-                        for &to in rest {
-                            self.send_message(target, to, msg.clone(), finish);
-                        }
-                        self.send_message(target, last, msg, finish);
+    /// The sequential driver: repeatedly pops the globally earliest event
+    /// across all lanes (by `(at, key)`), which reproduces exactly the order
+    /// each lane processes its own events in under the parallel scheduler.
+    fn run_sequential(&mut self, end: SimTime, max_events: usize) {
+        let shared = Arc::clone(self.shared.as_ref().expect("started"));
+        let mut processed = 0usize;
+        while processed < max_events {
+            let mut best: Option<(SimTime, EventKey, usize)> = None;
+            for (i, lane) in self.lanes.iter_mut().enumerate() {
+                if let Some((at, key)) = lane.io.queue.peek() {
+                    if best.is_none_or(|(b_at, b_key, _)| (at, key) < (b_at, b_key)) {
+                        best = Some((at, key, i));
                     }
                 }
             }
+            let Some((at, _, i)) = best else { break };
+            if at > end {
+                break;
+            }
+            let (_, _, kind) = self.lanes[i].io.queue.pop().expect("peeked");
+            self.lanes[i].now = at;
+            self.now = at;
+            self.lanes[i].dispatch(&shared, kind);
+            if !self.lanes[i].io.outbound.is_empty() {
+                self.flush_outbound();
+            }
+            processed += 1;
         }
     }
 
-    fn send_message(&mut self, from: ActorId, to: ActorId, msg: M, departure: SimTime) {
-        // Sender-side faults: a crashed sender emits nothing; partitions cut
-        // the link at send time.
-        if self.faults.is_crashed(from, departure)
-            || self.faults.is_partitioned(from, to, departure)
-        {
-            self.report.dropped += 1;
-            return;
-        }
-        if self.faults.drop_probability > 0.0 && self.rng.gen_bool(self.faults.drop_probability) {
-            self.report.dropped += 1;
-            return;
-        }
-        let kind = self.topology.link_kind(from, to);
-        let mut delay = self.latency.base(kind);
-        if self.latency.jitter_us > 0 {
-            delay += Duration::from_micros(self.rng.gen_range(0..=self.latency.jitter_us));
-        }
-        if self.faults.extra_delay > Duration::ZERO {
-            delay +=
-                Duration::from_micros(self.rng.gen_range(0..=self.faults.extra_delay.as_micros()));
-        }
-        // Point-to-point links are FIFO (deployments speak TCP): a message may
-        // not overtake an earlier message on the same (from, to) link, so the
-        // jittered arrival is clamped to the link's previous arrival. Events
-        // with equal timestamps keep their send order through the sequence
-        // number, preserving FIFO exactly.
-        let mut arrival = departure + delay;
-        let link_clock = self.link_clock.entry((from, to)).or_insert(SimTime::ZERO);
-        if arrival < *link_clock {
-            arrival = *link_clock;
-        } else {
-            *link_clock = arrival;
-        }
-        let duplicate = self.faults.duplicate_probability > 0.0
-            && self.rng.gen_bool(self.faults.duplicate_probability);
-        if duplicate {
-            self.report.duplicated += 1;
-            let extra_arrival = arrival + Duration::from_micros(self.rng.gen_range(1..=1_000));
-            self.push_event(
-                extra_arrival,
-                EventKind::Deliver {
-                    from,
-                    to,
-                    msg: msg.clone(),
-                },
-            );
-        }
-        self.push_event(arrival, EventKind::Deliver { from, to, msg });
-    }
+    /// The conservative parallel driver: one worker per lane, synchronized
+    /// only through per-lane "earliest output time" clocks and inboxes.
+    fn run_parallel(&mut self, end: SimTime) {
+        let lane_count = self.lanes.len();
+        let shared = Arc::clone(self.shared.as_ref().expect("started"));
+        let lookahead = self.lookahead_us;
+        // eot[i]: lane i promises every message it has not yet flushed will
+        // arrive at or after this time. Monotonically non-decreasing;
+        // u64::MAX once the lane has finished.
+        let eots: Vec<AtomicU64> = (0..lane_count).map(|_| AtomicU64::new(0)).collect();
+        let inboxes: Vec<Mutex<Vec<Routed<M>>>> =
+            (0..lane_count).map(|_| Mutex::new(Vec::new())).collect();
 
-    fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        std::thread::scope(|scope| {
+            for (index, lane) in self.lanes.iter_mut().enumerate() {
+                let shared = &shared;
+                let eots = &eots;
+                let inboxes = &inboxes;
+                scope.spawn(move || {
+                    lane_worker(index, lane, shared.as_ref(), eots, inboxes, lookahead, end);
+                });
+            }
+        });
+
+        // Messages flushed after their destination lane finished (arrivals
+        // beyond `end`) are still pending: preserve them for a later run.
+        for (i, inbox) in inboxes.iter().enumerate() {
+            let mut inbox = inbox.lock().unwrap_or_else(|e| e.into_inner());
+            for routed in inbox.drain(..) {
+                self.lanes[i]
+                    .io
+                    .queue
+                    .push(routed.at, routed.key, routed.kind);
+            }
+        }
+        self.now = end.max(self.now);
     }
 }
 
-enum Invocation<M> {
-    Start,
-    Message { from: ActorId, msg: M },
-    Timer { id: TimerId, tag: u64 },
+/// The body of one parallel worker: processes its lane's events inside the
+/// safe window allowed by the other lanes' clocks, flushes cross-lane
+/// messages to inboxes, and publishes its own earliest-output-time.
+fn lane_worker<M: Clone, A: Actor<M>>(
+    index: usize,
+    lane: &mut Lane<M, A>,
+    shared: &SharedCfg,
+    eots: &[AtomicU64],
+    inboxes: &[Mutex<Vec<Routed<M>>>],
+    lookahead: u64,
+    end: SimTime,
+) {
+    let mut published = 0u64;
+    let mut idle_spins = 0u32;
+    loop {
+        // Safe horizon: no other lane will ever send us an event arriving
+        // before `ext`. Read the clocks *before* draining the inbox: any
+        // message relevant below `ext` was flushed before its sender
+        // published the clock value we just read, so the drain sees it.
+        let mut ext = u64::MAX;
+        for (j, eot) in eots.iter().enumerate() {
+            if j != index {
+                ext = ext.min(eot.load(AtomicOrdering::Acquire));
+            }
+        }
+        {
+            let mut inbox = inboxes[index].lock().unwrap_or_else(|e| e.into_inner());
+            for routed in inbox.drain(..) {
+                lane.io.queue.push(routed.at, routed.key, routed.kind);
+            }
+        }
+
+        // Process every local event strictly inside the safe window. Events
+        // generated along the way either join the local queue (and are
+        // processed in order) or are flushed to their lane's inbox before we
+        // raise our clock, keeping the earliest-output-time promise.
+        let mut progressed = false;
+        while let Some((at, _)) = lane.io.queue.peek() {
+            if at.as_micros() >= ext || at > end {
+                break;
+            }
+            let (_, _, kind) = lane.io.queue.pop().expect("peeked");
+            lane.now = at;
+            lane.dispatch(shared, kind);
+            progressed = true;
+            if !lane.io.outbound.is_empty() {
+                for (dest, routed) in lane.io.outbound.drain(..) {
+                    let mut inbox = inboxes[dest].lock().unwrap_or_else(|e| e.into_inner());
+                    inbox.push(routed);
+                }
+            }
+        }
+
+        let next_local = lane.io.queue.peek_at().map_or(u64::MAX, SimTime::as_micros);
+        // Low-water mark: no event this lane will ever process is earlier
+        // than this, so nothing it sends arrives before lwm + lookahead.
+        let lwm = next_local.min(ext);
+        if lwm > end.as_micros() {
+            // Neither local events nor possible future arrivals are due on
+            // or before `end`: the lane is done. Publishing MAX releases
+            // every other lane from waiting on us.
+            eots[index].store(u64::MAX, AtomicOrdering::Release);
+            return;
+        }
+        let eot = lwm.saturating_add(lookahead);
+        if eot > published {
+            published = eot;
+            eots[index].store(eot, AtomicOrdering::Release);
+        }
+        if progressed {
+            idle_spins = 0;
+        } else {
+            // Another lane owns the earliest event; wait for its clock to
+            // advance. Yield first, then back off to short sleeps so a
+            // starved core (or an oversubscribed machine) is not burned on
+            // spinning.
+            idle_spins += 1;
+            if idle_spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -763,7 +1258,7 @@ mod tests {
             panic!("wrong actor");
         };
         // With zero latency all messages arrive at t=0 in send order: actor 0
-        // started first (BTreeMap order), so ranks 0..9 precede 100..109.
+        // has the lower source rank, so ranks 0..9 precede 100..109.
         let expected: Vec<u64> = (0..10).chain(100..110).collect();
         assert_eq!(seen, &expected, "backlog must drain in arrival order");
     }
@@ -889,5 +1384,77 @@ mod tests {
         let report = s.run_until(SimTime::from_secs(10));
         assert!(report.duplicated > 0);
         assert!(report.delivered > 11);
+    }
+
+    /// Two clusters of cross-cluster ping-pong pairs, used to compare the
+    /// sequential and parallel schedulers event for event.
+    fn cross_cluster_sim(threads: ThreadMode, faults: FaultPlan) -> Simulation<u64, PingPong> {
+        let cfg = SystemConfig::uniform(FailureModel::Crash, 2, 1).unwrap();
+        let mut s = Simulation::new(
+            Topology::from_config(&cfg),
+            LatencyModel::default(),
+            faults,
+            42,
+        )
+        .with_threads(threads);
+        // Pair node i of cluster 0 with node 3 + i of cluster 1.
+        for i in 0..3u32 {
+            let a = ActorId::Node(NodeId(i));
+            let b = ActorId::Node(NodeId(3 + i));
+            s.add_actor(PingPong::new(a, b, true));
+            s.add_actor(PingPong::new(b, a, false));
+        }
+        s
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_run_bit_for_bit() {
+        for faults in [
+            FaultPlan::none(),
+            FaultPlan::none()
+                .with_drop_probability(0.1)
+                .with_duplicate_probability(0.1)
+                .with_extra_delay(Duration::from_millis(1)),
+        ] {
+            let mut seq = cross_cluster_sim(ThreadMode::Sequential, faults.clone());
+            let mut par = cross_cluster_sim(ThreadMode::PerCluster, faults);
+            let end = SimTime::from_secs(2);
+            let seq_report = seq.run_until(end);
+            let par_report = par.run_until(end);
+            assert_eq!(seq_report, par_report, "reports must be bit-identical");
+            assert_eq!(par.lane_count(), 2);
+            assert_eq!(
+                par.lookahead(),
+                Some(Duration::from_micros(
+                    LatencyModel::default().cross_cluster_us
+                ))
+            );
+            for i in 0..6u32 {
+                let a = seq.actor(NodeId(i)).unwrap();
+                let b = par.actor(NodeId(i)).unwrap();
+                assert_eq!(a.received, b.received, "actor n{i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_thread_mode_partitions_clusters_round_robin() {
+        let cfg = SystemConfig::uniform(FailureModel::Crash, 4, 1).unwrap();
+        let mut s: Simulation<u64, PingPong> = Simulation::new(
+            Topology::from_config(&cfg),
+            LatencyModel::default(),
+            FaultPlan::none(),
+            1,
+        )
+        .with_threads(ThreadMode::Fixed(2));
+        for i in 0..4u32 {
+            let a = ActorId::Node(NodeId(3 * i));
+            let b = ActorId::Node(NodeId(3 * i + 1));
+            s.add_actor(PingPong::new(a, b, true));
+            s.add_actor(PingPong::new(b, a, false));
+        }
+        let report = s.run_until(SimTime::from_secs(2));
+        assert_eq!(s.lane_count(), 2);
+        assert_eq!(report.delivered, 44);
     }
 }

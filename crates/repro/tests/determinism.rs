@@ -4,44 +4,39 @@
 //! zero-copy message plane (shared `Arc` payloads, per-actor defer queues,
 //! batched broadcasts) must not introduce any source of nondeterminism. The
 //! tests run full deployments twice with identical parameters and require
-//! bit-identical simulator reports and ledger digests.
+//! bit-identical simulator reports and ledger digests — and then once more
+//! with the conservative parallel scheduler (one worker per cluster), which
+//! must also match bit for bit: the golden seeds are the correctness oracle
+//! for the parallel engine itself.
 
-use sharper_common::{FailureModel, NodeId, SimTime};
+use sharper_common::{FailureModel, SimTime, ThreadMode};
 use sharper_core::{RunReport, SharperSystem, SystemParams};
-use sharper_crypto::{hash_parts, Digest};
+use sharper_crypto::Digest;
 use sharper_net::FaultPlan;
 use sharper_workload::{WorkloadConfig, WorkloadGenerator};
 
 const ACCOUNTS: u64 = 1_000;
 
-/// A digest over every replica's entire ledger view: cluster, node and the
-/// hash chain head plus length of each view. Any divergence in commit order
-/// anywhere in the deployment changes this value.
-fn ledger_digest(system: &SharperSystem, nodes: u32) -> Digest {
-    let mut parts: Vec<Vec<u8>> = Vec::new();
-    for n in 0..nodes {
-        let replica = system
-            .replica(NodeId(n))
-            .unwrap_or_else(|| panic!("replica {n} exists"));
-        parts.push(replica.cluster().0.to_le_bytes().to_vec());
-        parts.push(n.to_le_bytes().to_vec());
-        parts.push(replica.ledger().head().as_bytes().to_vec());
-        parts.push((replica.ledger().len() as u64).to_le_bytes().to_vec());
-    }
-    let slices: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
-    hash_parts(&slices)
-}
-
 fn run_once(model: FailureModel, seed: u64) -> (RunReport, Digest) {
-    run_once_batched(model, seed, 1)
+    run_once_threaded(model, seed, 1, ThreadMode::Sequential)
 }
 
 fn run_once_batched(model: FailureModel, seed: u64, max_batch: u64) -> (RunReport, Digest) {
+    run_once_threaded(model, seed, max_batch, ThreadMode::Sequential)
+}
+
+fn run_once_threaded(
+    model: FailureModel,
+    seed: u64,
+    max_batch: u64,
+    threads: ThreadMode,
+) -> (RunReport, Digest) {
     let clusters = 3usize;
     let mut params = SystemParams::new(model, clusters, 1)
         .with_faults(FaultPlan::none().with_drop_probability(0.01))
         .with_seed(seed)
-        .with_batching(sharper_common::BatchConfig::with_size(max_batch as usize));
+        .with_batching(sharper_common::BatchConfig::with_size(max_batch as usize))
+        .with_threads(threads);
     params.accounts_per_shard = ACCOUNTS;
     params.warmup = SimTime::from_millis(100);
     let mut system = SharperSystem::build(params, 6, |client| {
@@ -50,11 +45,7 @@ fn run_once_batched(model: FailureModel, seed: u64, max_batch: u64) -> (RunRepor
         WorkloadGenerator::new(client, cfg)
     });
     let report = system.run(SimTime::from_secs(2));
-    let nodes = match model {
-        FailureModel::Crash => 9,      // 3 clusters × (2f+1)
-        FailureModel::Byzantine => 12, // 3 clusters × (3f+1)
-    };
-    let digest = ledger_digest(&system, nodes);
+    let digest = system.ledger_digest();
     (report, digest)
 }
 
@@ -71,6 +62,13 @@ fn crash_runs_with_the_same_seed_are_bit_identical() {
     assert_eq!(first.client_completed, second.client_completed);
     assert_eq!(first.retransmissions, second.retransmissions);
     assert_eq!(first.summary.committed, second.summary.committed);
+    // The conservative parallel scheduler must reproduce the golden run
+    // bit for bit — same report, same ledger digest.
+    let (parallel, parallel_digest) =
+        run_once_threaded(FailureModel::Crash, 0xC0FFEE, 1, ThreadMode::PerCluster);
+    assert_eq!(first.simulation, parallel.simulation, "parallel diverged");
+    assert_eq!(first_digest, parallel_digest, "parallel digest diverged");
+    assert_eq!(first.client_completed, parallel.client_completed);
 }
 
 #[test]
@@ -84,6 +82,10 @@ fn byzantine_runs_with_the_same_seed_are_bit_identical() {
     );
     assert_eq!(first_digest, second_digest, "ledger digests differ");
     assert_eq!(first.client_completed, second.client_completed);
+    let (parallel, parallel_digest) =
+        run_once_threaded(FailureModel::Byzantine, 0xBEEF, 1, ThreadMode::PerCluster);
+    assert_eq!(first.simulation, parallel.simulation, "parallel diverged");
+    assert_eq!(first_digest, parallel_digest, "parallel digest diverged");
 }
 
 #[test]
@@ -104,6 +106,16 @@ fn batched_runs_with_the_same_seed_are_bit_identical() {
             "{model}: ledger digests differ"
         );
         assert_eq!(first.client_completed, second.client_completed);
+        let (parallel, parallel_digest) =
+            run_once_threaded(model, 0xBA7C4, 16, ThreadMode::PerCluster);
+        assert_eq!(
+            first.simulation, parallel.simulation,
+            "{model}: parallel diverged"
+        );
+        assert_eq!(
+            first_digest, parallel_digest,
+            "{model}: parallel digest diverged"
+        );
         // Batching actually batched: strictly fewer blocks than transactions.
         let (blocks, txs): (usize, usize) = first
             .replica_stats

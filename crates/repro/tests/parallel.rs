@@ -1,0 +1,135 @@
+//! Stress tests for the conservative parallel scheduler.
+//!
+//! The parallel engine's correctness oracle is bit-identical equivalence
+//! with the sequential engine. These tests drive the scheduler where it is
+//! hardest to get right — 100% cross-shard workloads, where every committed
+//! transaction is a cross-lane conversation racing the lookahead window —
+//! across multiple cluster counts, seeds and thread modes, and require the
+//! ledger digests and simulator reports to match exactly. The post-run
+//! ledger audit (chain consistency and cross-shard order across every
+//! replica view) runs inside `SharperSystem::run` and panics on violation,
+//! so every run below is also a safety check.
+
+use sharper_common::{FailureModel, SimTime, ThreadMode};
+use sharper_core::{SharperSystem, SystemParams};
+use sharper_crypto::Digest;
+use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+
+const ACCOUNTS: u64 = 1_000;
+
+struct Outcome {
+    digest: Digest,
+    delivered: usize,
+    dropped: usize,
+    timers_fired: usize,
+    committed: usize,
+    client_completed: usize,
+    cross_shard: usize,
+}
+
+fn run(
+    model: FailureModel,
+    clusters: usize,
+    cross_ratio: f64,
+    seed: u64,
+    threads: ThreadMode,
+    secs_tenths: u64,
+) -> Outcome {
+    let mut params = SystemParams::new(model, clusters, 1)
+        .with_seed(seed)
+        .with_threads(threads);
+    params.accounts_per_shard = ACCOUNTS;
+    params.warmup = SimTime::from_millis(100);
+    let clients = 2 * clusters;
+    let mut system = SharperSystem::build(params, clients, |client| {
+        let mut cfg = WorkloadConfig::evaluation(clusters as u32, cross_ratio);
+        cfg.accounts_per_shard = ACCOUNTS;
+        WorkloadGenerator::new(client, cfg)
+    });
+    let report = system.run(SimTime::from_millis(100 * secs_tenths));
+    Outcome {
+        digest: system.ledger_digest(),
+        delivered: report.simulation.delivered,
+        dropped: report.simulation.dropped,
+        timers_fired: report.simulation.timers_fired,
+        committed: report.summary.committed,
+        client_completed: report.client_completed,
+        cross_shard: report.audit.cross_shard_transactions,
+    }
+}
+
+fn assert_identical(seq: &Outcome, par: &Outcome, what: &str) {
+    assert_eq!(seq.digest, par.digest, "{what}: ledger digests diverge");
+    assert_eq!(seq.delivered, par.delivered, "{what}: delivered diverges");
+    assert_eq!(seq.dropped, par.dropped, "{what}: dropped diverges");
+    assert_eq!(seq.timers_fired, par.timers_fired, "{what}: timers diverge");
+    assert_eq!(seq.committed, par.committed, "{what}: committed diverges");
+    assert_eq!(
+        seq.client_completed, par.client_completed,
+        "{what}: client completions diverge"
+    );
+}
+
+#[test]
+fn pure_cross_shard_parallel_matches_sequential_at_2_4_8_clusters() {
+    // Every transaction spans two clusters, so all commit traffic crosses
+    // lanes; two seeds per size vary the interleavings. ≥4 clusters with
+    // per-cluster threads is the acceptance configuration of the PDES work.
+    for &clusters in &[2usize, 4, 8] {
+        for seed in [11u64, 12] {
+            let label = format!("crash {clusters}c seed {seed}");
+            let seq = run(
+                FailureModel::Crash,
+                clusters,
+                1.0,
+                seed,
+                ThreadMode::Sequential,
+                15,
+            );
+            assert!(
+                seq.cross_shard > 0,
+                "{label}: no cross-shard commits (cross={})",
+                seq.cross_shard
+            );
+            let par = run(
+                FailureModel::Crash,
+                clusters,
+                1.0,
+                seed,
+                ThreadMode::PerCluster,
+                15,
+            );
+            assert_identical(&seq, &par, &label);
+        }
+    }
+}
+
+#[test]
+fn byzantine_cross_shard_parallel_matches_sequential() {
+    let seq = run(
+        FailureModel::Byzantine,
+        4,
+        1.0,
+        21,
+        ThreadMode::Sequential,
+        15,
+    );
+    let par = run(
+        FailureModel::Byzantine,
+        4,
+        1.0,
+        21,
+        ThreadMode::PerCluster,
+        15,
+    );
+    assert_identical(&seq, &par, "byzantine 4c seed 21");
+}
+
+#[test]
+fn fixed_worker_pool_matches_sequential_when_lanes_share_threads() {
+    // Fixed(3) over 8 clusters maps several clusters onto each worker —
+    // the round-robin lane assignment must not change the merge order.
+    let seq = run(FailureModel::Crash, 8, 1.0, 5, ThreadMode::Sequential, 10);
+    let par = run(FailureModel::Crash, 8, 1.0, 5, ThreadMode::Fixed(3), 10);
+    assert_identical(&seq, &par, "crash 8c fixed(3) seed 5");
+}
