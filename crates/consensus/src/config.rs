@@ -19,6 +19,17 @@ pub struct TimerConfig {
     /// How long a backup waits for the commit of an in-flight request before
     /// suspecting the primary and starting a view change.
     pub view_change_timeout: Duration,
+    /// How many times the initiator re-announces an `XAbort` after giving up
+    /// on a cross-shard batch (a single lost abort must not wedge a remote
+    /// primary's reservation).
+    pub xabort_retransmits: u32,
+    /// Interval between `XAbort` retransmissions.
+    pub xabort_retransmit_interval: Duration,
+    /// Number of conflict-timeout renewals a reserved *primary* waits before
+    /// probing the initiator cluster for the fate of its reservation
+    /// (crash model). The product with `conflict_timeout` should exceed the
+    /// initiator's give-up window (`max_retries × retry_timeout`).
+    pub reservation_probe_after: u32,
 }
 
 impl Default for TimerConfig {
@@ -33,6 +44,13 @@ impl Default for TimerConfig {
             retry_timeout: Duration::from_millis(100),
             max_retries: 6,
             view_change_timeout: Duration::from_millis(1_500),
+            xabort_retransmits: 2,
+            xabort_retransmit_interval: Duration::from_millis(150),
+            // 2 renewals ≈ 800ms+, past the give-up window of
+            // max_retries × retry_timeout ≈ 700ms and the abort
+            // retransmissions, so probes only fire for genuinely lost
+            // commits/aborts.
+            reservation_probe_after: 2,
         }
     }
 }
@@ -110,6 +128,15 @@ mod tests {
         assert!(t.retry_timeout <= t.conflict_timeout);
         assert!(t.view_change_timeout > t.conflict_timeout);
         assert!(t.max_retries > 0);
+        // The reservation probe must not fire before the initiator has had a
+        // chance to give up and retransmit its abort.
+        let give_up = t.retry_timeout.saturating_mul(u64::from(t.max_retries));
+        let probe = t
+            .conflict_timeout
+            .saturating_mul(u64::from(t.reservation_probe_after));
+        assert!(probe > give_up);
+        assert!(t.xabort_retransmits > 0);
+        assert!(t.xabort_retransmit_interval > sharper_common::Duration::ZERO);
     }
 
     #[test]

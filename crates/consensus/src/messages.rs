@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use sharper_common::{ClusterId, NodeId, TxId};
-use sharper_crypto::{Digest, Signature};
+use sharper_crypto::{Digest, QuorumCert, Signature};
 use sharper_ledger::Batch;
 use sharper_state::Transaction;
 use std::collections::BTreeMap;
@@ -33,6 +33,47 @@ pub mod timer_tags {
     /// The primary's batch timer: a partially filled batch is proposed when
     /// it fires.
     pub const BATCH: u64 = 6;
+    /// The initiator's retransmission timer for a cross-shard `XAbort`: a
+    /// withdrawn proposal is re-announced a bounded number of times so one
+    /// lost abort cannot wedge a remote primary's reservation.
+    pub const XABORT_RETRANSMIT: u64 = 7;
+}
+
+/// A Paxos ballot: the total order over crash-model proposals. Ballots are
+/// ordered first by view, then by proposer id, so every (view, primary) pair
+/// proposes under a ballot strictly above every earlier view's — the
+/// ordering that lets acceptors reject stale proposals after promising a
+/// newer one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ballot {
+    /// The view this ballot belongs to.
+    pub view: u64,
+    /// The primary proposing under this ballot.
+    pub proposer: NodeId,
+}
+
+impl Ballot {
+    /// Creates a ballot for `proposer` leading `view`.
+    pub fn new(view: u64, proposer: NodeId) -> Self {
+        Self { view, proposer }
+    }
+}
+
+/// A prepared-certificate: proof that `2f+1` distinct replicas of a
+/// Byzantine cluster prepared `batch` at chain position `parent` in `view`.
+/// Carried by view-change votes and the new-view message; backups verify
+/// every member signature before accepting the replayed round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreparedCert {
+    /// The view the round prepared in.
+    pub view: u64,
+    /// Hash of the previous block ordered by the cluster.
+    pub parent: Digest,
+    /// The prepared batch.
+    pub batch: Batch,
+    /// The primary's pre-prepare signature plus the backups' prepare
+    /// signatures — `2f+1` distinct signers in total.
+    pub sigs: QuorumCert,
 }
 
 /// All messages of the SharPer protocol family.
@@ -76,8 +117,8 @@ pub enum Msg {
     // ------------------------------------------------------------------
     /// Primary → backups: order `batch` right after the block `parent`.
     PaxosAccept {
-        /// The primary's view number.
-        view: u64,
+        /// The proposing primary's ballot.
+        ballot: Ballot,
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
         /// The batch to order.
@@ -85,8 +126,8 @@ pub enum Msg {
     },
     /// Backup → primary: the backup accepted the proposal.
     PaxosAccepted {
-        /// The view the backup is in.
-        view: u64,
+        /// The ballot of the proposal being accepted.
+        ballot: Ballot,
         /// The digest (batch root) of the accepted proposal.
         d: Digest,
         /// The accepting backup.
@@ -94,8 +135,8 @@ pub enum Msg {
     },
     /// Primary → backups: the proposal reached a majority; execute it.
     PaxosCommit {
-        /// The primary's view number.
-        view: u64,
+        /// The ballot the proposal was accepted under.
+        ballot: Ballot,
         /// Hash of the previous block ordered by this cluster.
         parent: Digest,
         /// The committed batch.
@@ -171,6 +212,12 @@ pub enum Msg {
         cluster: ClusterId,
         /// `h_j`: hash of the previous block ordered by cluster `p_j`.
         parent: Digest,
+        /// Chain height of `parent` (blocks from genesis, inclusive). The
+        /// initiator uses it to detect a stale cluster primary: an accept
+        /// from a member *ahead* of the primary proves the primary's tail
+        /// has already been built past and its parent must not be committed
+        /// against (see `assemble_parents`).
+        height: u64,
         /// The accepting node.
         node: NodeId,
     },
@@ -240,6 +287,20 @@ pub enum Msg {
         /// The withdrawing (initiator) cluster.
         initiator: ClusterId,
     },
+    /// Reserved primary → initiator cluster's primary: the reservation for
+    /// `d` has been held past its timeout with neither commit nor abort
+    /// observed; ask the initiator side to resolve it (crash model). The
+    /// answer is a retransmitted `XCommit` if the batch committed there, a
+    /// targeted `XAbort` if the round is dead, or silence if it is still in
+    /// flight.
+    XStatus {
+        /// Digest of the reserved proposal.
+        d: Digest,
+        /// The probing node's cluster.
+        cluster: ClusterId,
+        /// The probing node (the answer is sent directly to it).
+        node: NodeId,
+    },
 
     // ------------------------------------------------------------------
     // View change (liveness)
@@ -260,10 +321,16 @@ pub enum Msg {
         new_view: u64,
         /// The voting replica.
         node: NodeId,
-        /// The voter's accepted-but-uncommitted rounds (crash model only;
-        /// empty in the Byzantine model, whose new-view transfer needs
-        /// signed prepared-certificates and is tracked in the roadmap).
+        /// The voter's accepted-but-uncommitted rounds with their ballots
+        /// (crash model; the vote doubles as a phase-1b promise).
         accepted: Vec<AcceptedRound>,
+        /// The voter's prepared-but-uncommitted rounds with their
+        /// certificates (Byzantine model).
+        prepared: Vec<PreparedCert>,
+        /// Length of the voter's committed chain. The would-be primary
+        /// declines to lead while its own chain is shorter than any voter's:
+        /// leading from behind would propose new work at an old height.
+        chain_len: u64,
         /// Signature over `(cluster, new_view)`.
         sig: Signature,
     },
@@ -275,6 +342,11 @@ pub enum Msg {
         new_view: u64,
         /// The announcing (new primary) replica.
         node: NodeId,
+        /// The prepared-certificates backing the rounds the new primary will
+        /// replay (Byzantine model; empty in the crash model, whose replay
+        /// is ballot-checked instead). Backups verify every certificate
+        /// before installing the view.
+        certs: Vec<PreparedCert>,
         /// Signature over `(cluster, new_view)`.
         sig: Signature,
     },
@@ -329,17 +401,20 @@ impl Msg {
             Msg::XAccept { d, .. } | Msg::XAcceptB { d, .. } => Some(*d),
             Msg::XCommit { d, .. } | Msg::XCommitB { d, .. } => Some(*d),
             Msg::XAbort { d, .. } => Some(*d),
+            Msg::XStatus { d, .. } => Some(*d),
             Msg::ViewChange { .. } | Msg::NewView { .. } => None,
         }
     }
 }
 
 /// An accepted-but-uncommitted intra-shard round carried by a crash-model
-/// view-change vote: enough for the new primary to re-propose the batch at
-/// the same chain position (the block digest is a pure function of `parent`
-/// and the batch).
+/// view-change vote: enough for the new primary to adopt the highest-ballot
+/// value per chain position and re-propose it there (the block digest is a
+/// pure function of `parent` and the batch).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AcceptedRound {
+    /// The ballot the round was accepted under.
+    pub ballot: Ballot,
     /// The parent hash the batch was accepted under.
     pub parent: Digest,
     /// The accepted batch.
@@ -390,7 +465,7 @@ mod tests {
         let sig = Signature::unsigned(0);
         assert!(Msg::Request { tx: tx(), sig }.starts_new_transaction());
         assert!(Msg::PaxosAccept {
-            view: 0,
+            ballot: Ballot::new(0, NodeId(0)),
             parent: Digest::ZERO,
             batch: batch()
         }
@@ -403,7 +478,7 @@ mod tests {
         }
         .starts_new_transaction());
         assert!(!Msg::PaxosAccepted {
-            view: 0,
+            ballot: Ballot::new(0, NodeId(0)),
             d: Digest::ZERO,
             node: NodeId(1)
         }
@@ -436,7 +511,7 @@ mod tests {
         }
         .is_signed());
         assert!(!Msg::PaxosAccept {
-            view: 0,
+            ballot: Ballot::new(0, NodeId(0)),
             parent: Digest::ZERO,
             batch: batch()
         }
@@ -464,7 +539,7 @@ mod tests {
         );
         assert_eq!(
             Msg::PaxosAccept {
-                view: 0,
+                ballot: Ballot::new(0, NodeId(0)),
                 parent: Digest::ZERO,
                 batch: b.clone()
             }
@@ -477,6 +552,7 @@ mod tests {
                 attempt: 1,
                 cluster: ClusterId(2),
                 parent: Digest::ZERO,
+                height: 1,
                 node: NodeId(3)
             }
             .digest(),
@@ -521,6 +597,7 @@ mod tests {
             CLIENT_SUBMIT,
             CLIENT_RETRY,
             BATCH,
+            XABORT_RETRANSMIT,
         ];
         for (i, a) in tags.iter().enumerate() {
             for b in &tags[i + 1..] {

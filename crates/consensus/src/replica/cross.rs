@@ -20,7 +20,7 @@
 //! retries; the super-primary policy (chosen in the system configuration)
 //! removes most conflicts up front.
 
-use super::{CrossRound, Replica, Reservation};
+use super::{AbortRetx, CrossRound, Replica, Reservation};
 use crate::messages::{proposal_sign_bytes, timer_tags, vote_sign_bytes, Msg};
 use sharper_common::{ClusterId, FailureModel, NodeId};
 use sharper_crypto::{hash_parts, Digest, Signature};
@@ -55,13 +55,19 @@ impl Replica {
         {
             return;
         }
+        // A re-initiation of a batch we previously gave up on supersedes the
+        // abort retransmissions (links are FIFO, so the new propose cannot be
+        // overtaken by an already-sent abort).
+        if let Some(retx) = self.abort_retx.remove(&d) {
+            ctx.cancel_timer(retx.timer);
+        }
         let parent = self.ordering_tail();
         let mut round = CrossRound::new(batch.clone(), involved.clone(), self.cluster, 0);
         round
             .accepts
             .entry(self.cluster)
             .or_default()
-            .insert(self.node, parent);
+            .insert(self.node, (parent, self.tail_height));
         let retry = ctx.set_timer(self.cfg.timers.retry_timeout, timer_tags::RETRY);
         round.retry_timer = Some(retry);
         self.cross.insert(d, round);
@@ -192,7 +198,11 @@ impl Replica {
             }
             None => {
                 let timer = ctx.set_timer(self.cfg.timers.conflict_timeout, timer_tags::CONFLICT);
-                self.reservation = Some(Reservation { d, timer });
+                self.reservation = Some(Reservation {
+                    d,
+                    timer,
+                    renewals: 0,
+                });
             }
         }
         let my_parent = self.ordering_tail();
@@ -203,6 +213,7 @@ impl Replica {
                 attempt,
                 cluster: self.cluster,
                 parent: my_parent,
+                height: self.tail_height,
                 node: self.node,
             },
         );
@@ -210,21 +221,36 @@ impl Replica {
 
     /// The initiator primary receives an `accept` from a node of an involved
     /// cluster.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn handle_xaccept(
         &mut self,
         d: Digest,
         attempt: u32,
         cluster: ClusterId,
         parent: Digest,
+        height: u64,
         node: NodeId,
         ctx: &mut Context<Msg>,
     ) {
         if self.model() != FailureModel::Crash {
             return;
         }
+        let am_primary = self.is_primary();
         let Some(round) = self.cross.get_mut(&d) else {
+            // A stale accept for a round this replica no longer tracks. The
+            // responder is reserved for it and waiting on an outcome; tell it
+            // the batch's fate (commit if it committed here, abort if this
+            // primary gave up) so one lost abort cannot wedge it forever.
+            self.answer_cross_fate(d, ActorId::Node(node), ctx);
             return;
         };
+        // A demoted initiator primary must not keep assembling a commit: the
+        // new primary of this cluster re-initiates the round with its own
+        // ordering tail, and two commits for one batch could name different
+        // parents.
+        if round.initiator == self.cluster && !am_primary {
+            return;
+        }
         if round.sent_commit || round.attempt != attempt || !round.involved.contains(&cluster) {
             return;
         }
@@ -232,7 +258,7 @@ impl Replica {
             .accepts
             .entry(cluster)
             .or_default()
-            .insert(node, parent);
+            .insert(node, (parent, height));
         self.try_commit_cross_crash(d, ctx);
     }
 
@@ -352,7 +378,11 @@ impl Replica {
             Some(_) => return,
             None => {
                 let timer = ctx.set_timer(self.cfg.timers.conflict_timeout, timer_tags::CONFLICT);
-                self.reservation = Some(Reservation { d, timer });
+                self.reservation = Some(Reservation {
+                    d,
+                    timer,
+                    renewals: 0,
+                });
             }
         }
         let my_parent = self.ordering_tail();
@@ -363,7 +393,7 @@ impl Replica {
                 .accepts
                 .entry(self.cluster)
                 .or_default()
-                .insert(self.node, my_parent);
+                .insert(self.node, (my_parent, 0));
         }
         let accept_sig = self.signer.sign(&vote_sign_bytes(
             b"xaccept",
@@ -432,11 +462,14 @@ impl Replica {
         if round.attempt != attempt || !round.involved.contains(&cluster) {
             return;
         }
+        // Byzantine accepts carry no height: the stale-primary veto below is
+        // crash-model-only (Byzantine cross-shard safety rests on the 2f+1
+        // matching commit votes per cluster instead).
         round
             .accepts
             .entry(cluster)
             .or_default()
-            .insert(node, parent);
+            .insert(node, (parent, 0));
         self.try_send_xcommit_b(d, ctx);
     }
 
@@ -589,10 +622,15 @@ impl Replica {
     /// value that places the cross-shard block consistently *after* every
     /// intra-shard block the primary has already proposed. Backups whose
     /// accept reported an older head simply append the cross-shard block
-    /// after they catch up (the deferred-append path). The per-cluster accept
-    /// quorum is still required — it is what reserves a majority of the
-    /// cluster and prevents conflicting cross-shard transactions from
-    /// committing in a different order (§3.2).
+    /// after they catch up (the deferred-append path).
+    ///
+    /// An accept from a member *ahead* of the primary, however, vetoes the
+    /// commit: it proves the cluster has already ordered a block past the
+    /// primary's tail (the primary is stale — typically demoted by a view
+    /// change this initiator has not heard about), so committing against its
+    /// parent would place a second block at an already-taken height — a
+    /// fork. The round simply waits; the initiator's retry collects fresh
+    /// tails until the accepts of a live primary and its cluster converge.
     fn assemble_parents(&self, round: &CrossRound) -> Option<BTreeMap<ClusterId, Digest>> {
         let mut parents = BTreeMap::new();
         for cluster in &round.involved {
@@ -602,8 +640,15 @@ impl Replica {
                 return None;
             }
             let primary = self.primary_of(*cluster);
-            let parent = votes.get(&primary)?;
-            parents.insert(*cluster, *parent);
+            let &(parent, primary_height) = votes.get(&primary)?;
+            if self.model() == FailureModel::Crash
+                && votes
+                    .values()
+                    .any(|&(p, h)| h > primary_height || (h == primary_height && p != parent))
+            {
+                return None;
+            }
+            parents.insert(*cluster, parent);
         }
         Some(parents)
     }
@@ -696,6 +741,94 @@ impl Replica {
         self.process_buffered(ctx);
     }
 
+    /// An `XAbort` retransmission timer fired: re-announce the withdrawal to
+    /// every involved node and re-arm until the budget is spent.
+    pub(super) fn handle_xabort_retx_timer(&mut self, timer: TimerId, ctx: &mut Context<Msg>) {
+        let Some((&d, _)) = self.abort_retx.iter().find(|(_, st)| st.timer == timer) else {
+            return;
+        };
+        let retx = self.abort_retx.get_mut(&d).expect("entry exists");
+        retx.left = retx.left.saturating_sub(1);
+        let involved = retx.involved.clone();
+        if retx.left == 0 {
+            self.abort_retx.remove(&d);
+        } else {
+            let next = ctx.set_timer(
+                self.cfg.timers.xabort_retransmit_interval,
+                timer_tags::XABORT_RETRANSMIT,
+            );
+            self.abort_retx.get_mut(&d).expect("entry exists").timer = next;
+        }
+        ctx.multicast(
+            self.members_of_all_except_self(&involved),
+            Msg::XAbort {
+                d,
+                initiator: self.cluster,
+            },
+        );
+    }
+
+    /// A remote replica stuck on a long-lived reservation probes the
+    /// initiator cluster for the fate of the reserved batch (crash model;
+    /// Byzantine reservations rely on the signed all-to-all commits instead).
+    pub(super) fn handle_xstatus(
+        &mut self,
+        d: Digest,
+        _cluster: ClusterId,
+        node: NodeId,
+        ctx: &mut Context<Msg>,
+    ) {
+        if self.model() != FailureModel::Crash {
+            return;
+        }
+        self.answer_cross_fate(d, ActorId::Node(node), ctx);
+    }
+
+    /// Answers what became of cross-shard batch `d`: a committed batch is
+    /// re-announced with its original commit (bit-identical block), an
+    /// abandoned one with an abort. Batches still in flight need no answer —
+    /// the ordinary protocol resolves them.
+    fn answer_cross_fate(&mut self, d: Digest, to: ActorId, ctx: &mut Context<Msg>) {
+        if let Some(block_digest) = self.cross_blocks.get(&d).copied() {
+            if let Some(block) = self.ledger.block(block_digest) {
+                let mut parents = BTreeMap::new();
+                for cluster in block.involved_clusters() {
+                    if let Some(parent) = block.parent_for(cluster) {
+                        parents.insert(cluster, parent);
+                    }
+                }
+                if let Some(batch) = block.body_batch() {
+                    let batch = batch.clone();
+                    ctx.send(
+                        to,
+                        Msg::XCommit {
+                            d,
+                            parents: Arc::new(parents),
+                            batch,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        if self.cross.contains_key(&d) {
+            return;
+        }
+        // Unknown and not in flight: the batch was given up on (or this
+        // replica never saw it — aborting is still safe, the initiator
+        // retries or the client retransmits). Only the primary speaks for
+        // the cluster.
+        if self.is_primary() {
+            ctx.send(
+                to,
+                Msg::XAbort {
+                    d,
+                    initiator: self.cluster,
+                },
+            );
+        }
+    }
+
     /// The initiator's retry timer fired: if the batch is still uncommitted,
     /// re-initiate it with a fresh parent hash (§3.2: "the (primary node of)
     /// initiator clusters try to resend their own transactions").
@@ -754,6 +887,23 @@ impl Replica {
                     initiator: self.cluster,
                 },
             );
+            // The abort is the only thing standing between a reserved remote
+            // primary and a livelock; losing the single copy must not be
+            // fatal, so it is retransmitted a few times.
+            if self.cfg.timers.xabort_retransmits > 0 {
+                let timer = ctx.set_timer(
+                    self.cfg.timers.xabort_retransmit_interval,
+                    timer_tags::XABORT_RETRANSMIT,
+                );
+                self.abort_retx.insert(
+                    d,
+                    AbortRetx {
+                        involved,
+                        left: self.cfg.timers.xabort_retransmits,
+                        timer,
+                    },
+                );
+            }
             self.process_buffered(ctx);
             return;
         }
@@ -772,7 +922,7 @@ impl Replica {
             .accepts
             .entry(self.cluster)
             .or_default()
-            .insert(self.node, parent);
+            .insert(self.node, (parent, self.tail_height));
         let retry = ctx.set_timer(self.cfg.timers.retry_timeout, timer_tags::RETRY);
         self.cross.get_mut(&d).expect("round exists").retry_timer = Some(retry);
 

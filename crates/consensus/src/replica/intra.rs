@@ -9,13 +9,12 @@
 //! holds a single transaction and the rounds are bit-for-bit the paper's.
 
 use super::{IntraRound, Replica};
-use crate::messages::{proposal_sign_bytes, vote_sign_bytes, Msg};
+use crate::messages::{proposal_sign_bytes, vote_sign_bytes, Ballot, Msg};
 use sharper_common::FailureModel;
 use sharper_crypto::{Digest, Signature};
 use sharper_ledger::{Batch, Block};
 use sharper_net::{ActorId, Context};
 use std::collections::BTreeMap;
-use std::collections::BTreeSet;
 
 impl Replica {
     /// Starts ordering an intra-shard batch. Called on the primary.
@@ -66,14 +65,12 @@ impl Replica {
         d: Digest,
         ctx: &mut Context<Msg>,
     ) {
-        let mut round = IntraRound {
-            batch: batch.clone(),
-            parent,
-            prepares: BTreeSet::new(),
-            commits: BTreeSet::new(),
-            sent_commit: false,
-            committed: false,
-        };
+        // Proposals carry this primary's ballot; proposing is implicitly a
+        // self-promise, so a demoted primary cannot later accept older
+        // ballots it already proposed above.
+        let ballot = Ballot::new(self.view, self.node);
+        self.promised = self.promised.max(ballot);
+        let mut round = IntraRound::new(batch.clone(), parent, ballot);
         // The primary's own acceptance counts towards the majority.
         round.prepares.insert(self.node);
         self.intra.insert(d, round);
@@ -84,7 +81,7 @@ impl Replica {
         ctx.multicast(
             self.cluster_peers(),
             Msg::PaxosAccept {
-                view: self.view,
+                ballot,
                 parent,
                 batch,
             },
@@ -93,11 +90,11 @@ impl Replica {
         self.try_commit_paxos(d, ctx);
     }
 
-    /// Backup handling of the primary's `accept` message.
+    /// Backup handling of the primary's `accept` message (Paxos phase 2a).
     pub(super) fn handle_paxos_accept(
         &mut self,
         from: ActorId,
-        view: u64,
+        ballot: Ballot,
         parent: Digest,
         batch: Batch,
         ctx: &mut Context<Msg>,
@@ -105,10 +102,25 @@ impl Replica {
         if self.model() != FailureModel::Crash || batch.is_empty() {
             return;
         }
-        // Only the primary of the current view may propose.
-        if from != ActorId::Node(self.primary_of(self.cluster)) || view < self.view {
+        // The ballot must belong to the primary its view elects, and the
+        // message must come from that primary.
+        let Ok(expected) = self.cfg.system.primary(self.cluster, ballot.view) else {
+            return;
+        };
+        if ballot.proposer != expected || from != ActorId::Node(ballot.proposer) {
             return;
         }
+        // Phase-2b acceptance: proposals below the promise are rejected —
+        // the acceptor already helped elect (or accept from) a higher
+        // ballot, and endorsing this one could commit two values at one
+        // chain position.
+        if ballot < self.promised {
+            return;
+        }
+        self.promised = ballot;
+        // A valid higher-ballot proposal proves a newer primary is active;
+        // follow it even if its NewView announcement was lost.
+        self.adopt_view(ballot.view, ctx);
         let d = batch.digest();
         if batch.tx_ids().any(|id| self.committed_txs.contains(&id)) {
             // The proposal may be the new primary's replay of a round this
@@ -124,7 +136,7 @@ impl Replica {
                 ctx.send(
                     from,
                     Msg::PaxosAccepted {
-                        view,
+                        ballot,
                         d,
                         node: self.node,
                     },
@@ -132,16 +144,35 @@ impl Replica {
             }
             return;
         }
-        // Remember the batch so the view-change path can re-propose it and
-        // start the liveness timer for the in-flight request.
-        self.intra.entry(d).or_insert_with(|| IntraRound {
-            batch: batch.clone(),
-            parent,
-            prepares: BTreeSet::new(),
-            commits: BTreeSet::new(),
-            sent_commit: false,
-            committed: false,
-        });
+        // Position-taken rejection: if the named parent is a strict ancestor
+        // of this replica's head, or a committed block is already parked
+        // waiting to append right after it, the position after the parent is
+        // filled by a different committed block (often a cross-shard block
+        // the proposer has not appended yet). Endorsing the proposal would
+        // vouch a second block for a committed height — the exact shape of a
+        // fork — so it is dropped; the proposer learns the true head from
+        // the commits still in flight to it and re-proposes there.
+        if parent != self.ledger.head()
+            && (self.ledger.block(parent).is_some() || self.deferred.contains_key(&parent))
+        {
+            return;
+        }
+        // Remember the batch (with its ballot) so the view-change path can
+        // transfer it, and start the liveness timer for the in-flight
+        // request. A replay under a higher ballot updates the stored ballot
+        // and position.
+        let round = self
+            .intra
+            .entry(d)
+            .or_insert_with(|| IntraRound::new(batch.clone(), parent, ballot));
+        // A replay under a newer ballot voids acceptances gathered under the
+        // old one — they endorsed a possibly different chain position.
+        if round.ballot != ballot {
+            round.prepares.clear();
+            round.sent_commit = false;
+        }
+        round.ballot = ballot;
+        round.parent = parent;
         self.ensure_view_change_timer(ctx);
         {
             let mut parents = BTreeMap::new();
@@ -151,7 +182,7 @@ impl Replica {
         ctx.send(
             from,
             Msg::PaxosAccepted {
-                view,
+                ballot,
                 d,
                 node: self.node,
             },
@@ -161,16 +192,21 @@ impl Replica {
     /// Primary handling of a backup's `accepted` message.
     pub(super) fn handle_paxos_accepted(
         &mut self,
-        view: u64,
+        ballot: Ballot,
         d: Digest,
         node: sharper_common::NodeId,
         ctx: &mut Context<Msg>,
     ) {
-        if self.model() != FailureModel::Crash || view != self.view {
+        if self.model() != FailureModel::Crash {
             return;
         }
         if let Some(round) = self.intra.get_mut(&d) {
-            round.prepares.insert(node);
+            // Count the vote only for the ballot the round currently runs
+            // under; acceptances of an older ballot (or a stale replay) do
+            // not stack with the current quorum.
+            if round.ballot == ballot {
+                round.prepares.insert(node);
+            }
         }
         self.try_commit_paxos(d, ctx);
     }
@@ -187,10 +223,11 @@ impl Replica {
         round.committed = true;
         let batch = round.batch.clone();
         let parent = round.parent;
+        let ballot = round.ballot;
         ctx.multicast(
             self.cluster_peers(),
             Msg::PaxosCommit {
-                view: self.view,
+                ballot,
                 parent,
                 batch: batch.clone(),
             },
@@ -205,14 +242,27 @@ impl Replica {
     /// Backup handling of the primary's `commit` message.
     pub(super) fn handle_paxos_commit(
         &mut self,
-        view: u64,
+        ballot: Ballot,
         parent: Digest,
         batch: Batch,
         ctx: &mut Context<Msg>,
     ) {
-        if self.model() != FailureModel::Crash || view < self.view || batch.is_empty() {
+        if self.model() != FailureModel::Crash || batch.is_empty() {
             return;
         }
+        // The ballot must name the legitimate primary of its view. Commits
+        // from views this replica already moved past are dropped: the value,
+        // if truly decided, re-arrives through the new view's ballot-checked
+        // replay, while applying the stale copy here could place it at a
+        // chain position the new primary has re-assigned.
+        if self.cfg.system.primary(self.cluster, ballot.view).ok() != Some(ballot.proposer)
+            || ballot.view < self.view
+        {
+            return;
+        }
+        // A commit under a higher view proves a quorum follows that view's
+        // primary; adopt it (the NewView announcement may have been lost).
+        self.adopt_view(ballot.view, ctx);
         let d = batch.digest();
         if let Some(round) = self.intra.get_mut(&d) {
             round.committed = true;
@@ -221,6 +271,15 @@ impl Replica {
         parents.insert(self.cluster, parent);
         let block = Block::batch(batch, parents);
         self.commit_block(ctx, block, false);
+    }
+
+    /// Adopts a higher view evidenced by a valid higher-ballot message. The
+    /// announcement of that view (`NewView`) may have been lost; following
+    /// the ballot keeps this replica useful to the new primary's quorum.
+    pub(super) fn adopt_view(&mut self, view: u64, ctx: &mut Context<Msg>) {
+        if view > self.view {
+            self.install_view(view, ctx);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -234,19 +293,36 @@ impl Replica {
             return;
         }
         let parent = self.ordering_tail();
+        self.propose_pbft_round(batch, parent, d, ctx);
+    }
+
+    /// Proposes `batch` at an explicit chain position (used by the Byzantine
+    /// new-view replay of certified prepared rounds). Existing round state is
+    /// replaced: votes gathered under the old view are void in the new one.
+    pub(super) fn propose_pbft_at(&mut self, batch: Batch, parent: Digest, ctx: &mut Context<Msg>) {
+        let d = batch.digest();
+        if batch.tx_ids().all(|id| self.committed_txs.contains(&id)) {
+            return;
+        }
+        self.intra.remove(&d);
+        self.propose_pbft_round(batch, parent, d, ctx);
+    }
+
+    fn propose_pbft_round(
+        &mut self,
+        batch: Batch,
+        parent: Digest,
+        d: Digest,
+        ctx: &mut Context<Msg>,
+    ) {
         let sig = self
             .signer
             .sign(&proposal_sign_bytes(self.view, &parent, &d));
-        let mut round = IntraRound {
-            batch: batch.clone(),
-            parent,
-            prepares: BTreeSet::new(),
-            commits: BTreeSet::new(),
-            sent_commit: false,
-            committed: false,
-        };
-        // The primary's pre-prepare stands in for its prepare vote.
+        let mut round = IntraRound::new(batch.clone(), parent, Ballot::new(self.view, self.node));
+        // The primary's pre-prepare stands in for its prepare vote; keep its
+        // signature so a later view change can prove the round prepared.
         round.prepares.insert(self.node);
+        round.prepare_sigs.insert(self.node, sig);
         self.intra.insert(d, round);
         {
             let mut parents = BTreeMap::new();
@@ -300,20 +376,48 @@ impl Replica {
         if batch.tx_ids().any(|id| self.committed_txs.contains(&id)) {
             return;
         }
-        let round = self.intra.entry(d).or_insert_with(|| IntraRound {
-            batch: batch.clone(),
-            parent,
-            prepares: BTreeSet::new(),
-            commits: BTreeSet::new(),
-            sent_commit: false,
-            committed: false,
+        // Prepared-lock: once this replica helped prepare a value at a chain
+        // position, it must not prepare a different value there in a later
+        // view unless the new primary's certified new-view explicitly carried
+        // the replacement (in which case the replacement *is* the prepared
+        // value, re-proposed).
+        let quorum = self.quorum_of(self.cluster);
+        let conflicting_lock = self.intra.iter().any(|(other, r)| {
+            *other != d
+                && !r.committed
+                && r.parent == parent
+                && r.prepares.len() >= quorum
+                && !r.batch.is_empty()
         });
-        round.batch = batch.clone();
-        round.parent = parent;
-        // The pre-prepare carries the primary's implicit prepare; this
-        // replica's own prepare is counted when it multicasts below.
-        round.prepares.insert(primary);
-        round.prepares.insert(self.node);
+        if conflicting_lock
+            && self
+                .newview_certs
+                .get(&parent)
+                .is_none_or(|(_, authorized)| *authorized != d)
+        {
+            return;
+        }
+        {
+            let round = self.intra.entry(d).or_insert_with(|| {
+                IntraRound::new(batch.clone(), parent, Ballot::new(view, primary))
+            });
+            // A re-proposal under a newer view voids any votes gathered under
+            // the old one: they signed different view/parent bytes.
+            if round.ballot.view != view {
+                round.prepares.clear();
+                round.prepare_sigs.clear();
+                round.commits.clear();
+                round.sent_commit = false;
+            }
+            round.ballot = Ballot::new(view, primary);
+            round.batch = batch.clone();
+            round.parent = parent;
+            // The pre-prepare carries the primary's implicit prepare; this
+            // replica's own prepare is counted when it multicasts below.
+            round.prepares.insert(primary);
+            round.prepares.insert(self.node);
+            round.prepare_sigs.insert(primary, sig);
+        }
         self.ensure_view_change_timer(ctx);
         {
             let mut parents = BTreeMap::new();
@@ -323,6 +427,9 @@ impl Replica {
 
         let vote_bytes = vote_sign_bytes(b"prepare", view, &parent, &d);
         let vote_sig = self.signer.sign(&vote_bytes);
+        if let Some(round) = self.intra.get_mut(&d) {
+            round.prepare_sigs.insert(self.node, vote_sig);
+        }
         self.charge_message(ctx, 0, 1);
         ctx.multicast(
             self.cluster_peers(),
@@ -354,17 +461,18 @@ impl Replica {
         if !self.verify_signed(ctx, super::node_signer_id(node), &bytes, &sig) {
             return;
         }
-        let round = self.intra.entry(d).or_insert_with(|| IntraRound {
+        let primary = self.primary_of(self.cluster);
+        let round = self.intra.entry(d).or_insert_with(|| {
             // Batch not yet known (prepare overtook the pre-prepare); the
             // empty placeholder is replaced when the pre-prepare arrives.
-            batch: Batch::empty(),
-            parent,
-            prepares: BTreeSet::new(),
-            commits: BTreeSet::new(),
-            sent_commit: false,
-            committed: false,
+            IntraRound::new(Batch::empty(), parent, Ballot::new(view, primary))
         });
+        // Votes only stack with the view the round currently runs under.
+        if round.ballot.view != view {
+            return;
+        }
         round.prepares.insert(node);
+        round.prepare_sigs.insert(node, sig);
         self.try_send_pbft_commit(d, ctx);
     }
 
@@ -378,7 +486,11 @@ impl Replica {
         let Some(round) = self.intra.get_mut(&d) else {
             return;
         };
-        if round.sent_commit || !Self::round_has_payload(round) || round.prepares.len() < quorum {
+        if round.sent_commit
+            || round.ballot.view != view
+            || !Self::round_has_payload(round)
+            || round.prepares.len() < quorum
+        {
             return;
         }
         round.sent_commit = true;
@@ -418,18 +530,22 @@ impl Replica {
             return;
         }
         if let Some(round) = self.intra.get_mut(&d) {
-            round.commits.insert(node);
+            if round.ballot.view == view {
+                round.commits.insert(node);
+            }
         }
         self.try_finalize_pbft(d, ctx);
     }
 
     fn try_finalize_pbft(&mut self, d: Digest, ctx: &mut Context<Msg>) {
         let quorum = self.quorum_of(self.cluster);
+        let view = self.view;
         let Some(round) = self.intra.get_mut(&d) else {
             return;
         };
         if round.committed
             || !round.sent_commit
+            || round.ballot.view != view
             || !Self::round_has_payload(round)
             || round.commits.len() < quorum
         {

@@ -24,7 +24,7 @@ mod tests;
 mod view_change;
 
 use crate::config::ReplicaConfig;
-use crate::messages::{timer_tags, Msg};
+use crate::messages::{timer_tags, AcceptedRound, Ballot, Msg, PreparedCert};
 use crate::sigcache::SigCache;
 use sharper_common::{ClientId, ClusterId, FailureModel, NodeId, TxId};
 use sharper_crypto::keys::SignerId;
@@ -78,14 +78,56 @@ struct IntraRound {
     /// plane).
     batch: Batch,
     parent: Digest,
+    /// The ballot the round was last proposed under (crash: the Paxos
+    /// ballot; Byzantine: `(view, primary)` of the proposing view).
+    ballot: Ballot,
     /// Paxos `accepted` votes / PBFT `prepare` votes (node ids).
     prepares: BTreeSet<NodeId>,
     /// PBFT `commit` votes.
     commits: BTreeSet<NodeId>,
+    /// The verified prepare signatures gathered for this round (Byzantine
+    /// model): the primary's pre-prepare signature plus the backups'
+    /// prepares, the raw material of a prepared-certificate.
+    prepare_sigs: BTreeMap<NodeId, Signature>,
     /// Whether this replica already moved to the commit phase.
     sent_commit: bool,
     /// Whether the block was appended locally.
     committed: bool,
+}
+
+impl IntraRound {
+    fn new(batch: Batch, parent: Digest, ballot: Ballot) -> Self {
+        Self {
+            batch,
+            parent,
+            ballot,
+            prepares: BTreeSet::new(),
+            commits: BTreeSet::new(),
+            prepare_sigs: BTreeMap::new(),
+            sent_commit: false,
+            committed: false,
+        }
+    }
+}
+
+/// One voter's view-change vote as recorded by the would-be new primary.
+#[derive(Debug, Clone)]
+struct VcVote {
+    /// Accepted rounds reported for the crash-model state transfer.
+    accepted: Vec<AcceptedRound>,
+    /// Prepared-certificates reported for the Byzantine state transfer.
+    prepared: Vec<PreparedCert>,
+    /// The voter's committed chain length.
+    chain_len: u64,
+}
+
+/// Retransmission state for an `XAbort` the initiator announced after giving
+/// up on a cross-shard batch.
+#[derive(Debug, Clone)]
+struct AbortRetx {
+    involved: Vec<ClusterId>,
+    left: u32,
+    timer: TimerId,
 }
 
 /// State of one in-flight cross-shard consensus round.
@@ -97,8 +139,10 @@ struct CrossRound {
     involved: Vec<ClusterId>,
     initiator: ClusterId,
     attempt: u32,
-    /// Accept votes: cluster → (node → reported parent hash).
-    accepts: HashMap<ClusterId, BTreeMap<NodeId, Digest>>,
+    /// Accept votes: cluster → (node → reported parent hash and its chain
+    /// height). The height lets the initiator reject a stale primary's
+    /// parent (a member ahead of the primary has built past it).
+    accepts: HashMap<ClusterId, BTreeMap<NodeId, (Digest, u64)>>,
     /// Byzantine commit votes: cluster → nodes whose commit matched ours.
     commit_votes: HashMap<ClusterId, BTreeSet<NodeId>>,
     /// The parents assembled from the accept quorums (fixed once reached).
@@ -135,6 +179,9 @@ impl CrossRound {
 struct Reservation {
     d: Digest,
     timer: TimerId,
+    /// How many times the conflict timer expired and was re-armed while this
+    /// reservation was held (primaries only; drives the status probe).
+    renewals: u32,
 }
 
 /// A SharPer replica.
@@ -148,12 +195,24 @@ pub struct Replica {
     ledger: LedgerView,
     /// This cluster's current view (primary = `view % cluster size`).
     view: u64,
+    /// The highest ballot this replica has promised (crash model): proposals
+    /// below it are rejected. Voting for a view change and installing a view
+    /// both raise the promise to that view's ballot — the phase-1b half of
+    /// Paxos that makes the view-change replay safe.
+    promised: Ballot,
+    /// The highest view this replica has ever voted for; successive votes go
+    /// strictly above it so cascading view changes cannot re-elect a failed
+    /// candidate view forever.
+    vc_highest_voted: u64,
     /// Hash of the last block this replica has agreed to order for its
     /// cluster (the "previous transaction ordered by the cluster", §3.1).
     /// For a primary this runs ahead of the ledger head by the proposals
     /// still in flight, which is what lets consecutive proposals chain
     /// correctly while earlier ones are still gathering votes.
     tail: Digest,
+    /// Chain height of `tail` (blocks from genesis, inclusive): the ledger
+    /// height plus every in-flight proposal the tail has advanced over.
+    tail_height: u64,
     intra: HashMap<Digest, IntraRound>,
     cross: HashMap<Digest, CrossRound>,
     reservation: Option<Reservation>,
@@ -178,9 +237,19 @@ pub struct Replica {
     /// keyed by the required parent digest.
     deferred: HashMap<Digest, Vec<(Block, bool)>>,
     committed_txs: HashSet<TxId>,
-    /// View-change votes per proposed view: voter → the accepted rounds it
-    /// reported (used by the new primary for state transfer).
-    vc_votes: HashMap<u64, BTreeMap<NodeId, Vec<crate::messages::AcceptedRound>>>,
+    /// Batch root → block digest for every committed cross-shard block, so
+    /// the status probe can retransmit the commit of an already purged round.
+    cross_blocks: HashMap<Digest, Digest>,
+    /// `XAbort` retransmission state per withdrawn digest (initiator side).
+    abort_retx: HashMap<Digest, AbortRetx>,
+    /// The rounds authorized by the most recently accepted new-view message
+    /// (Byzantine): parent → (view, digest). A backup holding a prepared
+    /// lock at a chain position only accepts a different digest there when
+    /// this map names it.
+    newview_certs: HashMap<Digest, (u64, Digest)>,
+    /// View-change votes per proposed view: voter → its vote (used by the
+    /// new primary for state transfer and the chain-frontier check).
+    vc_votes: HashMap<u64, BTreeMap<NodeId, VcVote>>,
     vc_timer: Option<TimerId>,
     /// LRU cache of `(signer, digest-of-signed-bytes)` pairs that already
     /// verified, so retransmissions skip the signature check.
@@ -200,6 +269,10 @@ impl Replica {
             .signer(node_signer_id(node))
             .expect("replica key must be registered");
         let executor = Executor::new(cluster, cfg.partitioner.clone());
+        let genesis_primary = cfg
+            .system
+            .primary(cluster, 0)
+            .expect("cluster exists in the configuration");
         Self {
             node,
             cluster,
@@ -209,7 +282,10 @@ impl Replica {
             store,
             ledger: LedgerView::new(cluster),
             view: 0,
+            promised: Ballot::new(0, genesis_primary),
+            vc_highest_voted: 0,
             tail: Block::genesis().digest(),
+            tail_height: 1,
             intra: HashMap::new(),
             cross: HashMap::new(),
             reservation: None,
@@ -221,6 +297,9 @@ impl Replica {
             early_cross: HashMap::new(),
             deferred: HashMap::new(),
             committed_txs: HashSet::new(),
+            cross_blocks: HashMap::new(),
+            abort_retx: HashMap::new(),
+            newview_certs: HashMap::new(),
             vc_votes: HashMap::new(),
             vc_timer: None,
             verified_sigs: SigCache::new(SIG_CACHE_CAPACITY),
@@ -442,6 +521,7 @@ impl Replica {
     pub(super) fn advance_tail(&mut self, block: &Block) {
         if block.parent_for(self.cluster) == Some(self.tail) {
             self.tail = block.digest();
+            self.tail_height += 1;
         }
     }
 
@@ -684,6 +764,11 @@ impl Replica {
             .expect("only batch blocks are committed");
         let cross = block.is_cross_shard();
         self.advance_tail(&block);
+        if cross {
+            // Remember where the batch landed so a status probe for it can be
+            // answered with a retransmitted commit after the round is purged.
+            self.cross_blocks.insert(batch.digest(), block.digest());
+        }
         self.ledger
             .append(block)
             .expect("parent was checked against the head");
@@ -712,8 +797,16 @@ impl Replica {
     }
 
     fn after_commit_bookkeeping(&mut self, ctx: &mut Context<Msg>) {
-        // Drop completed round state to keep memory bounded.
-        self.intra.retain(|_, r| !r.committed);
+        // Drop completed round state to keep memory bounded. An uncommitted
+        // round whose every transaction has meanwhile committed through other
+        // blocks can never append either and would only pollute future
+        // view-change transfers, so it is purged too (payload-less PBFT
+        // placeholders are kept: their pre-prepare may still arrive).
+        let committed = &self.committed_txs;
+        self.intra.retain(|_, r| {
+            !r.committed
+                && (r.batch.is_empty() || !r.batch.tx_ids().all(|id| committed.contains(&id)))
+        });
         self.cross.retain(|_, r| !r.committed);
         self.maybe_cancel_view_change_timer(ctx);
     }
@@ -781,16 +874,18 @@ impl Replica {
             Msg::Reply { .. } => { /* replicas never receive replies */ }
 
             Msg::PaxosAccept {
-                view,
+                ballot,
                 parent,
                 batch,
-            } => self.handle_paxos_accept(from, view, parent, batch, ctx),
-            Msg::PaxosAccepted { view, d, node } => self.handle_paxos_accepted(view, d, node, ctx),
+            } => self.handle_paxos_accept(from, ballot, parent, batch, ctx),
+            Msg::PaxosAccepted { ballot, d, node } => {
+                self.handle_paxos_accepted(ballot, d, node, ctx)
+            }
             Msg::PaxosCommit {
-                view,
+                ballot,
                 parent,
                 batch,
-            } => self.handle_paxos_commit(view, parent, batch, ctx),
+            } => self.handle_paxos_commit(ballot, parent, batch, ctx),
 
             Msg::PrePrepare {
                 view,
@@ -824,10 +919,12 @@ impl Replica {
                 attempt,
                 cluster,
                 parent,
+                height,
                 node,
-            } => self.handle_xaccept(d, attempt, cluster, parent, node, ctx),
+            } => self.handle_xaccept(d, attempt, cluster, parent, height, node, ctx),
             Msg::XCommit { d, parents, batch } => self.handle_xcommit(d, parents, batch, ctx),
             Msg::XAbort { d, initiator } => self.handle_xabort(d, initiator, ctx),
+            Msg::XStatus { d, cluster, node } => self.handle_xstatus(d, cluster, node, ctx),
 
             Msg::XProposeB {
                 initiator,
@@ -857,14 +954,28 @@ impl Replica {
                 new_view,
                 node,
                 accepted,
+                prepared,
+                chain_len,
                 sig,
-            } => self.handle_view_change(cluster, new_view, node, accepted, sig, ctx),
+            } => self.handle_view_change(
+                cluster,
+                new_view,
+                node,
+                VcVote {
+                    accepted,
+                    prepared,
+                    chain_len,
+                },
+                sig,
+                ctx,
+            ),
             Msg::NewView {
                 cluster,
                 new_view,
                 node,
+                certs,
                 sig,
-            } => self.handle_new_view(cluster, new_view, node, sig, ctx),
+            } => self.handle_new_view(cluster, new_view, node, certs, sig, ctx),
         }
     }
 
@@ -954,21 +1065,60 @@ impl Actor<Msg> for Replica {
         match tag {
             timer_tags::CONFLICT => {
                 // The commit for the reserved cross-shard transaction did not
-                // arrive in time. A backup releases the reservation so other
-                // transactions can make progress (the initiator will retry).
-                // The cluster primary must NOT release: it has vouched the
-                // reserved transaction's position in its chain (its accept
-                // reported the current ordering tail), and proposing anything
-                // else before that transaction resolves could fork the
-                // cluster's chain. It re-arms the timer instead; if the
-                // transaction is truly dead, the view-change path replaces
-                // the primary.
+                // arrive in time. In the crash model NO replica releases
+                // blindly: every accept vouched a chain position to the
+                // initiator, which may still count it towards a commit. A
+                // replica that released on a timeout and then endorsed other
+                // work at the vouched position would let two blocks commit at
+                // one height (a fork). Instead the reservation is renewed and,
+                // after enough renewals, the initiator cluster is probed for
+                // the batch's fate; the reservation is released only by an
+                // explicit commit or abort. A Byzantine *backup* still
+                // releases on the timeout (§3.2's pre-determined time): the
+                // Byzantine commit needs 2f+1 matching commit votes per
+                // cluster, so a stale minority accept cannot fork the chain.
                 if let Some(res) = self.reservation {
                     if res.timer == timer {
-                        if self.is_primary() {
+                        if self.is_primary() || self.model() == FailureModel::Crash {
                             let timer = ctx
                                 .set_timer(self.cfg.timers.conflict_timeout, timer_tags::CONFLICT);
-                            self.reservation = Some(Reservation { d: res.d, timer });
+                            let renewals = res.renewals.saturating_add(1);
+                            self.reservation = Some(Reservation {
+                                d: res.d,
+                                timer,
+                                renewals,
+                            });
+                            // After enough renewals the commit/abort is
+                            // presumed lost; ask the initiator cluster to
+                            // resolve the reservation rather than holding it
+                            // (and the cluster) forever. The probe goes to
+                            // every member: any replica that committed the
+                            // batch retransmits the commit, and the cluster's
+                            // *current* primary answers with an abort if the
+                            // round is dead — the prober cannot know which
+                            // view the initiator cluster is in.
+                            if self.model() == FailureModel::Crash
+                                && renewals >= self.cfg.timers.reservation_probe_after
+                            {
+                                let initiator = self.cross.get(&res.d).map(|round| round.initiator);
+                                if let Some(initiator) = initiator {
+                                    if initiator != self.cluster {
+                                        let members: Vec<ActorId> = self
+                                            .cluster_members(initiator)
+                                            .into_iter()
+                                            .map(ActorId::Node)
+                                            .collect();
+                                        ctx.multicast(
+                                            members,
+                                            Msg::XStatus {
+                                                d: res.d,
+                                                cluster: self.cluster,
+                                                node: self.node,
+                                            },
+                                        );
+                                    }
+                                }
+                            }
                         } else {
                             self.reservation = None;
                             self.process_buffered(ctx);
@@ -979,6 +1129,7 @@ impl Actor<Msg> for Replica {
             timer_tags::RETRY => self.handle_retry_timer(timer, ctx),
             timer_tags::VIEW_CHANGE => self.handle_view_change_timer(timer, ctx),
             timer_tags::BATCH => self.handle_batch_timer(timer, ctx),
+            timer_tags::XABORT_RETRANSMIT => self.handle_xabort_retx_timer(timer, ctx),
             _ => {}
         }
     }

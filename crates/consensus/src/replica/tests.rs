@@ -8,7 +8,7 @@
 
 use super::*;
 use crate::config::{ReplicaConfig, TimerConfig};
-use crate::messages::Msg;
+use crate::messages::{vote_sign_bytes, Ballot, Msg, PreparedCert};
 use sharper_common::{
     AccountId, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy, NodeId, SimTime,
     SystemConfig,
@@ -477,7 +477,7 @@ fn reserved_replica_buffers_new_transactions_until_commit() {
         replica.on_message(
             ActorId::Node(NodeId(3)),
             Msg::PaxosAccept {
-                view: 0,
+                ballot: Ballot::new(0, NodeId(3)),
                 parent: head,
                 batch: sharper_ledger::Batch::single(intra_tx_in_cluster(1, 9)),
             },
@@ -486,12 +486,15 @@ fn reserved_replica_buffers_new_transactions_until_commit() {
         assert!(ctx.take_outbox().is_empty(), "buffered, not processed");
     }
 
-    // Step 3: the commit arrives; the reservation is released and the
-    // buffered intra-shard accept is answered.
-    {
+    // Step 3: the commit arrives; the reservation is released. The buffered
+    // intra-shard accept named the pre-commit head as its parent, a position
+    // the cross-shard block has now taken — endorsing it would vouch a
+    // second block for a committed height, so it is dropped, not answered.
+    let stale_parent = {
+        let stale_parent = net.replica(4).ledger().head();
         let mut parents = std::collections::BTreeMap::new();
         parents.insert(ClusterId(0), net.replica(0).ledger().head());
-        parents.insert(ClusterId(1), net.replica(4).ledger().head());
+        parents.insert(ClusterId(1), stale_parent);
         let replica = net.replicas.get_mut(&NodeId(4)).unwrap();
         let mut ctx = Context::detached(SimTime::from_millis(3), ActorId::Node(NodeId(4)));
         replica.on_message(
@@ -504,12 +507,114 @@ fn reserved_replica_buffers_new_transactions_until_commit() {
             &mut ctx,
         );
         let out = ctx.take_outbox();
-        assert!(replica.is_idle() || !out.is_empty());
         assert_eq!(replica.committed_count(), 1);
         assert!(
-            out.iter()
+            !out.iter()
                 .any(|(_, m)| matches!(m, Msg::PaxosAccepted { .. })),
-            "the buffered intra-shard work must resume after the commit"
+            "an accept at the consumed pre-commit position must not be endorsed"
+        );
+        stale_parent
+    };
+
+    // Step 4: the primary re-proposes the intra-shard batch at the new head
+    // (chained after the cross-shard block); now the replica endorses it.
+    {
+        let head = net.replica(4).ledger().head();
+        assert_ne!(head, stale_parent, "the cross-shard block moved the head");
+        let replica = net.replicas.get_mut(&NodeId(4)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(4), ActorId::Node(NodeId(4)));
+        replica.on_message(
+            ActorId::Node(NodeId(3)),
+            Msg::PaxosAccept {
+                ballot: Ballot::new(0, NodeId(3)),
+                parent: head,
+                batch: sharper_ledger::Batch::single(intra_tx_in_cluster(1, 9)),
+            },
+            &mut ctx,
+        );
+        assert!(
+            ctx.take_outbox()
+                .iter()
+                .any(|(_, m)| matches!(m, Msg::PaxosAccepted { .. })),
+            "a re-proposal at the post-commit head must be endorsed"
+        );
+    }
+}
+
+#[test]
+fn xstatus_probe_is_answered_with_the_cross_shard_fate() {
+    // A remote replica stuck on a long-lived reservation probes the
+    // initiator cluster with `XStatus`. A committed batch is re-announced
+    // with its original commit; an unknown one is aborted — but only the
+    // primary speaks for the cluster, so a lagging backup stays silent.
+    let cfg = test_config(FailureModel::Crash, 2, 1);
+    let mut net = TestNet::new(cfg);
+    let xtx = cross_tx(0, 1);
+    let d = sharper_ledger::Batch::single(xtx.clone()).digest();
+    net.submit(xtx);
+    net.run();
+    assert!(net.replica(0).committed_count() >= 1);
+
+    // Probe for the committed batch: answered with a retransmitted XCommit.
+    {
+        let member = net.replicas.get_mut(&NodeId(0)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(1), ActorId::Node(NodeId(0)));
+        member.on_message(
+            ActorId::Node(NodeId(4)),
+            Msg::XStatus {
+                d,
+                cluster: ClusterId(1),
+                node: NodeId(4),
+            },
+            &mut ctx,
+        );
+        assert!(
+            ctx.take_outbox().iter().any(|(to, m)| {
+                *to == ActorId::Node(NodeId(4))
+                    && matches!(m, Msg::XCommit { d: answered, .. } if *answered == d)
+            }),
+            "a committed batch must be re-announced to the probing node"
+        );
+    }
+
+    // Probe for a batch the cluster never saw: the primary answers XAbort so
+    // the reserved replica can release; a backup stays silent.
+    let unknown = sharper_ledger::Batch::single(cross_tx(99, 1)).digest();
+    {
+        let primary = net.replicas.get_mut(&NodeId(0)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(2), ActorId::Node(NodeId(0)));
+        primary.on_message(
+            ActorId::Node(NodeId(4)),
+            Msg::XStatus {
+                d: unknown,
+                cluster: ClusterId(1),
+                node: NodeId(4),
+            },
+            &mut ctx,
+        );
+        assert!(
+            ctx.take_outbox().iter().any(|(to, m)| {
+                *to == ActorId::Node(NodeId(4))
+                    && matches!(m, Msg::XAbort { d: answered, .. } if *answered == unknown)
+            }),
+            "the primary must abort an unknown probed batch"
+        );
+    }
+    {
+        let backup = net.replicas.get_mut(&NodeId(1)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(3), ActorId::Node(NodeId(1)));
+        backup.on_message(
+            ActorId::Node(NodeId(4)),
+            Msg::XStatus {
+                d: unknown,
+                cluster: ClusterId(1),
+                node: NodeId(4),
+            },
+            &mut ctx,
+        );
+        assert!(
+            ctx.take_outbox().is_empty(),
+            "only the primary speaks for the cluster on unknown batches"
         );
     }
 }
@@ -622,6 +727,8 @@ fn view_change_installs_the_next_primary_on_quorum() {
             new_view: 1,
             node: NodeId(2),
             accepted: vec![],
+            prepared: vec![],
+            chain_len: 0,
             sig,
         },
     );
@@ -635,6 +742,8 @@ fn view_change_installs_the_next_primary_on_quorum() {
             new_view: 1,
             node: NodeId(1),
             accepted: vec![],
+            prepared: vec![],
+            chain_len: 0,
             sig,
         },
     );
@@ -660,6 +769,8 @@ fn new_primary_serves_requests_after_view_change() {
                 new_view: 1,
                 node: NodeId(voter),
                 accepted: vec![],
+                prepared: vec![],
+                chain_len: 0,
                 sig,
             },
         );
@@ -748,6 +859,8 @@ fn view_change_preserves_a_value_committed_in_the_old_view() {
                 new_view: 1,
                 node: NodeId(voter),
                 accepted: vec![],
+                prepared: vec![],
+                chain_len: 0,
                 sig,
             },
         );
@@ -772,6 +885,270 @@ fn view_change_preserves_a_value_committed_in_the_old_view() {
         );
     }
     assert!(net.replica(0).ledger().block(expected_head).is_some());
+    audit_views(&net.ledgers()).unwrap();
+}
+
+#[test]
+fn lower_ballot_proposal_is_rejected_after_a_promise() {
+    // Paxos promise discipline: once a backup accepts a proposal under
+    // ballot (1, n1) it has promised that ballot, so the deposed view-0
+    // primary's ballot (0, n0) must no longer gather acceptances — counting
+    // it toward a quorum could commit two values at one chain position.
+    let cfg = test_config(FailureModel::Crash, 1, 1);
+    let mut net = TestNet::new(cfg);
+    let genesis = net.replica(2).ledger().head();
+
+    let high = Ballot::new(1, NodeId(1));
+    {
+        let backup = net.replicas.get_mut(&NodeId(2)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(1), ActorId::Node(NodeId(2)));
+        backup.on_message(
+            ActorId::Node(NodeId(1)),
+            Msg::PaxosAccept {
+                ballot: high,
+                parent: genesis,
+                batch: sharper_ledger::Batch::single(intra_tx(0)),
+            },
+            &mut ctx,
+        );
+        assert!(
+            ctx.take_outbox().iter().any(|(to, m)| {
+                *to == ActorId::Node(NodeId(1))
+                    && matches!(m, Msg::PaxosAccepted { ballot, .. } if *ballot == high)
+            }),
+            "the view-1 primary's ballot must be accepted"
+        );
+    }
+    // A valid higher-ballot proposal also proves view 1 exists.
+    assert_eq!(net.replica(2).view(), 1);
+
+    // The old primary's lower ballot is dead: no acceptance.
+    {
+        let backup = net.replicas.get_mut(&NodeId(2)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(2), ActorId::Node(NodeId(2)));
+        backup.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::PaxosAccept {
+                ballot: Ballot::new(0, NodeId(0)),
+                parent: genesis,
+                batch: sharper_ledger::Batch::single(intra_tx(1)),
+            },
+            &mut ctx,
+        );
+        assert!(
+            !ctx.take_outbox()
+                .iter()
+                .any(|(_, m)| matches!(m, Msg::PaxosAccepted { .. })),
+            "a ballot below the promise must be rejected"
+        );
+    }
+}
+
+#[test]
+fn cascading_view_change_can_skip_to_a_later_view() {
+    // After a failed first view change (its candidate also suspect, or its
+    // votes lost), replicas vote directly for view 2. The view-2 candidate
+    // must install it without ever seeing view 1 — view numbers are
+    // monotonic, not consecutive — and then serve requests as primary.
+    let cfg = test_config(FailureModel::Crash, 1, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    let sig = Signature::unsigned(0);
+    for voter in [0u32, 1u32] {
+        net.inject(
+            ActorId::Node(NodeId(voter)),
+            NodeId(2),
+            Msg::ViewChange {
+                cluster: ClusterId(0),
+                new_view: 2,
+                node: NodeId(voter),
+                accepted: vec![],
+                prepared: vec![],
+                chain_len: 1,
+                sig,
+            },
+        );
+    }
+    net.run();
+    assert_eq!(net.replica(2).view(), 2);
+    assert!(net.replica(2).is_primary());
+    // The NewView announcement brings the whole cluster to view 2.
+    assert_eq!(net.replica(0).view(), 2);
+    assert_eq!(net.replica(1).view(), 2);
+
+    // The view-2 primary orders new work.
+    let tx = intra_tx(3);
+    let csig = client_sig(&cfg, &tx);
+    net.inject(
+        ActorId::Client(ClientId(1)),
+        NodeId(2),
+        Msg::Request {
+            tx: Arc::new(tx.clone()),
+            sig: csig,
+        },
+    );
+    net.run();
+    assert!(net.replica(2).committed_count() >= 1);
+    assert_eq!(net.distinct_replies(tx.id), 1);
+    audit_views(&net.ledgers()).unwrap();
+}
+
+#[test]
+fn byzantine_new_view_rejects_forged_certificates() {
+    // A lying new primary announces a view change carrying a
+    // prepared-certificate whose quorum signatures are garbage: it claims a
+    // round prepared that never did. Backups must refuse the announcement
+    // wholesale — one forged entry means nothing the announcer says can be
+    // trusted.
+    let cfg = test_config(FailureModel::Byzantine, 1, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    let genesis = net.replica(2).ledger().head();
+    let nv_bytes = vote_sign_bytes(
+        b"newview",
+        (ClusterId(0).0 as u64) << 32 | 1,
+        &sharper_crypto::Digest::ZERO,
+        &sharper_crypto::Digest::ZERO,
+    );
+    let nv_sig = cfg
+        .registry
+        .signer(node_signer_id(NodeId(1)))
+        .expect("node key registered")
+        .sign(&nv_bytes);
+    let forged = PreparedCert {
+        view: 0,
+        parent: genesis,
+        batch: sharper_ledger::Batch::single(intra_tx(0)),
+        sigs: sharper_crypto::QuorumCert::from_signatures(
+            (0..3u32).map(|n| Signature::unsigned(node_signer_id(NodeId(n)).0)),
+        ),
+    };
+    net.inject(
+        ActorId::Node(NodeId(1)),
+        NodeId(2),
+        Msg::NewView {
+            cluster: ClusterId(0),
+            new_view: 1,
+            node: NodeId(1),
+            certs: vec![forged],
+            sig: nv_sig,
+        },
+    );
+    net.run();
+    assert_eq!(
+        net.replica(2).view(),
+        0,
+        "a NewView with a forged certificate must not install"
+    );
+
+    // Control: the same (valid) signature with no certificates installs, so
+    // the rejection above was the certificate check, not the signature.
+    net.inject(
+        ActorId::Node(NodeId(1)),
+        NodeId(3),
+        Msg::NewView {
+            cluster: ClusterId(0),
+            new_view: 1,
+            node: NodeId(1),
+            certs: vec![],
+            sig: nv_sig,
+        },
+    );
+    net.run();
+    assert_eq!(net.replica(3).view(), 1);
+}
+
+#[test]
+fn byzantine_new_view_replays_a_genuinely_prepared_round() {
+    // Counterpart of the forged-certificate test: a round that really
+    // prepared (2f+1 prepare signatures) but never committed must survive a
+    // view change. The new primary carries the certificate in its NewView,
+    // backups verify it, and the round re-commits bit-identically in view 1.
+    let cfg = test_config(FailureModel::Byzantine, 1, 1);
+    let mut net = TestNet::new(Arc::clone(&cfg));
+    let tx = intra_tx(0);
+    let genesis = net.replica(0).ledger().head();
+
+    // The view-0 primary proposes; capture the pre-prepare.
+    let pre_prepare = {
+        let primary = net.replicas.get_mut(&NodeId(0)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(1), ActorId::Node(NodeId(0)));
+        primary.on_message(
+            ActorId::Client(ClientId(1)),
+            Msg::Request {
+                tx: Arc::new(tx.clone()),
+                sig: client_sig(&cfg, &tx),
+            },
+            &mut ctx,
+        );
+        ctx.take_outbox()
+            .into_iter()
+            .find_map(|(_, m)| matches!(m, Msg::PrePrepare { .. }).then_some(m))
+            .expect("primary multicasts the pre-prepare")
+    };
+    // Node 2 prepares; node 1 receives the pre-prepare plus node 2's
+    // prepare, so it — and only it — holds a full prepared certificate (the
+    // primary's pre-prepare signature, its own prepare, node 2's prepare).
+    // All commit votes are dropped: the round is uncommitted everywhere.
+    let prepare_2 = {
+        let backup = net.replicas.get_mut(&NodeId(2)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(2), ActorId::Node(NodeId(2)));
+        backup.on_message(ActorId::Node(NodeId(0)), pre_prepare.clone(), &mut ctx);
+        ctx.take_outbox()
+            .into_iter()
+            .find_map(|(_, m)| matches!(m, Msg::Prepare { .. }).then_some(m))
+            .expect("backup votes prepare")
+    };
+    {
+        let backup = net.replicas.get_mut(&NodeId(1)).unwrap();
+        let mut ctx = Context::detached(SimTime::from_millis(3), ActorId::Node(NodeId(1)));
+        backup.on_message(ActorId::Node(NodeId(0)), pre_prepare, &mut ctx);
+        backup.on_message(ActorId::Node(NodeId(2)), prepare_2, &mut ctx);
+        let _dropped = ctx.take_outbox();
+    }
+    assert_eq!(net.replica(1).committed_count(), 0);
+
+    // Nodes 0, 2 and 3 vote (with real signatures) to make node 1 the
+    // view-1 primary. Node 1's own prepared certificate rides into the
+    // takeover even though none of the voters carried one.
+    for voter in [0u32, 2, 3] {
+        let vc_bytes = vote_sign_bytes(
+            b"viewchange",
+            (ClusterId(0).0 as u64) << 32 | 1,
+            &sharper_crypto::Digest::ZERO,
+            &sharper_crypto::Digest::ZERO,
+        );
+        let sig = cfg
+            .registry
+            .signer(node_signer_id(NodeId(voter)))
+            .expect("node key registered")
+            .sign(&vc_bytes);
+        net.inject(
+            ActorId::Node(NodeId(voter)),
+            NodeId(1),
+            Msg::ViewChange {
+                cluster: ClusterId(0),
+                new_view: 1,
+                node: NodeId(voter),
+                accepted: vec![],
+                prepared: vec![],
+                chain_len: 1,
+                sig,
+            },
+        );
+    }
+    net.run();
+
+    // The certified round re-committed at its original position in view 1.
+    let expected_head = {
+        let mut parents = std::collections::BTreeMap::new();
+        parents.insert(ClusterId(0), genesis);
+        sharper_ledger::Block::transaction(tx, parents).digest()
+    };
+    for node in 0..4u32 {
+        let r = net.replica(node);
+        assert_eq!(r.view(), 1, "replica {node}");
+        assert_eq!(r.committed_count(), 1, "replica {node}");
+        assert_eq!(r.ledger().head(), expected_head, "replica {node}");
+    }
     audit_views(&net.ledgers()).unwrap();
 }
 

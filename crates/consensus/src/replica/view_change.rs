@@ -1,4 +1,5 @@
-//! Primary replacement (view change) for liveness.
+//! Primary replacement (view change) for liveness — and, on the crash path,
+//! for safety.
 //!
 //! "If the primary fails, the view change routine is triggered by timeouts
 //! and require enough non-faulty replicas to exchange view change messages"
@@ -9,15 +10,35 @@
 //! it installs the view, announces it with `NewView` and takes over the
 //! uncommitted requests it knows about. Clients additionally retransmit
 //! requests that time out, which covers requests the failed primary never
-//! forwarded. Requests still sitting in the old primary's batching queue are
-//! handed to the new primary as ordinary forwarded requests.
+//! forwarded.
+//!
+//! Crash model: the view change doubles as Paxos phase 1. A view-change vote
+//! is a promise for the ballot `(new_view, primary(new_view))`; it carries
+//! the voter's accepted-but-uncommitted rounds **with their ballots**, and
+//! the new primary adopts, per chain position, the highest-ballot value any
+//! quorum member reported before re-proposing it under its own ballot. This
+//! is what makes the replay safe: a value that may have committed in the old
+//! view was accepted by a majority, every view-change quorum intersects that
+//! majority, and the highest-ballot rule picks the possibly-committed value
+//! over stale lower-ballot leftovers.
+//!
+//! Byzantine model: votes instead carry *prepared certificates* — `2f+1`
+//! prepare signatures per carried round — and both the new primary and every
+//! backup verify them before trusting the replayed log, so a lying
+//! new-primary cannot smuggle an unprepared value into the new view.
+//!
+//! A candidate whose own chain is shorter than the longest chain reported by
+//! the view-change quorum *declines* to lead (it could not safely extend a
+//! frontier it has not seen); the next timeout rotates to another candidate.
 
-use super::Replica;
-use crate::messages::{timer_tags, vote_sign_bytes, AcceptedRound, Msg};
+use super::{Replica, VcVote};
+use crate::messages::{
+    proposal_sign_bytes, timer_tags, vote_sign_bytes, AcceptedRound, Ballot, Msg, PreparedCert,
+};
 use sharper_common::{ClusterId, FailureModel, NodeId};
-use sharper_crypto::{Digest, Signature};
+use sharper_crypto::{Digest, QuorumCert, Signature};
 use sharper_net::{Context, TimerId};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 fn view_change_sign_bytes(label: &[u8], cluster: ClusterId, new_view: u64) -> Vec<u8> {
     let context = ((cluster.0 as u64) << 32) | (new_view & 0xFFFF_FFFF);
@@ -65,11 +86,35 @@ impl Replica {
         if !self.has_outstanding_work() {
             return;
         }
-        // Suspect the primary and vote for the next view.
-        let new_view = self.view + 1;
+        // Suspect the primary and vote for the next view. Voting is
+        // monotonic across cascading view changes: a replica never votes for
+        // a view at or below one it already voted for, so a second failover
+        // (the new primary crashing too) converges on a view above the first
+        // instead of splitting votes across it.
+        let new_view = self.view.max(self.vc_highest_voted) + 1;
+        self.vc_highest_voted = new_view;
         self.stats.view_changes_started += 1;
+        // Crash model: the vote is a Paxos phase-1b promise for the new
+        // primary's ballot; after this the replica rejects lower ballots, so
+        // the accepted set it just reported cannot be extended behind the new
+        // primary's back.
+        if self.model() == FailureModel::Crash {
+            if let Ok(primary) = self.cfg.system.primary(self.cluster, new_view) {
+                self.promised = self.promised.max(Ballot::new(new_view, primary));
+            }
+        }
         let accepted = self.accepted_rounds_for_transfer();
-        self.record_view_change_vote(new_view, self.node, accepted.clone());
+        let prepared = self.prepared_certs_for_transfer();
+        let chain_len = self.ledger.len() as u64;
+        self.record_view_change_vote(
+            new_view,
+            self.node,
+            VcVote {
+                accepted: accepted.clone(),
+                prepared: prepared.clone(),
+                chain_len,
+            },
+        );
         let sig = self.signer.sign(&view_change_sign_bytes(
             b"viewchange",
             self.cluster,
@@ -85,6 +130,8 @@ impl Replica {
                 new_view,
                 node: self.node,
                 accepted,
+                prepared,
+                chain_len,
                 sig,
             },
         );
@@ -95,41 +142,67 @@ impl Replica {
 
     /// The accepted-but-uncommitted intra-shard rounds this replica reports
     /// in its view-change vote (crash-model state transfer; see
-    /// [`AcceptedRound`]).
+    /// [`AcceptedRound`]). Sorted so the vote is a deterministic function of
+    /// the round set.
     fn accepted_rounds_for_transfer(&self) -> Vec<AcceptedRound> {
         if self.model() != FailureModel::Crash {
             return Vec::new();
         }
-        self.intra
+        let mut rounds: Vec<AcceptedRound> = self
+            .intra
             .values()
             .filter(|round| !round.committed && !round.batch.is_empty())
             .map(|round| AcceptedRound {
+                ballot: round.ballot,
                 parent: round.parent,
                 batch: round.batch.clone(),
             })
-            .collect()
+            .collect();
+        rounds.sort_by_key(|r| (r.ballot, r.parent, r.batch.digest()));
+        rounds
     }
 
-    fn record_view_change_vote(
-        &mut self,
-        new_view: u64,
-        node: NodeId,
-        accepted: Vec<AcceptedRound>,
-    ) {
+    /// The prepared certificates this replica reports in its view-change vote
+    /// (Byzantine state transfer): every uncommitted round for which it holds
+    /// `2f+1` prepare signatures, with those signatures aggregated so the new
+    /// primary — and every backup receiving the new-view — can verify the
+    /// round really prepared.
+    fn prepared_certs_for_transfer(&self) -> Vec<PreparedCert> {
+        if self.model() != FailureModel::Byzantine {
+            return Vec::new();
+        }
+        let quorum = self.quorum_of(self.cluster);
+        let mut certs: Vec<PreparedCert> = self
+            .intra
+            .values()
+            .filter(|round| {
+                !round.committed && !round.batch.is_empty() && round.prepare_sigs.len() >= quorum
+            })
+            .map(|round| PreparedCert {
+                view: round.ballot.view,
+                parent: round.parent,
+                batch: round.batch.clone(),
+                sigs: QuorumCert::from_signatures(round.prepare_sigs.values().copied()),
+            })
+            .collect();
+        certs.sort_by_key(|c| (c.view, c.parent, c.batch.digest()));
+        certs
+    }
+
+    fn record_view_change_vote(&mut self, new_view: u64, node: NodeId, vote: VcVote) {
         self.vc_votes
             .entry(new_view)
             .or_default()
-            .insert(node, accepted);
+            .insert(node, vote);
     }
 
     /// Another replica of this cluster votes for a view change.
-    #[allow(clippy::too_many_arguments)]
     pub(super) fn handle_view_change(
         &mut self,
         cluster: ClusterId,
         new_view: u64,
         node: NodeId,
-        accepted: Vec<AcceptedRound>,
+        vote: VcVote,
         sig: Signature,
         ctx: &mut Context<Msg>,
     ) {
@@ -142,7 +215,7 @@ impl Replica {
                 return;
             }
         }
-        self.record_view_change_vote(new_view, node, accepted);
+        self.record_view_change_vote(new_view, node, vote);
         self.try_install_view(new_view, ctx);
     }
 
@@ -150,8 +223,10 @@ impl Replica {
         if new_view <= self.view {
             return;
         }
-        let votes = self.vc_votes.get(&new_view).map_or(0, |v| v.len());
-        if votes < self.quorum_of(self.cluster) {
+        let Some(votes) = self.vc_votes.get(&new_view) else {
+            return;
+        };
+        if votes.len() < self.quorum_of(self.cluster) {
             return;
         }
         let new_primary = self
@@ -163,91 +238,220 @@ impl Replica {
             // Wait for the new primary's announcement.
             return;
         }
-        // State transfer (crash model): every batch that may have committed
-        // in the old view was accepted by f+1 replicas, and this view-change
-        // quorum of f+1 intersects every such accept quorum, so the union of
-        // the voters' reported rounds plus this replica's own uncommitted
-        // rounds covers all possibly-committed batches. They are re-proposed
-        // below, at their original chain positions, before any new work.
-        let mut transfer: Vec<AcceptedRound> = self
-            .vc_votes
-            .get(&new_view)
-            .map(|votes| votes.values().flatten().cloned().collect())
-            .unwrap_or_default();
-        transfer.extend(self.accepted_rounds_for_transfer());
+        // Decline to lead from behind: a voter whose chain is longer than
+        // ours has committed blocks we have not seen, and re-proposing over
+        // an older head could fork the chain at the heights we are missing.
+        // Staying silent lets the next timeout rotate the candidate.
+        let frontier = votes.values().map(|v| v.chain_len).max().unwrap_or(0);
+        if (self.ledger.len() as u64) < frontier {
+            return;
+        }
+        match self.model() {
+            FailureModel::Crash => self.install_view_as_primary_crash(new_view, ctx),
+            FailureModel::Byzantine => self.install_view_as_primary_byzantine(new_view, ctx),
+        }
+    }
+
+    /// Crash-model takeover: adopt, per chain position, the highest-ballot
+    /// accepted value reported by the view-change quorum (Paxos phase-1a
+    /// synthesis), then re-propose those values under this primary's own
+    /// ballot.
+    fn install_view_as_primary_crash(&mut self, new_view: u64, ctx: &mut Context<Msg>) {
+        let mut adopted: BTreeMap<Digest, AcceptedRound> = BTreeMap::new();
+        let consider = |adopted: &mut BTreeMap<Digest, AcceptedRound>, r: &AcceptedRound| {
+            let rank = (r.ballot, r.batch.digest());
+            match adopted.get(&r.parent) {
+                Some(cur) if (cur.ballot, cur.batch.digest()) >= rank => {}
+                _ => {
+                    adopted.insert(r.parent, r.clone());
+                }
+            }
+        };
+        if let Some(votes) = self.vc_votes.get(&new_view) {
+            for vote in votes.values() {
+                for round in &vote.accepted {
+                    consider(&mut adopted, round);
+                }
+            }
+        }
+        for round in self.accepted_rounds_for_transfer() {
+            consider(&mut adopted, &round);
+        }
         self.install_view(new_view, ctx);
         let sig = self
             .signer
             .sign(&view_change_sign_bytes(b"newview", self.cluster, new_view));
-        if self.model().requires_signatures() {
-            self.charge_message(ctx, 0, 1);
-        }
         ctx.multicast(
             self.cluster_peers(),
             Msg::NewView {
                 cluster: self.cluster,
                 new_view,
                 node: self.node,
+                certs: Vec::new(),
                 sig,
             },
         );
-        if self.model() == FailureModel::Crash {
-            self.repropose_transferred_rounds(transfer, ctx);
-        }
+        self.repropose_adopted_rounds(adopted, ctx);
         self.take_over_pending_work(ctx);
     }
 
-    /// Re-proposes the accepted rounds learned through the view change.
-    ///
-    /// Rounds are replayed in parent-chain order starting from this
-    /// replica's ledger head, so a batch committed at height `h` in the old
-    /// view is re-proposed as the bit-identical block at height `h` (block
-    /// digests are pure functions of parent and batch). Rounds whose parent
-    /// chain cannot be reproduced were never committed anywhere — a
-    /// committed block's whole prefix was committed with quorums this
-    /// view-change quorum intersects — and are re-proposed at fresh
-    /// positions instead.
-    fn repropose_transferred_rounds(
-        &mut self,
-        transfer: Vec<AcceptedRound>,
-        ctx: &mut Context<Msg>,
-    ) {
-        let mut pending: Vec<AcceptedRound> = Vec::new();
-        let mut seen = HashSet::new();
-        for round in transfer {
-            if round
-                .batch
-                .tx_ids()
-                .all(|id| self.committed_txs.contains(&id))
-            {
+    /// Byzantine takeover: verify every prepared certificate carried by the
+    /// quorum's votes, adopt per chain position the highest-view certified
+    /// value, announce the selection in the new-view (so backups can check
+    /// it) and re-propose it under the new view.
+    fn install_view_as_primary_byzantine(&mut self, new_view: u64, ctx: &mut Context<Msg>) {
+        let candidates: Vec<PreparedCert> = self
+            .vc_votes
+            .get(&new_view)
+            .map(|votes| {
+                votes
+                    .values()
+                    .flat_map(|v| v.prepared.iter().cloned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let own = self.prepared_certs_for_transfer();
+        let mut selected: BTreeMap<Digest, PreparedCert> = BTreeMap::new();
+        for cert in candidates.into_iter().chain(own) {
+            if !self.verify_prepared_cert(&cert, ctx) {
                 continue;
             }
-            if seen.insert(round.batch.digest()) {
-                pending.push(round);
+            let rank = (cert.view, cert.batch.digest());
+            match selected.get(&cert.parent) {
+                Some(cur) if (cur.view, cur.batch.digest()) >= rank => {}
+                _ => {
+                    selected.insert(cert.parent, cert);
+                }
             }
         }
+        self.install_view(new_view, ctx);
+        self.newview_certs = selected
+            .values()
+            .map(|c| (c.parent, (c.view, c.batch.digest())))
+            .collect();
+        let certs: Vec<PreparedCert> = selected.values().cloned().collect();
+        let sig = self
+            .signer
+            .sign(&view_change_sign_bytes(b"newview", self.cluster, new_view));
+        self.charge_message(ctx, 0, 1);
+        ctx.multicast(
+            self.cluster_peers(),
+            Msg::NewView {
+                cluster: self.cluster,
+                new_view,
+                node: self.node,
+                certs,
+                sig,
+            },
+        );
+        self.repropose_certified_rounds(selected, ctx);
+        self.take_over_pending_work(ctx);
+    }
+
+    /// Checks a prepared certificate: a well-formed batch plus a quorum of
+    /// valid prepare signatures by distinct cluster members over that batch
+    /// at that chain position in the certificate's view (the primary of that
+    /// view signs the pre-prepare bytes instead of a prepare vote).
+    pub(super) fn verify_prepared_cert(
+        &mut self,
+        cert: &PreparedCert,
+        ctx: &mut Context<Msg>,
+    ) -> bool {
+        if cert.batch.is_empty() || !cert.batch.verify_root() || cert.batch.has_duplicate_tx_ids() {
+            return false;
+        }
+        let Ok(cert_primary) = self.cfg.system.primary(self.cluster, cert.view) else {
+            return false;
+        };
+        let members = self.cluster_members(self.cluster);
+        let quorum = self.quorum_of(self.cluster);
+        let d = cert.batch.digest();
+        self.charge_message(ctx, cert.sigs.len(), 0);
+        cert.sigs
+            .verify_quorum(&self.cfg.registry, quorum, |signer| {
+                let node = members
+                    .iter()
+                    .find(|n| super::node_signer_id(**n).0 == signer)?;
+                Some(if *node == cert_primary {
+                    proposal_sign_bytes(cert.view, &cert.parent, &d)
+                } else {
+                    vote_sign_bytes(b"prepare", cert.view, &cert.parent, &d)
+                })
+            })
+    }
+
+    /// Re-proposes the rounds adopted through a crash-model view change.
+    ///
+    /// Rounds are replayed in parent-chain order starting from this replica's
+    /// ledger head, so a batch committed at height `h` in the old view is
+    /// re-proposed as the bit-identical block at height `h` (block digests
+    /// are pure functions of parent and batch). Rounds whose parent chain
+    /// cannot be reproduced were never committed anywhere — a committed
+    /// block's whole prefix was committed with quorums this view-change
+    /// quorum intersects — and are re-proposed at fresh positions instead.
+    fn repropose_adopted_rounds(
+        &mut self,
+        mut adopted: BTreeMap<Digest, AcceptedRound>,
+        ctx: &mut Context<Msg>,
+    ) {
+        let mut seen: HashSet<Digest> = HashSet::new();
         // Chain-ordered replay at original positions.
         loop {
             let tail = self.ordering_tail();
-            let Some(idx) = pending.iter().position(|r| r.parent == tail) else {
+            let Some(round) = adopted.remove(&tail) else {
                 break;
             };
-            let round = pending.swap_remove(idx);
+            if !seen.insert(round.batch.digest()) {
+                continue;
+            }
             self.propose_paxos_at(round.batch, round.parent, ctx);
         }
-        // Orphaned rounds (uncommitted anywhere): fresh positions.
-        for round in pending {
+        // Orphaned rounds (uncommitted anywhere): fresh positions, in
+        // deterministic (parent-sorted) order.
+        for (_, round) in adopted {
+            if !seen.insert(round.batch.digest()) {
+                continue;
+            }
             let parent = self.ordering_tail();
             self.propose_paxos_at(round.batch, parent, ctx);
         }
     }
 
+    /// Byzantine counterpart of [`Self::repropose_adopted_rounds`]: replays
+    /// the certified prepared rounds under the new view.
+    fn repropose_certified_rounds(
+        &mut self,
+        mut certified: BTreeMap<Digest, PreparedCert>,
+        ctx: &mut Context<Msg>,
+    ) {
+        let mut seen: HashSet<Digest> = HashSet::new();
+        loop {
+            let tail = self.ordering_tail();
+            let Some(cert) = certified.remove(&tail) else {
+                break;
+            };
+            if !seen.insert(cert.batch.digest()) {
+                continue;
+            }
+            self.propose_pbft_at(cert.batch, cert.parent, ctx);
+        }
+        for (_, cert) in certified {
+            if !seen.insert(cert.batch.digest()) {
+                continue;
+            }
+            let parent = self.ordering_tail();
+            self.propose_pbft_at(cert.batch, parent, ctx);
+        }
+    }
+
     /// The new primary announces the installed view.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn handle_new_view(
         &mut self,
         cluster: ClusterId,
         new_view: u64,
         node: NodeId,
+        certs: Vec<PreparedCert>,
         sig: Signature,
         ctx: &mut Context<Msg>,
     ) {
@@ -267,8 +471,25 @@ impl Replica {
             if !self.verify_signed(ctx, super::node_signer_id(node), &bytes, &sig) {
                 return;
             }
+            // Every carried certificate must verify: a single forged entry
+            // means the announcer is lying about the prepared log, and
+            // nothing it says can be trusted.
+            for cert in &certs {
+                if !self.verify_prepared_cert(cert, ctx) {
+                    return;
+                }
+            }
         }
         self.install_view(new_view, ctx);
+        // Remember which value the certified new-view authorises at each
+        // chain position: the prepared-lock in `handle_pre_prepare` admits a
+        // replacement pre-prepare only if it matches this map.
+        if self.model() == FailureModel::Byzantine {
+            self.newview_certs = certs
+                .iter()
+                .map(|c| (c.parent, (c.view, c.batch.digest())))
+                .collect();
+        }
         // Hand any buffered client requests to the new primary.
         let buffered: Vec<_> = self.buffered.drain(..).collect();
         for (_, msg) in buffered {
@@ -289,17 +510,33 @@ impl Replica {
         }
     }
 
-    fn install_view(&mut self, new_view: u64, ctx: &mut Context<Msg>) {
+    pub(super) fn install_view(&mut self, new_view: u64, ctx: &mut Context<Msg>) {
         self.view = new_view;
+        self.vc_highest_voted = self.vc_highest_voted.max(new_view);
+        // Entering a view promises its primary's ballot, whichever message
+        // proved the view exists (vote quorum, NewView, or a higher-ballot
+        // proposal).
+        if self.model() == FailureModel::Crash {
+            if let Ok(primary) = self.cfg.system.primary(self.cluster, new_view) {
+                self.promised = self.promised.max(Ballot::new(new_view, primary));
+            }
+        }
         // Abandon the old primary's uncommitted proposal chain.
         self.tail = self.ledger.head();
+        self.tail_height = self.ledger.len() as u64;
         self.vc_votes.retain(|v, _| *v > new_view);
         if let Some(timer) = self.vc_timer.take() {
             ctx.cancel_timer(timer);
         }
-        // Abandon protocol state from the old view; uncommitted transactions
-        // will be re-proposed by the new primary or retransmitted by clients.
-        self.intra.retain(|_, r| r.committed);
+        // Keep accepted-but-uncommitted rounds: an acceptor that forgets an
+        // accepted value breaks Paxos — those rounds are exactly what the
+        // next view change's state transfer must report. Rounds whose
+        // transactions all committed are dropped.
+        let committed = &self.committed_txs;
+        self.intra.retain(|_, r| {
+            r.committed
+                || (!r.batch.is_empty() && !r.batch.tx_ids().all(|id| committed.contains(&id)))
+        });
         if self.initiating.is_some() {
             self.initiating = None;
         }

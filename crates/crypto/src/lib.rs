@@ -20,16 +20,20 @@
 //!   charged separately by the simulator's cost model (see
 //!   `sharper_common::CostModel`).
 //! * a [`merkle`] tree with leaf/node domain separation, used by the ledger
-//!   to commit a block's transaction batch to a single root digest.
+//!   to commit a block's transaction batch to a single root digest,
+//! * [`cert`]: quorum certificates aggregating signatures by distinct
+//!   signers, used by the Byzantine view change's prepared-certificates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cert;
 pub mod digest;
 pub mod keys;
 pub mod merkle;
 pub mod sha256;
 
+pub use cert::QuorumCert;
 pub use digest::Digest;
 pub use keys::{KeyRegistry, SecretKey, Signature, Signer};
 pub use merkle::{merkle_proof, merkle_root, verify_proof};

@@ -95,6 +95,31 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a staggered sequence of permanent crashes: the first actor
+    /// crashes at `first_at`, each subsequent one `stagger` later (builder
+    /// style). Models cascading failures — e.g. a primary crashing, its
+    /// successor taking over and then crashing too — which exercises
+    /// repeated view changes and ballot monotonicity across them. The
+    /// caller is responsible for keeping the cascade within each cluster's
+    /// fault budget `f`.
+    pub fn with_crash_cascade<A: Into<ActorId>>(
+        mut self,
+        actors: impl IntoIterator<Item = A>,
+        first_at: SimTime,
+        stagger: Duration,
+    ) -> Self {
+        let mut at = first_at;
+        for actor in actors {
+            self.crashes.push(CrashEvent {
+                actor: actor.into(),
+                at,
+                recover_at: None,
+            });
+            at += stagger;
+        }
+        self
+    }
+
     /// Schedules a crash followed by a recovery (builder style).
     pub fn with_crash_and_recovery(
         mut self,
@@ -190,6 +215,24 @@ mod tests {
         );
         assert!(plan.is_crashed(node(1), SimTime::from_millis(15)));
         assert!(!plan.is_crashed(node(1), SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn crash_cascade_staggers_permanent_crashes() {
+        let plan = FaultPlan::none().with_crash_cascade(
+            [NodeId(0), NodeId(1)],
+            SimTime::from_millis(100),
+            Duration::from_millis(250),
+        );
+        assert_eq!(plan.crashes.len(), 2);
+        // First actor goes down at 100ms, the second 250ms later; both stay
+        // down for good.
+        assert!(!plan.is_crashed(node(0), SimTime::from_millis(99)));
+        assert!(plan.is_crashed(node(0), SimTime::from_millis(100)));
+        assert!(!plan.is_crashed(node(1), SimTime::from_millis(349)));
+        assert!(plan.is_crashed(node(1), SimTime::from_millis(350)));
+        assert!(plan.is_crashed(node(0), SimTime::from_secs(1_000)));
+        assert!(plan.is_crashed(node(1), SimTime::from_secs(1_000)));
     }
 
     #[test]

@@ -15,11 +15,11 @@ fn main() {
         .with_drop_probability(0.02)
         // Node 2 is a backup of cluster 0 (nodes 0..3): within the f = 1 budget.
         .with_crash(NodeId(2), SimTime::from_millis(500));
-    // Seed note: some interleavings of this loss + crash configuration hit a
-    // pre-existing crash-model protocol hole (a dropped cross-shard XAbort is
-    // never retransmitted, wedging a remote primary — see ROADMAP, "ballot
-    // numbers for view-change replay"); seed 12 demonstrates the intended
-    // behaviour, sustained progress under faults within budget.
+    // Any seed works: view changes carry full Paxos ballots, lost XAborts
+    // are retransmitted, and long-held reservations probe the initiator
+    // cluster, so this configuration sustains progress on every
+    // interleaving (the `faultsweep` bench bin sweeps it across seeds in
+    // CI). Seed 12 is kept for a reproducible printout.
     let mut params = SystemParams::new(FailureModel::Crash, 4, 1)
         .with_faults(faults)
         .with_seed(12);

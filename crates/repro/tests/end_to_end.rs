@@ -87,47 +87,87 @@ fn pure_cross_shard_workload_commits_and_stays_consistent() {
 
 #[test]
 fn safety_holds_under_message_loss_and_a_backup_crash() {
-    // 2% message loss plus a crashed backup of cluster 0 (within f = 1).
-    //
-    // Seed note: the per-actor RNG streams of the parallel-capable engine
-    // re-rolled every interleaving, and a seed sweep of this configuration
-    // (loss + a crashed backup) shows the crash model carries *pre-existing*
-    // protocol holes that specific interleavings trigger regardless of
-    // engine: a lost `XAbort` is never retransmitted (wedging a remote
-    // primary's reservation — livelock), and the ballot-less view-change
-    // replay can fork a cluster outright (~25% of seeds; the old engine
-    // fails the same way on other seeds, e.g. 1). Both are documented in
-    // ROADMAP ("ballot numbers for view-change replay") and are consensus
-    // work, out of scope for the simulator PR; seed 12 exercises the
-    // intended scenario — faults within budget, sustained progress — on a
-    // healthy interleaving.
+    // 2% message loss plus a crashed backup of cluster 0 (within f = 1),
+    // across a spread of seeds (interleavings). The audit inside run()
+    // checks chains and cross-shard order on every seed; progress must also
+    // continue despite the faults. Seeds 1 and 2 used to fork a cluster via
+    // the ballot-less view-change replay and seed 42 used to livelock behind
+    // a lost XAbort; the `faultsweep` bench bin sweeps this configuration
+    // over a much larger seed range in CI.
     let faults = FaultPlan::none()
         .with_drop_probability(0.02)
         .with_crash(NodeId(1), SimTime::from_millis(300));
-    let report = sharper_run_seeded(FailureModel::Crash, 4, 0.1, 8, faults, 4, 12);
-    // The audit inside run() already checks chains and cross-shard order; here
-    // we additionally require that progress continued despite the faults.
+    for seed in [1, 2, 7, 12, 42] {
+        let report = sharper_run_seeded(FailureModel::Crash, 4, 0.1, 8, faults.clone(), 4, seed);
+        assert!(
+            report.audit.distinct_transactions > 50,
+            "seed {seed}: {:?}",
+            report.audit
+        );
+    }
+}
+
+#[test]
+fn cascading_primary_crashes_trigger_successive_view_changes_safely() {
+    // f = 2 per cluster (5 replicas): cluster 0's view-0 primary (node 0)
+    // crashes at 300ms, its successor (node 1, the view-1 primary) crashes
+    // at 2.5s. The cluster must complete two view changes — the second new
+    // primary's ballot must supersede both predecessors' — and keep
+    // committing; the audit inside run() panics on any fork.
+    let faults = FaultPlan::none().with_crash_cascade(
+        [NodeId(0), NodeId(1)],
+        SimTime::from_millis(300),
+        sharper_common::Duration::from_millis(2_200),
+    );
+    let mut params = SystemParams::new(FailureModel::Crash, 4, 2)
+        .with_faults(faults)
+        .with_seed(7);
+    params.accounts_per_shard = ACCOUNTS;
+    params.warmup = SimTime::from_millis(200);
+    let mut system = SharperSystem::build(params, 8, |client| {
+        let mut cfg = WorkloadConfig::evaluation(4, 0.1);
+        cfg.accounts_per_shard = ACCOUNTS;
+        WorkloadGenerator::new(client, cfg)
+    });
+    let report = system.run(SimTime::from_secs(6));
     assert!(
         report.audit.distinct_transactions > 50,
         "{:?}",
         report.audit
     );
+    // Cluster 0 specifically must have survived both view changes: some
+    // surviving member keeps committing blocks.
+    let cluster0_best = report
+        .replica_stats
+        .iter()
+        .filter(|(node, _)| node.0 >= 2 && node.0 < 5)
+        .map(|(_, stats)| stats.committed_blocks)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        cluster0_best > 2,
+        "cluster 0 wedged after cascading crashes: best member committed {cluster0_best} blocks"
+    );
 }
 
 #[test]
-#[ignore = "tracks the known crash-model view-change replay fork (ROADMAP: ballot numbers); \
-            passes while the bug exists — when a fix lands, this stops panicking, the test \
-            FAILS, and it should be flipped into a plain safety assertion"]
-#[should_panic(expected = "SafetyViolation")]
-fn known_bug_ballotless_view_change_replay_forks_a_cluster() {
-    // Seed 2 of the loss + crashed-backup sweep reliably reproduces the
-    // cluster fork ("replicas of cluster pX diverge at height H") on this
-    // engine; ~25% of seeds in this configuration do. The audit inside
-    // `SharperSystem::run` panics with the SafetyViolation.
+fn former_ballotless_view_change_fork_seed_stays_safe() {
+    // Seed 2 of the loss + crashed-backup sweep reliably forked a cluster
+    // ("replicas of cluster pX diverge at height H") before view changes
+    // carried full Paxos ballots: the new primary replayed accepted rounds
+    // without a ballot, so a deposed primary's stale proposals could still
+    // gather a quorum at a reassigned chain position. The audit inside
+    // `SharperSystem::run` panics on any divergence, so this passing run is
+    // the regression proof.
     let faults = FaultPlan::none()
         .with_drop_probability(0.02)
         .with_crash(NodeId(1), SimTime::from_millis(300));
-    let _ = sharper_run_seeded(FailureModel::Crash, 4, 0.1, 8, faults, 4, 2);
+    let report = sharper_run_seeded(FailureModel::Crash, 4, 0.1, 8, faults, 4, 2);
+    assert!(
+        report.audit.distinct_transactions > 50,
+        "{:?}",
+        report.audit
+    );
 }
 
 #[test]
