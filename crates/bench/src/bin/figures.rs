@@ -20,9 +20,9 @@
 //! commit.
 
 use sharper_bench::{
-    batching_to_json, cli_flag_value, cli_thread_mode, figure_batching, figure_cross_shard_sweep,
-    figure_parallel, figure_scalability, figure_to_json, parallel_to_json, BatchSeries,
-    ParallelSweep, Series,
+    batching_to_json, cli_flag_value, cli_thread_mode, exec_to_json, figure_batching,
+    figure_cross_shard_sweep, figure_exec, figure_parallel, figure_scalability, figure_to_json,
+    parallel_to_json, BatchSeries, ExecSweep, ParallelSweep, Series,
 };
 use sharper_common::{FailureModel, SimTime, ThreadMode};
 use std::path::Path;
@@ -81,7 +81,7 @@ fn main() {
     };
 
     let known = [
-        "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b", "batching", "parallel",
+        "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b", "batching", "parallel", "exec",
     ];
     if let Some(f) = only.as_deref() {
         if !known.iter().any(|k| k.eq_ignore_ascii_case(f)) {
@@ -167,6 +167,48 @@ fn main() {
             eprintln!("parallel run diverged from sequential run — determinism bug");
             std::process::exit(1);
         }
+    }
+    if wants("exec") {
+        let sweep = figure_exec(0x5EED, quick);
+        print_exec(&sweep);
+        write_json(&out_dir, "exec", &exec_to_json(&sweep));
+        if sweep.points.iter().any(|p| !p.identical_to_serial) {
+            eprintln!("partitioned apply diverged from serial apply — determinism bug");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_exec(sweep: &ExecSweep) {
+    println!(
+        "\n=== Partitioned executor: modelled apply-path throughput ({} host cpus) ===",
+        sweep.host_cpus
+    );
+    println!(
+        "{:>10} {:>8} {:>6} {:>6} {:>9} {:>16} {:>12} {:>9} {:>10}",
+        "partitions",
+        "threads",
+        "batch",
+        "txs",
+        "modelled",
+        "throughput(tps)",
+        "serial(tps)",
+        "wall(ms)",
+        "identical"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>10} {:>8} {:>6} {:>6} {:>8.2}x {:>16.0} {:>12.0} {:>9.1} {:>10}",
+            p.partitions,
+            p.exec_threads,
+            p.batch_size,
+            p.txs,
+            p.speedup_modeled,
+            p.throughput_tps,
+            p.serial_tps,
+            p.wall_ms,
+            p.identical_to_serial
+        );
     }
 }
 

@@ -11,9 +11,16 @@
 //! thread mode and `diff`s the files: the conservative parallel scheduler
 //! guarantees bit-identical results, so any divergence is a scheduler bug
 //! and fails the build.
+//!
+//! `--exec <partitions>` additionally runs every replica's apply path
+//! through the partitioned executor (with two worker threads). Like
+//! `--threads`, it must never change a single output byte: the partitioned
+//! scheduler is conflict-ordered and the pipeline charges the same execution
+//! cost in every mode, so CI diffs `--exec N` output against the serial
+//! run too.
 
 use sharper_bench::{cli_flag_value, cli_thread_mode};
-use sharper_common::{BatchConfig, FailureModel, SimTime, ThreadMode};
+use sharper_common::{BatchConfig, ExecutorConfig, FailureModel, SimTime, ThreadMode};
 use sharper_core::{SharperSystem, SystemParams};
 use sharper_net::FaultPlan;
 use sharper_workload::{WorkloadConfig, WorkloadGenerator};
@@ -78,12 +85,13 @@ const CONFIGS: &[GoldenConfig] = &[
 
 const ACCOUNTS: u64 = 1_000;
 
-fn run_config(cfg: &GoldenConfig, threads: ThreadMode) -> String {
+fn run_config(cfg: &GoldenConfig, threads: ThreadMode, exec: ExecutorConfig) -> String {
     let mut params = SystemParams::new(cfg.model, cfg.clusters, 1)
         .with_faults(FaultPlan::none().with_drop_probability(cfg.drop_probability))
         .with_seed(cfg.seed)
         .with_batching(BatchConfig::with_size(cfg.max_batch))
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_executor(exec);
     params.accounts_per_shard = ACCOUNTS;
     params.warmup = SimTime::from_millis(100);
     let clusters = cfg.clusters as u32;
@@ -108,10 +116,20 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let threads = cli_thread_mode(&args);
     let out = cli_flag_value(&args, "--out");
+    let exec = match cli_flag_value(&args, "--exec") {
+        None => ExecutorConfig::default(),
+        Some(p) => match p.parse::<usize>() {
+            Ok(partitions) => ExecutorConfig::partitioned(partitions, 2),
+            Err(e) => {
+                eprintln!("invalid --exec value {p:?}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
 
     let mut lines = Vec::with_capacity(CONFIGS.len());
     for cfg in CONFIGS {
-        let line = run_config(cfg, threads);
+        let line = run_config(cfg, threads, exec);
         println!("[{threads}] {line}");
         lines.push(line);
     }

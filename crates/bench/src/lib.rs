@@ -17,9 +17,14 @@
 
 use serde::Serialize;
 use sharper_baselines::{BaselineKind, BaselineParams, BaselineSystem};
-use sharper_common::{BatchConfig, FailureModel, InitiationPolicy, SimTime, ThreadMode};
+use sharper_common::{
+    AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy,
+    SimTime, ThreadMode,
+};
 use sharper_core::{SharperSystem, SystemParams};
+use sharper_state::{Executor, Partitioner, Transaction, TX_UNITS};
 use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Accounts per shard used by all experiments (smaller than the default so
@@ -38,6 +43,12 @@ pub struct CurvePoint {
     pub latency_ms: f64,
     /// Number of transactions in the measurement window.
     pub committed: usize,
+    /// Maximum primary-mempool depth observed on any replica (ingestion
+    /// backpressure indicator; zero for baselines without a mempool).
+    pub mempool_peak_depth: usize,
+    /// 95th-percentile mempool queueing delay across all proposed
+    /// transactions, in simulated microseconds.
+    pub mempool_wait_p95_us: u64,
 }
 
 /// One system's curve for one figure.
@@ -53,8 +64,14 @@ impl CurvePoint {
     /// Renders this point as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"clients\":{},\"throughput_tps\":{:.3},\"latency_ms\":{:.3},\"committed\":{}}}",
-            self.clients, self.throughput_tps, self.latency_ms, self.committed
+            "{{\"clients\":{},\"throughput_tps\":{:.3},\"latency_ms\":{:.3},\"committed\":{},\
+             \"mempool_peak_depth\":{},\"mempool_wait_p95_us\":{}}}",
+            self.clients,
+            self.throughput_tps,
+            self.latency_ms,
+            self.committed,
+            self.mempool_peak_depth,
+            self.mempool_wait_p95_us
         )
     }
 }
@@ -147,6 +164,8 @@ pub fn sharper_point_threads(
         throughput_tps: report.summary.throughput_tps,
         latency_ms: report.summary.mean_latency_ms,
         committed: report.summary.committed,
+        mempool_peak_depth: report.simulation.mempool_peak_depth,
+        mempool_wait_p95_us: report.simulation.mempool_wait_p95_us,
     }
 }
 
@@ -203,6 +222,8 @@ pub fn sharper_point_batched_threads(
         throughput_tps: report.summary.throughput_tps,
         latency_ms: report.summary.mean_latency_ms,
         committed: report.summary.committed,
+        mempool_peak_depth: report.simulation.mempool_peak_depth,
+        mempool_wait_p95_us: report.simulation.mempool_wait_p95_us,
     }
 }
 
@@ -334,6 +355,8 @@ pub fn sharper_point_no_super_primary(
         throughput_tps: report.summary.throughput_tps,
         latency_ms: report.summary.mean_latency_ms,
         committed: report.summary.committed,
+        mempool_peak_depth: report.simulation.mempool_peak_depth,
+        mempool_wait_p95_us: report.simulation.mempool_wait_p95_us,
     }
 }
 
@@ -359,6 +382,10 @@ pub fn baseline_point(
         throughput_tps: report.summary.throughput_tps,
         latency_ms: report.summary.mean_latency_ms,
         committed: report.summary.committed,
+        // The baseline systems reuse the seed's flat pending queue, not the
+        // instrumented mempool, so there is nothing to report here.
+        mempool_peak_depth: 0,
+        mempool_wait_p95_us: 0,
     }
 }
 
@@ -537,6 +564,194 @@ pub fn figure_parallel(
     }
 }
 
+/// One point of the partitioned-executor sweep: the same uniform transfer
+/// stream applied through the partitioned scheduler and through the serial
+/// executor, with the modelled apply-path cost of each.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecPoint {
+    /// State partitions of the shard's account store.
+    pub partitions: usize,
+    /// Worker threads offered to the partitioned scheduler.
+    pub exec_threads: usize,
+    /// Transactions per committed batch.
+    pub batch_size: usize,
+    /// Total transactions applied across all batches.
+    pub txs: usize,
+    /// Sum of the per-batch critical-path lengths, in scheduler work units.
+    pub makespan_units: u64,
+    /// Sum of the per-batch serial reference costs, in scheduler work units.
+    pub serial_units: u64,
+    /// `serial_units / makespan_units` — the plan-level parallelism.
+    pub speedup_modeled: f64,
+    /// Modelled apply-path throughput of the partitioned schedule
+    /// ([`CostModel::execution_batch_scheduled`] per batch).
+    pub throughput_tps: f64,
+    /// Modelled apply-path throughput of the serial executor
+    /// ([`CostModel::execution_batch`] per batch).
+    pub serial_tps: f64,
+    /// Wall-clock milliseconds of the partitioned pass (host-dependent;
+    /// informational only — the gated numbers are the modelled ones).
+    pub wall_ms: f64,
+    /// Whether the partitioned pass produced bit-identical outcomes and
+    /// final state to the serial pass (must always be true).
+    pub identical_to_serial: bool,
+}
+
+/// The executor sweep: every point plus the host environment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecSweep {
+    /// Worker threads available to the harness process.
+    pub host_cpus: usize,
+    /// One point per (partitions, exec_threads, batch_size) combination.
+    pub points: Vec<ExecPoint>,
+}
+
+/// Deterministic SplitMix64 stream used to generate the executor workload.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the partitioned-executor sweep (`figures --fig exec`): a fixed
+/// uniform transfer stream over one shard's accounts, applied batch by batch
+/// through [`Executor::apply_batch_partitioned`] for every combination of
+/// partition count, worker threads and batch size, and differentially
+/// checked — outcomes and final state — against the serial
+/// [`Executor::apply_batch`].
+///
+/// Throughput is *modelled* from the schedule's critical path via
+/// [`CostModel::execution_batch_scheduled`]; the simulation pipeline always
+/// charges the flat serial cost so partitioning can never perturb golden
+/// seeds. The headline acceptance claim is ≥1.5× modelled speedup at 4
+/// partitions on uniform 16-transaction batches.
+pub fn figure_exec(seed: u64, quick: bool) -> ExecSweep {
+    let cost = CostModel::default();
+    let exec = Executor::new(ClusterId(0), Partitioner::range(1, ACCOUNTS_PER_SHARD));
+    let total = if quick { 512 } else { 2_048 };
+
+    // Uniform transfer stream: distinct source/destination accounts drawn
+    // uniformly from the shard, amount 1, every source owned by its client
+    // (the genesis convention), so under the large genesis balance every
+    // transaction applies and the sweep measures scheduling, not aborts.
+    let mut rng = seed;
+    let txs: Vec<Arc<Transaction>> = (0..total as u64)
+        .map(|seq| {
+            let from = splitmix64(&mut rng) % ACCOUNTS_PER_SHARD;
+            let mut to = splitmix64(&mut rng) % ACCOUNTS_PER_SHARD;
+            if to == from {
+                to = (to + 1) % ACCOUNTS_PER_SHARD;
+            }
+            Arc::new(Transaction::transfer(
+                ClientId(from),
+                seq,
+                AccountId(from),
+                AccountId(to),
+                1,
+            ))
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for &partitions in &[1usize, 2, 4, 8] {
+        for &exec_threads in &[1usize, 4] {
+            for &batch_size in &[4usize, 16, 64] {
+                // Partitioned pass.
+                let mut split =
+                    exec.genesis_partitioned(partitions, ACCOUNTS_PER_SHARD, 1_000_000, ClientId);
+                let mut outcomes = Vec::with_capacity(total);
+                let mut makespan_units = 0u64;
+                let mut serial_units = 0u64;
+                let mut sched_us = 0u64;
+                let started = Instant::now();
+                for chunk in txs.chunks(batch_size) {
+                    let r = exec.apply_batch_partitioned(&mut split, chunk, exec_threads);
+                    sched_us += cost
+                        .execution_batch_scheduled(r.makespan_units, TX_UNITS)
+                        .as_micros();
+                    makespan_units += r.makespan_units;
+                    serial_units += r.serial_units;
+                    outcomes.extend(r.outcomes);
+                }
+                let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+                // Serial reference pass on a flat store.
+                let mut flat = exec.genesis_store(ACCOUNTS_PER_SHARD, 1_000_000, ClientId);
+                let mut serial_outcomes = Vec::with_capacity(total);
+                let mut serial_us = 0u64;
+                for chunk in txs.chunks(batch_size) {
+                    serial_us += cost.execution_batch(chunk.len()).as_micros();
+                    serial_outcomes.extend(exec.apply_batch(&mut flat, chunk));
+                }
+
+                points.push(ExecPoint {
+                    partitions,
+                    exec_threads,
+                    batch_size,
+                    txs: total,
+                    makespan_units,
+                    serial_units,
+                    speedup_modeled: if makespan_units > 0 {
+                        serial_units as f64 / makespan_units as f64
+                    } else {
+                        0.0
+                    },
+                    throughput_tps: if sched_us > 0 {
+                        total as f64 / (sched_us as f64 / 1e6)
+                    } else {
+                        0.0
+                    },
+                    serial_tps: if serial_us > 0 {
+                        total as f64 / (serial_us as f64 / 1e6)
+                    } else {
+                        0.0
+                    },
+                    wall_ms,
+                    identical_to_serial: outcomes == serial_outcomes && split.to_store() == flat,
+                });
+            }
+        }
+    }
+    ExecSweep {
+        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        points,
+    }
+}
+
+/// Renders the executor sweep as the `BENCH_exec.json` document.
+pub fn exec_to_json(sweep: &ExecSweep) -> String {
+    let points: Vec<String> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"partitions\":{},\"exec_threads\":{},\"batch_size\":{},\"txs\":{},\
+                 \"makespan_units\":{},\"serial_units\":{},\"speedup_modeled\":{:.3},\
+                 \"throughput_tps\":{:.3},\"serial_tps\":{:.3},\"wall_ms\":{:.1},\
+                 \"identical_to_serial\":{}}}",
+                p.partitions,
+                p.exec_threads,
+                p.batch_size,
+                p.txs,
+                p.makespan_units,
+                p.serial_units,
+                p.speedup_modeled,
+                p.throughput_tps,
+                p.serial_tps,
+                p.wall_ms,
+                p.identical_to_serial
+            )
+        })
+        .collect();
+    format!(
+        "{{\"figure\":\"exec\",\"host_cpus\":{},\"points\":[{}]}}",
+        sweep.host_cpus,
+        points.join(",")
+    )
+}
+
 /// Returns the value following `flag` in `args` — the one tiny piece of CLI
 /// parsing shared by this crate's binaries (`figures`, `golden`, `perfgate`).
 pub fn cli_flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -632,6 +847,31 @@ mod tests {
             "batch=16 {:.0} tps vs batch=1 {:.0} tps",
             batched.throughput_tps,
             unbatched.throughput_tps
+        );
+    }
+
+    #[test]
+    fn exec_sweep_models_speedup_and_stays_bit_identical() {
+        // The headline acceptance claim of the partitioned executor: ≥1.5×
+        // modelled apply-path throughput at 4 partitions on uniform 16-tx
+        // batches, with every point bit-identical to the serial executor.
+        let sweep = figure_exec(0x5EED, true);
+        assert!(sweep.points.iter().all(|p| p.identical_to_serial));
+        let serial = sweep
+            .points
+            .iter()
+            .find(|p| p.partitions == 1 && p.exec_threads == 1 && p.batch_size == 16)
+            .expect("serial point");
+        let split = sweep
+            .points
+            .iter()
+            .find(|p| p.partitions == 4 && p.exec_threads == 4 && p.batch_size == 16)
+            .expect("partitioned point");
+        assert!(
+            split.throughput_tps >= 1.5 * serial.serial_tps,
+            "partitioned {:.0} tps vs serial {:.0} tps",
+            split.throughput_tps,
+            serial.serial_tps
         );
     }
 

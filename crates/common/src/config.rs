@@ -114,6 +114,48 @@ impl fmt::Display for ThreadMode {
     }
 }
 
+/// How each replica executes committed batches against its application state.
+///
+/// `partitions` splits the shard's account store into that many account-range
+/// partitions behind a `PartitionedStore`; the executor scheduler then runs
+/// sub-batches touching disjoint partitions on up to `exec_threads` workers.
+/// Like every other [`SimConfig`] knob, this must never change results:
+/// partitioned-parallel apply is required to be bit-identical to serial apply
+/// (outcomes, replies, ledger digest), which the golden-digest gate enforces.
+/// `partitions = 1` reproduces the seed's serial executor exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecutorConfig {
+    /// Number of account-range partitions per shard (`1` = serial apply).
+    pub partitions: usize,
+    /// Number of worker threads the partitioned executor may use.
+    /// `0` and `1` run the partitioned schedule on the calling thread.
+    pub exec_threads: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            partitions: 1,
+            exec_threads: 1,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// A partitioned executor configuration.
+    pub fn partitioned(partitions: usize, exec_threads: usize) -> Self {
+        Self {
+            partitions: partitions.max(1),
+            exec_threads: exec_threads.max(1),
+        }
+    }
+
+    /// Whether committed batches run through the partitioned scheduler.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitions > 1
+    }
+}
+
 /// Simulator execution configuration (independent of the modelled system:
 /// none of these knobs may change simulation results, only how fast the
 /// simulator produces them).
@@ -121,6 +163,8 @@ impl fmt::Display for ThreadMode {
 pub struct SimConfig {
     /// Worker threading mode of the discrete-event engine.
     pub threads: ThreadMode,
+    /// How replicas execute committed batches (serial or partitioned).
+    pub exec: ExecutorConfig,
 }
 
 impl SimConfig {
@@ -128,12 +172,22 @@ impl SimConfig {
     pub fn per_cluster() -> Self {
         Self {
             threads: ThreadMode::PerCluster,
+            ..Self::default()
         }
     }
 
     /// A configuration with an explicit thread mode.
     pub fn with_threads(threads: ThreadMode) -> Self {
-        Self { threads }
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the executor configuration (builder style).
+    pub fn with_executor(mut self, exec: ExecutorConfig) -> Self {
+        self.exec = exec;
+        self
     }
 }
 

@@ -176,6 +176,27 @@ impl CostModel {
         Duration::from_micros(self.execute_us * n as u64 + self.digest_us)
     }
 
+    /// The modelled cost of a *scheduled* (partitioned-parallel) batch apply.
+    ///
+    /// The executor scheduler expresses a batch as abstract work units
+    /// (`units_per_tx` per transaction, split across per-partition queues) and
+    /// reports the critical-path length `makespan_units` of its plan. Since
+    /// one serial transaction costs `execute_us`, one unit costs
+    /// `execute_us / units_per_tx` and the modelled wall time of the parallel
+    /// apply is the makespan times the unit cost plus the single block digest.
+    /// Rounding is upward so a schedule never models cheaper than its
+    /// critical path.
+    ///
+    /// This is used by the executor benchmark (`figures --fig exec`) to model
+    /// apply-path speedups; the simulation pipeline itself always charges
+    /// [`CostModel::execution_batch`] so that partitioning cannot perturb
+    /// golden seeds.
+    pub fn execution_batch_scheduled(&self, makespan_units: u64, units_per_tx: u64) -> Duration {
+        let per_tx = units_per_tx.max(1);
+        let exec_us = (self.execute_us * makespan_units).div_ceil(per_tx);
+        Duration::from_micros(exec_us + self.digest_us)
+    }
+
     /// The cost of verifying one signature (zero in the crash model, which
     /// does not sign messages).
     pub fn verification(&self, model: FailureModel) -> Duration {
@@ -241,6 +262,29 @@ mod tests {
         let one = cost.protocol_message(FailureModel::Byzantine, 1, 1);
         let three = cost.protocol_message(FailureModel::Byzantine, 3, 1);
         assert_eq!(three.as_micros() - one.as_micros(), 2 * cost.verify_us);
+    }
+
+    #[test]
+    fn scheduled_batch_cost_tracks_the_critical_path() {
+        let cost = CostModel::default();
+        // A perfectly serial plan (makespan = 3 units × n txs) costs the same
+        // as the flat batched apply.
+        for n in [1usize, 4, 16] {
+            assert_eq!(
+                cost.execution_batch_scheduled(3 * n as u64, 3),
+                cost.execution_batch(n)
+            );
+        }
+        // A plan that halves the critical path halves the execution part.
+        let serial = cost.execution_batch_scheduled(48, 3);
+        let parallel = cost.execution_batch_scheduled(24, 3);
+        assert_eq!(
+            serial.as_micros() - cost.digest_us,
+            2 * (parallel.as_micros() - cost.digest_us)
+        );
+        // Rounds up: 1 unit of a 3-unit tx is charged at least 1µs × rate.
+        let tiny = cost.execution_batch_scheduled(1, 3);
+        assert!(tiny.as_micros() > cost.digest_us);
     }
 
     #[test]

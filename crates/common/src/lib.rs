@@ -20,8 +20,8 @@ pub mod ids;
 pub mod time;
 
 pub use config::{
-    BatchConfig, ClusterConfig, ClusterGroup, ClusterLayout, FailureModel, InitiationPolicy,
-    SimConfig, SystemConfig, ThreadMode,
+    BatchConfig, ClusterConfig, ClusterGroup, ClusterLayout, ExecutorConfig, FailureModel,
+    InitiationPolicy, SimConfig, SystemConfig, ThreadMode,
 };
 pub use cost::{CostModel, LatencyModel, LinkKind};
 pub use error::{Error, Result};

@@ -1,6 +1,6 @@
 //! Configuration shared by every replica of a deployment.
 
-use sharper_common::{BatchConfig, CostModel, Duration, SystemConfig};
+use sharper_common::{BatchConfig, CostModel, Duration, ExecutorConfig, SystemConfig};
 use sharper_crypto::KeyRegistry;
 use sharper_state::Partitioner;
 use std::sync::Arc;
@@ -72,6 +72,10 @@ pub struct ReplicaConfig {
     /// How primaries group transactions into blocks (`max_batch_size = 1`
     /// reproduces the paper's one-transaction blocks).
     pub batch: BatchConfig,
+    /// How replicas partition their shard state and apply committed batches
+    /// (`partitions = 1` reproduces the seed's flat serial executor; results
+    /// are bit-identical in every mode).
+    pub exec: ExecutorConfig,
     /// The key registry modelling the PKI (§2.1).
     pub registry: KeyRegistry,
 }
@@ -96,7 +100,8 @@ impl ReplicaConfig {
         )
     }
 
-    /// Like [`ReplicaConfig::shared`] with an explicit batching policy.
+    /// Like [`ReplicaConfig::shared`] with an explicit batching policy; the
+    /// executor stays at the serial default.
     pub fn shared_batched(
         system: SystemConfig,
         partitioner: Partitioner,
@@ -105,12 +110,35 @@ impl ReplicaConfig {
         batch: BatchConfig,
         registry: KeyRegistry,
     ) -> Arc<Self> {
+        Self::shared_full(
+            system,
+            partitioner,
+            cost,
+            timers,
+            batch,
+            ExecutorConfig::default(),
+            registry,
+        )
+    }
+
+    /// The fully explicit constructor: batching policy plus executor
+    /// (state-partitioning) configuration.
+    pub fn shared_full(
+        system: SystemConfig,
+        partitioner: Partitioner,
+        cost: CostModel,
+        timers: TimerConfig,
+        batch: BatchConfig,
+        exec: ExecutorConfig,
+        registry: KeyRegistry,
+    ) -> Arc<Self> {
         Arc::new(Self {
             system,
             partitioner,
             cost,
             timers,
             batch,
+            exec,
             registry,
         })
     }

@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod mempool;
 pub mod messages;
 pub mod replica;
 pub mod sigcache;
 
 pub use config::{ReplicaConfig, TimerConfig};
+pub use mempool::{percentile_us, Mempool, MempoolMetrics};
 pub use messages::{timer_tags, Msg};
 pub use replica::Replica;
 pub use sigcache::SigCache;

@@ -1,0 +1,409 @@
+//! The primary-side mempool: pending client requests awaiting proposal.
+//!
+//! Earlier revisions kept a flat `Vec` of pending intra-shard requests and a
+//! `BTreeMap` of cross-shard queues inline in the replica. This module
+//! factors both into one instrumented [`Mempool`] with identical FIFO and
+//! drain semantics — intra-shard requests first, cross-shard sets in
+//! involved-cluster order — plus the depth / age / admission metrics the
+//! experiment reports need to characterise ingestion backpressure.
+//!
+//! Admission is bounded: when the pool is at capacity, the globally oldest
+//! pending request is evicted to make room for the newcomer (the client's
+//! retransmission timer re-submits it later). The default capacity is far
+//! above what any simulated workload queues, so golden runs never evict.
+
+use sharper_common::{ClusterId, SimTime, TxId};
+use sharper_crypto::Signature;
+use sharper_state::Transaction;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Default admission bound: effectively unbounded for simulated workloads.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One pending client request with its admission timestamp.
+#[derive(Debug, Clone)]
+struct PendingTx {
+    tx: Arc<Transaction>,
+    sig: Signature,
+    enqueued_at: SimTime,
+}
+
+/// Admission, depth and queue-age counters of one replica's mempool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MempoolMetrics {
+    /// Requests admitted into the pool.
+    pub admitted: u64,
+    /// Requests rejected because they were already pending or in flight.
+    pub rejected_duplicate: u64,
+    /// Requests evicted (oldest first) to admit newer ones at capacity.
+    pub evicted: u64,
+    /// Requests handed to the proposer.
+    pub dequeued: u64,
+    /// Maximum pool depth ever observed.
+    pub peak_depth: usize,
+}
+
+/// The primary's pending-request pool.
+#[derive(Debug, Clone, Default)]
+pub struct Mempool {
+    intra: VecDeque<PendingTx>,
+    /// Cross-shard queues keyed by the exact involved-cluster set —
+    /// cross-shard transactions only batch with same-cluster-set peers.
+    cross: BTreeMap<Vec<ClusterId>, VecDeque<PendingTx>>,
+    capacity: usize,
+    metrics: MempoolMetrics,
+    /// Queueing delay of every dequeued request, in microseconds.
+    waits_us: Vec<u64>,
+}
+
+impl Mempool {
+    /// An empty pool with the default (effectively unbounded) capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty pool admitting at most `capacity` pending requests.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            intra: VecDeque::new(),
+            cross: BTreeMap::new(),
+            capacity: capacity.max(1),
+            metrics: MempoolMetrics::default(),
+            waits_us: Vec::new(),
+        }
+    }
+
+    /// Total number of pending requests across all queues.
+    pub fn depth(&self) -> usize {
+        self.intra.len() + self.cross.values().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Number of pending intra-shard requests.
+    pub fn intra_len(&self) -> usize {
+        self.intra.len()
+    }
+
+    /// Number of pending cross-shard requests (all sets).
+    pub fn cross_len(&self) -> usize {
+        self.cross.values().map(VecDeque::len).sum()
+    }
+
+    /// Number of requests pending for one involved-cluster set.
+    pub fn cross_len_of(&self, involved: &[ClusterId]) -> usize {
+        self.cross.get(involved).map_or(0, VecDeque::len)
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.intra.is_empty() && self.cross.values().all(VecDeque::is_empty)
+    }
+
+    /// Whether `id` is pending in any queue.
+    pub fn contains(&self, id: TxId) -> bool {
+        self.intra.iter().any(|p| p.tx.id == id)
+            || self.cross.values().any(|q| q.iter().any(|p| p.tx.id == id))
+    }
+
+    /// Records a request that was turned away as a duplicate.
+    pub fn note_duplicate(&mut self) {
+        self.metrics.rejected_duplicate += 1;
+    }
+
+    /// Admits an intra-shard request; returns the intra queue's new depth.
+    pub fn admit_intra(&mut self, tx: Arc<Transaction>, sig: Signature, now: SimTime) -> usize {
+        self.make_room();
+        self.intra.push_back(PendingTx {
+            tx,
+            sig,
+            enqueued_at: now,
+        });
+        self.note_admitted();
+        self.intra.len()
+    }
+
+    /// Admits a cross-shard request under its involved-cluster set; returns
+    /// that set's new queue depth.
+    pub fn admit_cross(
+        &mut self,
+        tx: Arc<Transaction>,
+        sig: Signature,
+        involved: Vec<ClusterId>,
+        now: SimTime,
+    ) -> usize {
+        self.make_room();
+        let queue = self.cross.entry(involved).or_default();
+        queue.push_back(PendingTx {
+            tx,
+            sig,
+            enqueued_at: now,
+        });
+        let depth = queue.len();
+        self.note_admitted();
+        depth
+    }
+
+    /// Pops up to `max` intra-shard requests in FIFO order, recording their
+    /// queueing delay.
+    pub fn pop_intra(&mut self, max: usize, now: SimTime) -> Vec<(Arc<Transaction>, Signature)> {
+        let take = max.min(self.intra.len());
+        self.intra
+            .drain(..take)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|p| self.note_dequeued(p, now))
+            .collect()
+    }
+
+    /// Pops up to `max` requests of one involved-cluster set in FIFO order,
+    /// recording their queueing delay. Emptied sets are pruned.
+    pub fn pop_cross(
+        &mut self,
+        involved: &[ClusterId],
+        max: usize,
+        now: SimTime,
+    ) -> Vec<(Arc<Transaction>, Signature)> {
+        let Some(queue) = self.cross.get_mut(involved) else {
+            return Vec::new();
+        };
+        let take = max.min(queue.len());
+        let popped: Vec<PendingTx> = queue.drain(..take).collect();
+        if queue.is_empty() {
+            self.cross.remove(involved);
+        }
+        popped
+            .into_iter()
+            .map(|p| self.note_dequeued(p, now))
+            .collect()
+    }
+
+    /// The involved-cluster sets with pending requests, in deterministic
+    /// (lexicographic) order.
+    pub fn cross_sets(&self) -> Vec<Vec<ClusterId>> {
+        self.cross
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(set, _)| set.clone())
+            .collect()
+    }
+
+    /// Drains every pending request — intra-shard first, then cross-shard
+    /// sets in order — without recording queue delays (the requests are
+    /// handed to another primary, not proposed).
+    pub fn drain_all(&mut self) -> Vec<(Arc<Transaction>, Signature)> {
+        let mut out: Vec<(Arc<Transaction>, Signature)> =
+            self.intra.drain(..).map(|p| (p.tx, p.sig)).collect();
+        for (_, queue) in std::mem::take(&mut self.cross) {
+            out.extend(queue.into_iter().map(|p| (p.tx, p.sig)));
+        }
+        out
+    }
+
+    /// Admission and depth counters.
+    pub fn metrics(&self) -> MempoolMetrics {
+        self.metrics
+    }
+
+    /// The queueing delay of every dequeued request so far, in microseconds
+    /// (unsorted; callers pool and sort before taking percentiles).
+    pub fn wait_samples_us(&self) -> &[u64] {
+        &self.waits_us
+    }
+
+    fn note_admitted(&mut self) {
+        self.metrics.admitted += 1;
+        self.metrics.peak_depth = self.metrics.peak_depth.max(self.depth());
+    }
+
+    fn note_dequeued(&mut self, p: PendingTx, now: SimTime) -> (Arc<Transaction>, Signature) {
+        self.metrics.dequeued += 1;
+        self.waits_us
+            .push(now.saturating_since(p.enqueued_at).as_micros());
+        (p.tx, p.sig)
+    }
+
+    /// Evicts the globally oldest pending request if the pool is full
+    /// (intra before cross on timestamp ties, then cluster-set order —
+    /// deterministic for identical histories).
+    fn make_room(&mut self) {
+        if self.depth() < self.capacity {
+            return;
+        }
+        let mut oldest_cross: Option<(SimTime, Vec<ClusterId>)> = None;
+        for (set, queue) in &self.cross {
+            if let Some(front) = queue.front() {
+                if oldest_cross
+                    .as_ref()
+                    .is_none_or(|(t, _)| front.enqueued_at < *t)
+                {
+                    oldest_cross = Some((front.enqueued_at, set.clone()));
+                }
+            }
+        }
+        let intra_front = self.intra.front().map(|p| p.enqueued_at);
+        match (intra_front, oldest_cross) {
+            (Some(ti), Some((tc, set))) => {
+                if ti <= tc {
+                    self.intra.pop_front();
+                } else {
+                    self.pop_front_cross(&set);
+                }
+            }
+            (Some(_), None) => {
+                self.intra.pop_front();
+            }
+            (None, Some((_, set))) => {
+                self.pop_front_cross(&set);
+            }
+            (None, None) => return,
+        }
+        self.metrics.evicted += 1;
+    }
+
+    fn pop_front_cross(&mut self, set: &[ClusterId]) {
+        if let Some(queue) = self.cross.get_mut(set) {
+            queue.pop_front();
+            if queue.is_empty() {
+                self.cross.remove(set);
+            }
+        }
+    }
+}
+
+/// Nearest-rank percentile over an already sorted sample slice (0 when
+/// empty). `pct` is clamped to `[0, 100]`.
+pub fn percentile_us(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let pct = pct.min(100) as usize;
+    let rank = (pct * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharper_common::{AccountId, ClientId, Duration};
+
+    fn tx(seq: u64) -> Arc<Transaction> {
+        Arc::new(Transaction::transfer(
+            ClientId(1),
+            seq,
+            AccountId(1),
+            AccountId(2),
+            1,
+        ))
+    }
+
+    fn sig() -> Signature {
+        Signature::unsigned(1)
+    }
+
+    fn at(us: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_micros(us)
+    }
+
+    #[test]
+    fn fifo_order_and_depth_metrics() {
+        let mut m = Mempool::new();
+        assert!(m.is_empty());
+        for seq in 0..5 {
+            m.admit_intra(tx(seq), sig(), at(seq));
+        }
+        m.admit_cross(tx(10), sig(), vec![ClusterId(0), ClusterId(1)], at(5));
+        assert_eq!(m.depth(), 6);
+        assert_eq!(m.intra_len(), 5);
+        assert_eq!(m.cross_len(), 1);
+        assert!(m.contains(tx(3).id));
+        assert!(!m.contains(tx(77).id));
+
+        let popped = m.pop_intra(3, at(100));
+        assert_eq!(
+            popped.iter().map(|(t, _)| t.id.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let metrics = m.metrics();
+        assert_eq!(metrics.admitted, 6);
+        assert_eq!(metrics.dequeued, 3);
+        assert_eq!(metrics.peak_depth, 6);
+        // Waits are measured from admission to pop.
+        assert_eq!(m.wait_samples_us(), &[100, 99, 98]);
+    }
+
+    #[test]
+    fn cross_sets_pop_independently_and_prune() {
+        let mut m = Mempool::new();
+        let ab = vec![ClusterId(0), ClusterId(1)];
+        let ac = vec![ClusterId(0), ClusterId(2)];
+        m.admit_cross(tx(0), sig(), ab.clone(), at(0));
+        m.admit_cross(tx(1), sig(), ac.clone(), at(0));
+        assert_eq!(m.admit_cross(tx(2), sig(), ab.clone(), at(1)), 2);
+        assert_eq!(m.cross_sets(), vec![ab.clone(), ac.clone()]);
+
+        let popped = m.pop_cross(&ab, 10, at(2));
+        assert_eq!(popped.len(), 2);
+        assert_eq!(m.cross_sets(), vec![ac.clone()]);
+        assert_eq!(m.cross_len_of(&ab), 0);
+        assert_eq!(m.cross_len_of(&ac), 1);
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_admitted() {
+        let mut m = Mempool::new();
+        m.admit_intra(tx(0), sig(), at(0));
+        // The replica consults `contains` and reports the duplicate.
+        assert!(m.contains(tx(0).id));
+        m.note_duplicate();
+        assert_eq!(m.metrics().rejected_duplicate, 1);
+        assert_eq!(m.depth(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_the_globally_oldest_request() {
+        let mut m = Mempool::with_capacity(3);
+        m.admit_intra(tx(0), sig(), at(10));
+        m.admit_cross(tx(1), sig(), vec![ClusterId(0), ClusterId(1)], at(5));
+        m.admit_intra(tx(2), sig(), at(20));
+        assert_eq!(m.depth(), 3);
+        // Admitting a fourth evicts the cross request from t=5 (oldest).
+        m.admit_intra(tx(3), sig(), at(30));
+        assert_eq!(m.depth(), 3);
+        assert_eq!(m.metrics().evicted, 1);
+        assert!(!m.contains(tx(1).id));
+        // Next eviction takes the intra request from t=10; ties favour the
+        // intra queue.
+        m.admit_intra(tx(4), sig(), at(40));
+        assert!(!m.contains(tx(0).id));
+        assert!(m.contains(tx(2).id));
+        assert_eq!(m.metrics().evicted, 2);
+        assert_eq!(m.metrics().admitted, 5);
+    }
+
+    #[test]
+    fn drain_hands_over_everything_in_deterministic_order() {
+        let mut m = Mempool::new();
+        m.admit_cross(tx(2), sig(), vec![ClusterId(0), ClusterId(2)], at(0));
+        m.admit_intra(tx(0), sig(), at(0));
+        m.admit_intra(tx(1), sig(), at(1));
+        m.admit_cross(tx(3), sig(), vec![ClusterId(0), ClusterId(1)], at(0));
+        let drained: Vec<u64> = m.drain_all().into_iter().map(|(t, _)| t.id.seq).collect();
+        // Intra first, then cross sets in lexicographic cluster-set order.
+        assert_eq!(drained, vec![0, 1, 3, 2]);
+        assert!(m.is_empty());
+        // Drains do not contribute wait samples.
+        assert!(m.wait_samples_us().is_empty());
+        assert_eq!(m.metrics().dequeued, 0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile_us(&[], 99), 0);
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&samples, 50), 50);
+        assert_eq!(percentile_us(&samples, 95), 95);
+        assert_eq!(percentile_us(&samples, 99), 99);
+        assert_eq!(percentile_us(&samples, 100), 100);
+        assert_eq!(percentile_us(&[7], 50), 7);
+    }
+}

@@ -24,6 +24,7 @@ mod tests;
 mod view_change;
 
 use crate::config::ReplicaConfig;
+use crate::mempool::Mempool;
 use crate::messages::{timer_tags, AcceptedRound, Ballot, Msg, PreparedCert};
 use crate::sigcache::SigCache;
 use sharper_common::{ClientId, ClusterId, FailureModel, NodeId, TxId};
@@ -31,7 +32,7 @@ use sharper_crypto::keys::SignerId;
 use sharper_crypto::{hash, Digest, Signature, Signer};
 use sharper_ledger::{Batch, Block, LedgerView};
 use sharper_net::{Actor, ActorId, Context, TimerId};
-use sharper_state::{AccountStore, ExecutionOutcome, Executor, Transaction};
+use sharper_state::{AccountStore, ExecutionOutcome, Executor, PartitionedStore, Transaction};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -191,7 +192,10 @@ pub struct Replica {
     cfg: Arc<ReplicaConfig>,
     signer: Signer,
     executor: Executor,
-    store: AccountStore,
+    /// The shard's account state, split by account range into
+    /// `cfg.exec.partitions` disjoint partitions (one partition with the
+    /// serial default — identical to the seed's flat store).
+    store: PartitionedStore,
     ledger: LedgerView,
     /// This cluster's current view (primary = `view % cluster size`).
     view: u64,
@@ -219,14 +223,11 @@ pub struct Replica {
     /// Digest of the cross-shard batch this primary is currently
     /// initiating; while set, the primary starts no other transaction.
     initiating: Option<Digest>,
-    /// Primary-side batching: intra-shard requests awaiting proposal, with
-    /// their client signatures (kept so they can be re-forwarded across a
-    /// view change).
-    pending_intra: Vec<(Arc<Transaction>, Signature)>,
-    /// Primary-side batching for cross-shard requests, keyed by the exact
-    /// involved-cluster set — cross-shard transactions only batch with
-    /// same-cluster-set peers, so a batch's parents stay one-per-cluster.
-    pending_cross: BTreeMap<Vec<ClusterId>, Vec<(Arc<Transaction>, Signature)>>,
+    /// Primary-side mempool: intra- and cross-shard requests awaiting
+    /// proposal, with their client signatures (kept so they can be
+    /// re-forwarded across a view change), instrumented with depth / age /
+    /// admission metrics.
+    mempool: Mempool,
     /// The batch timer bounding how long a partial batch may wait.
     batch_timer: Option<TimerId>,
     /// Transaction-starting messages buffered while reserved/initiating.
@@ -273,6 +274,13 @@ impl Replica {
             .system
             .primary(cluster, 0)
             .expect("cluster exists in the configuration");
+        // Split the shard state by account range; one partition (the serial
+        // default) wraps the flat store unchanged.
+        let store = PartitionedStore::from_store(
+            store,
+            cfg.exec.partitions,
+            PartitionedStore::chunk_for(cfg.partitioner.accounts_per_shard(), cfg.exec.partitions),
+        );
         Self {
             node,
             cluster,
@@ -290,8 +298,7 @@ impl Replica {
             cross: HashMap::new(),
             reservation: None,
             initiating: None,
-            pending_intra: Vec::new(),
-            pending_cross: BTreeMap::new(),
+            mempool: Mempool::new(),
             batch_timer: None,
             buffered: VecDeque::new(),
             early_cross: HashMap::new(),
@@ -354,9 +361,16 @@ impl Replica {
         &self.ledger
     }
 
-    /// The replica's shard store.
-    pub fn store(&self) -> &AccountStore {
+    /// The replica's shard store (partitioned by account range; one
+    /// partition in the serial default).
+    pub fn store(&self) -> &PartitionedStore {
         &self.store
+    }
+
+    /// The replica's pending-request mempool (primary-side batching queues
+    /// plus depth / age / admission metrics).
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
     }
 
     /// Counters for tests and reports.
@@ -378,8 +392,8 @@ impl Replica {
             self.reservation.as_ref().map(|r| r.d.short()),
             self.initiating.as_ref().map(|d| d.short()),
             self.buffered.len(),
-            self.pending_intra.len(),
-            self.pending_cross.values().map(|v| v.len()).sum::<usize>(),
+            self.mempool.intra_len(),
+            self.mempool.cross_len(),
             self.intra.values().filter(|r| !r.committed).count(),
             self.cross.values().filter(|r| !r.committed).count(),
             self.deferred.values().map(|v| v.len()).sum::<usize>(),
@@ -391,8 +405,7 @@ impl Replica {
         self.reservation.is_none()
             && self.initiating.is_none()
             && self.buffered.is_empty()
-            && self.pending_intra.is_empty()
-            && self.pending_cross.values().all(|q| q.is_empty())
+            && self.mempool.is_empty()
             && self.intra.values().all(|r| r.committed)
             && self.cross.values().all(|r| r.committed)
     }
@@ -541,11 +554,7 @@ impl Replica {
     /// transaction in two different batches (e.g. a client retransmission
     /// racing a view-change replay).
     fn tx_pending_or_in_flight(&self, id: TxId) -> bool {
-        self.pending_intra.iter().any(|(tx, _)| tx.id == id)
-            || self
-                .pending_cross
-                .values()
-                .any(|q| q.iter().any(|(tx, _)| tx.id == id))
+        self.mempool.contains(id)
             || self
                 .intra
                 .values()
@@ -571,7 +580,7 @@ impl Replica {
     }
 
     fn any_pending(&self) -> bool {
-        !self.pending_intra.is_empty() || self.pending_cross.values().any(|q| !q.is_empty())
+        !self.mempool.is_empty()
     }
 
     /// Queues an intra-shard request on the primary and flushes a full batch
@@ -579,10 +588,11 @@ impl Replica {
     /// exactly like the unbatched protocol.
     fn enqueue_intra(&mut self, tx: Arc<Transaction>, sig: Signature, ctx: &mut Context<Msg>) {
         if self.tx_pending_or_in_flight(tx.id) {
+            self.mempool.note_duplicate();
             return;
         }
-        self.pending_intra.push((tx, sig));
-        if self.pending_intra.len() >= self.max_batch() {
+        let depth = self.mempool.admit_intra(tx, sig, ctx.now());
+        if depth >= self.max_batch() {
             self.flush_intra(ctx);
         } else {
             self.ensure_batch_timer(ctx);
@@ -599,12 +609,13 @@ impl Replica {
         ctx: &mut Context<Msg>,
     ) {
         if self.tx_pending_or_in_flight(tx.id) {
+            self.mempool.note_duplicate();
             return;
         }
-        let max = self.max_batch();
-        let queue = self.pending_cross.entry(involved.clone()).or_default();
-        queue.push((tx, sig));
-        if queue.len() >= max {
+        let depth = self
+            .mempool
+            .admit_cross(tx, sig, involved.clone(), ctx.now());
+        if depth >= self.max_batch() {
             self.flush_cross_set(&involved, ctx);
         } else {
             self.ensure_batch_timer(ctx);
@@ -615,13 +626,14 @@ impl Replica {
     /// replica is reserved/initiating (dispatch buffers request messages in
     /// that state, but the batch timer can still fire).
     fn flush_intra(&mut self, ctx: &mut Context<Msg>) {
-        if self.is_blocked() || self.pending_intra.is_empty() {
+        if self.is_blocked() || self.mempool.intra_len() == 0 {
             return;
         }
-        let take = self.max_batch().min(self.pending_intra.len());
+        let take = self.max_batch().min(self.mempool.intra_len());
         let txs: Vec<Arc<Transaction>> = self
-            .pending_intra
-            .drain(..take)
+            .mempool
+            .pop_intra(take, ctx.now())
+            .into_iter()
             .map(|(tx, _)| tx)
             .filter(|tx| !self.committed_txs.contains(&tx.id))
             .collect();
@@ -637,14 +649,15 @@ impl Replica {
         if self.is_blocked() {
             return;
         }
-        let max = self.max_batch();
-        let Some(queue) = self.pending_cross.get_mut(involved) else {
+        let take = self.max_batch().min(self.mempool.cross_len_of(involved));
+        if take == 0 {
             return;
-        };
-        let take = max.min(queue.len());
+        }
         let committed = &self.committed_txs;
-        let txs: Vec<Arc<Transaction>> = queue
-            .drain(..take)
+        let txs: Vec<Arc<Transaction>> = self
+            .mempool
+            .pop_cross(involved, take, ctx.now())
+            .into_iter()
             .map(|(tx, _)| tx)
             .filter(|tx| !committed.contains(&tx.id))
             .collect();
@@ -658,22 +671,15 @@ impl Replica {
     /// out intra batches, then cross-shard sets until one blocks the
     /// primary. Called from the batch timer and from every unblock point.
     pub(super) fn flush_pending(&mut self, ctx: &mut Context<Msg>) {
-        while !self.is_blocked() && !self.pending_intra.is_empty() {
+        while !self.is_blocked() && self.mempool.intra_len() > 0 {
             self.flush_intra(ctx);
         }
-        let sets: Vec<Vec<ClusterId>> = self
-            .pending_cross
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(set, _)| set.clone())
-            .collect();
-        for set in sets {
+        for set in self.mempool.cross_sets() {
             if self.is_blocked() {
                 break;
             }
             self.flush_cross_set(&set, ctx);
         }
-        self.pending_cross.retain(|_, q| !q.is_empty());
         if self.any_pending() {
             self.ensure_batch_timer(ctx);
         }
@@ -690,11 +696,7 @@ impl Replica {
     /// Drains every pending request (used when this replica stops being the
     /// primary and must hand its queue to the new one).
     pub(super) fn drain_pending_requests(&mut self) -> Vec<(Arc<Transaction>, Signature)> {
-        let mut out: Vec<(Arc<Transaction>, Signature)> = self.pending_intra.drain(..).collect();
-        for (_, queue) in std::mem::take(&mut self.pending_cross) {
-            out.extend(queue);
-        }
-        out
+        self.mempool.drain_all()
     }
 
     // ------------------------------------------------------------------
@@ -773,10 +775,20 @@ impl Replica {
             .append(block)
             .expect("parent was checked against the head");
         // One execution-cost charge per transaction plus one block digest.
+        // The charge is identical in every executor mode: partitioning is a
+        // `SimConfig` knob and must never perturb simulated timing.
         ctx.charge(self.cfg.cost.execution_batch(batch.len()));
         // The whole batch applies atomically in order (commit_block already
-        // rejected blocks overlapping committed transactions).
-        let outcomes = self.executor.apply_batch(&mut self.store, batch.txs());
+        // rejected blocks overlapping committed transactions). The
+        // partitioned scheduler merges outcomes back in batch order, so both
+        // paths are bit-identical.
+        let outcomes = if self.cfg.exec.is_partitioned() {
+            self.executor
+                .apply_batch_partitioned(&mut self.store, batch.txs(), self.cfg.exec.exec_threads)
+                .outcomes
+        } else {
+            self.executor.apply_batch(&mut self.store, batch.txs())
+        };
         for (tx, outcome) in batch.txs().iter().zip(outcomes) {
             self.committed_txs.insert(tx.id);
             let applied = matches!(outcome, ExecutionOutcome::Applied);

@@ -15,7 +15,7 @@ use sharper_common::{
     LatencyModel, NodeId, SimConfig, SimTime, SystemConfig, ThreadMode,
 };
 use sharper_consensus::replica::{client_signer_id, node_signer_id, ReplicaStats};
-use sharper_consensus::{Msg, Replica, ReplicaConfig, TimerConfig};
+use sharper_consensus::{percentile_us, Msg, Replica, ReplicaConfig, TimerConfig};
 use sharper_crypto::{hash_parts, Digest, KeyRegistry};
 use sharper_ledger::{audit_replica_views, AuditReport, LedgerView};
 use sharper_net::{FaultPlan, LatencySummary, Simulation, SimulationReport, StatsHandle, Topology};
@@ -116,6 +116,15 @@ impl SystemParams {
         self
     }
 
+    /// Sets the executor (state-partitioning) configuration (builder style).
+    /// Like the thread mode, this is a `SimConfig` knob: every executor mode
+    /// produces bit-identical results — the golden-seed suite enforces it —
+    /// so it only models the apply-path parallelism.
+    pub fn with_executor(mut self, exec: sharper_common::ExecutorConfig) -> Self {
+        self.sim.exec = exec;
+        self
+    }
+
     /// Builds the shared replica configuration for these parameters.
     pub fn replica_config(&self, num_clients: usize) -> Arc<ReplicaConfig> {
         let system = SystemConfig::uniform(self.failure_model, self.clusters, self.f)
@@ -127,12 +136,13 @@ impl SystemParams {
             .chain((0..num_clients as u64).map(|c| client_signer_id(ClientId(c))))
             .collect::<Vec<_>>();
         let (registry, _) = KeyRegistry::generate(self.seed, signers);
-        ReplicaConfig::shared_batched(
+        ReplicaConfig::shared_full(
             system,
             Partitioner::range(self.clusters as u32, self.accounts_per_shard),
             self.cost,
             self.timers,
             self.batch,
+            self.sim.exec,
             registry,
         )
     }
@@ -219,7 +229,7 @@ impl SharperSystem {
     /// Runs the deployment for `duration` of simulated time and reports the
     /// steady-state results.
     pub fn run(&mut self, duration: SimTime) -> RunReport {
-        let report = self.sim.run_until(duration);
+        let mut report = self.sim.run_until(duration);
         let window = duration.saturating_since(self.params.warmup);
         let summary = self.stats.summarize(self.params.warmup, window);
 
@@ -227,11 +237,21 @@ impl SharperSystem {
         let mut replica_stats = Vec::new();
         let mut client_completed = 0usize;
         let mut retransmissions = 0usize;
+        let mut waits_us: Vec<u64> = Vec::new();
         for actor in self.sim.actors() {
             match actor {
                 SharperActor::Replica(r) => {
                     views.push((r.cluster(), r.ledger().clone()));
                     replica_stats.push((r.node(), r.stats()));
+                    // Mempool ingestion metrics: sums / maxima over replicas,
+                    // wait percentiles over the pooled samples. Per-replica
+                    // values are deterministic, so these are thread-mode and
+                    // executor-mode independent like every other report field.
+                    let m = r.mempool().metrics();
+                    report.mempool_admitted += m.admitted;
+                    report.mempool_evicted += m.evicted;
+                    report.mempool_peak_depth = report.mempool_peak_depth.max(m.peak_depth);
+                    waits_us.extend_from_slice(r.mempool().wait_samples_us());
                 }
                 SharperActor::Client(c) => {
                     client_completed += c.completed();
@@ -239,6 +259,10 @@ impl SharperSystem {
                 }
             }
         }
+        waits_us.sort_unstable();
+        report.mempool_wait_p50_us = percentile_us(&waits_us, 50);
+        report.mempool_wait_p95_us = percentile_us(&waits_us, 95);
+        report.mempool_wait_p99_us = percentile_us(&waits_us, 99);
         let audit = audit_replica_views(&views).expect("ledger safety audit must pass");
         RunReport {
             summary,

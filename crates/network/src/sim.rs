@@ -108,11 +108,25 @@ pub struct SimulationReport {
     pub deferred: usize,
     /// The simulated time when the run stopped.
     pub finished_at: SimTime,
+    /// Requests admitted into replica mempools (filled in by the system
+    /// layer after the run; the engine itself does not track mempools).
+    pub mempool_admitted: u64,
+    /// Requests evicted from replica mempools at capacity.
+    pub mempool_evicted: u64,
+    /// Maximum mempool depth observed on any replica.
+    pub mempool_peak_depth: usize,
+    /// Median mempool queueing delay across all proposed requests, in µs.
+    pub mempool_wait_p50_us: u64,
+    /// 95th-percentile mempool queueing delay, in µs.
+    pub mempool_wait_p95_us: u64,
+    /// 99th-percentile mempool queueing delay, in µs.
+    pub mempool_wait_p99_us: u64,
 }
 
 impl SimulationReport {
     /// Adds another report's event counters into this one (used to merge
-    /// per-lane counters; `finished_at` is set by the engine, not summed).
+    /// per-lane counters; `finished_at` is set by the engine, not summed,
+    /// and the mempool fields are filled in by the system layer afterwards).
     fn absorb(&mut self, other: &SimulationReport) {
         self.delivered += other.delivered;
         self.dropped += other.dropped;

@@ -9,6 +9,9 @@
 
 use crate::account::AccountStore;
 use crate::partition::Partitioner;
+use crate::rwset::{OpLocality, RwSet};
+use crate::scheduler::{self, PartitionedApply};
+use crate::store::{PartitionMap, PartitionedStore, StateRead, StateWrite};
 use crate::transaction::{Operation, Transaction};
 use serde::{Deserialize, Serialize};
 use sharper_common::{ClusterId, Error, Result};
@@ -49,65 +52,110 @@ impl Executor {
         &self.partitioner
     }
 
+    /// Computes the local read/write footprint of a transaction: which of
+    /// its accounts belong to this shard, which are read during validation
+    /// (transfer sources, read ops) and which are written on apply. Account
+    /// → shard ownership is resolved exactly once per account here; both
+    /// validation and apply consume the result instead of re-querying the
+    /// partitioner per phase.
+    pub fn rw_set(&self, tx: &Transaction) -> RwSet {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let mut ops = Vec::with_capacity(tx.operations.len());
+        for op in &tx.operations {
+            match op {
+                Operation::Transfer { from, to, .. } => {
+                    let from_local = self.partitioner.owns(self.shard, *from);
+                    let to_local = self.partitioner.owns(self.shard, *to);
+                    if from_local {
+                        reads.push(*from);
+                        writes.push(*from);
+                    }
+                    if to_local {
+                        writes.push(*to);
+                    }
+                    ops.push(OpLocality::Transfer {
+                        from_local,
+                        to_local,
+                    });
+                }
+                Operation::Read { account } => {
+                    let local = self.partitioner.owns(self.shard, *account);
+                    if local {
+                        reads.push(*account);
+                    }
+                    ops.push(OpLocality::Read { local });
+                }
+            }
+        }
+        RwSet::from_ops(ops, reads, writes)
+    }
+
     /// Validates the locally-checkable part of a transaction without
     /// modifying the store. Used when a replica receives a `propose` /
     /// `pre-prepare` and must decide whether the request "is valid"
     /// (Algorithm 1 line 7, Algorithm 2 line 7).
-    pub fn validate_local(&self, store: &AccountStore, tx: &Transaction) -> Result<()> {
-        let mut any_local = false;
-        for op in &tx.operations {
-            match op {
-                Operation::Transfer { from, amount, .. } => {
-                    if self.partitioner.owns(self.shard, *from) {
-                        any_local = true;
-                        let account =
-                            store
-                                .account(*from)
-                                .ok_or_else(|| Error::InvalidTransaction {
-                                    tx: tx.id,
-                                    reason: format!("unknown account {from}"),
-                                })?;
-                        if account.owner != tx.client() {
-                            return Err(Error::InvalidTransaction {
-                                tx: tx.id,
-                                reason: format!(
-                                    "client {} does not own account {from}",
-                                    tx.client()
-                                ),
-                            });
-                        }
-                        if account.balance < *amount {
-                            return Err(Error::InvalidTransaction {
-                                tx: tx.id,
-                                reason: format!(
-                                    "insufficient balance in {from}: {} < {amount}",
-                                    account.balance
-                                ),
-                            });
-                        }
-                    }
-                    if self.partitioner.owns(self.shard, op.accounts()[1]) {
-                        any_local = true;
-                    }
-                }
-                Operation::Read { account } => {
-                    if self.partitioner.owns(self.shard, *account) {
-                        any_local = true;
-                        if !store.contains(*account) {
-                            return Err(Error::InvalidTransaction {
-                                tx: tx.id,
-                                reason: format!("unknown account {account}"),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        if !any_local {
+    pub fn validate_local(&self, store: &impl StateRead, tx: &Transaction) -> Result<()> {
+        let rw = self.rw_set(tx);
+        if !rw.any_local() {
             return Err(Error::InvalidTransaction {
                 tx: tx.id,
                 reason: format!("no operation touches shard {}", self.shard),
             });
+        }
+        self.validate_with(store, tx, &rw)
+    }
+
+    /// Validates a transaction against `store` using a precomputed
+    /// read/write set (the locality of every account is already resolved,
+    /// so this only performs the actual state reads).
+    pub(crate) fn validate_with(
+        &self,
+        store: &impl StateRead,
+        tx: &Transaction,
+        rw: &RwSet,
+    ) -> Result<()> {
+        for (op, loc) in tx.operations.iter().zip(rw.ops()) {
+            match (op, loc) {
+                (
+                    Operation::Transfer { from, amount, .. },
+                    OpLocality::Transfer {
+                        from_local: true, ..
+                    },
+                ) => {
+                    let account =
+                        store
+                            .account(*from)
+                            .ok_or_else(|| Error::InvalidTransaction {
+                                tx: tx.id,
+                                reason: format!("unknown account {from}"),
+                            })?;
+                    if account.owner != tx.client() {
+                        return Err(Error::InvalidTransaction {
+                            tx: tx.id,
+                            reason: format!("client {} does not own account {from}", tx.client()),
+                        });
+                    }
+                    if account.balance < *amount {
+                        return Err(Error::InvalidTransaction {
+                            tx: tx.id,
+                            reason: format!(
+                                "insufficient balance in {from}: {} < {amount}",
+                                account.balance
+                            ),
+                        });
+                    }
+                }
+                (Operation::Read { account }, OpLocality::Read { local: true })
+                    if !store.contains(*account) =>
+                {
+                    return Err(Error::InvalidTransaction {
+                        tx: tx.id,
+                        reason: format!("unknown account {account}"),
+                    });
+                }
+                _ => {}
+            }
         }
         Ok(())
     }
@@ -118,26 +166,43 @@ impl Executor {
     /// than errors: the ordering decision has already been made by consensus,
     /// and every correct replica of the shard reaches the same outcome
     /// because it applies the same transactions in the same order.
-    pub fn apply(&self, store: &mut AccountStore, tx: &Transaction) -> ExecutionOutcome {
-        let touches_local = tx
-            .accounts()
-            .iter()
-            .any(|a| self.partitioner.owns(self.shard, *a));
-        if !touches_local {
+    pub fn apply(&self, store: &mut impl StateWrite, tx: &Transaction) -> ExecutionOutcome {
+        let rw = self.rw_set(tx);
+        self.run_full(store, tx, &rw)
+    }
+
+    /// Validates and applies a transaction whose read/write set is already
+    /// computed. This is the single execution routine behind serial apply,
+    /// solo partition steps and multi-partition gang steps — only the store
+    /// view differs.
+    pub(crate) fn run_full(
+        &self,
+        store: &mut impl StateWrite,
+        tx: &Transaction,
+        rw: &RwSet,
+    ) -> ExecutionOutcome {
+        if !rw.any_local() {
             return ExecutionOutcome::NotLocal;
         }
-        if self.validate_local(store, tx).is_err() {
+        if self.validate_with(store, tx, rw).is_err() {
             return ExecutionOutcome::Aborted;
         }
-        for op in &tx.operations {
-            if let Operation::Transfer { from, to, amount } = op {
-                if self.partitioner.owns(self.shard, *from) {
+        for (op, loc) in tx.operations.iter().zip(rw.ops()) {
+            if let (
+                Operation::Transfer { from, to, amount },
+                OpLocality::Transfer {
+                    from_local,
+                    to_local,
+                },
+            ) = (op, loc)
+            {
+                if *from_local {
                     // Validation above guarantees this cannot fail.
                     store
                         .debit(*from, tx.client(), *amount)
                         .expect("validated debit");
                 }
-                if self.partitioner.owns(self.shard, *to) {
+                if *to_local {
                     if !store.contains(*to) {
                         // Transfers may create the destination account, as in
                         // the UTXO-to-account translation of the workload.
@@ -148,6 +213,74 @@ impl Executor {
             }
         }
         ExecutionOutcome::Applied
+    }
+
+    /// Runs the validate-and-write step of a split transaction against the
+    /// single partition `vp` that holds every account it reads: validation
+    /// plus all writes landing in `vp`, in operation order. Writes to other
+    /// partitions are deferred to [`Executor::run_credit_step`].
+    pub(crate) fn run_validate_step(
+        &self,
+        store: &mut AccountStore,
+        tx: &Transaction,
+        rw: &RwSet,
+        map: PartitionMap,
+        vp: usize,
+    ) -> ExecutionOutcome {
+        if self.validate_with(store, tx, rw).is_err() {
+            return ExecutionOutcome::Aborted;
+        }
+        for (op, loc) in tx.operations.iter().zip(rw.ops()) {
+            if let (
+                Operation::Transfer { from, to, amount },
+                OpLocality::Transfer {
+                    from_local,
+                    to_local,
+                },
+            ) = (op, loc)
+            {
+                if *from_local && map.partition_of(*from) == vp {
+                    store
+                        .debit(*from, tx.client(), *amount)
+                        .expect("validated debit");
+                }
+                if *to_local && map.partition_of(*to) == vp {
+                    if !store.contains(*to) {
+                        store.create_account(*to, tx.client(), 0);
+                    }
+                    store.credit(*to, *amount).expect("destination exists");
+                }
+            }
+        }
+        ExecutionOutcome::Applied
+    }
+
+    /// Runs the credit half of a transaction on partition `part`: every
+    /// local credit landing in `part`, in operation order. Only called once
+    /// the transaction's outcome is `Applied` (its validation ran elsewhere,
+    /// or it has no local validation reads at all).
+    pub(crate) fn run_credit_step(
+        &self,
+        store: &mut AccountStore,
+        tx: &Transaction,
+        rw: &RwSet,
+        map: PartitionMap,
+        part: usize,
+    ) {
+        for (op, loc) in tx.operations.iter().zip(rw.ops()) {
+            if let (
+                Operation::Transfer { to, amount, .. },
+                OpLocality::Transfer { to_local: true, .. },
+            ) = (op, loc)
+            {
+                if map.partition_of(*to) == part {
+                    if !store.contains(*to) {
+                        store.create_account(*to, tx.client(), 0);
+                    }
+                    store.credit(*to, *amount).expect("destination exists");
+                }
+            }
+        }
     }
 
     /// Applies a committed batch to the store: every transaction in batch
@@ -162,10 +295,25 @@ impl Executor {
     /// reaches from the same order).
     pub fn apply_batch(
         &self,
-        store: &mut AccountStore,
+        store: &mut impl StateWrite,
         txs: &[std::sync::Arc<Transaction>],
     ) -> Vec<ExecutionOutcome> {
         txs.iter().map(|tx| self.apply(store, tx)).collect()
+    }
+
+    /// Applies a committed batch through the partitioned scheduler: per
+    /// partition work queues, conflict-ordered steps, up to `exec_threads`
+    /// workers. Outcomes (and the resulting state) are bit-identical to
+    /// [`Executor::apply_batch`] in batch-index order; the returned plan
+    /// statistics additionally report the schedule's critical path for the
+    /// apply-path cost model.
+    pub fn apply_batch_partitioned(
+        &self,
+        store: &mut PartitionedStore,
+        txs: &[std::sync::Arc<Transaction>],
+        exec_threads: usize,
+    ) -> PartitionedApply {
+        scheduler::execute(self, store, txs, exec_threads)
     }
 
     /// Initialises a store with `accounts_per_shard` accounts for this shard,
@@ -184,6 +332,20 @@ impl Executor {
             }
         }
         store
+    }
+
+    /// Like [`Executor::genesis_store`] but split into `partitions`
+    /// account-range partitions for the partitioned executor.
+    pub fn genesis_partitioned(
+        &self,
+        partitions: usize,
+        accounts_per_shard: u64,
+        initial_balance: u64,
+        owner_of: impl Fn(u64) -> sharper_common::ClientId,
+    ) -> PartitionedStore {
+        let flat = self.genesis_store(accounts_per_shard, initial_balance, owner_of);
+        let chunk = PartitionedStore::chunk_for(self.partitioner.accounts_per_shard(), partitions);
+        PartitionedStore::from_store(flat, partitions, chunk)
     }
 }
 

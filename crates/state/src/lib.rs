@@ -18,9 +18,15 @@
 pub mod account;
 pub mod executor;
 pub mod partition;
+pub mod rwset;
+pub mod scheduler;
+pub mod store;
 pub mod transaction;
 
 pub use account::{Account, AccountStore};
 pub use executor::{ExecutionOutcome, Executor};
 pub use partition::Partitioner;
+pub use rwset::{OpLocality, RwSet};
+pub use scheduler::{ExecPlan, PartitionedApply, C_UNITS, TX_UNITS, V_UNITS};
+pub use store::{PartitionMap, PartitionedStore, StateRead, StateWrite};
 pub use transaction::{Operation, Transaction};
