@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use serde::Serialize;
 use sharper_baselines::{BaselineKind, BaselineParams, BaselineSystem};
 use sharper_common::{
@@ -49,6 +51,16 @@ pub struct CurvePoint {
     /// 95th-percentile mempool queueing delay across all proposed
     /// transactions, in simulated microseconds.
     pub mempool_wait_p95_us: u64,
+    /// Mean intra-shard consensus latency (batch seal → commit) from the
+    /// deterministic trace plane, in milliseconds (zero for baselines,
+    /// which are untraced).
+    pub phase_consensus_ms: f64,
+    /// Mean cross-shard consensus latency (batch seal → xcommit), in
+    /// milliseconds.
+    pub phase_cross_ms: f64,
+    /// Mean commit-to-completion latency (execution plus reply fan-in), in
+    /// milliseconds.
+    pub phase_exec_ms: f64,
 }
 
 /// One system's curve for one figure.
@@ -65,13 +77,17 @@ impl CurvePoint {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"clients\":{},\"throughput_tps\":{:.3},\"latency_ms\":{:.3},\"committed\":{},\
-             \"mempool_peak_depth\":{},\"mempool_wait_p95_us\":{}}}",
+             \"mempool_peak_depth\":{},\"mempool_wait_p95_us\":{},\
+             \"phase_consensus_ms\":{:.3},\"phase_cross_ms\":{:.3},\"phase_exec_ms\":{:.3}}}",
             self.clients,
             self.throughput_tps,
             self.latency_ms,
             self.committed,
             self.mempool_peak_depth,
-            self.mempool_wait_p95_us
+            self.mempool_wait_p95_us,
+            self.phase_consensus_ms,
+            self.phase_cross_ms,
+            self.phase_exec_ms
         )
     }
 }
@@ -120,6 +136,27 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// Runs a built SharPer deployment for `duration` and folds the report plus
+/// the traced per-phase latency breakdown into a [`CurvePoint`]. The system
+/// must have been built with tracing enabled; tracing never changes the
+/// measured numbers (the golden-seed suite enforces it), it only fills the
+/// `phase_*` fields.
+fn traced_curve_point(system: &mut SharperSystem, clients: usize, duration: SimTime) -> CurvePoint {
+    let report = system.run(duration);
+    let breakdown = trace::analyze(&system.take_trace());
+    CurvePoint {
+        clients,
+        throughput_tps: report.summary.throughput_tps,
+        latency_ms: report.summary.mean_latency_ms,
+        committed: report.summary.committed,
+        mempool_peak_depth: report.simulation.mempool_peak_depth,
+        mempool_wait_p95_us: report.simulation.mempool_wait_p95_us,
+        phase_consensus_ms: breakdown.phase_consensus_ms(),
+        phase_cross_ms: breakdown.phase_cross_ms(),
+        phase_exec_ms: breakdown.phase_exec_ms(),
+    }
+}
+
 /// Runs SharPer at one operating point on the sequential engine.
 pub fn sharper_point(
     model: FailureModel,
@@ -149,7 +186,9 @@ pub fn sharper_point_threads(
     threads: ThreadMode,
     duration: SimTime,
 ) -> CurvePoint {
-    let mut params = SystemParams::new(model, clusters, 1).with_threads(threads);
+    let mut params = SystemParams::new(model, clusters, 1)
+        .with_threads(threads)
+        .with_tracing(true);
     params.accounts_per_shard = ACCOUNTS_PER_SHARD;
     params.warmup = SimTime::from_millis(300);
     params.initiation_policy = InitiationPolicy::SuperPrimary;
@@ -158,15 +197,7 @@ pub fn sharper_point_threads(
         cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
         WorkloadGenerator::new(client, cfg)
     });
-    let report = system.run(duration);
-    CurvePoint {
-        clients,
-        throughput_tps: report.summary.throughput_tps,
-        latency_ms: report.summary.mean_latency_ms,
-        committed: report.summary.committed,
-        mempool_peak_depth: report.simulation.mempool_peak_depth,
-        mempool_wait_p95_us: report.simulation.mempool_wait_p95_us,
-    }
+    traced_curve_point(&mut system, clients, duration)
 }
 
 /// Runs SharPer at one operating point with an explicit batching policy.
@@ -204,7 +235,8 @@ pub fn sharper_point_batched_threads(
 ) -> CurvePoint {
     let mut params = SystemParams::new(model, clusters, 1)
         .with_batching(BatchConfig::with_size(max_batch_size))
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_tracing(true);
     params.accounts_per_shard = ACCOUNTS_PER_SHARD;
     params.warmup = SimTime::from_millis(300);
     params.initiation_policy = InitiationPolicy::SuperPrimary;
@@ -216,15 +248,7 @@ pub fn sharper_point_batched_threads(
         cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
         WorkloadGenerator::new(client, cfg)
     });
-    let report = system.run(duration);
-    CurvePoint {
-        clients,
-        throughput_tps: report.summary.throughput_tps,
-        latency_ms: report.summary.mean_latency_ms,
-        committed: report.summary.committed,
-        mempool_peak_depth: report.simulation.mempool_peak_depth,
-        mempool_wait_p95_us: report.simulation.mempool_wait_p95_us,
-    }
+    traced_curve_point(&mut system, clients, duration)
 }
 
 /// One point of the throughput-vs-batch-size sweep.
@@ -340,7 +364,7 @@ pub fn sharper_point_no_super_primary(
     clients: usize,
     duration: SimTime,
 ) -> CurvePoint {
-    let mut params = SystemParams::new(model, clusters, 1);
+    let mut params = SystemParams::new(model, clusters, 1).with_tracing(true);
     params.accounts_per_shard = ACCOUNTS_PER_SHARD;
     params.warmup = SimTime::from_millis(300);
     params.initiation_policy = InitiationPolicy::AnyInvolvedCluster;
@@ -349,15 +373,7 @@ pub fn sharper_point_no_super_primary(
         cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
         WorkloadGenerator::new(client, cfg)
     });
-    let report = system.run(duration);
-    CurvePoint {
-        clients,
-        throughput_tps: report.summary.throughput_tps,
-        latency_ms: report.summary.mean_latency_ms,
-        committed: report.summary.committed,
-        mempool_peak_depth: report.simulation.mempool_peak_depth,
-        mempool_wait_p95_us: report.simulation.mempool_wait_p95_us,
-    }
+    traced_curve_point(&mut system, clients, duration)
 }
 
 /// Runs one baseline at one operating point.
@@ -383,9 +399,13 @@ pub fn baseline_point(
         latency_ms: report.summary.mean_latency_ms,
         committed: report.summary.committed,
         // The baseline systems reuse the seed's flat pending queue, not the
-        // instrumented mempool, so there is nothing to report here.
+        // instrumented mempool or the trace plane, so there is nothing to
+        // report here.
         mempool_peak_depth: 0,
         mempool_wait_p95_us: 0,
+        phase_consensus_ms: 0.0,
+        phase_cross_ms: 0.0,
+        phase_exec_ms: 0.0,
     }
 }
 

@@ -165,6 +165,10 @@ pub struct SimConfig {
     pub threads: ThreadMode,
     /// How replicas execute committed batches (serial or partitioned).
     pub exec: ExecutorConfig,
+    /// Whether the deterministic trace plane records events. Tracing only
+    /// observes — it charges no cost, sends nothing and draws no randomness —
+    /// so toggling it never changes results (see `sharper_common::obs`).
+    pub trace: bool,
 }
 
 impl SimConfig {
@@ -187,6 +191,12 @@ impl SimConfig {
     /// Sets the executor configuration (builder style).
     pub fn with_executor(mut self, exec: ExecutorConfig) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Enables or disables trace recording (builder style).
+    pub fn with_tracing(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 }

@@ -17,6 +17,7 @@ pub mod config;
 pub mod cost;
 pub mod error;
 pub mod ids;
+pub mod obs;
 pub mod time;
 
 pub use config::{
@@ -26,4 +27,8 @@ pub use config::{
 pub use cost::{CostModel, LatencyModel, LinkKind};
 pub use error::{Error, Result};
 pub use ids::{AccountId, ClientId, ClusterId, NodeId, RequestId, TxId};
+pub use obs::{
+    percentile_nearest_rank, percentile_us, trace_to_jsonl, Histogram, MetricKey, MetricsRegistry,
+    TraceEvent, TraceKind,
+};
 pub use time::{Duration, SimTime};

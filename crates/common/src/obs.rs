@@ -1,0 +1,657 @@
+//! The deterministic observability plane: sim-time trace events and the
+//! metrics registry.
+//!
+//! ## Trace events
+//!
+//! Every instrumented handler records [`TraceKind`]s through its `Context`;
+//! the simulation engine stamps each one with the handler's simulated time,
+//! the recording actor's stable rank and a per-actor monotonically
+//! increasing sequence number, producing a [`TraceEvent`]. The triple
+//! `(at, rank, seq)` totally orders the merged trace of a run — the same
+//! discipline that keys the event wheel — so traces are **bit-identical
+//! across thread modes**: sequential, per-cluster and fixed-pool runs of the
+//! same seed serialize to the same byte stream.
+//!
+//! Three rules keep the plane deterministic and free of observer effects:
+//!
+//! 1. **Sim time only.** Events carry the simulated clock, never a wall
+//!    clock.
+//! 2. **Record, never perturb.** Tracing charges no CPU cost, sends no
+//!    messages and draws no randomness; enabling it cannot change a run's
+//!    results, digests or reports.
+//! 3. **Lane-private buffers.** Events are buffered per actor invocation and
+//!    appended to the owning lane's private vector; the merge sorts by
+//!    `(at, rank, seq)` after the run, so no cross-thread ordering can leak
+//!    into the trace.
+//!
+//! When tracing is disabled (the default) the per-event closure passed to
+//! `Context::trace` is never invoked, so disabled runs pay one branch per
+//! call site and allocate nothing.
+//!
+//! ## Metrics
+//!
+//! [`MetricsRegistry`] aggregates counters, gauges and histograms keyed by
+//! `(name, replica, shard, phase)`. It is a post-run analysis structure —
+//! deterministic because it is fed from the merged trace, not from live
+//! shared state. All percentiles in the workspace go through the single
+//! nearest-rank implementation here ([`percentile_nearest_rank`]).
+
+use crate::ids::TxId;
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What an instrumented handler observed (the payload of a [`TraceEvent`]).
+///
+/// Batch and block identities are carried as the first eight bytes of their
+/// digest (little-endian `u64`) so the trace stays compact and this crate
+/// stays free of crypto dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A client submitted a transaction to the responsible primary.
+    ClientSubmit {
+        /// The submitted transaction.
+        tx: TxId,
+    },
+    /// A client retransmitted a request whose reply quorum timed out.
+    ClientRetry {
+        /// The retransmitted transaction.
+        tx: TxId,
+    },
+    /// A client collected its reply quorum: the transaction is complete.
+    ClientComplete {
+        /// The completed transaction.
+        tx: TxId,
+        /// Whether the transaction spanned more than one cluster.
+        cross: bool,
+    },
+    /// A primary admitted a request into its mempool.
+    MempoolAdmit {
+        /// The admitted transaction.
+        tx: TxId,
+        /// Whether it waits in a cross-shard queue.
+        cross: bool,
+        /// Mempool depth after admission.
+        depth: u64,
+    },
+    /// A primary sealed pending requests into a batch and started consensus.
+    BatchSeal {
+        /// Short digest of the sealed batch.
+        batch: u64,
+        /// The member transactions, in batch order.
+        txs: Vec<TxId>,
+        /// Whether this is a cross-shard batch.
+        cross: bool,
+    },
+    /// An intra-shard proposal went out (Paxos accept / PBFT pre-prepare).
+    Propose {
+        /// Short digest of the proposed batch.
+        batch: u64,
+        /// The view the proposal was made in.
+        view: u64,
+    },
+    /// A replica voted for a proposal (Paxos accepted / PBFT prepare).
+    Accept {
+        /// Short digest of the batch voted for.
+        batch: u64,
+        /// The view of the vote.
+        view: u64,
+    },
+    /// A replica observed the quorum that commits a batch.
+    Commit {
+        /// Short digest of the committed batch.
+        batch: u64,
+    },
+    /// A replica appended a block and executed its batch.
+    Execute {
+        /// Short digest of the appended block.
+        block: u64,
+        /// Short digest of the executed batch.
+        batch: u64,
+        /// The executed transactions, in batch order.
+        txs: Vec<TxId>,
+        /// Whether the block committed a cross-shard batch.
+        cross: bool,
+    },
+    /// A replica replied to the issuing client.
+    Reply {
+        /// The transaction the reply is for.
+        tx: TxId,
+        /// Whether the transaction applied (vs. aborting on validation).
+        applied: bool,
+    },
+    /// An initiator started (or retried) a cross-shard round.
+    XPropose {
+        /// Short digest of the cross-shard batch.
+        batch: u64,
+        /// Retry attempt (0 for the first transmission).
+        attempt: u64,
+    },
+    /// A remote primary accepted a cross-shard proposal.
+    XAccept {
+        /// Short digest of the accepted batch.
+        batch: u64,
+    },
+    /// A replica observed the cross-shard commit quorum (initiator side) or
+    /// handled the resulting `XCommit` (remote side).
+    XCommit {
+        /// Short digest of the committed batch.
+        batch: u64,
+    },
+    /// An initiator announced the abort of a cross-shard round.
+    XAbortSent {
+        /// Short digest of the aborted batch.
+        batch: u64,
+    },
+    /// A replica handled a cross-shard abort announcement.
+    XAbortRecv {
+        /// Short digest of the aborted batch.
+        batch: u64,
+    },
+    /// A remote primary probed the initiator cluster for a round's fate.
+    XStatusProbe {
+        /// Short digest of the probed batch.
+        batch: u64,
+    },
+    /// A replica reserved its shard for a cross-shard round.
+    ReservationAcquire {
+        /// Short digest of the reserving batch.
+        batch: u64,
+    },
+    /// A replica released its shard reservation (commit, abort or timeout).
+    ReservationRelease {
+        /// Short digest of the batch that held the reservation.
+        batch: u64,
+    },
+    /// A replica voted to replace its primary.
+    ViewChangeStart {
+        /// The view the replica voted for.
+        view: u64,
+    },
+    /// A replica installed a new view.
+    ViewChangeEnd {
+        /// The installed view.
+        view: u64,
+    },
+    /// A crash-model replica adopted a higher ballot from a valid proposal.
+    BallotAdopt {
+        /// The adopted view.
+        view: u64,
+        /// The proposing node's id.
+        proposer: u64,
+    },
+    /// A protocol-level retransmission (e.g. an `XAbort` re-announcement).
+    Retransmit {
+        /// Short digest of the batch being retransmitted.
+        batch: u64,
+    },
+    /// The partitioned executor scheduled a committed batch.
+    ExecPlan {
+        /// Short digest of the executed batch.
+        batch: u64,
+        /// Partitions with at least one queued step.
+        partitions: u64,
+        /// Steps claimed across all partition queues.
+        steps: u64,
+        /// Deepest partition queue of the plan.
+        max_queue_depth: u64,
+        /// Critical-path length of the schedule, in work units.
+        makespan_units: u64,
+    },
+}
+
+impl TraceKind {
+    /// The stable snake_case label of this event kind (used by the JSONL
+    /// serialization and by analyzers grouping events by kind).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::ClientSubmit { .. } => "client_submit",
+            TraceKind::ClientRetry { .. } => "client_retry",
+            TraceKind::ClientComplete { .. } => "client_complete",
+            TraceKind::MempoolAdmit { .. } => "mempool_admit",
+            TraceKind::BatchSeal { .. } => "batch_seal",
+            TraceKind::Propose { .. } => "propose",
+            TraceKind::Accept { .. } => "accept",
+            TraceKind::Commit { .. } => "commit",
+            TraceKind::Execute { .. } => "execute",
+            TraceKind::Reply { .. } => "reply",
+            TraceKind::XPropose { .. } => "xpropose",
+            TraceKind::XAccept { .. } => "xaccept",
+            TraceKind::XCommit { .. } => "xcommit",
+            TraceKind::XAbortSent { .. } => "xabort_sent",
+            TraceKind::XAbortRecv { .. } => "xabort_recv",
+            TraceKind::XStatusProbe { .. } => "xstatus_probe",
+            TraceKind::ReservationAcquire { .. } => "reservation_acquire",
+            TraceKind::ReservationRelease { .. } => "reservation_release",
+            TraceKind::ViewChangeStart { .. } => "view_change_start",
+            TraceKind::ViewChangeEnd { .. } => "view_change_end",
+            TraceKind::BallotAdopt { .. } => "ballot_adopt",
+            TraceKind::Retransmit { .. } => "retransmit",
+            TraceKind::ExecPlan { .. } => "exec_plan",
+        }
+    }
+}
+
+/// One recorded, stamped trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the handler that recorded the event.
+    pub at: SimTime,
+    /// Stable rank of the recording actor (nodes before clients).
+    pub rank: u64,
+    /// Per-actor monotonically increasing trace sequence number.
+    pub seq: u64,
+    /// What was observed.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// The `(at, rank, seq)` ordering key of this event.
+    pub fn key(&self) -> (SimTime, u64, u64) {
+        (self.at, self.rank, self.seq)
+    }
+}
+
+fn tx_json(tx: &TxId) -> String {
+    format!("\"c{}:{}\"", tx.client.0, tx.seq)
+}
+
+fn txs_json(txs: &[TxId]) -> String {
+    let mut out = String::from("[");
+    for (i, tx) in txs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&tx_json(tx));
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes a trace as JSON lines — one event per line, fields in a fixed
+/// order, integers only. This is the byte stream the cross-thread-mode
+/// determinism gate compares, so the format must stay a pure function of the
+/// event sequence.
+pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for e in events {
+        let _ = write!(
+            out,
+            "{{\"at_us\":{},\"rank\":{},\"seq\":{},\"kind\":\"{}\"",
+            e.at.as_micros(),
+            e.rank,
+            e.seq,
+            e.kind.label()
+        );
+        match &e.kind {
+            TraceKind::ClientSubmit { tx } | TraceKind::ClientRetry { tx } => {
+                let _ = write!(out, ",\"tx\":{}", tx_json(tx));
+            }
+            TraceKind::ClientComplete { tx, cross } => {
+                let _ = write!(out, ",\"tx\":{},\"cross\":{cross}", tx_json(tx));
+            }
+            TraceKind::MempoolAdmit { tx, cross, depth } => {
+                let _ = write!(
+                    out,
+                    ",\"tx\":{},\"cross\":{cross},\"depth\":{depth}",
+                    tx_json(tx)
+                );
+            }
+            TraceKind::BatchSeal { batch, txs, cross } => {
+                let _ = write!(
+                    out,
+                    ",\"batch\":\"{batch:016x}\",\"cross\":{cross},\"txs\":{}",
+                    txs_json(txs)
+                );
+            }
+            TraceKind::Propose { batch, view } | TraceKind::Accept { batch, view } => {
+                let _ = write!(out, ",\"batch\":\"{batch:016x}\",\"view\":{view}");
+            }
+            TraceKind::Commit { batch }
+            | TraceKind::XAccept { batch }
+            | TraceKind::XCommit { batch }
+            | TraceKind::XAbortSent { batch }
+            | TraceKind::XAbortRecv { batch }
+            | TraceKind::XStatusProbe { batch }
+            | TraceKind::ReservationAcquire { batch }
+            | TraceKind::ReservationRelease { batch }
+            | TraceKind::Retransmit { batch } => {
+                let _ = write!(out, ",\"batch\":\"{batch:016x}\"");
+            }
+            TraceKind::Execute {
+                block,
+                batch,
+                txs,
+                cross,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"block\":\"{block:016x}\",\"batch\":\"{batch:016x}\",\"cross\":{cross},\"txs\":{}",
+                    txs_json(txs)
+                );
+            }
+            TraceKind::Reply { tx, applied } => {
+                let _ = write!(out, ",\"tx\":{},\"applied\":{applied}", tx_json(tx));
+            }
+            TraceKind::XPropose { batch, attempt } => {
+                let _ = write!(out, ",\"batch\":\"{batch:016x}\",\"attempt\":{attempt}");
+            }
+            TraceKind::ViewChangeStart { view } | TraceKind::ViewChangeEnd { view } => {
+                let _ = write!(out, ",\"view\":{view}");
+            }
+            TraceKind::BallotAdopt { view, proposer } => {
+                let _ = write!(out, ",\"view\":{view},\"proposer\":{proposer}");
+            }
+            TraceKind::ExecPlan {
+                batch,
+                partitions,
+                steps,
+                max_queue_depth,
+                makespan_units,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"batch\":\"{batch:016x}\",\"partitions\":{partitions},\"steps\":{steps},\
+                     \"max_queue_depth\":{max_queue_depth},\"makespan_units\":{makespan_units}"
+                );
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Nearest-rank percentile over an already **sorted** slice. Returns `None`
+/// when the slice is empty. `pct` is clamped to `[0, 100]`; `pct = 0` yields
+/// the minimum, `pct = 100` the maximum. With ties the tied value is
+/// returned for every rank it occupies.
+///
+/// This is the single percentile implementation of the workspace — the
+/// mempool wait metrics, the latency summaries and the metrics registry all
+/// defer to it.
+pub fn percentile_nearest_rank<T: Copy>(sorted: &[T], pct: u64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let pct = pct.min(100) as usize;
+    let rank = (pct * sorted.len()).div_ceil(100).max(1);
+    Some(sorted[rank - 1])
+}
+
+/// Nearest-rank percentile over sorted microsecond samples, 0 when empty
+/// (the historical calling convention of the mempool wait metrics).
+pub fn percentile_us(sorted: &[u64], pct: u64) -> u64 {
+    percentile_nearest_rank(sorted, pct).unwrap_or(0)
+}
+
+/// The identity of one metric: a name plus the optional replica / shard /
+/// phase the sample is attributed to.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct MetricKey {
+    /// Metric name (e.g. `"phase_latency_us"`).
+    pub name: String,
+    /// Recording replica's rank, if attributed.
+    pub replica: Option<u64>,
+    /// Shard (cluster) the sample belongs to, if attributed.
+    pub shard: Option<u64>,
+    /// Lifecycle phase label (e.g. `"consensus"`), if attributed.
+    pub phase: Option<String>,
+}
+
+impl MetricKey {
+    /// A key with only a name.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Attributes the key to a replica rank (builder style).
+    pub fn replica(mut self, rank: u64) -> Self {
+        self.replica = Some(rank);
+        self
+    }
+
+    /// Attributes the key to a shard (builder style).
+    pub fn shard(mut self, shard: u64) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Attributes the key to a phase (builder style).
+    pub fn phase(mut self, phase: &str) -> Self {
+        self.phase = Some(phase.to_string());
+        self
+    }
+}
+
+/// A sample distribution with nearest-rank percentiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Mean of the samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile of the samples, 0 when empty.
+    pub fn percentile(&mut self, pct: u64) -> u64 {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        percentile_us(&self.samples, pct)
+    }
+}
+
+/// Counters, gauges and histograms keyed by `(name, replica, shard, phase)`.
+///
+/// Deterministic by construction: it is populated from the merged trace (or
+/// from per-actor state inspected after a run), iterates in key order, and
+/// owns no interior mutability.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, u64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter at `key`.
+    pub fn count(&mut self, key: MetricKey, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// The counter at `key`, 0 if never counted.
+    pub fn counter(&self, key: &MetricKey) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Raises the gauge at `key` to `value` if it exceeds the current value
+    /// (gauges here record deterministic maxima, e.g. peak queue depth).
+    pub fn gauge_max(&mut self, key: MetricKey, value: u64) {
+        let slot = self.gauges.entry(key).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// The gauge at `key`, 0 if never set.
+    pub fn gauge(&self, key: &MetricKey) -> u64 {
+        self.gauges.get(key).copied().unwrap_or(0)
+    }
+
+    /// Records a histogram sample at `key`.
+    pub fn observe(&mut self, key: MetricKey, value: u64) {
+        self.histograms.entry(key).or_default().record(value);
+    }
+
+    /// Mutable access to the histogram at `key` (creating it if absent).
+    pub fn histogram_mut(&mut self, key: MetricKey) -> &mut Histogram {
+        self.histograms.entry(key).or_default()
+    }
+
+    /// The histogram at `key`, if any samples were recorded.
+    pub fn histogram(&self, key: &MetricKey) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterates over every histogram in key order.
+    pub fn histograms(&mut self) -> impl Iterator<Item = (&MetricKey, &mut Histogram)> {
+        self.histograms.iter_mut()
+    }
+
+    /// Iterates over every counter in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> {
+        self.counters.iter().map(|(k, v)| (k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    #[test]
+    fn percentile_empty_is_none_and_zero() {
+        assert_eq!(percentile_nearest_rank::<u64>(&[], 50), None);
+        assert_eq!(percentile_us(&[], 99), 0);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample_at_every_rank() {
+        for pct in [0, 1, 50, 99, 100, 250] {
+            assert_eq!(percentile_nearest_rank(&[7u64], pct), Some(7));
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank_matches_definition() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&samples, 50), 50);
+        assert_eq!(percentile_us(&samples, 95), 95);
+        assert_eq!(percentile_us(&samples, 99), 99);
+        assert_eq!(percentile_us(&samples, 100), 100);
+        assert_eq!(percentile_us(&samples, 0), 1, "p0 is the minimum");
+    }
+
+    #[test]
+    fn percentile_handles_ties() {
+        // Five tied samples around the median: every mid-rank hits the tie.
+        let samples = [1u64, 5, 5, 5, 5, 5, 9];
+        for pct in [30, 50, 70, 85] {
+            assert_eq!(percentile_us(&samples, pct), 5);
+        }
+        assert_eq!(percentile_us(&samples, 100), 9);
+        // Works for floats too (shared helper is generic).
+        let f = [1.0f64, 2.0, 2.0, 3.0];
+        assert_eq!(percentile_nearest_rank(&f, 50), Some(2.0));
+    }
+
+    #[test]
+    fn trace_events_sort_by_time_then_rank_then_seq() {
+        let ev = |at, rank, seq| TraceEvent {
+            at: SimTime(at),
+            rank,
+            seq,
+            kind: TraceKind::Commit { batch: 1 },
+        };
+        let mut events = [ev(5, 1, 0), ev(5, 0, 1), ev(4, 9, 0), ev(5, 0, 0)];
+        events.sort_by_key(TraceEvent::key);
+        let keys: Vec<(u64, u64, u64)> = events
+            .iter()
+            .map(|e| (e.at.as_micros(), e.rank, e.seq))
+            .collect();
+        assert_eq!(keys, vec![(4, 9, 0), (5, 0, 0), (5, 0, 1), (5, 1, 0)]);
+    }
+
+    #[test]
+    fn jsonl_serialization_is_stable_and_integer_only() {
+        let tx = TxId::new(ClientId(3), 7);
+        let events = vec![
+            TraceEvent {
+                at: SimTime(1_000),
+                rank: 2,
+                seq: 0,
+                kind: TraceKind::ClientSubmit { tx },
+            },
+            TraceEvent {
+                at: SimTime(2_000),
+                rank: 0,
+                seq: 5,
+                kind: TraceKind::BatchSeal {
+                    batch: 0xAB,
+                    txs: vec![tx],
+                    cross: true,
+                },
+            },
+        ];
+        let jsonl = trace_to_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"at_us\":1000,\"rank\":2,\"seq\":0,\"kind\":\"client_submit\",\"tx\":\"c3:7\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"at_us\":2000,\"rank\":0,\"seq\":5,\"kind\":\"batch_seal\",\
+             \"batch\":\"00000000000000ab\",\"cross\":true,\"txs\":[\"c3:7\"]}"
+        );
+        // Serialization is a pure function of the events.
+        assert_eq!(jsonl, trace_to_jsonl(&events));
+    }
+
+    #[test]
+    fn registry_counts_gauges_and_observes() {
+        let mut reg = MetricsRegistry::new();
+        let k = MetricKey::named("commits").shard(1);
+        reg.count(k.clone(), 2);
+        reg.count(k.clone(), 3);
+        assert_eq!(reg.counter(&k), 5);
+        assert_eq!(reg.counter(&MetricKey::named("missing")), 0);
+
+        let g = MetricKey::named("queue_depth").replica(4);
+        reg.gauge_max(g.clone(), 10);
+        reg.gauge_max(g.clone(), 7);
+        assert_eq!(reg.gauge(&g), 10);
+
+        let h = MetricKey::named("latency_us").phase("consensus");
+        for v in [30, 10, 20] {
+            reg.observe(h.clone(), v);
+        }
+        let hist = reg.histogram_mut(h.clone());
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.percentile(50), 20);
+        assert_eq!(hist.percentile(100), 30);
+        assert!((hist.mean() - 20.0).abs() < 1e-9);
+    }
+}

@@ -271,15 +271,9 @@ impl Mempool {
 }
 
 /// Nearest-rank percentile over an already sorted sample slice (0 when
-/// empty). `pct` is clamped to `[0, 100]`.
-pub fn percentile_us(sorted: &[u64], pct: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let pct = pct.min(100) as usize;
-    let rank = (pct * sorted.len()).div_ceil(100).max(1);
-    sorted[rank - 1]
-}
+/// empty) — re-exported from the single shared implementation in
+/// `sharper_common::obs` for existing call sites.
+pub use sharper_common::percentile_us;
 
 #[cfg(test)]
 mod tests {

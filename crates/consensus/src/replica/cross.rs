@@ -22,7 +22,7 @@
 
 use super::{AbortRetx, CrossRound, Replica, Reservation};
 use crate::messages::{proposal_sign_bytes, timer_tags, vote_sign_bytes, Msg};
-use sharper_common::{ClusterId, FailureModel, NodeId};
+use sharper_common::{ClusterId, FailureModel, NodeId, TraceKind};
 use sharper_crypto::{hash_parts, Digest, Signature};
 use sharper_ledger::{Batch, Block};
 use sharper_net::{ActorId, Context, TimerId};
@@ -74,6 +74,10 @@ impl Replica {
         self.initiating = Some(d);
 
         let recipients = self.members_of_all_except_self(&involved);
+        ctx.trace(|| TraceKind::XPropose {
+            batch: d.short_u64(),
+            attempt: 0,
+        });
         match self.model() {
             FailureModel::Crash => {
                 ctx.multicast(
@@ -110,6 +114,9 @@ impl Replica {
                     &d,
                 ));
                 self.charge_message(ctx, 0, 1);
+                ctx.trace(|| TraceKind::XAccept {
+                    batch: d.short_u64(),
+                });
                 ctx.multicast(
                     recipients,
                     Msg::XAcceptB {
@@ -203,9 +210,15 @@ impl Replica {
                     timer,
                     renewals: 0,
                 });
+                ctx.trace(|| TraceKind::ReservationAcquire {
+                    batch: d.short_u64(),
+                });
             }
         }
         let my_parent = self.ordering_tail();
+        ctx.trace(|| TraceKind::XAccept {
+            batch: d.short_u64(),
+        });
         ctx.send(
             from,
             Msg::XAccept {
@@ -283,6 +296,9 @@ impl Replica {
         }
         // One allocation backs the fan-out message and the appended block.
         let parents = Arc::new(parents);
+        ctx.trace(|| TraceKind::XCommit {
+            batch: d.short_u64(),
+        });
         ctx.multicast(
             self.members_of_all_except_self(&involved),
             Msg::XCommit {
@@ -312,6 +328,9 @@ impl Replica {
         if !parents.contains_key(&self.cluster) {
             return;
         }
+        ctx.trace(|| TraceKind::XCommit {
+            batch: d.short_u64(),
+        });
         self.release_reservation_if(d, ctx);
         if let Some(round) = self.cross.get_mut(&d) {
             round.committed = true;
@@ -383,6 +402,9 @@ impl Replica {
                     timer,
                     renewals: 0,
                 });
+                ctx.trace(|| TraceKind::ReservationAcquire {
+                    batch: d.short_u64(),
+                });
             }
         }
         let my_parent = self.ordering_tail();
@@ -403,6 +425,9 @@ impl Replica {
         ));
         self.charge_message(ctx, 0, 1);
         let involved = self.cross.get(&d).expect("round exists").involved.clone();
+        ctx.trace(|| TraceKind::XAccept {
+            batch: d.short_u64(),
+        });
         ctx.multicast(
             self.members_of_all_except_self(&involved),
             Msg::XAcceptB {
@@ -601,6 +626,9 @@ impl Replica {
         if self.initiating == Some(d) {
             self.initiating = None;
         }
+        ctx.trace(|| TraceKind::XCommit {
+            batch: d.short_u64(),
+        });
         self.release_reservation_if(d, ctx);
         let block = Block::batch(batch, parents);
         // Every replica replies; the client waits for f+1 matching replies.
@@ -658,6 +686,9 @@ impl Replica {
             if res.d == d {
                 ctx.cancel_timer(res.timer);
                 self.reservation = None;
+                ctx.trace(|| TraceKind::ReservationRelease {
+                    batch: d.short_u64(),
+                });
             }
         }
     }
@@ -695,6 +726,9 @@ impl Replica {
         round.commit_votes.clear();
         round.parents = None;
         self.initiating = None;
+        ctx.trace(|| TraceKind::XAbortSent {
+            batch: own.short_u64(),
+        });
         ctx.multicast(
             self.members_of_all_except_self(&involved),
             Msg::XAbort {
@@ -712,6 +746,9 @@ impl Replica {
         initiator: ClusterId,
         ctx: &mut Context<Msg>,
     ) {
+        ctx.trace(|| TraceKind::XAbortRecv {
+            batch: d.short_u64(),
+        });
         let drop_round = match self.cross.get(&d) {
             Some(round) => !round.committed && round.initiator == initiator,
             None => false,
@@ -759,6 +796,9 @@ impl Replica {
             );
             self.abort_retx.get_mut(&d).expect("entry exists").timer = next;
         }
+        ctx.trace(|| TraceKind::Retransmit {
+            batch: d.short_u64(),
+        });
         ctx.multicast(
             self.members_of_all_except_self(&involved),
             Msg::XAbort {
@@ -819,6 +859,9 @@ impl Replica {
         // retries or the client retransmits). Only the primary speaks for
         // the cluster.
         if self.is_primary() {
+            ctx.trace(|| TraceKind::XAbortSent {
+                batch: d.short_u64(),
+            });
             ctx.send(
                 to,
                 Msg::XAbort {
@@ -880,6 +923,9 @@ impl Replica {
             let involved = round.involved.clone();
             self.cross.remove(&d);
             self.initiating = None;
+            ctx.trace(|| TraceKind::XAbortSent {
+                batch: d.short_u64(),
+            });
             ctx.multicast(
                 self.members_of_all_except_self(&involved),
                 Msg::XAbort {
@@ -927,6 +973,10 @@ impl Replica {
         self.cross.get_mut(&d).expect("round exists").retry_timer = Some(retry);
 
         let recipients = self.members_of_all_except_self(&involved);
+        ctx.trace(|| TraceKind::XPropose {
+            batch: d.short_u64(),
+            attempt: u64::from(attempt),
+        });
         match self.model() {
             FailureModel::Crash => ctx.multicast(
                 recipients,
@@ -958,6 +1008,9 @@ impl Replica {
                     &parent,
                     &d,
                 ));
+                ctx.trace(|| TraceKind::XAccept {
+                    batch: d.short_u64(),
+                });
                 ctx.multicast(
                     recipients,
                     Msg::XAcceptB {

@@ -10,7 +10,7 @@
 
 use super::{IntraRound, Replica};
 use crate::messages::{proposal_sign_bytes, vote_sign_bytes, Ballot, Msg};
-use sharper_common::FailureModel;
+use sharper_common::{FailureModel, TraceKind};
 use sharper_crypto::{Digest, Signature};
 use sharper_ledger::{Batch, Block};
 use sharper_net::{ActorId, Context};
@@ -78,6 +78,10 @@ impl Replica {
         let mut parents = BTreeMap::new();
         parents.insert(self.cluster, parent);
         self.advance_tail(&Block::batch(batch.clone(), parents));
+        ctx.trace(|| TraceKind::Propose {
+            batch: d.short_u64(),
+            view: ballot.view,
+        });
         ctx.multicast(
             self.cluster_peers(),
             Msg::PaxosAccept {
@@ -133,6 +137,10 @@ impl Replica {
             parents.insert(self.cluster, parent);
             let replay = Block::batch(batch, parents);
             if self.ledger.block(replay.digest()).is_some() {
+                ctx.trace(|| TraceKind::Accept {
+                    batch: d.short_u64(),
+                    view: ballot.view,
+                });
                 ctx.send(
                     from,
                     Msg::PaxosAccepted {
@@ -179,6 +187,10 @@ impl Replica {
             parents.insert(self.cluster, parent);
             self.advance_tail(&Block::batch(batch, parents));
         }
+        ctx.trace(|| TraceKind::Accept {
+            batch: d.short_u64(),
+            view: ballot.view,
+        });
         ctx.send(
             from,
             Msg::PaxosAccepted {
@@ -224,6 +236,9 @@ impl Replica {
         let batch = round.batch.clone();
         let parent = round.parent;
         let ballot = round.ballot;
+        ctx.trace(|| TraceKind::Commit {
+            batch: d.short_u64(),
+        });
         ctx.multicast(
             self.cluster_peers(),
             Msg::PaxosCommit {
@@ -267,6 +282,9 @@ impl Replica {
         if let Some(round) = self.intra.get_mut(&d) {
             round.committed = true;
         }
+        ctx.trace(|| TraceKind::Commit {
+            batch: d.short_u64(),
+        });
         let mut parents = BTreeMap::new();
         parents.insert(self.cluster, parent);
         let block = Block::batch(batch, parents);
@@ -278,6 +296,13 @@ impl Replica {
     /// the ballot keeps this replica useful to the new primary's quorum.
     pub(super) fn adopt_view(&mut self, view: u64, ctx: &mut Context<Msg>) {
         if view > self.view {
+            let proposer = self
+                .cfg
+                .system
+                .primary(self.cluster, view)
+                .map(|n| n.0 as u64)
+                .unwrap_or(0);
+            ctx.trace(|| TraceKind::BallotAdopt { view, proposer });
             self.install_view(view, ctx);
         }
     }
@@ -330,6 +355,10 @@ impl Replica {
             self.advance_tail(&Block::batch(batch.clone(), parents));
         }
         self.charge_message(ctx, 0, 1);
+        ctx.trace(|| TraceKind::Propose {
+            batch: d.short_u64(),
+            view: self.view,
+        });
         ctx.multicast(
             self.cluster_peers(),
             Msg::PrePrepare {
@@ -431,6 +460,10 @@ impl Replica {
             round.prepare_sigs.insert(self.node, vote_sig);
         }
         self.charge_message(ctx, 0, 1);
+        ctx.trace(|| TraceKind::Accept {
+            batch: d.short_u64(),
+            view,
+        });
         ctx.multicast(
             self.cluster_peers(),
             Msg::Prepare {
@@ -554,6 +587,9 @@ impl Replica {
         round.committed = true;
         let batch = round.batch.clone();
         let parent = round.parent;
+        ctx.trace(|| TraceKind::Commit {
+            batch: d.short_u64(),
+        });
         let mut parents = BTreeMap::new();
         parents.insert(self.cluster, parent);
         let block = Block::batch(batch, parents);

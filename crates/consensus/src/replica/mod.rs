@@ -27,7 +27,7 @@ use crate::config::ReplicaConfig;
 use crate::mempool::Mempool;
 use crate::messages::{timer_tags, AcceptedRound, Ballot, Msg, PreparedCert};
 use crate::sigcache::SigCache;
-use sharper_common::{ClientId, ClusterId, FailureModel, NodeId, TxId};
+use sharper_common::{ClientId, ClusterId, FailureModel, NodeId, TraceKind, TxId};
 use sharper_crypto::keys::SignerId;
 use sharper_crypto::{hash, Digest, Signature, Signer};
 use sharper_ledger::{Batch, Block, LedgerView};
@@ -539,6 +539,7 @@ impl Replica {
     }
 
     fn reply_to_client(&self, ctx: &mut Context<Msg>, tx: TxId, applied: bool) {
+        ctx.trace(|| TraceKind::Reply { tx, applied });
         ctx.send(
             ActorId::Client(tx.client),
             Msg::Reply {
@@ -591,7 +592,13 @@ impl Replica {
             self.mempool.note_duplicate();
             return;
         }
+        let id = tx.id;
         let depth = self.mempool.admit_intra(tx, sig, ctx.now());
+        ctx.trace(|| TraceKind::MempoolAdmit {
+            tx: id,
+            cross: false,
+            depth: depth as u64,
+        });
         if depth >= self.max_batch() {
             self.flush_intra(ctx);
         } else {
@@ -612,9 +619,15 @@ impl Replica {
             self.mempool.note_duplicate();
             return;
         }
+        let id = tx.id;
         let depth = self
             .mempool
             .admit_cross(tx, sig, involved.clone(), ctx.now());
+        ctx.trace(|| TraceKind::MempoolAdmit {
+            tx: id,
+            cross: true,
+            depth: depth as u64,
+        });
         if depth >= self.max_batch() {
             self.flush_cross_set(&involved, ctx);
         } else {
@@ -640,7 +653,13 @@ impl Replica {
         if txs.is_empty() {
             return;
         }
-        self.start_intra(Batch::new(txs), ctx);
+        let batch = Batch::new(txs);
+        ctx.trace(|| TraceKind::BatchSeal {
+            batch: batch.digest().short_u64(),
+            txs: batch.tx_ids().collect(),
+            cross: false,
+        });
+        self.start_intra(batch, ctx);
     }
 
     /// Starts the cross-shard protocol for one batch of the given cluster
@@ -664,7 +683,13 @@ impl Replica {
         if txs.is_empty() {
             return;
         }
-        self.start_cross(Batch::new(txs), involved.to_vec(), ctx);
+        let batch = Batch::new(txs);
+        ctx.trace(|| TraceKind::BatchSeal {
+            batch: batch.digest().short_u64(),
+            txs: batch.tx_ids().collect(),
+            cross: true,
+        });
+        self.start_cross(batch, involved.to_vec(), ctx);
     }
 
     /// Flushes whatever pending work can start right now: all full or timed
@@ -783,12 +808,28 @@ impl Replica {
         // partitioned scheduler merges outcomes back in batch order, so both
         // paths are bit-identical.
         let outcomes = if self.cfg.exec.is_partitioned() {
-            self.executor
-                .apply_batch_partitioned(&mut self.store, batch.txs(), self.cfg.exec.exec_threads)
-                .outcomes
+            let applied = self.executor.apply_batch_partitioned(
+                &mut self.store,
+                batch.txs(),
+                self.cfg.exec.exec_threads,
+            );
+            ctx.trace(|| TraceKind::ExecPlan {
+                batch: batch.digest().short_u64(),
+                partitions: applied.active_partitions as u64,
+                steps: applied.total_steps as u64,
+                max_queue_depth: applied.max_queue_depth as u64,
+                makespan_units: applied.makespan_units,
+            });
+            applied.outcomes
         } else {
             self.executor.apply_batch(&mut self.store, batch.txs())
         };
+        ctx.trace(|| TraceKind::Execute {
+            block: self.ledger.head().short_u64(),
+            batch: batch.digest().short_u64(),
+            txs: batch.tx_ids().collect(),
+            cross,
+        });
         for (tx, outcome) in batch.txs().iter().zip(outcomes) {
             self.committed_txs.insert(tx.id);
             let applied = matches!(outcome, ExecutionOutcome::Applied);
@@ -1115,6 +1156,9 @@ impl Actor<Msg> for Replica {
                                 let initiator = self.cross.get(&res.d).map(|round| round.initiator);
                                 if let Some(initiator) = initiator {
                                     if initiator != self.cluster {
+                                        ctx.trace(|| TraceKind::XStatusProbe {
+                                            batch: res.d.short_u64(),
+                                        });
                                         let members: Vec<ActorId> = self
                                             .cluster_members(initiator)
                                             .into_iter()
@@ -1133,6 +1177,9 @@ impl Actor<Msg> for Replica {
                             }
                         } else {
                             self.reservation = None;
+                            ctx.trace(|| TraceKind::ReservationRelease {
+                                batch: res.d.short_u64(),
+                            });
                             self.process_buffered(ctx);
                         }
                     }

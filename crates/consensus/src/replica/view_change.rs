@@ -35,7 +35,7 @@ use super::{Replica, VcVote};
 use crate::messages::{
     proposal_sign_bytes, timer_tags, vote_sign_bytes, AcceptedRound, Ballot, Msg, PreparedCert,
 };
-use sharper_common::{ClusterId, FailureModel, NodeId};
+use sharper_common::{ClusterId, FailureModel, NodeId, TraceKind};
 use sharper_crypto::{Digest, QuorumCert, Signature};
 use sharper_net::{Context, TimerId};
 use std::collections::{BTreeMap, HashSet};
@@ -94,6 +94,7 @@ impl Replica {
         let new_view = self.view.max(self.vc_highest_voted) + 1;
         self.vc_highest_voted = new_view;
         self.stats.view_changes_started += 1;
+        ctx.trace(|| TraceKind::ViewChangeStart { view: new_view });
         // Crash model: the vote is a Paxos phase-1b promise for the new
         // primary's ballot; after this the replica rejects lower ballots, so
         // the accepted set it just reported cannot be extended behind the new
@@ -511,6 +512,7 @@ impl Replica {
     }
 
     pub(super) fn install_view(&mut self, new_view: u64, ctx: &mut Context<Msg>) {
+        ctx.trace(|| TraceKind::ViewChangeEnd { view: new_view });
         self.view = new_view;
         self.vc_highest_voted = self.vc_highest_voted.max(new_view);
         // Entering a view promises its primary's ballot, whichever message

@@ -11,7 +11,7 @@
 //! resubmitted (this is what provides liveness across primary failures
 //! together with the view change).
 
-use sharper_common::{ClientId, ClusterId, Duration, NodeId, TxId};
+use sharper_common::{ClientId, ClusterId, Duration, NodeId, TraceKind, TxId};
 use sharper_consensus::replica::client_signer_id;
 use sharper_consensus::{timer_tags, Msg, ReplicaConfig};
 use sharper_crypto::Signature;
@@ -164,6 +164,7 @@ impl ClientActor {
         let sig = self.sign(&tx);
         ctx.charge(self.cfg.cost.client());
         self.stats.record_submission();
+        ctx.trace(|| TraceKind::ClientSubmit { tx: tx.id });
         let retry_timer = ctx.set_timer(self.params.retry_timeout, timer_tags::CLIENT_RETRY);
         self.outstanding.insert(
             tx.id,
@@ -212,6 +213,10 @@ impl Actor<Msg> for ClientActor {
         let outstanding = self.outstanding.remove(&tx).expect("checked above");
         ctx.cancel_timer(outstanding.retry_timer);
         self.completed += 1;
+        ctx.trace(|| TraceKind::ClientComplete {
+            tx,
+            cross: outstanding.cross_shard,
+        });
         self.stats.record_commit(CommitSample {
             tx,
             submitted_at: outstanding.submitted_at,
@@ -247,6 +252,7 @@ impl Actor<Msg> for ClientActor {
                 // No quorum of replies yet: retransmit to the (possibly new)
                 // primary and arm a fresh timer.
                 self.retransmissions += 1;
+                ctx.trace(|| TraceKind::ClientRetry { tx: id });
                 let outstanding = self.outstanding.get_mut(&id).expect("found above");
                 let tx = Arc::clone(&outstanding.tx);
                 let retry_timer =

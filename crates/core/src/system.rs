@@ -11,11 +11,12 @@ use crate::client::{ClientActor, ClientParams};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sharper_common::{
-    AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy,
-    LatencyModel, NodeId, SimConfig, SimTime, SystemConfig, ThreadMode,
+    percentile_us, AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel,
+    InitiationPolicy, LatencyModel, NodeId, SimConfig, SimTime, SystemConfig, ThreadMode,
+    TraceEvent,
 };
 use sharper_consensus::replica::{client_signer_id, node_signer_id, ReplicaStats};
-use sharper_consensus::{percentile_us, Msg, Replica, ReplicaConfig, TimerConfig};
+use sharper_consensus::{Msg, Replica, ReplicaConfig, TimerConfig};
 use sharper_crypto::{hash_parts, Digest, KeyRegistry};
 use sharper_ledger::{audit_replica_views, AuditReport, LedgerView};
 use sharper_net::{FaultPlan, LatencySummary, Simulation, SimulationReport, StatsHandle, Topology};
@@ -108,6 +109,15 @@ impl SystemParams {
         self
     }
 
+    /// Enables or disables the deterministic trace plane (builder style).
+    /// Tracing only observes — it charges no simulated cost and draws no
+    /// randomness — so toggling it never changes results; the golden-seed
+    /// suite enforces it.
+    pub fn with_tracing(mut self, trace: bool) -> Self {
+        self.sim.trace = trace;
+        self
+    }
+
     /// Sets the batching policy and sizes the clients' in-flight window to
     /// match, so batches actually fill (builder style).
     pub fn with_batching(mut self, batch: BatchConfig) -> Self {
@@ -193,6 +203,7 @@ impl SharperSystem {
             }
             Simulation::new(topology, params.latency, params.faults.clone(), params.seed)
                 .with_threads(params.sim.threads)
+                .with_tracing(params.sim.trace)
         };
 
         for node in cfg.system.node_ids() {
@@ -306,6 +317,14 @@ impl SharperSystem {
     /// The statistics handle shared with the clients.
     pub fn stats(&self) -> &StatsHandle {
         &self.stats
+    }
+
+    /// Drains the trace events recorded so far (empty unless the deployment
+    /// was built with [`SystemParams::with_tracing`]), in the canonical
+    /// `(sim_time, actor_rank, actor_seq)` order — identical across all
+    /// threading modes.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.sim.take_trace()
     }
 }
 
@@ -511,6 +530,63 @@ mod tests {
         assert!(sequential.1 > 50, "completed {}", sequential.1);
         assert_eq!(sequential, run(ThreadMode::PerCluster));
         assert_eq!(sequential, run(ThreadMode::Fixed(2)));
+    }
+
+    #[test]
+    fn traces_are_bit_identical_across_thread_modes() {
+        let run = |threads: ThreadMode| {
+            let mut params = SystemParams::new(FailureModel::Crash, 3, 1)
+                .with_threads(threads)
+                .with_tracing(true);
+            params.accounts_per_shard = 1_000;
+            params.warmup = SimTime::from_millis(100);
+            let mut system = SharperSystem::build(params, 6, |client| {
+                workload_with(client, 3, 1_000, 300, 0.3, 2)
+            });
+            system.run(SimTime::from_secs(2));
+            (system.take_trace(), system.ledger_digest())
+        };
+        let (seq_trace, seq_digest) = run(ThreadMode::Sequential);
+        assert!(!seq_trace.is_empty(), "a traced run records events");
+        let (par_trace, par_digest) = run(ThreadMode::PerCluster);
+        let (fix_trace, fix_digest) = run(ThreadMode::Fixed(2));
+        assert_eq!(seq_digest, par_digest);
+        assert_eq!(seq_digest, fix_digest);
+        // The whole event streams — and their serialized bytes — match.
+        assert_eq!(seq_trace, par_trace);
+        assert_eq!(seq_trace, fix_trace);
+        assert_eq!(
+            sharper_common::trace_to_jsonl(&seq_trace),
+            sharper_common::trace_to_jsonl(&par_trace)
+        );
+    }
+
+    #[test]
+    fn tracing_never_changes_results() {
+        let run = |trace: bool| {
+            let mut params = SystemParams::new(FailureModel::Crash, 2, 1).with_tracing(trace);
+            params.accounts_per_shard = 1_000;
+            params.warmup = SimTime::from_millis(100);
+            let mut system = SharperSystem::build(params, 4, |client| {
+                workload_with(client, 2, 1_000, 200, 0.2, 2)
+            });
+            let report = system.run(SimTime::from_secs(2));
+            let trace_len = system.take_trace().len();
+            (
+                system.ledger_digest(),
+                report.simulation,
+                report.client_completed,
+                trace_len,
+            )
+        };
+        let (digest_off, sim_off, completed_off, trace_off) = run(false);
+        let (digest_on, sim_on, completed_on, trace_on) = run(true);
+        assert_eq!(trace_off, 0, "disabled tracing records nothing");
+        assert!(trace_on > 0);
+        // Everything the golden-seed suite pins is identical either way.
+        assert_eq!(digest_off, digest_on);
+        assert_eq!(sim_off, sim_on);
+        assert_eq!(completed_off, completed_on);
     }
 
     #[test]

@@ -27,6 +27,13 @@ impl Digest {
         self.to_hex()[..8].to_string()
     }
 
+    /// The first eight bytes as a little-endian `u64` — the compact identity
+    /// that trace events carry for batches and blocks (`sharper_common::obs`
+    /// cannot depend on this crate).
+    pub fn short_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("digest has 32 bytes"))
+    }
+
     /// Builds a digest from raw bytes.
     pub fn from_bytes(bytes: [u8; 32]) -> Self {
         Digest(bytes)
@@ -79,6 +86,17 @@ mod tests {
         let d = hash(b"abc");
         assert!(format!("{d:?}").contains(&d.short()));
         assert_eq!(format!("{d}"), d.short());
+    }
+
+    #[test]
+    fn short_u64_is_first_eight_bytes_le() {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(
+            Digest::from_bytes(bytes).short_u64(),
+            u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8])
+        );
+        assert_eq!(Digest::ZERO.short_u64(), 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! messages and (re-)arming timers through the [`Context`]. Actors never read
 //! a wall clock or an unseeded RNG, which keeps simulations reproducible.
 
-use sharper_common::{ClientId, Duration, NodeId, SimTime};
+use sharper_common::{ClientId, Duration, NodeId, SimTime, TraceKind};
 use std::fmt;
 
 /// Identity of an actor in the simulated network.
@@ -87,6 +87,8 @@ pub struct Context<M> {
     pub(crate) new_timers: Vec<(TimerId, Duration, u64)>,
     pub(crate) cancelled_timers: Vec<TimerId>,
     pub(crate) next_timer: u64,
+    trace_on: bool,
+    trace_buf: Vec<TraceKind>,
 }
 
 impl<M> Context<M> {
@@ -100,7 +102,13 @@ impl<M> Context<M> {
             new_timers: Vec::new(),
             cancelled_timers: Vec::new(),
             next_timer,
+            trace_on: false,
+            trace_buf: Vec::new(),
         }
+    }
+
+    pub(crate) fn enable_tracing(&mut self) {
+        self.trace_on = true;
     }
 
     /// Creates a context that is not attached to a running simulation.
@@ -108,9 +116,12 @@ impl<M> Context<M> {
     /// Protocol crates use detached contexts to unit-test actor state
     /// machines one message at a time: call the handler, then inspect what it
     /// sent with [`Context::take_outbox`] and which timers it armed with
-    /// [`Context::take_timers`].
+    /// [`Context::take_timers`]. Detached contexts record trace events so
+    /// tests can assert on them via [`Context::take_trace`].
     pub fn detached(now: SimTime, self_id: ActorId) -> Self {
-        Self::new(now, self_id, 0xD57A_C11E_D000_0001, 0)
+        let mut ctx = Self::new(now, self_id, 0xD57A_C11E_D000_0001, 0);
+        ctx.enable_tracing();
+        ctx
     }
 
     /// Drains and returns the messages sent so far in this context, flattened
@@ -240,6 +251,33 @@ impl<M> Context<M> {
             self.rand_u64() % bound
         }
     }
+
+    /// Records a trace event if tracing is enabled for this run.
+    ///
+    /// The closure constructs the event payload and only runs when tracing is
+    /// on, so disabled runs pay one branch and build nothing — not even the
+    /// `Vec<TxId>` some kinds carry. Tracing observes only: it charges no
+    /// cost, sends nothing and draws no randomness, so it can never change
+    /// simulation results.
+    #[inline]
+    pub fn trace(&mut self, f: impl FnOnce() -> TraceKind) {
+        if self.trace_on {
+            let kind = f();
+            self.trace_buf.push(kind);
+        }
+    }
+
+    /// Whether trace recording is enabled for this context.
+    pub fn tracing(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Drains the trace events recorded so far, in recording order. The
+    /// simulator stamps them with `(sim_time, actor_rank, actor_seq)`; tests
+    /// with detached contexts inspect them directly.
+    pub fn take_trace(&mut self) -> Vec<TraceKind> {
+        std::mem::take(&mut self.trace_buf)
+    }
 }
 
 /// A participant in the simulation.
@@ -300,6 +338,35 @@ mod tests {
         ctx.charge(Duration::from_micros(10));
         ctx.charge(Duration::from_micros(5));
         assert_eq!(ctx.charged(), Duration::from_micros(15));
+    }
+
+    #[test]
+    fn trace_is_zero_cost_when_disabled_and_records_when_enabled() {
+        // Attached contexts start with tracing off: the closure must not run.
+        let mut off: Context<()> = Context::new(SimTime::ZERO, ActorId::Node(NodeId(0)), 1, 0);
+        let mut ran = false;
+        off.trace(|| {
+            ran = true;
+            TraceKind::Commit { batch: 1 }
+        });
+        assert!(!ran);
+        assert!(!off.tracing());
+        assert!(off.take_trace().is_empty());
+
+        // Detached (test) contexts record, in order.
+        let mut on: Context<()> = Context::detached(SimTime::ZERO, ActorId::Node(NodeId(0)));
+        assert!(on.tracing());
+        on.trace(|| TraceKind::Commit { batch: 7 });
+        on.trace(|| TraceKind::ViewChangeStart { view: 2 });
+        assert_eq!(
+            on.take_trace(),
+            vec![
+                TraceKind::Commit { batch: 7 },
+                TraceKind::ViewChangeStart { view: 2 }
+            ]
+        );
+        assert!(on.take_trace().is_empty());
+        assert_eq!(on.charged(), Duration::ZERO, "tracing never charges cost");
     }
 
     #[test]

@@ -42,7 +42,9 @@ use crate::topology::Topology;
 use crate::wheel::{EventKey, EventWheel};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sharper_common::{ClusterId, Duration, LatencyModel, LinkKind, SimTime, ThreadMode};
+use sharper_common::{
+    ClusterId, Duration, LatencyModel, LinkKind, SimTime, ThreadMode, TraceEvent,
+};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
@@ -125,14 +127,23 @@ pub struct SimulationReport {
 
 impl SimulationReport {
     /// Adds another report's event counters into this one (used to merge
-    /// per-lane counters; `finished_at` is set by the engine, not summed,
-    /// and the mempool fields are filled in by the system layer afterwards).
+    /// per-lane counters; `finished_at` is set by the engine, not summed).
+    ///
+    /// Mempool fields merge by their own semantics: admission/eviction
+    /// counters sum, peak depth is a maximum (summing depths across lanes
+    /// would fabricate a queue that never existed), and the wait percentiles
+    /// are deliberately **not** merged — order statistics cannot be combined
+    /// lane-wise; the system layer recomputes them from the pooled wait
+    /// samples after the run.
     fn absorb(&mut self, other: &SimulationReport) {
         self.delivered += other.delivered;
         self.dropped += other.dropped;
         self.duplicated += other.duplicated;
         self.timers_fired += other.timers_fired;
         self.deferred += other.deferred;
+        self.mempool_admitted += other.mempool_admitted;
+        self.mempool_evicted += other.mempool_evicted;
+        self.mempool_peak_depth = self.mempool_peak_depth.max(other.mempool_peak_depth);
     }
 }
 
@@ -161,6 +172,9 @@ struct SharedCfg {
     faults: FaultPlan,
     /// Which lane owns each registered actor (unknown actors route to 0).
     assignment: HashMap<ActorId, usize>,
+    /// Whether handlers record trace events (observation only: toggling this
+    /// never changes simulation results).
+    tracing: bool,
 }
 
 impl SharedCfg {
@@ -180,6 +194,10 @@ struct ActorSlot<M, A> {
     rng: ChaCha8Rng,
     /// Sequence counter keying the events this actor emits.
     emit_seq: u64,
+    /// Sequence counter stamping the trace events this actor records. Kept
+    /// separate from `emit_seq` so enabling tracing never consumes message
+    /// keys — which would reorder events and change results.
+    trace_seq: u64,
     /// Timer-id counter (timer ids are unique per actor).
     next_timer: u64,
     busy_until: SimTime,
@@ -195,6 +213,7 @@ impl<M, A> ActorSlot<M, A> {
             rank,
             rng: ChaCha8Rng::seed_from_u64(mix_seed(seed, rank)),
             emit_seq: 0,
+            trace_seq: 0,
             next_timer: 0,
             busy_until: SimTime::ZERO,
             wake_at: None,
@@ -228,6 +247,10 @@ struct LaneIo<M> {
     /// Events produced for other lanes, flushed by the driver.
     outbound: Vec<(usize, Routed<M>)>,
     counters: SimulationReport,
+    /// Trace events recorded by this lane's actors, in lane-local order.
+    /// Lane-private like everything else here; the driver merges and sorts
+    /// by `(at, rank, seq)` after the run.
+    trace: Vec<TraceEvent>,
 }
 
 impl<M: Clone> LaneIo<M> {
@@ -339,6 +362,7 @@ impl<M: Clone, A: Actor<M>> Lane<M, A> {
                 link_clock: HashMap::new(),
                 outbound: Vec::new(),
                 counters: SimulationReport::default(),
+                trace: Vec::new(),
             },
             now: SimTime::ZERO,
         }
@@ -455,6 +479,9 @@ impl<M: Clone, A: Actor<M>> Lane<M, A> {
             return;
         };
         let mut ctx = Context::new(now, target, slot.rng.gen(), slot.next_timer);
+        if shared.tracing {
+            ctx.enable_tracing();
+        }
         match invocation {
             Invocation::Start => slot.actor.on_start(&mut ctx),
             Invocation::Message { from, msg } => slot.actor.on_message(from, msg, &mut ctx),
@@ -463,6 +490,23 @@ impl<M: Clone, A: Actor<M>> Lane<M, A> {
         slot.next_timer = ctx.next_timer;
         let finish = now + ctx.charged();
         slot.busy_until = finish;
+
+        // Stamp the recorded trace events with the handler's sim time, the
+        // actor's rank and its private trace sequence — the `(at, rank, seq)`
+        // triple that totally orders merged traces regardless of which lane
+        // or worker ran the handler.
+        if shared.tracing {
+            for kind in ctx.take_trace() {
+                let seq = slot.trace_seq;
+                slot.trace_seq += 1;
+                self.io.trace.push(TraceEvent {
+                    at: now,
+                    rank: slot.rank,
+                    seq,
+                    kind,
+                });
+            }
+        }
 
         for id in ctx.cancelled_timers.drain(..) {
             slot.cancelled.insert(id);
@@ -529,6 +573,7 @@ pub struct Simulation<M, A: Actor<M>> {
     faults: Option<FaultPlan>,
     seed: u64,
     threads: ThreadMode,
+    tracing: bool,
     /// Actors registered before `start()`.
     pending: BTreeMap<ActorId, A>,
     lanes: Vec<Lane<M, A>>,
@@ -552,6 +597,7 @@ impl<M: Clone + Send, A: Actor<M> + Send> Simulation<M, A> {
             faults: Some(faults),
             seed,
             threads: ThreadMode::Sequential,
+            tracing: false,
             pending: BTreeMap::new(),
             lanes: Vec::new(),
             shared: None,
@@ -581,6 +627,38 @@ impl<M: Clone + Send, A: Actor<M> + Send> Simulation<M, A> {
     /// The configured execution strategy.
     pub fn threads(&self) -> ThreadMode {
         self.threads
+    }
+
+    /// Enables trace recording (builder style). Must be set before the run
+    /// starts. Tracing only observes — it cannot change results.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.set_tracing(tracing);
+        self
+    }
+
+    /// Enables or disables trace recording. Must be set before the run
+    /// starts.
+    pub fn set_tracing(&mut self, tracing: bool) {
+        assert!(!self.started, "tracing must be set before the run starts");
+        self.tracing = tracing;
+    }
+
+    /// Whether trace recording is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Drains the trace recorded so far, merged across lanes and sorted into
+    /// the canonical `(at, rank, seq)` order — the same byte stream in every
+    /// [`ThreadMode`]. Empty when tracing is disabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = self
+            .lanes
+            .iter_mut()
+            .flat_map(|lane| lane.io.trace.drain(..))
+            .collect();
+        events.sort_by_key(TraceEvent::key);
+        events
     }
 
     /// Registers an actor. Panics if an actor with the same id already exists.
@@ -746,6 +824,7 @@ impl<M: Clone + Send, A: Actor<M> + Send> Simulation<M, A> {
             latency: self.latency,
             faults,
             assignment,
+            tracing: self.tracing,
         });
         self.lanes = (0..lane_count).map(Lane::new).collect();
         let pending = std::mem::take(&mut self.pending);
@@ -1015,6 +1094,7 @@ mod tests {
         fn on_message(&mut self, from: ActorId, msg: u64, ctx: &mut Context<u64>) {
             assert_eq!(from, self.peer);
             self.received += 1;
+            ctx.trace(|| sharper_common::TraceKind::Commit { batch: msg });
             ctx.charge(self.per_message_cost);
             if (msg as usize) < self.max_rounds {
                 ctx.send(self.peer, msg + 1);
@@ -1448,6 +1528,92 @@ mod tests {
                 let b = par.actor(NodeId(i)).unwrap();
                 assert_eq!(a.received, b.received, "actor n{i} diverged");
             }
+        }
+    }
+
+    #[test]
+    fn absorb_pins_mempool_merge_semantics() {
+        // Counters sum, peak depth merges via max, and the wait percentiles
+        // are left alone: order statistics must be recomputed from pooled
+        // samples, never combined lane-wise.
+        let mut a = SimulationReport {
+            delivered: 3,
+            mempool_admitted: 10,
+            mempool_evicted: 1,
+            mempool_peak_depth: 7,
+            mempool_wait_p50_us: 100,
+            mempool_wait_p95_us: 200,
+            mempool_wait_p99_us: 300,
+            ..SimulationReport::default()
+        };
+        let b = SimulationReport {
+            delivered: 2,
+            mempool_admitted: 5,
+            mempool_evicted: 2,
+            mempool_peak_depth: 4,
+            mempool_wait_p50_us: 900,
+            mempool_wait_p95_us: 900,
+            mempool_wait_p99_us: 900,
+            ..SimulationReport::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.delivered, 5);
+        assert_eq!(a.mempool_admitted, 15);
+        assert_eq!(a.mempool_evicted, 3);
+        assert_eq!(a.mempool_peak_depth, 7, "peak depth merges via max");
+        assert_eq!(a.mempool_wait_p50_us, 100, "percentiles must not be summed");
+        assert_eq!(a.mempool_wait_p95_us, 200);
+        assert_eq!(a.mempool_wait_p99_us, 300);
+
+        // The deeper lane wins the peak regardless of absorb order.
+        let mut c = SimulationReport::default();
+        c.absorb(&b);
+        assert_eq!(c.mempool_peak_depth, 4);
+    }
+
+    #[test]
+    fn traces_are_bit_identical_across_thread_modes() {
+        let end = SimTime::from_secs(2);
+        let faults = FaultPlan::none()
+            .with_drop_probability(0.1)
+            .with_extra_delay(Duration::from_millis(1));
+        let run = |threads: ThreadMode| {
+            let mut s = cross_cluster_sim(threads, faults.clone()).with_tracing(true);
+            s.run_until(end);
+            s.take_trace()
+        };
+        let seq = run(ThreadMode::Sequential);
+        assert!(!seq.is_empty(), "traced handlers must record events");
+        let par = run(ThreadMode::PerCluster);
+        let fixed = run(ThreadMode::Fixed(2));
+        assert_eq!(seq, par, "per-cluster trace diverged from sequential");
+        assert_eq!(seq, fixed, "fixed-2 trace diverged from sequential");
+        // The serialized byte streams are identical too — this is the exact
+        // property the CI determinism gate asserts on the full system.
+        let jsonl = sharper_common::trace_to_jsonl(&seq);
+        assert_eq!(jsonl, sharper_common::trace_to_jsonl(&par));
+        // Ordering is canonical.
+        let mut sorted = seq.clone();
+        sorted.sort_by_key(TraceEvent::key);
+        assert_eq!(seq, sorted);
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing_and_changes_nothing() {
+        let end = SimTime::from_secs(2);
+        let mut traced =
+            cross_cluster_sim(ThreadMode::Sequential, FaultPlan::none()).with_tracing(true);
+        let mut untraced = cross_cluster_sim(ThreadMode::Sequential, FaultPlan::none());
+        let r_on = traced.run_until(end);
+        let r_off = untraced.run_until(end);
+        assert_eq!(r_on, r_off, "tracing must not change simulation results");
+        assert!(untraced.take_trace().is_empty());
+        assert!(!traced.take_trace().is_empty());
+        for i in 0..6u32 {
+            assert_eq!(
+                traced.actor(NodeId(i)).unwrap().received,
+                untraced.actor(NodeId(i)).unwrap().received,
+            );
         }
     }
 

@@ -136,17 +136,17 @@ impl StatsCollector {
         };
         let elapsed_s = elapsed.as_secs_f64().max(1e-9);
         let mean = latencies.iter().sum::<f64>() / committed as f64;
-        let pct = |p: f64| -> f64 {
-            let idx = ((committed as f64 - 1.0) * p).round() as usize;
-            latencies[idx.min(committed - 1)]
+        // The workspace-wide nearest-rank percentile (sharper_common::obs).
+        let pct = |p: u64| -> f64 {
+            sharper_common::percentile_nearest_rank(&latencies, p).expect("non-empty")
         };
         LatencySummary {
             committed,
             throughput_tps: committed as f64 / elapsed_s,
             mean_latency_ms: mean,
-            p50_latency_ms: pct(0.50),
-            p95_latency_ms: pct(0.95),
-            p99_latency_ms: pct(0.99),
+            p50_latency_ms: pct(50),
+            p95_latency_ms: pct(95),
+            p99_latency_ms: pct(99),
         }
     }
 }

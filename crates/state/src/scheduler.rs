@@ -299,6 +299,12 @@ impl ExecPlan {
     pub fn active_partitions(&self) -> usize {
         self.queues.iter().filter(|q| !q.is_empty()).count()
     }
+
+    /// Length of the deepest partition queue — the peak per-partition queue
+    /// depth reported by the executor trace events.
+    pub fn max_queue_depth(&self) -> usize {
+        self.queues.iter().map(Vec::len).max().unwrap_or(0)
+    }
 }
 
 /// The result of a partitioned batch apply: per-transaction outcomes in
@@ -314,6 +320,12 @@ pub struct PartitionedApply {
     pub serial_units: u64,
     /// Number of conflicting transaction pairs within the batch.
     pub conflict_pairs: usize,
+    /// Steps queued across all partitions by the executed plan.
+    pub total_steps: usize,
+    /// Peak per-partition queue depth of the executed plan.
+    pub max_queue_depth: usize,
+    /// Partitions with at least one queued step.
+    pub active_partitions: usize,
 }
 
 /// Executes a committed batch through the partitioned scheduler.
@@ -335,6 +347,9 @@ pub(crate) fn execute(
         makespan_units: plan.makespan_units,
         serial_units: plan.serial_units,
         conflict_pairs: plan.conflict_pairs,
+        total_steps: plan.total_steps,
+        max_queue_depth: plan.max_queue_depth(),
+        active_partitions: plan.active_partitions(),
     }
 }
 
