@@ -192,7 +192,7 @@ impl BaselineSystem {
     {
         let model = params.kind.failure_model();
         let cost = params.cost;
-        let stats = StatsHandle::new();
+        let stats = StatsHandle::with_warmup(params.warmup);
         // The workload is always generated against `clusters` shards so that
         // the same transaction mix is offered to every system; the partitioner
         // used by the replicas depends on whether the baseline shards data.
@@ -370,6 +370,7 @@ impl BaselineSystem {
 
     /// Runs the deployment and summarises the steady state.
     pub fn run(&mut self, duration: SimTime) -> BaselineReport {
+        self.stats.begin_measurement(duration);
         self.sim.run_until(duration);
         let window = duration.saturating_since(self.params.warmup);
         let summary = self.stats.summarize(self.params.warmup, window);

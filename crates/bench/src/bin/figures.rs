@@ -20,9 +20,10 @@
 //! commit.
 
 use sharper_bench::{
-    batching_to_json, cli_flag_value, cli_thread_mode, exec_to_json, figure_batching,
-    figure_cross_shard_sweep, figure_exec, figure_parallel, figure_scalability, figure_to_json,
-    parallel_to_json, BatchSeries, ExecSweep, ParallelSweep, Series,
+    batching_to_json, cli_flag_value, cli_thread_mode, exec_to_json, fig8xl_to_json,
+    figure_batching, figure_cross_shard_sweep, figure_exec, figure_fig8xl, figure_parallel,
+    figure_scalability, figure_to_json, parallel_to_json, BatchSeries, ExecSweep, Fig8xlSweep,
+    ParallelSweep, Series,
 };
 use sharper_common::{FailureModel, SimTime, ThreadMode};
 use std::path::Path;
@@ -81,7 +82,8 @@ fn main() {
     };
 
     let known = [
-        "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b", "batching", "parallel", "exec",
+        "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b", "fig8xl", "batching",
+        "parallel", "exec",
     ];
     if let Some(f) = only.as_deref() {
         if !known.iter().any(|k| k.eq_ignore_ascii_case(f)) {
@@ -139,6 +141,49 @@ fn main() {
             &series,
         );
     }
+    if wants("fig8xl") {
+        // The bounded-memory scaling sweep is much heavier than the paper
+        // figures (384 replicas, ≥100k clients at the top point), so it only
+        // runs when requested explicitly — never as part of "all figures".
+        if only
+            .as_deref()
+            .is_some_and(|f| f.eq_ignore_ascii_case("fig8xl"))
+        {
+            let duration = if quick {
+                SimTime::from_millis(700)
+            } else {
+                SimTime::from_secs(2)
+            };
+            let sweep = figure_fig8xl(&[32, 64, 128], 800, threads, duration);
+            print_fig8xl(&sweep);
+            write_json(&out_dir, "fig8xl", &fig8xl_to_json(&sweep));
+            for p in &sweep.points {
+                if p.retained_blocks >= p.logical_blocks {
+                    eprintln!(
+                        "fig8xl: truncation never pruned at {} clusters \
+                         ({} retained of {} logical blocks)",
+                        p.clusters, p.retained_blocks, p.logical_blocks
+                    );
+                    std::process::exit(1);
+                }
+            }
+            if let Some(ceiling) =
+                cli_flag_value(&args, "--assert-peak-rss-mb").and_then(|v| v.parse::<f64>().ok())
+            {
+                let peak = sweep
+                    .points
+                    .iter()
+                    .fold(0.0f64, |m, p| m.max(p.peak_rss_mb));
+                if peak > ceiling {
+                    eprintln!(
+                        "fig8xl: peak RSS {peak:.0} MiB exceeds the {ceiling:.0} MiB ceiling"
+                    );
+                    std::process::exit(1);
+                }
+                println!("fig8xl: peak RSS {peak:.0} MiB within the {ceiling:.0} MiB ceiling");
+            }
+        }
+    }
     if wants("batching") {
         let (batch_sizes, clients): (Vec<usize>, usize) = if quick {
             (vec![1, 4, 16], 32)
@@ -177,6 +222,43 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+fn print_fig8xl(sweep: &Fig8xlSweep) {
+    println!(
+        "\n=== Figure 8xl: bounded-memory scaling sweep ({} workers, {} host cpus) ===",
+        sweep.threads, sweep.host_cpus
+    );
+    println!(
+        "{:>8} {:>9} {:>8} {:>16} {:>12} {:>10} {:>10} {:>9} {:>10}",
+        "clusters",
+        "replicas",
+        "clients",
+        "throughput(tps)",
+        "latency(ms)",
+        "retained",
+        "logical",
+        "rss(MiB)",
+        "wall(ms)"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>8} {:>9} {:>8} {:>16.0} {:>12.1} {:>10} {:>10} {:>9.0} {:>10.0}",
+            p.clusters,
+            p.replicas,
+            p.clients,
+            p.throughput_tps,
+            p.latency_ms,
+            p.retained_blocks,
+            p.logical_blocks,
+            p.peak_rss_mb,
+            p.wall_ms
+        );
+    }
+    println!(
+        "fig8xl: max simulated throughput {:.0} tps",
+        sweep.max_throughput_tps
+    );
 }
 
 fn print_exec(sweep: &ExecSweep) {

@@ -18,9 +18,17 @@
 //! scheduler is conflict-ordered and the pipeline charges the same execution
 //! cost in every mode, so CI diffs `--exec N` output against the serial
 //! run too.
+//!
+//! `--retain <interval>,<blocks>` runs every replica's ledger with
+//! checkpointing + truncation (checkpoint every `interval` blocks, retain a
+//! `blocks`-deep tail). The rolling checkpoint digest keeps the ledger
+//! digest bit-identical to the retain-all default, so CI diffs `--retain`
+//! output against the untruncated run too.
 
 use sharper_bench::{cli_flag_value, cli_thread_mode};
-use sharper_common::{BatchConfig, ExecutorConfig, FailureModel, SimTime, ThreadMode};
+use sharper_common::{
+    BatchConfig, ExecutorConfig, FailureModel, LedgerConfig, SimTime, ThreadMode,
+};
 use sharper_core::{SharperSystem, SystemParams};
 use sharper_net::FaultPlan;
 use sharper_workload::{WorkloadConfig, WorkloadGenerator};
@@ -85,13 +93,19 @@ const CONFIGS: &[GoldenConfig] = &[
 
 const ACCOUNTS: u64 = 1_000;
 
-fn run_config(cfg: &GoldenConfig, threads: ThreadMode, exec: ExecutorConfig) -> String {
+fn run_config(
+    cfg: &GoldenConfig,
+    threads: ThreadMode,
+    exec: ExecutorConfig,
+    ledger: LedgerConfig,
+) -> String {
     let mut params = SystemParams::new(cfg.model, cfg.clusters, 1)
         .with_faults(FaultPlan::none().with_drop_probability(cfg.drop_probability))
         .with_seed(cfg.seed)
         .with_batching(BatchConfig::with_size(cfg.max_batch))
         .with_threads(threads)
-        .with_executor(exec);
+        .with_executor(exec)
+        .with_ledger(ledger);
     params.accounts_per_shard = ACCOUNTS;
     params.warmup = SimTime::from_millis(100);
     let clusters = cfg.clusters as u32;
@@ -126,10 +140,23 @@ fn main() {
             }
         },
     };
+    let ledger = match cli_flag_value(&args, "--retain") {
+        None => LedgerConfig::retain_all(),
+        Some(spec) => {
+            let parts: Vec<usize> = spec.split(',').filter_map(|p| p.parse().ok()).collect();
+            match parts.as_slice() {
+                [interval, blocks] => LedgerConfig::checkpointed(*interval, *blocks),
+                _ => {
+                    eprintln!("invalid --retain value {spec:?}: expected <interval>,<blocks>");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
 
     let mut lines = Vec::with_capacity(CONFIGS.len());
     for cfg in CONFIGS {
-        let line = run_config(cfg, threads, exec);
+        let line = run_config(cfg, threads, exec, ledger);
         println!("[{threads}] {line}");
         lines.push(line);
     }

@@ -10,6 +10,9 @@
 //!       --baseline bench/baselines/BENCH_baseline.json --fresh bench-out \
 //!       --tolerance 0.2
 //!
+//!   # gate only a subset of figures (e.g. the fig8xl job checks only its own)
+//!   cargo run -p sharper-bench --bin perfgate -- check --figs fig8xl ...
+//!
 //! The gate reads the `BENCH_<figure>.json` files the `figures` binary wrote
 //! into the fresh directory, reduces each gated figure to one headline
 //! metric (the maximum `throughput_tps` across its points — simulated
@@ -28,7 +31,7 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 
 /// The figures the gate tracks, in the order they are reported.
-const GATED_FIGURES: &[&str] = &["fig6a", "batching", "parallel", "exec"];
+const GATED_FIGURES: &[&str] = &["fig6a", "batching", "parallel", "exec", "fig8xl"];
 
 /// Extracts every `"throughput_tps":<number>` value from a BENCH json
 /// document. The format is produced by this workspace (see
@@ -74,6 +77,46 @@ fn baseline_metric(baseline: &str, figure: &str) -> Option<f64> {
     rest[..end].parse::<f64>().ok()
 }
 
+/// Appends a markdown per-figure ratio table to `$GITHUB_STEP_SUMMARY` when
+/// running under GitHub Actions (no-op elsewhere).
+fn write_step_summary(rows: &[(String, f64, f64, f64, bool)], tolerance: f64, failed: bool) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut body = String::from("### Perf gate: fresh vs committed baseline\n\n");
+    body.push_str("| figure | baseline (tps) | fresh (tps) | ratio | verdict |\n");
+    body.push_str("|---|---:|---:|---:|---|\n");
+    for (figure, base, fresh, ratio, ok) in rows {
+        body.push_str(&format!(
+            "| {figure} | {base:.1} | {fresh:.1} | {ratio:.3} | {} |\n",
+            if *ok { "ok" } else { "**REGRESSED**" }
+        ));
+    }
+    body.push_str(&format!(
+        "\n{} (tolerance {:.0}%)\n",
+        if failed {
+            "**Perf gate failed.**"
+        } else {
+            "Perf gate passed."
+        },
+        tolerance * 100.0
+    ));
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| {
+            use std::io::Write as _;
+            f.write_all(body.as_bytes())
+        })
+    {
+        eprintln!("failed to append step summary {path}: {e}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mode = args.get(1).map(String::as_str);
@@ -86,11 +129,49 @@ fn main() {
     let tolerance: f64 = cli_flag_value(&args, "--tolerance")
         .map(|t| t.parse().expect("tolerance must be a number"))
         .unwrap_or(0.2);
+    // `--figs a,b` restricts the gate to a subset of the tracked figures so
+    // CI jobs can each gate only the figures they regenerate.
+    let selected: Vec<&str> = match cli_flag_value(&args, "--figs") {
+        None => GATED_FIGURES.to_vec(),
+        Some(list) => {
+            let wanted: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            for w in &wanted {
+                if !GATED_FIGURES.contains(&w.as_str()) {
+                    eprintln!(
+                        "unknown gated figure {w:?}; tracked figures: {}",
+                        GATED_FIGURES.join(", ")
+                    );
+                    exit(2);
+                }
+            }
+            GATED_FIGURES
+                .iter()
+                .copied()
+                .filter(|f| wanted.iter().any(|w| w == f))
+                .collect()
+        }
+    };
 
     match mode {
         Some("write") => {
+            // Figures outside the selection keep their committed entry, so a
+            // job regenerating only some figures cannot clobber the rest.
+            let existing = std::fs::read_to_string(&baseline_path).unwrap_or_default();
             let mut entries = Vec::new();
             for figure in GATED_FIGURES {
+                if !selected.contains(figure) {
+                    if let Some(metric) = baseline_metric(&existing, figure) {
+                        println!("{figure:<10} max_throughput_tps {metric:>12.3} (kept)");
+                        entries.push(format!(
+                            "{{\"figure\":\"{figure}\",\"max_throughput_tps\":{metric:.3}}}"
+                        ));
+                    }
+                    continue;
+                }
                 let Some(metric) = headline(&fresh_dir, figure) else {
                     eprintln!("missing fresh results for {figure}; run the figures binary first");
                     exit(1);
@@ -119,11 +200,12 @@ fn main() {
                 }
             };
             let mut failed = false;
+            let mut rows: Vec<(String, f64, f64, f64, bool)> = Vec::new();
             println!(
                 "{:<10} {:>14} {:>14} {:>9} {:>8}",
                 "figure", "baseline(tps)", "fresh(tps)", "ratio", "verdict"
             );
-            for figure in GATED_FIGURES {
+            for figure in &selected {
                 let Some(base) = baseline_metric(&baseline, figure) else {
                     eprintln!(
                         "baseline has no entry for {figure}; regenerate it with `perfgate write`"
@@ -150,6 +232,7 @@ fn main() {
                     ratio,
                     if ok { "ok" } else { "REGRESSED" }
                 );
+                rows.push((figure.to_string(), base, fresh, ratio, ok));
                 if !ok {
                     failed = true;
                 }
@@ -160,6 +243,7 @@ fn main() {
                     );
                 }
             }
+            write_step_summary(&rows, tolerance, failed);
             if failed {
                 eprintln!(
                     "performance regression beyond {:.0}% tolerance",

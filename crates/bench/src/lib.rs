@@ -21,7 +21,7 @@ use serde::Serialize;
 use sharper_baselines::{BaselineKind, BaselineParams, BaselineSystem};
 use sharper_common::{
     AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy,
-    SimTime, ThreadMode,
+    LedgerConfig, SimTime, ThreadMode,
 };
 use sharper_core::{SharperSystem, SystemParams};
 use sharper_state::{Executor, Partitioner, Transaction, TX_UNITS};
@@ -582,6 +582,173 @@ pub fn figure_parallel(
         host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
         points,
     }
+}
+
+/// The peak resident-set size (high-water mark) of this process in MiB, read
+/// from `/proc/self/status` (`VmHWM`). Returns 0 on platforms without procfs.
+/// The kernel counter is process-wide and monotone, so successive curve
+/// points report the running maximum — exactly what a memory ceiling gates.
+pub fn peak_rss_mb() -> f64 {
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                if let Some(kb) = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                {
+                    return kb / 1024.0;
+                }
+            }
+        }
+    }
+    0.0
+}
+
+/// One point of the fig8xl bounded-memory scaling sweep: a fig8-style
+/// deployment pushed to 32–128 clusters and ≥100k closed-loop clients, run
+/// with ledger truncation on so retained state — and the harness's peak RSS —
+/// stays bounded while the logical chain keeps growing.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8xlPoint {
+    /// Number of clusters (= shards).
+    pub clusters: usize,
+    /// Total replicas across all clusters (crash model, f = 1 ⇒ 3 each).
+    pub replicas: usize,
+    /// Closed-loop clients driving the deployment.
+    pub clients: usize,
+    /// Transactions committed in the measurement window.
+    pub committed: usize,
+    /// Steady-state simulated throughput.
+    pub throughput_tps: f64,
+    /// Mean end-to-end latency in milliseconds.
+    pub latency_ms: f64,
+    /// Blocks retained across all replica ledger views after the run.
+    pub retained_blocks: usize,
+    /// Logical chain length across all replica ledger views (what retain-all
+    /// would have kept in memory).
+    pub logical_blocks: usize,
+    /// The checkpoint interval the run truncated with.
+    pub checkpoint_interval: usize,
+    /// The per-view retained-block floor the run truncated with.
+    pub retain_blocks: usize,
+    /// Process peak RSS in MiB after this point (running maximum).
+    pub peak_rss_mb: f64,
+    /// Wall-clock milliseconds the point took.
+    pub wall_ms: f64,
+}
+
+/// The fig8xl sweep: every point plus the host environment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8xlSweep {
+    /// The simulator thread mode the sweep ran under.
+    pub threads: String,
+    /// Worker threads available to the harness process.
+    pub host_cpus: usize,
+    /// Maximum simulated throughput over all points (the perfgate headline).
+    pub max_throughput_tps: f64,
+    /// One point per cluster count.
+    pub points: Vec<Fig8xlPoint>,
+}
+
+/// The truncation policy of the fig8xl sweep: checkpoint every 32 blocks,
+/// retain a 64-block tail per view — far above the cross-shard probe horizon,
+/// far below the full chain.
+pub const FIG8XL_LEDGER: LedgerConfig = LedgerConfig {
+    checkpoint_interval: 32,
+    retain_blocks: 64,
+};
+
+/// Runs the fig8xl bounded-memory scaling sweep: crash model, 10%
+/// cross-shard, 16-transaction batches, `clients_per_cluster` closed-loop
+/// clients per cluster, ledger truncation per [`FIG8XL_LEDGER`]. Reports
+/// peak RSS and retained-vs-logical block counts per curve point so CI can
+/// gate both the throughput and the memory ceiling.
+pub fn figure_fig8xl(
+    cluster_counts: &[usize],
+    clients_per_cluster: usize,
+    threads: ThreadMode,
+    duration: SimTime,
+) -> Fig8xlSweep {
+    let points: Vec<Fig8xlPoint> = cluster_counts
+        .iter()
+        .map(|&clusters| {
+            let clients = clients_per_cluster * clusters;
+            let mut params = SystemParams::new(FailureModel::Crash, clusters, 1)
+                .with_batching(BatchConfig::with_size(16))
+                .with_threads(threads)
+                .with_ledger(FIG8XL_LEDGER);
+            params.accounts_per_shard = ACCOUNTS_PER_SHARD;
+            params.warmup = SimTime::from_millis(300);
+            params.initiation_policy = InitiationPolicy::SuperPrimary;
+            let mut system = SharperSystem::build(params, clients, |client| {
+                let mut cfg = WorkloadConfig::evaluation(clusters as u32, 0.10);
+                cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
+                WorkloadGenerator::new(client, cfg)
+            });
+            let started = Instant::now();
+            let report = system.run(duration);
+            let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+            let (retained_blocks, logical_blocks) = system.ledger_footprint();
+            Fig8xlPoint {
+                clusters,
+                replicas: clusters * 3,
+                clients,
+                committed: report.summary.committed,
+                throughput_tps: report.summary.throughput_tps,
+                latency_ms: report.summary.mean_latency_ms,
+                retained_blocks,
+                logical_blocks,
+                checkpoint_interval: FIG8XL_LEDGER.checkpoint_interval,
+                retain_blocks: FIG8XL_LEDGER.retain_blocks,
+                peak_rss_mb: peak_rss_mb(),
+                wall_ms,
+            }
+        })
+        .collect();
+    let max_throughput_tps = points.iter().fold(0.0f64, |m, p| m.max(p.throughput_tps));
+    Fig8xlSweep {
+        threads: threads.to_string(),
+        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        max_throughput_tps,
+        points,
+    }
+}
+
+/// Renders the fig8xl sweep as the `BENCH_fig8xl.json` document.
+pub fn fig8xl_to_json(sweep: &Fig8xlSweep) -> String {
+    let points: Vec<String> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"clusters\":{},\"replicas\":{},\"clients\":{},\"committed\":{},\
+                 \"throughput_tps\":{:.3},\"latency_ms\":{:.3},\"retained_blocks\":{},\
+                 \"logical_blocks\":{},\"checkpoint_interval\":{},\"retain_blocks\":{},\
+                 \"peak_rss_mb\":{:.1},\"wall_ms\":{:.1}}}",
+                p.clusters,
+                p.replicas,
+                p.clients,
+                p.committed,
+                p.throughput_tps,
+                p.latency_ms,
+                p.retained_blocks,
+                p.logical_blocks,
+                p.checkpoint_interval,
+                p.retain_blocks,
+                p.peak_rss_mb,
+                p.wall_ms
+            )
+        })
+        .collect();
+    format!(
+        "{{\"figure\":\"fig8xl\",\"threads\":{},\"host_cpus\":{},\"max_throughput_tps\":{:.3},\
+         \"points\":[{}]}}",
+        json_string(&sweep.threads),
+        sweep.host_cpus,
+        sweep.max_throughput_tps,
+        points.join(",")
+    )
 }
 
 /// One point of the partitioned-executor sweep: the same uniform transfer

@@ -156,6 +156,57 @@ impl ExecutorConfig {
     }
 }
 
+/// How each replica's ledger view retains committed history.
+///
+/// With the default (`checkpoint_interval = 0`) a view keeps every block
+/// forever, reproducing the seed exactly. With checkpointing enabled, blocks
+/// whose integrity has been re-verified (the incremental audit) are folded
+/// into a rolling digest chain and pruned, keeping only the most recent
+/// `retain_blocks` blocks resident. Like every other [`SimConfig`] knob this
+/// must never change simulated results: pruning is a pure function of chain
+/// length, every consensus-visible query answers identically before and after
+/// truncation, and `ledger_digest()` stays bit-identical to the unpruned run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LedgerConfig {
+    /// Fold-and-prune cadence, in blocks beyond `retain_blocks` that may
+    /// accumulate before the next truncation. `0` disables truncation
+    /// entirely (retain everything — the default).
+    pub checkpoint_interval: usize,
+    /// Number of recent blocks kept resident once truncation is enabled.
+    /// The head block is always retained regardless of this value.
+    pub retain_blocks: usize,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> Self {
+        Self::retain_all()
+    }
+}
+
+impl LedgerConfig {
+    /// Retain the full chain (the seed's behaviour).
+    pub fn retain_all() -> Self {
+        Self {
+            checkpoint_interval: 0,
+            retain_blocks: usize::MAX,
+        }
+    }
+
+    /// A truncating configuration: audit + prune every `checkpoint_interval`
+    /// blocks past the `retain_blocks` resident window.
+    pub fn checkpointed(checkpoint_interval: usize, retain_blocks: usize) -> Self {
+        Self {
+            checkpoint_interval: checkpoint_interval.max(1),
+            retain_blocks: retain_blocks.max(1),
+        }
+    }
+
+    /// Whether truncation is enabled at all.
+    pub fn is_truncating(&self) -> bool {
+        self.checkpoint_interval > 0
+    }
+}
+
 /// Simulator execution configuration (independent of the modelled system:
 /// none of these knobs may change simulation results, only how fast the
 /// simulator produces them).
@@ -165,6 +216,9 @@ pub struct SimConfig {
     pub threads: ThreadMode,
     /// How replicas execute committed batches (serial or partitioned).
     pub exec: ExecutorConfig,
+    /// How replica ledger views retain committed history (bounded-memory
+    /// truncation behind the audit watermark, or the default retain-all).
+    pub ledger: LedgerConfig,
     /// Whether the deterministic trace plane records events. Tracing only
     /// observes — it charges no cost, sends nothing and draws no randomness —
     /// so toggling it never changes results (see `sharper_common::obs`).
@@ -191,6 +245,12 @@ impl SimConfig {
     /// Sets the executor configuration (builder style).
     pub fn with_executor(mut self, exec: ExecutorConfig) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Sets the ledger retention configuration (builder style).
+    pub fn with_ledger(mut self, ledger: LedgerConfig) -> Self {
+        self.ledger = ledger;
         self
     }
 
@@ -761,6 +821,23 @@ mod tests {
         assert!(
             SystemConfig::from_clusters(FailureModel::Crash, vec![], Default::default()).is_err()
         );
+    }
+
+    #[test]
+    fn ledger_config_defaults_to_retain_all() {
+        let cfg = LedgerConfig::default();
+        assert!(!cfg.is_truncating());
+        assert_eq!(cfg, LedgerConfig::retain_all());
+
+        let truncating = LedgerConfig::checkpointed(8, 64);
+        assert!(truncating.is_truncating());
+        assert_eq!(truncating.checkpoint_interval, 8);
+        assert_eq!(truncating.retain_blocks, 64);
+
+        // Nonsensical zeros clamp to the smallest safe truncating config.
+        let clamped = LedgerConfig::checkpointed(0, 0);
+        assert_eq!(clamped.checkpoint_interval, 1);
+        assert_eq!(clamped.retain_blocks, 1);
     }
 
     #[test]

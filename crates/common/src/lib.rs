@@ -22,13 +22,13 @@ pub mod time;
 
 pub use config::{
     BatchConfig, ClusterConfig, ClusterGroup, ClusterLayout, ExecutorConfig, FailureModel,
-    InitiationPolicy, SimConfig, SystemConfig, ThreadMode,
+    InitiationPolicy, LedgerConfig, SimConfig, SystemConfig, ThreadMode,
 };
 pub use cost::{CostModel, LatencyModel, LinkKind};
 pub use error::{Error, Result};
 pub use ids::{AccountId, ClientId, ClusterId, NodeId, RequestId, TxId};
 pub use obs::{
     percentile_nearest_rank, percentile_us, trace_to_jsonl, Histogram, MetricKey, MetricsRegistry,
-    TraceEvent, TraceKind,
+    StreamingHistogram, TraceEvent, TraceKind,
 };
 pub use time::{Duration, SimTime};

@@ -1,6 +1,8 @@
 //! Configuration shared by every replica of a deployment.
 
-use sharper_common::{BatchConfig, CostModel, Duration, ExecutorConfig, SystemConfig};
+use sharper_common::{
+    BatchConfig, CostModel, Duration, ExecutorConfig, LedgerConfig, SystemConfig,
+};
 use sharper_crypto::KeyRegistry;
 use sharper_state::Partitioner;
 use std::sync::Arc;
@@ -76,6 +78,10 @@ pub struct ReplicaConfig {
     /// (`partitions = 1` reproduces the seed's flat serial executor; results
     /// are bit-identical in every mode).
     pub exec: ExecutorConfig,
+    /// How replica ledger views retain committed history (retain-all by
+    /// default; checkpoint + truncate behind the audit watermark when
+    /// enabled — results are bit-identical either way).
+    pub ledger: LedgerConfig,
     /// The key registry modelling the PKI (§2.1).
     pub registry: KeyRegistry,
 }
@@ -121,8 +127,8 @@ impl ReplicaConfig {
         )
     }
 
-    /// The fully explicit constructor: batching policy plus executor
-    /// (state-partitioning) configuration.
+    /// Like [`ReplicaConfig::shared_full`] with the ledger retention left at
+    /// the retain-all default.
     pub fn shared_full(
         system: SystemConfig,
         partitioner: Partitioner,
@@ -132,6 +138,31 @@ impl ReplicaConfig {
         exec: ExecutorConfig,
         registry: KeyRegistry,
     ) -> Arc<Self> {
+        Self::shared_configured(
+            system,
+            partitioner,
+            cost,
+            timers,
+            batch,
+            exec,
+            LedgerConfig::default(),
+            registry,
+        )
+    }
+
+    /// The fully explicit constructor: batching policy, executor
+    /// (state-partitioning) and ledger retention configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn shared_configured(
+        system: SystemConfig,
+        partitioner: Partitioner,
+        cost: CostModel,
+        timers: TimerConfig,
+        batch: BatchConfig,
+        exec: ExecutorConfig,
+        ledger: LedgerConfig,
+        registry: KeyRegistry,
+    ) -> Arc<Self> {
         Arc::new(Self {
             system,
             partitioner,
@@ -139,6 +170,7 @@ impl ReplicaConfig {
             timers,
             batch,
             exec,
+            ledger,
             registry,
         })
     }

@@ -12,7 +12,7 @@
 //! retransmission timer re-submits it later). The default capacity is far
 //! above what any simulated workload queues, so golden runs never evict.
 
-use sharper_common::{ClusterId, SimTime, TxId};
+use sharper_common::{ClusterId, SimTime, StreamingHistogram, TxId};
 use sharper_crypto::Signature;
 use sharper_state::Transaction;
 use std::collections::{BTreeMap, VecDeque};
@@ -53,8 +53,10 @@ pub struct Mempool {
     cross: BTreeMap<Vec<ClusterId>, VecDeque<PendingTx>>,
     capacity: usize,
     metrics: MempoolMetrics,
-    /// Queueing delay of every dequeued request, in microseconds.
-    waits_us: Vec<u64>,
+    /// Queueing delay of dequeued requests, in microseconds — a bounded
+    /// streaming histogram, not a per-sample buffer, so arbitrarily long
+    /// runs stay spill-free.
+    waits: StreamingHistogram,
 }
 
 impl Mempool {
@@ -70,7 +72,7 @@ impl Mempool {
             cross: BTreeMap::new(),
             capacity: capacity.max(1),
             metrics: MempoolMetrics::default(),
-            waits_us: Vec::new(),
+            waits: StreamingHistogram::new(),
         }
     }
 
@@ -204,10 +206,11 @@ impl Mempool {
         self.metrics
     }
 
-    /// The queueing delay of every dequeued request so far, in microseconds
-    /// (unsorted; callers pool and sort before taking percentiles).
-    pub fn wait_samples_us(&self) -> &[u64] {
-        &self.waits_us
+    /// The queueing-delay distribution of every dequeued request so far, in
+    /// microseconds. Callers merge per-replica histograms (merge order is
+    /// immaterial) before reading percentiles.
+    pub fn wait_histogram(&self) -> &StreamingHistogram {
+        &self.waits
     }
 
     fn note_admitted(&mut self) {
@@ -217,8 +220,8 @@ impl Mempool {
 
     fn note_dequeued(&mut self, p: PendingTx, now: SimTime) -> (Arc<Transaction>, Signature) {
         self.metrics.dequeued += 1;
-        self.waits_us
-            .push(now.saturating_since(p.enqueued_at).as_micros());
+        self.waits
+            .record(now.saturating_since(p.enqueued_at).as_micros());
         (p.tx, p.sig)
     }
 
@@ -321,8 +324,13 @@ mod tests {
         assert_eq!(metrics.admitted, 6);
         assert_eq!(metrics.dequeued, 3);
         assert_eq!(metrics.peak_depth, 6);
-        // Waits are measured from admission to pop.
-        assert_eq!(m.wait_samples_us(), &[100, 99, 98]);
+        // Waits are measured from admission to pop (exact below 32 µs is
+        // not required here — count, sum and extrema are always exact).
+        let waits = m.wait_histogram();
+        assert_eq!(waits.count(), 3);
+        assert_eq!(waits.sum(), 100 + 99 + 98);
+        assert_eq!(waits.min(), 98);
+        assert_eq!(waits.max(), 100);
     }
 
     #[test]
@@ -386,7 +394,7 @@ mod tests {
         assert_eq!(drained, vec![0, 1, 3, 2]);
         assert!(m.is_empty());
         // Drains do not contribute wait samples.
-        assert!(m.wait_samples_us().is_empty());
+        assert!(m.wait_histogram().is_empty());
         assert_eq!(m.metrics().dequeued, 0);
     }
 

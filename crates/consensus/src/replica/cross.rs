@@ -850,6 +850,14 @@ impl Replica {
                     return;
                 }
             }
+            // The batch committed but its block was pruned behind the
+            // checkpoint watermark, so the commit cannot be re-announced —
+            // and answering "abort" for a committed batch would be a safety
+            // violation. Stay silent: the prober's own cluster quorum
+            // retains the fate. (Unreachable with retain-all, and under
+            // truncation only for reservations older than the retained
+            // window, which the probe timers resolve elsewhere.)
+            return;
         }
         if self.cross.contains_key(&d) {
             return;

@@ -136,7 +136,9 @@ impl Replica {
             let mut parents = BTreeMap::new();
             parents.insert(self.cluster, parent);
             let replay = Block::batch(batch, parents);
-            if self.ledger.block(replay.digest()).is_some() {
+            // All-history membership: a truncating ledger no longer holds the
+            // payload, but the digest index still answers exactly.
+            if self.ledger.knows_block(replay.digest()) {
                 ctx.trace(|| TraceKind::Accept {
                     batch: d.short_u64(),
                     view: ballot.view,
@@ -159,9 +161,13 @@ impl Replica {
         // the proposer has not appended yet). Endorsing the proposal would
         // vouch a second block for a committed height — the exact shape of a
         // fork — so it is dropped; the proposer learns the true head from
-        // the commits still in flight to it and re-proposes there.
+        // the commits still in flight to it and re-proposes there. The
+        // ancestor test uses the all-history digest index, so a replica that
+        // pruned its view still refuses to re-accept a position below its
+        // checkpoint — the incremental-audit watermark is a hard floor for
+        // view-change replays.
         if parent != self.ledger.head()
-            && (self.ledger.block(parent).is_some() || self.deferred.contains_key(&parent))
+            && (self.ledger.knows_block(parent) || self.deferred.contains_key(&parent))
         {
             return;
         }

@@ -799,6 +799,14 @@ impl Replica {
         self.ledger
             .append(block)
             .expect("parent was checked against the head");
+        // Audit-and-prune at the watermark. Purely a storage operation: it
+        // charges no simulated cost, sends nothing, and every query the
+        // protocol asks of the ledger answers identically afterwards — so
+        // truncation can never perturb results (the retain-settings golden
+        // gate holds it to that).
+        self.ledger
+            .maybe_checkpoint(&self.cfg.ledger)
+            .expect("committed chain re-verifies at the watermark");
         // One execution-cost charge per transaction plus one block digest.
         // The charge is identical in every executor mode: partitioning is a
         // `SimConfig` knob and must never perturb simulated timing.

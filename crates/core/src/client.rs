@@ -348,7 +348,7 @@ mod tests {
             .take_outbox()
             .iter()
             .any(|(_, m)| matches!(m, Msg::Request { .. })));
-        let sample = stats.samples()[0];
+        let sample = stats.recent_samples()[0];
         assert_eq!(sample.latency(), Duration::from_millis(30));
     }
 

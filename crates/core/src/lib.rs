@@ -38,4 +38,4 @@ pub mod system;
 
 pub use actor::SharperActor;
 pub use client::{ClientActor, ClientParams};
-pub use system::{simple_workload, RunReport, SharperSystem, SystemParams};
+pub use system::{simple_workload, workload_with, RunReport, SharperSystem, SystemParams};

@@ -11,9 +11,9 @@ use crate::client::{ClientActor, ClientParams};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sharper_common::{
-    percentile_us, AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel,
-    InitiationPolicy, LatencyModel, NodeId, SimConfig, SimTime, SystemConfig, ThreadMode,
-    TraceEvent,
+    AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy,
+    LatencyModel, LedgerConfig, NodeId, SimConfig, SimTime, StreamingHistogram, SystemConfig,
+    ThreadMode, TraceEvent,
 };
 use sharper_consensus::replica::{client_signer_id, node_signer_id, ReplicaStats};
 use sharper_consensus::{Msg, Replica, ReplicaConfig, TimerConfig};
@@ -135,6 +135,15 @@ impl SystemParams {
         self
     }
 
+    /// Sets the ledger retention configuration (builder style). Like the
+    /// thread mode, this is a `SimConfig` knob: truncating configurations
+    /// produce bit-identical results to retain-all runs — the golden-seed
+    /// suite enforces it — so this only bounds retained memory.
+    pub fn with_ledger(mut self, ledger: LedgerConfig) -> Self {
+        self.sim.ledger = ledger;
+        self
+    }
+
     /// Builds the shared replica configuration for these parameters.
     pub fn replica_config(&self, num_clients: usize) -> Arc<ReplicaConfig> {
         let system = SystemConfig::uniform(self.failure_model, self.clusters, self.f)
@@ -146,13 +155,14 @@ impl SystemParams {
             .chain((0..num_clients as u64).map(|c| client_signer_id(ClientId(c))))
             .collect::<Vec<_>>();
         let (registry, _) = KeyRegistry::generate(self.seed, signers);
-        ReplicaConfig::shared_full(
+        ReplicaConfig::shared_configured(
             system,
             Partitioner::range(self.clusters as u32, self.accounts_per_shard),
             self.cost,
             self.timers,
             self.batch,
             self.sim.exec,
+            self.sim.ledger,
             registry,
         )
     }
@@ -193,7 +203,7 @@ impl SharperSystem {
     {
         let cfg = params.replica_config(num_clients);
         let mut topology = Topology::from_config(&cfg.system);
-        let stats = StatsHandle::new();
+        let stats = StatsHandle::with_warmup(params.warmup);
 
         let mut sim: Simulation<Msg, SharperActor> = {
             // Register client homes round-robin across clusters ("the load is
@@ -240,6 +250,7 @@ impl SharperSystem {
     /// Runs the deployment for `duration` of simulated time and reports the
     /// steady-state results.
     pub fn run(&mut self, duration: SimTime) -> RunReport {
+        self.stats.begin_measurement(duration);
         let mut report = self.sim.run_until(duration);
         let window = duration.saturating_since(self.params.warmup);
         let summary = self.stats.summarize(self.params.warmup, window);
@@ -248,21 +259,23 @@ impl SharperSystem {
         let mut replica_stats = Vec::new();
         let mut client_completed = 0usize;
         let mut retransmissions = 0usize;
-        let mut waits_us: Vec<u64> = Vec::new();
+        let mut waits = StreamingHistogram::new();
         for actor in self.sim.actors() {
             match actor {
                 SharperActor::Replica(r) => {
                     views.push((r.cluster(), r.ledger().clone()));
                     replica_stats.push((r.node(), r.stats()));
                     // Mempool ingestion metrics: sums / maxima over replicas,
-                    // wait percentiles over the pooled samples. Per-replica
-                    // values are deterministic, so these are thread-mode and
-                    // executor-mode independent like every other report field.
+                    // wait percentiles over the merged per-replica histograms
+                    // (bounded memory regardless of run length). Per-replica
+                    // values are deterministic and the merge is commutative,
+                    // so these are thread-mode and executor-mode independent
+                    // like every other report field.
                     let m = r.mempool().metrics();
                     report.mempool_admitted += m.admitted;
                     report.mempool_evicted += m.evicted;
                     report.mempool_peak_depth = report.mempool_peak_depth.max(m.peak_depth);
-                    waits_us.extend_from_slice(r.mempool().wait_samples_us());
+                    waits.merge(r.mempool().wait_histogram());
                 }
                 SharperActor::Client(c) => {
                     client_completed += c.completed();
@@ -270,10 +283,9 @@ impl SharperSystem {
                 }
             }
         }
-        waits_us.sort_unstable();
-        report.mempool_wait_p50_us = percentile_us(&waits_us, 50);
-        report.mempool_wait_p95_us = percentile_us(&waits_us, 95);
-        report.mempool_wait_p99_us = percentile_us(&waits_us, 99);
+        report.mempool_wait_p50_us = waits.percentile(50);
+        report.mempool_wait_p95_us = waits.percentile(95);
+        report.mempool_wait_p99_us = waits.percentile(99);
         let audit = audit_replica_views(&views).expect("ledger safety audit must pass");
         RunReport {
             summary,
@@ -307,6 +319,21 @@ impl SharperSystem {
         }
         let slices: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
         hash_parts(&slices)
+    }
+
+    /// Sums `(retained, logical)` block counts over every replica's ledger
+    /// view. With truncation on, `retained` stays bounded while `logical`
+    /// keeps growing — the fig8xl scaling sweep reports both per curve point.
+    pub fn ledger_footprint(&self) -> (usize, usize) {
+        let mut retained = 0usize;
+        let mut logical = 0usize;
+        for actor in self.sim.actors() {
+            if let SharperActor::Replica(r) = actor {
+                retained += r.ledger().retained_blocks();
+                logical += r.ledger().len();
+            }
+        }
+        (retained, logical)
     }
 
     /// Read access to a client after (or before) a run.
@@ -628,7 +655,7 @@ mod debug_tests {
             let r = system.replica(NodeId(n)).unwrap();
             println!("{n}: {}", r.debug_state());
         }
-        let samples = system.stats().samples();
+        let samples = system.stats().recent_samples();
         for s in samples.iter().take(40) {
             println!(
                 "tx={} cross={} sub={} lat={:.1}ms",

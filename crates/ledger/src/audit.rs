@@ -124,6 +124,14 @@ pub fn audit_views(views: &[LedgerView]) -> Result<AuditReport> {
 /// Checks that the replicas of one cluster agree on their ledger views: the
 /// shorter view must be a prefix of the longer one (replicas may lag, but may
 /// never diverge).
+///
+/// The comparison is watermark-aware: each retained block is checked against
+/// the longest view's all-history digest → height index at its *absolute*
+/// height, so views that pruned different prefixes still compare exactly.
+/// History pruned from both sides needs no comparison — a block digest
+/// commits to its parents, so agreement at the first shared retained height
+/// implies agreement over the whole folded prefix — but checkpoints that
+/// stand at the same height must be identical outright.
 pub fn check_replica_agreement(cluster: ClusterId, replicas: &[&LedgerView]) -> Result<()> {
     for view in replicas {
         if view.cluster() != cluster {
@@ -136,14 +144,22 @@ pub fn check_replica_agreement(cluster: ClusterId, replicas: &[&LedgerView]) -> 
     let Some(longest) = replicas.iter().max_by_key(|v| v.len()) else {
         return Ok(());
     };
-    let reference: Vec<_> = longest.blocks().map(|b| b.digest()).collect();
     for view in replicas {
         for (i, block) in view.blocks().enumerate() {
-            if reference[i] != block.digest() {
+            let height = view.first_retained_height() + i;
+            if longest.height_of(block.digest()) != Some(height) {
                 return Err(Error::SafetyViolation(format!(
-                    "replicas of cluster {cluster} diverge at height {i}"
+                    "replicas of cluster {cluster} diverge at height {height}"
                 )));
             }
+        }
+        if view.first_retained_height() == longest.first_retained_height()
+            && view.checkpoint() != longest.checkpoint()
+        {
+            return Err(Error::SafetyViolation(format!(
+                "replicas of cluster {cluster} disagree on the checkpoint at height {}",
+                view.first_retained_height()
+            )));
         }
     }
     Ok(())
@@ -278,6 +294,58 @@ mod tests {
         let a = LedgerView::new(ClusterId(0));
         let b = LedgerView::new(ClusterId(1));
         assert!(check_replica_agreement(ClusterId(0), &[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn replica_agreement_is_watermark_aware() {
+        use sharper_common::LedgerConfig;
+        // One replica prunes aggressively, one lags and retains everything:
+        // they must still compare as agreeing, block for block.
+        let mut pruned = LedgerView::new(ClusterId(0));
+        let mut full = LedgerView::new(ClusterId(0));
+        let cfg = LedgerConfig::checkpointed(2, 2);
+        for seq in 0..10 {
+            let blk = intra(&pruned, tx(1, seq));
+            pruned.append(blk.clone()).unwrap();
+            pruned.maybe_checkpoint(&cfg).unwrap();
+            if seq < 8 {
+                full.append(blk).unwrap();
+            }
+        }
+        assert!(pruned.first_retained_height() > 0);
+        assert_eq!(full.first_retained_height(), 0);
+        check_replica_agreement(ClusterId(0), &[&pruned, &full]).unwrap();
+
+        // A fork in the lagging replica is still detected even though the
+        // pruned replica no longer holds the payload at that height.
+        let mut forked = LedgerView::new(ClusterId(0));
+        for block in full.blocks().skip(1).take(5).cloned().collect::<Vec<_>>() {
+            forked.append(block).unwrap();
+        }
+        forked.append(intra(&forked, tx(9, 9))).unwrap();
+        let err = check_replica_agreement(ClusterId(0), &[&pruned, &forked]).unwrap_err();
+        assert!(matches!(err, Error::SafetyViolation(_)));
+    }
+
+    #[test]
+    fn audit_accepts_views_with_different_watermarks() {
+        use sharper_common::LedgerConfig;
+        let mut v0 = LedgerView::new(ClusterId(0));
+        let mut v1 = LedgerView::new(ClusterId(1));
+        v0.append(intra(&v0, tx(1, 0))).unwrap();
+        v1.append(intra(&v1, tx(2, 0))).unwrap();
+        for seq in 0..6 {
+            let c = cross(&[&v0, &v1], tx(3, seq));
+            v0.append(c.clone()).unwrap();
+            v1.append(c).unwrap();
+        }
+        // Only cluster 0 truncates; shared-order comparison must not trip
+        // over the asymmetric retention windows.
+        v0.maybe_checkpoint(&LedgerConfig::checkpointed(1, 3))
+            .unwrap();
+        assert!(v0.first_retained_height() > 0);
+        let report = audit_views(&[v0, v1]).unwrap();
+        assert_eq!(report.views, 2);
     }
 
     #[test]

@@ -31,7 +31,7 @@ impl DagLedger {
         let mut blocks = HashMap::new();
         let mut orders = BTreeMap::new();
         for view in views {
-            let mut order = Vec::with_capacity(view.len());
+            let mut order = Vec::with_capacity(view.retained_blocks());
             for block in view.blocks() {
                 order.push(block.digest());
                 blocks

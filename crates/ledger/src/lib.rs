@@ -32,4 +32,4 @@ pub use audit::{audit_replica_views, audit_views, check_replica_agreement, Audit
 pub use batch::Batch;
 pub use block::{Block, BlockBody};
 pub use dag::DagLedger;
-pub use view::LedgerView;
+pub use view::{Checkpoint, LedgerView};

@@ -6,23 +6,93 @@
 //! view the blocks are totally ordered and chained by hashes: an incoming
 //! block is accepted only if its parent digest *for this cluster* equals the
 //! digest of the view's current head.
+//!
+//! ## Bounded memory: checkpoint + truncation behind the audit watermark
+//!
+//! Retaining every block forever makes long sweeps memory-bound, so a view
+//! can fold its oldest blocks into a [`Checkpoint`] and drop their payloads.
+//! Truncation *is* the incremental audit: every block is re-verified
+//! (integrity + parent link) at the moment it is folded, so a block mutated
+//! below the watermark is caught before it can silently leave the window.
+//! The checkpoint carries a rolling digest chain over the folded block
+//! digests, and the view keeps reporting its *logical* length and committed
+//! count, so `ledger_digest()` over `(head, len)` is bit-identical whether
+//! or not the history behind the watermark is resident. The digest → height
+//! index is kept for all history (a few dozen bytes per block, vs. the
+//! kilobytes of a batched block payload), which lets every consensus-side
+//! query — "is this digest a committed position?" — answer identically
+//! before and after pruning.
 
 use crate::block::Block;
 use serde::{Deserialize, Serialize};
-use sharper_common::{ClusterId, Error, Result, TxId};
-use sharper_crypto::Digest;
+use sharper_common::{ClusterId, Error, LedgerConfig, Result, TxId};
+use sharper_crypto::{hash_parts, Digest};
 use std::collections::HashMap;
+
+/// Domain separator for the rolling checkpoint digest chain.
+const CHECKPOINT_DOMAIN: &[u8] = b"sharper-checkpoint";
+
+/// The compact commitment a view keeps for history pruned from memory.
+///
+/// `rolling_digest` is a hash chain over the digests of every folded block:
+/// `r' = H("sharper-checkpoint" ‖ r ‖ block_digest)`, starting from
+/// [`Digest::ZERO`]. Two views that folded the same prefix therefore carry
+/// the same checkpoint, and no block below the watermark can be swapped or
+/// reordered without changing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Number of blocks folded into this checkpoint (the genesis block
+    /// counts once it has been pruned). Equals the absolute height of the
+    /// first retained block.
+    pub height: usize,
+    /// Digest of the last folded block — the parent the first retained
+    /// block must chain to. [`Digest::ZERO`] while `height == 0`.
+    pub head: Digest,
+    /// Rolling digest chain over all folded block digests.
+    pub rolling_digest: Digest,
+    /// Number of transactions committed in the folded blocks.
+    pub committed_count: usize,
+}
+
+impl Checkpoint {
+    /// The empty checkpoint of a freshly created view (nothing folded).
+    pub fn empty() -> Self {
+        Self {
+            height: 0,
+            head: Digest::ZERO,
+            rolling_digest: Digest::ZERO,
+            committed_count: 0,
+        }
+    }
+
+    /// Folds one more block digest into the rolling chain.
+    fn fold(&mut self, block_digest: Digest, txs: usize) {
+        self.rolling_digest = hash_parts(&[
+            CHECKPOINT_DOMAIN,
+            self.rolling_digest.as_bytes(),
+            block_digest.as_bytes(),
+        ]);
+        self.head = block_digest;
+        self.height += 1;
+        self.committed_count += txs;
+    }
+}
 
 /// The totally-ordered ledger view maintained by every replica of a cluster.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LedgerView {
     cluster: ClusterId,
-    /// Blocks in commit order; `blocks[0]` is the genesis block.
+    /// Resident blocks in commit order. The absolute height of `blocks[i]`
+    /// is `checkpoint.height + i`; while nothing has been pruned,
+    /// `blocks[0]` is the genesis block.
     blocks: Vec<Block>,
-    /// Index from block digest to position in `blocks`.
+    /// Index from block digest to absolute height — **all history**, never
+    /// pruned, so position-consumed checks stay exact after truncation.
     index: HashMap<Digest, usize>,
-    /// Index from transaction id to position in `blocks`.
+    /// Index from transaction id to absolute height — retained window only.
     tx_index: HashMap<TxId, usize>,
+    /// Commitment to everything pruned from `blocks` / `tx_index`.
+    checkpoint: Checkpoint,
 }
 
 impl LedgerView {
@@ -36,6 +106,7 @@ impl LedgerView {
             blocks: vec![genesis],
             index,
             tx_index: HashMap::new(),
+            checkpoint: Checkpoint::empty(),
         }
     }
 
@@ -50,30 +121,33 @@ impl LedgerView {
     pub fn head(&self) -> Digest {
         self.blocks
             .last()
-            .expect("view always has genesis")
+            .expect("view always retains its head block")
             .digest()
     }
 
-    /// Number of blocks including the genesis block.
+    /// Logical number of blocks including the genesis block — pruned blocks
+    /// still count, so this is identical to an unpruned run of the same
+    /// chain (the determinism oracle folds this value).
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.checkpoint.height + self.blocks.len()
     }
 
     /// Whether the view contains only the genesis block.
     pub fn is_empty(&self) -> bool {
-        self.blocks.len() == 1
+        self.len() == 1
     }
 
-    /// Number of committed transactions (excludes the genesis block). With
+    /// Logical number of committed transactions (excludes the genesis
+    /// block), including transactions folded into the checkpoint. With
     /// batching a block may carry several transactions, so this can exceed
     /// `len() - 1`.
     pub fn committed_count(&self) -> usize {
-        self.tx_index.len()
+        self.checkpoint.committed_count + self.tx_index.len()
     }
 
-    /// Number of committed blocks (excludes the genesis block).
+    /// Logical number of committed blocks (excludes the genesis block).
     pub fn committed_blocks(&self) -> usize {
-        self.blocks.len() - 1
+        self.len() - 1
     }
 
     /// Appends a block, enforcing the hash chain for this cluster.
@@ -126,51 +200,176 @@ impl LedgerView {
                 )));
             }
         }
+        let height = self.len();
         for tx_id in block.tx_ids() {
-            self.tx_index.insert(tx_id, self.blocks.len());
+            self.tx_index.insert(tx_id, height);
         }
-        self.index.insert(block.digest(), self.blocks.len());
+        self.index.insert(block.digest(), height);
         self.blocks.push(block);
         Ok(())
     }
 
-    /// Whether a transaction has been committed in this view.
+    /// Whether a transaction is committed in the retained window. (The
+    /// replica's own committed-transaction set is the authoritative
+    /// full-history duplicate guard.)
     pub fn contains_tx(&self, tx: TxId) -> bool {
         self.tx_index.contains_key(&tx)
     }
 
-    /// The position (1-based block height) of a committed transaction.
+    /// The position (1-based absolute block height) of a transaction
+    /// committed in the retained window.
     pub fn position_of(&self, tx: TxId) -> Option<usize> {
         self.tx_index.get(&tx).copied()
     }
 
-    /// Looks up a block by digest.
+    /// Looks up a retained block by digest. Returns `None` for blocks
+    /// folded behind the watermark (use [`knows_block`](Self::knows_block)
+    /// to test committedness regardless of retention).
     pub fn block(&self, digest: Digest) -> Option<&Block> {
-        self.index.get(&digest).map(|&i| &self.blocks[i])
+        let &h = self.index.get(&digest)?;
+        self.blocks.get(h.checked_sub(self.checkpoint.height)?)
     }
 
-    /// Iterates over the blocks in commit order (starting with the genesis).
+    /// Whether `digest` is a block this view has ever committed — answered
+    /// from the all-history index, so truncation never changes the answer.
+    pub fn knows_block(&self, digest: Digest) -> bool {
+        self.index.contains_key(&digest)
+    }
+
+    /// The absolute height of a block this view has ever committed.
+    pub fn height_of(&self, digest: Digest) -> Option<usize> {
+        self.index.get(&digest).copied()
+    }
+
+    /// Iterates over the retained blocks in commit order (starting with the
+    /// genesis block while nothing has been pruned).
     pub fn blocks(&self) -> impl Iterator<Item = &Block> {
         self.blocks.iter()
     }
 
-    /// The committed transactions in order (excluding the genesis block).
-    /// Within a block, transactions appear in batch (execution) order.
+    /// Number of blocks currently resident in memory.
+    pub fn retained_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The absolute height of the first retained block (the watermark).
+    pub fn first_retained_height(&self) -> usize {
+        self.checkpoint.height
+    }
+
+    /// The commitment to everything pruned behind the watermark.
+    pub fn checkpoint(&self) -> &Checkpoint {
+        &self.checkpoint
+    }
+
+    /// The transactions of the retained blocks in order. Within a block,
+    /// transactions appear in batch (execution) order.
     pub fn transactions(&self) -> impl Iterator<Item = &sharper_state::Transaction> {
         self.blocks
             .iter()
             .flat_map(|b| b.txs().iter().map(|tx| tx.as_ref()))
     }
 
-    /// Verifies the whole chain: every block's integrity and parent link.
-    pub fn verify_chain(&self) -> Result<()> {
-        let mut head = self.blocks[0].digest();
-        if !self.blocks[0].is_genesis() {
-            return Err(Error::SafetyViolation(
-                "view does not start with the genesis block".into(),
-            ));
+    /// Audits and prunes according to `cfg`, returning how many blocks were
+    /// folded into the checkpoint (0 when truncation is disabled or the
+    /// window has not yet outgrown `retain_blocks + checkpoint_interval`).
+    ///
+    /// The trigger is a pure function of the chain length and the
+    /// configuration, so every replica of every run prunes at exactly the
+    /// same heights — and because every consensus-visible query answers
+    /// identically before and after, results stay bit-identical to a
+    /// retain-all run.
+    pub fn maybe_checkpoint(&mut self, cfg: &LedgerConfig) -> Result<usize> {
+        if !cfg.is_truncating() {
+            return Ok(0);
         }
-        for block in &self.blocks[1..] {
+        let threshold = cfg.retain_blocks.saturating_add(cfg.checkpoint_interval);
+        if self.blocks.len() < threshold {
+            return Ok(0);
+        }
+        let fold = self.blocks.len() - cfg.retain_blocks;
+        self.truncate_prefix(fold)?;
+        Ok(fold)
+    }
+
+    /// Folds the oldest `count` retained blocks into the checkpoint and
+    /// drops their payloads (and tx index entries). Each block is
+    /// re-verified — integrity and parent link — before folding; this is the
+    /// incremental audit at the watermark, and it fails (leaving the view
+    /// untouched) if any block below the watermark was tampered with.
+    pub fn truncate_prefix(&mut self, count: usize) -> Result<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        if count >= self.blocks.len() {
+            return Err(Error::ProtocolViolation(format!(
+                "cannot truncate {count} of {} retained blocks: the head must stay resident",
+                self.blocks.len()
+            )));
+        }
+        // Audit the prefix before mutating anything.
+        let mut prev = (self.checkpoint.height > 0).then_some(self.checkpoint.head);
+        for (i, block) in self.blocks[..count].iter().enumerate() {
+            let height = self.checkpoint.height + i;
+            if height == 0 {
+                if !block.is_genesis() {
+                    return Err(Error::SafetyViolation(
+                        "view does not start with the genesis block".into(),
+                    ));
+                }
+            } else {
+                if !block.verify_integrity() {
+                    return Err(Error::IntegrityViolation(format!(
+                        "block {} at height {height} fails digest verification at the watermark",
+                        block.digest()
+                    )));
+                }
+                match (block.parent_for(self.cluster), prev) {
+                    (Some(parent), Some(expected)) if parent == expected => {}
+                    (Some(parent), Some(expected)) => return Err(Error::SafetyViolation(format!(
+                        "block {} at height {height} chains to {parent} but expected {expected}",
+                        block.digest()
+                    ))),
+                    _ => {
+                        return Err(Error::SafetyViolation(format!(
+                            "block {} does not involve cluster {}",
+                            block.digest(),
+                            self.cluster
+                        )))
+                    }
+                }
+            }
+            prev = Some(block.digest());
+        }
+        // Fold and drop.
+        for block in self.blocks.drain(..count) {
+            let txs = block.tx_ids().count();
+            self.checkpoint.fold(block.digest(), txs);
+            for tx_id in block.tx_ids() {
+                self.tx_index.remove(&tx_id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the retained chain: every resident block's integrity and
+    /// parent link, anchored at the genesis block — or, once truncation has
+    /// folded history away, at the checkpoint head (whose own lineage was
+    /// verified incrementally as it crossed the watermark).
+    pub fn verify_chain(&self) -> Result<()> {
+        let mut resident = self.blocks.iter();
+        let mut head = if self.checkpoint.height == 0 {
+            let genesis = resident.next().expect("view always retains its head block");
+            if !genesis.is_genesis() {
+                return Err(Error::SafetyViolation(
+                    "view does not start with the genesis block".into(),
+                ));
+            }
+            genesis.digest()
+        } else {
+            self.checkpoint.head
+        };
+        for block in resident {
             if !block.verify_integrity() {
                 return Err(Error::IntegrityViolation(format!(
                     "block {} fails digest verification",
@@ -223,6 +422,7 @@ mod tests {
         assert_eq!(v.committed_count(), 0);
         assert_eq!(v.head(), Block::genesis().digest());
         assert_eq!(v.cluster(), ClusterId(2));
+        assert_eq!(*v.checkpoint(), Checkpoint::empty());
         v.verify_chain().unwrap();
     }
 
@@ -381,5 +581,129 @@ mod tests {
         v.append(b).unwrap();
         assert!(v.block(d).is_some());
         assert!(v.block(Digest::ZERO).is_none());
+    }
+
+    #[test]
+    fn truncation_preserves_logical_lengths_and_head() {
+        let mut all = LedgerView::new(ClusterId(0));
+        let mut pruned = LedgerView::new(ClusterId(0));
+        let cfg = LedgerConfig::checkpointed(2, 3);
+        for seq in 0..20 {
+            let b = intra_block(&all, tx(1, seq));
+            all.append(b.clone()).unwrap();
+            pruned.append(b).unwrap();
+            pruned.maybe_checkpoint(&cfg).unwrap();
+            // Retain-all never prunes.
+            assert_eq!(all.maybe_checkpoint(&LedgerConfig::retain_all()), Ok(0));
+        }
+        assert!(pruned.retained_blocks() < all.retained_blocks());
+        assert!(pruned.retained_blocks() <= 3 + 2);
+        assert!(pruned.first_retained_height() > 0);
+        // Everything consensus (and the determinism oracle) can see agrees.
+        assert_eq!(pruned.head(), all.head());
+        assert_eq!(pruned.len(), all.len());
+        assert_eq!(pruned.committed_count(), all.committed_count());
+        assert_eq!(pruned.committed_blocks(), all.committed_blocks());
+        pruned.verify_chain().unwrap();
+        all.verify_chain().unwrap();
+        // The all-history index still answers for pruned digests...
+        for block in all.blocks() {
+            let d = block.digest();
+            assert!(pruned.knows_block(d));
+            assert_eq!(pruned.height_of(d), all.height_of(d));
+        }
+        // ...while payload lookups are confined to the retained window.
+        let old = all.blocks().nth(1).unwrap().digest();
+        assert!(pruned.block(old).is_none());
+        assert!(all.block(old).is_some());
+        assert!(pruned.block(pruned.head()).is_some());
+    }
+
+    #[test]
+    fn truncation_folds_the_same_rolling_digest_regardless_of_schedule() {
+        // Fold in different step sizes; the rolling chain only depends on
+        // the folded prefix, not on when the folds happened.
+        let mut a = LedgerView::new(ClusterId(0));
+        let mut b = LedgerView::new(ClusterId(0));
+        for seq in 0..12 {
+            let blk = intra_block(&a, tx(1, seq));
+            a.append(blk.clone()).unwrap();
+            b.append(blk).unwrap();
+        }
+        a.truncate_prefix(1).unwrap();
+        a.truncate_prefix(4).unwrap();
+        a.truncate_prefix(5).unwrap();
+        b.truncate_prefix(10).unwrap();
+        assert_eq!(a.checkpoint(), b.checkpoint());
+        assert_eq!(a.checkpoint().height, 10);
+        assert_eq!(a.checkpoint().committed_count, 9, "genesis carries no tx");
+        assert_ne!(a.checkpoint().rolling_digest, Digest::ZERO);
+        a.verify_chain().unwrap();
+        b.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn truncation_never_evicts_the_head() {
+        let mut v = LedgerView::new(ClusterId(0));
+        v.append(intra_block(&v, tx(1, 0))).unwrap();
+        assert!(v.truncate_prefix(2).is_err(), "head must stay resident");
+        v.truncate_prefix(1).unwrap();
+        assert_eq!(v.retained_blocks(), 1);
+        assert_eq!(v.len(), 2);
+        v.verify_chain().unwrap();
+        // The smallest truncating config keeps exactly one resident block.
+        let cfg = LedgerConfig::checkpointed(1, 1);
+        for seq in 1..5 {
+            v.append(intra_block(&v, tx(1, seq))).unwrap();
+            v.maybe_checkpoint(&cfg).unwrap();
+        }
+        assert_eq!(v.retained_blocks(), 1);
+        assert_eq!(v.len(), 6);
+        v.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn a_block_tampered_below_the_watermark_is_caught_at_fold_time() {
+        use crate::batch::Batch;
+        use std::sync::Arc;
+        let mut v = LedgerView::new(ClusterId(0));
+        let honest = Batch::new(vec![Arc::new(tx(1, 0)), Arc::new(tx(1, 1))]);
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(0), v.head());
+        v.append(Block::batch(honest.clone(), parents)).unwrap();
+        for seq in 2..8 {
+            v.append(intra_block(&v, tx(1, seq))).unwrap();
+        }
+
+        // Mutate the batch payload of block 1 (keeping its claimed root) —
+        // it sits below the watermark the next truncation would establish.
+        let mut forged_txs = honest.txs().to_vec();
+        forged_txs[0] = Arc::new(tx(9, 9));
+        v.blocks[1].body =
+            crate::block::BlockBody::Batch(Batch::with_claimed_root(forged_txs, honest.digest()));
+
+        let err = v
+            .maybe_checkpoint(&LedgerConfig::checkpointed(1, 2))
+            .unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)));
+        // The failed audit left the view untouched (nothing folded).
+        assert_eq!(v.first_retained_height(), 0);
+        assert_eq!(v.retained_blocks(), 8);
+    }
+
+    #[test]
+    fn a_block_swapped_below_the_watermark_breaks_the_parent_chain_at_fold_time() {
+        let mut v = LedgerView::new(ClusterId(0));
+        for seq in 0..6 {
+            v.append(intra_block(&v, tx(1, seq))).unwrap();
+        }
+        // Replace block 2 with a well-formed block that chains elsewhere
+        // (a rewritten-history splice).
+        let mut parents = BTreeMap::new();
+        parents.insert(ClusterId(0), Block::genesis().digest());
+        v.blocks[2] = Block::transaction(tx(8, 8), parents);
+        let err = v.truncate_prefix(4).unwrap_err();
+        assert!(matches!(err, Error::SafetyViolation(_)));
+        assert_eq!(v.first_retained_height(), 0, "audit failure folds nothing");
     }
 }

@@ -3,13 +3,28 @@
 //! The paper reports end-to-end throughput (committed transactions per
 //! second) and latency (request submission to client-observed commit) "as the
 //! average measured during the steady state of an experiment" (§4). The
-//! [`StatsCollector`] records exactly those samples; clients hold a cheap
-//! clonable [`StatsHandle`] and record one sample per committed transaction.
+//! [`StatsCollector`] aggregates exactly those measurements; clients hold a
+//! cheap clonable [`StatsHandle`] and record one sample per committed
+//! transaction.
+//!
+//! The collector is **spill-free**: commit latencies stream into a bounded
+//! [`StreamingHistogram`] (fixed ~15 KB) instead of a per-sample buffer, so
+//! memory stays flat no matter how many transactions a sweep commits. The
+//! steady-state window is fixed *before* samples arrive — `warmup` at
+//! construction, the window end via [`begin_measurement`] when the run
+//! duration is known — and each sample is filtered at record time. Only a
+//! small fixed-size ring of the most recent samples is retained, for
+//! debugging.
+//!
+//! [`begin_measurement`]: StatsHandle::begin_measurement
 
 use parking_lot::Mutex;
-use sharper_common::{Duration, SimTime, TxId};
-use std::collections::HashSet;
+use sharper_common::{Duration, SimTime, StreamingHistogram, TxId};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
+
+/// How many of the most recent commit samples are kept for debugging.
+const RECENT_SAMPLES: usize = 512;
 
 /// One committed-transaction sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,13 +53,13 @@ pub struct LatencySummary {
     pub committed: usize,
     /// Committed transactions per second of simulated time.
     pub throughput_tps: f64,
-    /// Mean latency in milliseconds.
+    /// Mean latency in milliseconds (exact).
     pub mean_latency_ms: f64,
-    /// Median latency in milliseconds.
+    /// Median latency in milliseconds (streaming estimate, ≤ ~1.6% error).
     pub p50_latency_ms: f64,
-    /// 95th-percentile latency in milliseconds.
+    /// 95th-percentile latency in milliseconds (streaming estimate).
     pub p95_latency_ms: f64,
-    /// 99th-percentile latency in milliseconds.
+    /// 99th-percentile latency in milliseconds (streaming estimate).
     pub p99_latency_ms: f64,
 }
 
@@ -62,18 +77,64 @@ impl LatencySummary {
     }
 }
 
-/// Collects commit samples and submission counts during a run.
-#[derive(Debug, Default)]
+/// Collects commit measurements and submission counts during a run.
+#[derive(Debug)]
 pub struct StatsCollector {
-    samples: Vec<CommitSample>,
+    /// Steady-state window start: samples committing earlier are ignored.
+    warmup: SimTime,
+    /// Steady-state window end (exclusive); `SimTime(u64::MAX)` = open.
+    end: SimTime,
     submitted: usize,
     duplicate_guard: HashSet<TxId>,
+    /// Distinct commits regardless of the window.
+    committed_total: usize,
+    /// Commits inside `[warmup, end)`.
+    window_count: usize,
+    /// Latency distribution (µs) of in-window commits. Recording is
+    /// commutative, so the aggregate is independent of the order samples
+    /// arrive in — reports stay bit-identical across simulator thread modes.
+    latencies_us: StreamingHistogram,
+    /// Latest in-window commit time (used when the window is open-ended).
+    max_commit: SimTime,
+    /// Ring of the most recent samples, for debugging only.
+    recent: VecDeque<CommitSample>,
+}
+
+impl Default for StatsCollector {
+    fn default() -> Self {
+        Self::with_warmup(SimTime::ZERO)
+    }
 }
 
 impl StatsCollector {
-    /// Creates an empty collector.
+    /// Creates an empty collector measuring from time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty collector whose steady-state window opens at
+    /// `warmup` (and stays open until [`begin_measurement`] bounds it).
+    ///
+    /// [`begin_measurement`]: Self::begin_measurement
+    pub fn with_warmup(warmup: SimTime) -> Self {
+        Self {
+            warmup,
+            end: SimTime(u64::MAX),
+            submitted: 0,
+            duplicate_guard: HashSet::new(),
+            committed_total: 0,
+            window_count: 0,
+            latencies_us: StreamingHistogram::new(),
+            max_commit: warmup,
+            recent: VecDeque::with_capacity(RECENT_SAMPLES),
+        }
+    }
+
+    /// Fixes the end (exclusive) of the steady-state window. Must be called
+    /// before samples near `end` are recorded — the runner calls it when the
+    /// run duration becomes known, before the simulation starts.
+    pub fn begin_measurement(&mut self, end: SimTime) {
+        self.end = end;
     }
 
     /// Records that a client submitted a transaction.
@@ -85,9 +146,21 @@ impl StatsCollector {
     /// (possible when a client receives replies from several replicas) are
     /// counted once, keeping throughput honest.
     pub fn record_commit(&mut self, sample: CommitSample) {
-        if self.duplicate_guard.insert(sample.tx) {
-            self.samples.push(sample);
+        if !self.duplicate_guard.insert(sample.tx) {
+            return;
         }
+        self.committed_total += 1;
+        if sample.committed_at >= self.warmup && sample.committed_at < self.end {
+            self.window_count += 1;
+            self.latencies_us.record(sample.latency().as_micros());
+            if sample.committed_at > self.max_commit {
+                self.max_commit = sample.committed_at;
+            }
+        }
+        if self.recent.len() == RECENT_SAMPLES {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(sample);
     }
 
     /// Number of transactions submitted.
@@ -95,55 +168,49 @@ impl StatsCollector {
         self.submitted
     }
 
-    /// Number of distinct committed transactions.
+    /// Number of distinct committed transactions (window-independent).
     pub fn committed(&self) -> usize {
-        self.samples.len()
+        self.committed_total
     }
 
-    /// All samples recorded so far.
-    pub fn samples(&self) -> &[CommitSample] {
-        &self.samples
+    /// The most recent commit samples (bounded ring, debugging only).
+    pub fn recent_samples(&self) -> &VecDeque<CommitSample> {
+        &self.recent
     }
 
-    /// Summarises the samples whose commit time falls in
-    /// `[warmup, warmup + window)` — the paper's "steady state" measurement.
-    /// `window` of zero means "until the last sample".
+    /// Summarises the steady state measured during the run.
+    ///
+    /// `warmup` and `window` describe the same window the collector filtered
+    /// with at record time (`warmup` at construction, the end via
+    /// [`begin_measurement`](Self::begin_measurement); `window` of zero
+    /// means "until the last sample"). They are taken as parameters so the
+    /// caller states the window it believes was measured — debug builds
+    /// verify the two agree.
     pub fn summarize(&self, warmup: SimTime, window: Duration) -> LatencySummary {
-        let end = if window == Duration::ZERO {
-            SimTime(u64::MAX)
-        } else {
-            warmup + window
-        };
-        let mut latencies: Vec<f64> = Vec::new();
-        let mut max_commit = warmup;
-        for s in &self.samples {
-            if s.committed_at >= warmup && s.committed_at < end {
-                latencies.push(s.latency().as_millis_f64());
-                if s.committed_at > max_commit {
-                    max_commit = s.committed_at;
-                }
-            }
-        }
-        if latencies.is_empty() {
+        debug_assert_eq!(
+            warmup, self.warmup,
+            "summarize window must match the record-time filter"
+        );
+        debug_assert!(
+            window == Duration::ZERO
+                || warmup + window == self.end
+                || self.end == SimTime(u64::MAX),
+            "summarize window must match the record-time filter"
+        );
+        if self.window_count == 0 {
             return LatencySummary::empty();
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let committed = latencies.len();
         let elapsed = if window == Duration::ZERO {
-            max_commit.saturating_since(warmup)
+            self.max_commit.saturating_since(warmup)
         } else {
             window
         };
         let elapsed_s = elapsed.as_secs_f64().max(1e-9);
-        let mean = latencies.iter().sum::<f64>() / committed as f64;
-        // The workspace-wide nearest-rank percentile (sharper_common::obs).
-        let pct = |p: u64| -> f64 {
-            sharper_common::percentile_nearest_rank(&latencies, p).expect("non-empty")
-        };
+        let pct = |p: u64| self.latencies_us.percentile(p) as f64 / 1_000.0;
         LatencySummary {
-            committed,
-            throughput_tps: committed as f64 / elapsed_s,
-            mean_latency_ms: mean,
+            committed: self.window_count,
+            throughput_tps: self.window_count as f64 / elapsed_s,
+            mean_latency_ms: self.latencies_us.mean() / 1_000.0,
             p50_latency_ms: pct(50),
             p95_latency_ms: pct(95),
             p99_latency_ms: pct(99),
@@ -159,9 +226,21 @@ impl StatsCollector {
 pub struct StatsHandle(Arc<Mutex<StatsCollector>>);
 
 impl StatsHandle {
-    /// Creates a handle to a fresh collector.
+    /// Creates a handle to a fresh collector measuring from time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a handle to a fresh collector whose steady-state window opens
+    /// at `warmup`.
+    pub fn with_warmup(warmup: SimTime) -> Self {
+        Self(Arc::new(Mutex::new(StatsCollector::with_warmup(warmup))))
+    }
+
+    /// Fixes the end (exclusive) of the steady-state window — call before
+    /// the simulation runs (see [`StatsCollector::begin_measurement`]).
+    pub fn begin_measurement(&self, end: SimTime) {
+        self.0.lock().begin_measurement(end);
     }
 
     /// Records a submission.
@@ -189,9 +268,10 @@ impl StatsHandle {
         self.0.lock().summarize(warmup, window)
     }
 
-    /// Clones the raw samples out of the collector.
-    pub fn samples(&self) -> Vec<CommitSample> {
-        self.0.lock().samples().to_vec()
+    /// Clones the most recent commit samples out of the collector (bounded
+    /// ring, debugging only).
+    pub fn recent_samples(&self) -> Vec<CommitSample> {
+        self.0.lock().recent_samples().iter().copied().collect()
     }
 }
 
@@ -222,7 +302,7 @@ mod tests {
         c.record_commit(sample(0, 0, 12));
         assert_eq!(c.submitted(), 1);
         assert_eq!(c.committed(), 1);
-        assert_eq!(c.samples().len(), 1);
+        assert_eq!(c.recent_samples().len(), 1);
     }
 
     #[test]
@@ -234,26 +314,47 @@ mod tests {
         }
         let s = c.summarize(SimTime::ZERO, Duration::ZERO);
         assert_eq!(s.committed, 100);
+        // The mean is exact; percentiles are streaming estimates.
         assert!((s.mean_latency_ms - 20.0).abs() < 1e-9);
-        assert!((s.p50_latency_ms - 20.0).abs() < 1e-9);
+        assert!((s.p50_latency_ms - 20.0).abs() / 20.0 < 0.02);
         // 100 commits over ~1.01 s of samples.
         assert!(s.throughput_tps > 90.0 && s.throughput_tps < 110.0);
     }
 
     #[test]
     fn summary_respects_warmup_and_window() {
-        let mut c = StatsCollector::new();
+        // Window covering commits in [200 ms, 700 ms).
+        let mut c = StatsCollector::with_warmup(SimTime::from_millis(200));
+        c.begin_measurement(SimTime::from_millis(700));
         for i in 0..100u64 {
             c.record_commit(sample(i, i * 10, i * 10 + 20));
         }
-        // Window covering commits in [200 ms, 700 ms).
         let s = c.summarize(SimTime::from_millis(200), Duration::from_millis(500));
         assert_eq!(s.committed, 50);
         assert!((s.throughput_tps - 100.0).abs() < 1.0);
-        // Empty window.
+        // All 100 commits are still counted outside the window.
+        assert_eq!(c.committed(), 100);
+
+        // A window no commit falls into yields the empty summary.
+        let mut c = StatsCollector::with_warmup(SimTime::from_secs(100));
+        c.begin_measurement(SimTime::from_secs(100) + Duration::from_millis(10));
+        for i in 0..100u64 {
+            c.record_commit(sample(i, i * 10, i * 10 + 20));
+        }
         let s = c.summarize(SimTime::from_secs(100), Duration::from_millis(10));
         assert_eq!(s.committed, 0);
         assert_eq!(s.throughput_tps, 0.0);
+    }
+
+    #[test]
+    fn a_commit_exactly_at_the_window_end_is_excluded() {
+        let mut c = StatsCollector::new();
+        c.begin_measurement(SimTime::from_millis(100));
+        c.record_commit(sample(0, 0, 99));
+        c.record_commit(sample(1, 0, 100));
+        let s = c.summarize(SimTime::ZERO, Duration::from_millis(100));
+        assert_eq!(s.committed, 1);
+        assert_eq!(c.committed(), 2);
     }
 
     #[test]
@@ -268,6 +369,24 @@ mod tests {
     }
 
     #[test]
+    fn recent_sample_ring_is_bounded() {
+        let mut c = StatsCollector::new();
+        for i in 0..(RECENT_SAMPLES as u64 + 100) {
+            c.record_commit(sample(i, i, i + 5));
+        }
+        assert_eq!(c.recent_samples().len(), RECENT_SAMPLES);
+        // The ring holds the latest samples, not the earliest.
+        assert_eq!(
+            c.recent_samples().back().unwrap().tx.seq,
+            RECENT_SAMPLES as u64 + 99
+        );
+        // Aggregates still cover every sample.
+        assert_eq!(c.committed(), RECENT_SAMPLES + 100);
+        let s = c.summarize(SimTime::ZERO, Duration::ZERO);
+        assert_eq!(s.committed, RECENT_SAMPLES + 100);
+    }
+
+    #[test]
     fn handle_shares_one_collector() {
         let h = StatsHandle::new();
         let h2 = h.clone();
@@ -275,7 +394,7 @@ mod tests {
         h2.record_commit(sample(0, 0, 5));
         assert_eq!(h.submitted(), 1);
         assert_eq!(h.committed(), 1);
-        assert_eq!(h2.samples().len(), 1);
+        assert_eq!(h2.recent_samples().len(), 1);
         let s = h.summarize(SimTime::ZERO, Duration::ZERO);
         assert_eq!(s.committed, 1);
     }
