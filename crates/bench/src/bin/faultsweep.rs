@@ -7,7 +7,9 @@
 //!
 //! Three fault scenarios (message loss, a crashed backup, both combined) are
 //! run for `--seeds` consecutive seeds each on a 4-cluster crash-model
-//! deployment, plus the historical regression seeds (1 and 2 once forked a
+//! deployment, plus a cross-shard fairness gate (100% cross-shard load,
+//! any-involved-cluster initiation, per-initiator completion spread must
+//! stay within 1.5x) and the historical regression seeds (1 and 2 once forked a
 //! cluster through the ballot-less view-change replay; 42 once livelocked a
 //! cluster behind a lost `XAbort`). A run fails if the audit inside
 //! `SharperSystem::run` panics (safety violation), if overall progress is
@@ -16,7 +18,7 @@
 //! CI uploads the output file as an artifact.
 
 use sharper_bench::cli_flag_value;
-use sharper_common::{FailureModel, NodeId, SimTime};
+use sharper_common::{FailureModel, InitiationPolicy, NodeId, SimTime};
 use sharper_core::{SharperSystem, SystemParams};
 use sharper_net::FaultPlan;
 use sharper_workload::{WorkloadConfig, WorkloadGenerator};
@@ -35,12 +37,29 @@ const CLUSTER_SIZE: u32 = 3;
 /// live, and minimum distinct transactions for the run overall.
 const MIN_BLOCKS_PER_CLUSTER: usize = 2;
 const MIN_DISTINCT_TXS: usize = 20;
+/// Cross-shard fairness gate: at 100% cross-shard load with
+/// any-involved-cluster initiation, no initiator cluster may complete more
+/// than 1.5x the transactions of the slowest one. Before the digest-rotated
+/// conflict priority, cluster 0 starved the high-numbered initiators and
+/// this ratio diverged.
+const FAIRNESS_SPREAD_LIMIT: f64 = 1.5;
+const FAIRNESS_CLUSTERS: usize = 3;
+const FAIRNESS_CLIENTS: usize = 6;
+/// Seeds for the fairness scenario (each is a full 10-simulated-second run,
+/// so the set is kept small and independent of `--seeds`).
+const FAIRNESS_SEEDS: u64 = 4;
+/// Minimum completions per initiator for the spread to be meaningful.
+const FAIRNESS_MIN_COMPLETED: usize = 25;
 
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Scenario {
     Loss,
     Crash,
     LossAndCrash,
+    /// Clean network, 100% cross-shard, any-involved-cluster initiation:
+    /// asserts the per-initiator-cluster completion spread stays within
+    /// [`FAIRNESS_SPREAD_LIMIT`].
+    Fairness,
 }
 
 impl Scenario {
@@ -51,6 +70,7 @@ impl Scenario {
             Scenario::Loss => "loss",
             Scenario::Crash => "crash",
             Scenario::LossAndCrash => "loss+crash",
+            Scenario::Fairness => "fairness",
         }
     }
 
@@ -62,11 +82,72 @@ impl Scenario {
             Scenario::LossAndCrash => plan
                 .with_drop_probability(0.02)
                 .with_crash(NodeId(1), SimTime::from_millis(300)),
+            Scenario::Fairness => plan,
         }
     }
 }
 
+/// The fairness scenario: a 10-simulated-second, 100% cross-shard run where
+/// every involved cluster may initiate. Fails when any initiator cluster
+/// completes more than [`FAIRNESS_SPREAD_LIMIT`] times the slowest one, or
+/// when an initiator completes too few transactions for the ratio to mean
+/// anything (which itself indicates starvation at these run lengths).
+fn run_fairness(seed: u64, secs: u64) -> Result<String, String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut params = SystemParams::new(FailureModel::Crash, FAIRNESS_CLUSTERS, 1)
+            .with_seed(seed)
+            .with_initiation_policy(InitiationPolicy::AnyInvolvedCluster);
+        params.accounts_per_shard = ACCOUNTS;
+        params.warmup = SimTime::from_millis(300);
+        let mut system = SharperSystem::build(params, FAIRNESS_CLIENTS, |client| {
+            let mut cfg = WorkloadConfig::evaluation(FAIRNESS_CLUSTERS as u32, 1.0);
+            cfg.accounts_per_shard = ACCOUNTS;
+            WorkloadGenerator::new(client, cfg)
+        });
+        system.run(SimTime::from_secs(secs.max(10)))
+    }));
+    let report = match outcome {
+        Ok(report) => report,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("run panicked");
+            return Err(format!("audit panic: {msg}"));
+        }
+    };
+    let completions: Vec<usize> = (0..FAIRNESS_CLUSTERS)
+        .map(|c| {
+            report
+                .completed_by_initiator
+                .get(&sharper_common::ClusterId(c as u32))
+                .copied()
+                .unwrap_or(0)
+        })
+        .collect();
+    let spread = report.initiator_spread().unwrap_or(f64::INFINITY);
+    if let Some(&min) = completions.iter().min() {
+        if min < FAIRNESS_MIN_COMPLETED {
+            return Err(format!(
+                "initiator starved: completions {completions:?} (min {FAIRNESS_MIN_COMPLETED})"
+            ));
+        }
+    }
+    if spread > FAIRNESS_SPREAD_LIMIT {
+        return Err(format!(
+            "unfair: completions {completions:?} spread {spread:.3} > {FAIRNESS_SPREAD_LIMIT}"
+        ));
+    }
+    Ok(format!(
+        "initiator completions {completions:?}, spread {spread:.3}"
+    ))
+}
+
 fn run_one(scenario: Scenario, seed: u64, secs: u64) -> Result<String, String> {
+    if scenario == Scenario::Fairness {
+        return run_fairness(seed, secs);
+    }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let mut params = SystemParams::new(FailureModel::Crash, CLUSTERS, 1)
             .with_faults(scenario.faults())
@@ -146,6 +227,12 @@ fn main() {
         if !(0..seeds).contains(&seed) {
             jobs.push((Scenario::LossAndCrash, seed));
         }
+    }
+    // The cross-shard fairness gate runs its own small seed set: each run is
+    // 10 simulated seconds, so a handful of seeds keeps the sweep fast while
+    // still catching a reintroduced fixed-priority starvation.
+    for seed in 0..FAIRNESS_SEEDS {
+        jobs.push((Scenario::Fairness, seed));
     }
 
     let next = AtomicUsize::new(0);

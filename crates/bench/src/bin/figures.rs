@@ -22,8 +22,9 @@
 use sharper_bench::{
     batching_to_json, cli_flag_value, cli_thread_mode, exec_to_json, fig8xl_to_json,
     figure_batching, figure_cross_shard_sweep, figure_exec, figure_fig8xl, figure_parallel,
-    figure_scalability, figure_to_json, parallel_to_json, BatchSeries, ExecSweep, Fig8xlSweep,
-    ParallelSweep, Series,
+    figure_reshard, figure_scalability, figure_to_json, parallel_to_json,
+    reshard_fairness_markdown, reshard_to_json, BatchSeries, ExecSweep, Fig8xlSweep, ParallelSweep,
+    ReshardSweep, Series,
 };
 use sharper_common::{FailureModel, SimTime, ThreadMode};
 use std::path::Path;
@@ -83,7 +84,7 @@ fn main() {
 
     let known = [
         "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "8a", "8b", "fig8xl", "batching",
-        "parallel", "exec",
+        "parallel", "exec", "reshard",
     ];
     if let Some(f) = only.as_deref() {
         if !known.iter().any(|k| k.eq_ignore_ascii_case(f)) {
@@ -213,6 +214,41 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if wants("reshard") {
+        // Enough closed-loop clients to saturate the hot cluster's primary —
+        // below saturation a static map serves the skew at base latency and
+        // migrating load cannot pay off.
+        let (reshard_clients, reshard_duration) = if quick {
+            (256, SimTime::from_secs(4))
+        } else {
+            (320, SimTime::from_secs(10))
+        };
+        let sweep = figure_reshard(reshard_clients, threads, reshard_duration);
+        print_reshard(&sweep);
+        write_json(&out_dir, "reshard", &reshard_to_json(&sweep));
+        let fairness_md = reshard_fairness_markdown(&sweep);
+        let md_path = out_dir.join("reshard-fairness.md");
+        match std::fs::write(&md_path, &fairness_md) {
+            Ok(()) => println!("FAIRNESS_TABLE {}", md_path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", md_path.display()),
+        }
+        if sweep.dynamic_speedup < 1.3 {
+            eprintln!(
+                "reshard: dynamic resharding is only {:.2}x static under hot-key drift \
+                 (claim: >= 1.3x)",
+                sweep.dynamic_speedup
+            );
+            std::process::exit(1);
+        }
+        if sweep.fairness_spread > 1.5 {
+            eprintln!(
+                "reshard: per-initiator-cluster completion spread {:.2}x exceeds the 1.5x \
+                 fairness gate",
+                sweep.fairness_spread
+            );
+            std::process::exit(1);
+        }
+    }
     if wants("exec") {
         let sweep = figure_exec(0x5EED, quick);
         print_exec(&sweep);
@@ -222,6 +258,35 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+fn print_reshard(sweep: &ReshardSweep) {
+    println!(
+        "\n=== Dynamic resharding under hot-key drift ({} clusters, Zipf s = {:.1}, \
+         {}-account window drifting every {} txs) ===",
+        sweep.clusters, sweep.zipf_s, sweep.span, sweep.drift_every
+    );
+    println!(
+        "{:<10} {:>8} {:>16} {:>14} {:>10} {:>10}",
+        "system", "clients", "throughput(tps)", "latency(ms)", "reshards", "redirects"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:<10} {:>8} {:>16.0} {:>14.1} {:>10} {:>10}",
+            p.system,
+            p.clients,
+            p.throughput_tps,
+            p.latency_ms,
+            p.reshards_applied,
+            p.client_redirects
+        );
+    }
+    println!("dynamic/static speedup: {:.2}x", sweep.dynamic_speedup);
+    println!("fairness at 100% cross-shard (per initiator cluster):");
+    for f in &sweep.fairness {
+        println!("  cluster {:>2}: {:>8} completed", f.cluster, f.completed);
+    }
+    println!("fairness spread (max/min): {:.3}", sweep.fairness_spread);
 }
 
 fn print_fig8xl(sweep: &Fig8xlSweep) {

@@ -24,14 +24,21 @@
 //! `blocks`-deep tail). The rolling checkpoint digest keeps the ledger
 //! digest bit-identical to the retain-all default, so CI diffs `--retain`
 //! output against the untruncated run too.
+//!
+//! `--reshard` swaps in the dynamic-resharding golden deployments instead:
+//! one scripted split + merge pair and one load-driven run under a drifting
+//! hotspot. Reconfiguration rides the ordinary consensus path, so these
+//! digests must be just as bit-identical across thread modes and under
+//! truncation as the static ones.
 
 use sharper_bench::{cli_flag_value, cli_thread_mode};
 use sharper_common::{
-    BatchConfig, ExecutorConfig, FailureModel, LedgerConfig, SimTime, ThreadMode,
+    BatchConfig, Duration, ExecutorConfig, FailureModel, ForcedMove, LedgerConfig, ReshardConfig,
+    SimTime, ThreadMode,
 };
 use sharper_core::{SharperSystem, SystemParams};
 use sharper_net::FaultPlan;
-use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+use sharper_workload::{HotspotConfig, WorkloadConfig, WorkloadGenerator};
 use std::io::Write;
 
 struct GoldenConfig {
@@ -92,6 +99,113 @@ const CONFIGS: &[GoldenConfig] = &[
 ];
 
 const ACCOUNTS: u64 = 1_000;
+
+/// A golden deployment with the dynamic-resharding plane active (crash model
+/// only). Run with `--reshard`; the digest-diff matrix covers these across
+/// the same thread/executor/retention modes as the base configs.
+struct ReshardGoldenConfig {
+    name: &'static str,
+    cross_ratio: f64,
+    clients: usize,
+    drop_probability: f64,
+    seed: u64,
+    reshard: ReshardConfig,
+    hotspot: Option<HotspotConfig>,
+}
+
+/// The reshard golden deployments: one scripted split + merge pair (the
+/// merge is the inverse move, restoring the genesis map), and one fully
+/// load-driven run under a drifting hotspot. Both must be bit-identical
+/// across every thread mode and under ledger truncation.
+fn reshard_configs() -> Vec<ReshardGoldenConfig> {
+    vec![
+        ReshardGoldenConfig {
+            name: "reshard-forced-split-merge-drop1-seed-5",
+            cross_ratio: 0.2,
+            clients: 6,
+            drop_probability: 0.01,
+            seed: 5,
+            // One split mid-run, then the inverse move (a merge) 600 ms
+            // later: the catalog range [600, 640) leaves shard 0 for
+            // cluster 2 and comes home again.
+            reshard: ReshardConfig {
+                // A tight check interval keeps the scripted times sharp and
+                // re-sends directives lost to the 1% drop rate promptly.
+                check_interval: Duration::from_millis(100),
+                ..ReshardConfig::forced_only(vec![
+                    ForcedMove {
+                        at: Duration::from_millis(500),
+                        start: 600,
+                        len: 40,
+                        to: 2,
+                    },
+                    ForcedMove {
+                        at: Duration::from_millis(1_100),
+                        start: 600,
+                        len: 40,
+                        to: 0,
+                    },
+                ])
+            },
+            hotspot: None,
+        },
+        ReshardGoldenConfig {
+            name: "reshard-load-driven-hotspot-seed-11",
+            cross_ratio: 0.0,
+            clients: 8,
+            drop_probability: 0.0,
+            seed: 11,
+            reshard: ReshardConfig {
+                enabled: true,
+                buckets_per_shard: 100,
+                report_interval: Duration::from_millis(100),
+                check_interval: Duration::from_millis(200),
+                ..ReshardConfig::enabled()
+            },
+            hotspot: Some(HotspotConfig {
+                hot_ratio: 0.8,
+                s: 1.2,
+                span: 60,
+                drift_every: 150,
+            }),
+        },
+    ]
+}
+
+fn run_reshard_config(
+    cfg: &ReshardGoldenConfig,
+    threads: ThreadMode,
+    exec: ExecutorConfig,
+    ledger: LedgerConfig,
+) -> String {
+    let mut params = SystemParams::new(FailureModel::Crash, 3, 1)
+        .with_faults(FaultPlan::none().with_drop_probability(cfg.drop_probability))
+        .with_seed(cfg.seed)
+        .with_batching(BatchConfig::with_size(1))
+        .with_threads(threads)
+        .with_executor(exec)
+        .with_ledger(ledger)
+        .with_reshard(cfg.reshard.clone());
+    params.accounts_per_shard = ACCOUNTS;
+    params.warmup = SimTime::from_millis(100);
+    let (cross_ratio, hotspot) = (cfg.cross_ratio, cfg.hotspot);
+    let mut system = SharperSystem::build(params, cfg.clients, move |client| {
+        let mut wl = WorkloadConfig::evaluation(3, cross_ratio);
+        wl.accounts_per_shard = ACCOUNTS;
+        wl.hotspot = hotspot;
+        WorkloadGenerator::new(client, wl)
+    });
+    let report = system.run(SimTime::from_secs(2));
+    format!(
+        "{} {} {} {} {} reshards={}",
+        cfg.name,
+        system.ledger_digest().to_hex(),
+        report.summary.committed,
+        report.simulation.delivered,
+        report.simulation.dropped,
+        report.reshards_applied
+    )
+}
 
 fn run_config(
     cfg: &GoldenConfig,
@@ -154,11 +268,20 @@ fn main() {
         }
     };
 
+    let reshard = args.iter().any(|a| a == "--reshard");
     let mut lines = Vec::with_capacity(CONFIGS.len());
-    for cfg in CONFIGS {
-        let line = run_config(cfg, threads, exec, ledger);
-        println!("[{threads}] {line}");
-        lines.push(line);
+    if reshard {
+        for cfg in &reshard_configs() {
+            let line = run_reshard_config(cfg, threads, exec, ledger);
+            println!("[{threads}] {line}");
+            lines.push(line);
+        }
+    } else {
+        for cfg in CONFIGS {
+            let line = run_config(cfg, threads, exec, ledger);
+            println!("[{threads}] {line}");
+            lines.push(line);
+        }
     }
     let body = lines.join("\n") + "\n";
     if let Some(path) = out {

@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 
 /// The figures the gate tracks, in the order they are reported.
-const GATED_FIGURES: &[&str] = &["fig6a", "batching", "parallel", "exec", "fig8xl"];
+const GATED_FIGURES: &[&str] = &["fig6a", "batching", "parallel", "exec", "fig8xl", "reshard"];
 
 /// Extracts every `"throughput_tps":<number>` value from a BENCH json
 /// document. The format is produced by this workspace (see

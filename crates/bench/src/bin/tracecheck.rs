@@ -8,8 +8,11 @@
 //!       --secs 3 --seed 42 --out bench-out
 //!
 //! Scenarios: a clean run, the three faultsweep fault plans (message loss, a
-//! crashed backup, both combined), a staggered primary-crash cascade (f = 2)
-//! and a clean Byzantine run. Each is checked with
+//! crashed backup, both combined), a staggered primary-crash cascade (f = 2),
+//! a clean Byzantine run, and a dynamic-resharding run under a drifting
+//! Zipfian hotspot (the lifecycle invariants must survive online shard
+//! splits/merges, and the trace must actually contain reshard applies for
+//! the scenario to pass). Each is checked with
 //! [`sharper_bench::trace::check_invariants`]; any violation fails the
 //! process. A deliberately corrupted trace is checked last as a negative
 //! control — the analyzer must flag it, proving the gate can actually fail.
@@ -17,11 +20,11 @@
 use sharper_bench::cli_flag_value;
 use sharper_bench::trace::{analyze, check_invariants, phases_to_json, PhaseBreakdown};
 use sharper_common::{
-    trace_to_jsonl, Duration, FailureModel, NodeId, SimTime, TraceEvent, TraceKind,
+    trace_to_jsonl, Duration, FailureModel, NodeId, ReshardConfig, SimTime, TraceEvent, TraceKind,
 };
 use sharper_core::{SharperSystem, SystemParams};
 use sharper_net::FaultPlan;
-use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+use sharper_workload::{HotspotConfig, WorkloadConfig, WorkloadGenerator};
 use std::io::Write;
 use std::path::Path;
 
@@ -35,6 +38,10 @@ struct Scenario {
     model: FailureModel,
     f: usize,
     faults: FaultPlan,
+    /// Dynamic-resharding plane; disabled for every scenario but "reshard".
+    reshard: ReshardConfig,
+    /// Zipfian hotspot driving load-based splits; None = uniform workload.
+    hotspot: Option<HotspotConfig>,
 }
 
 fn scenarios() -> Vec<Scenario> {
@@ -44,18 +51,24 @@ fn scenarios() -> Vec<Scenario> {
             model: FailureModel::Crash,
             f: 1,
             faults: FaultPlan::none(),
+            reshard: ReshardConfig::default(),
+            hotspot: None,
         },
         Scenario {
             name: "loss",
             model: FailureModel::Crash,
             f: 1,
             faults: FaultPlan::none().with_drop_probability(0.02),
+            reshard: ReshardConfig::default(),
+            hotspot: None,
         },
         Scenario {
             name: "crash",
             model: FailureModel::Crash,
             f: 1,
             faults: FaultPlan::none().with_crash(NodeId(1), SimTime::from_millis(300)),
+            reshard: ReshardConfig::default(),
+            hotspot: None,
         },
         Scenario {
             name: "loss+crash",
@@ -64,6 +77,8 @@ fn scenarios() -> Vec<Scenario> {
             faults: FaultPlan::none()
                 .with_drop_probability(0.02)
                 .with_crash(NodeId(1), SimTime::from_millis(300)),
+            reshard: ReshardConfig::default(),
+            hotspot: None,
         },
         // Cascading primary crashes: cluster 0's view-0 primary goes down,
         // then its successor. f = 2 (5 replicas per cluster) keeps the
@@ -78,12 +93,38 @@ fn scenarios() -> Vec<Scenario> {
                 SimTime::from_millis(300),
                 Duration::from_millis(1_200),
             ),
+            reshard: ReshardConfig::default(),
+            hotspot: None,
         },
         Scenario {
             name: "byzantine",
             model: FailureModel::Byzantine,
             f: 1,
             faults: FaultPlan::none(),
+            reshard: ReshardConfig::default(),
+            hotspot: None,
+        },
+        // Online resharding under a drifting hotspot: load reports trigger
+        // real splits/merges mid-run, so every lifecycle invariant is checked
+        // across epoch changes, frozen ranges and handover blocks. The run
+        // must contain at least one ReshardApply or it proves nothing.
+        Scenario {
+            name: "reshard",
+            model: FailureModel::Crash,
+            f: 1,
+            faults: FaultPlan::none(),
+            reshard: ReshardConfig {
+                buckets_per_shard: 100,
+                report_interval: Duration::from_millis(100),
+                check_interval: Duration::from_millis(200),
+                ..ReshardConfig::enabled()
+            },
+            hotspot: Some(HotspotConfig {
+                hot_ratio: 0.8,
+                s: 1.2,
+                span: 60,
+                drift_every: 150,
+            }),
         },
     ]
 }
@@ -92,12 +133,15 @@ fn run_scenario(s: &Scenario, seed: u64, secs: u64) -> (Vec<TraceEvent>, PhaseBr
     let mut params = SystemParams::new(s.model, CLUSTERS, s.f)
         .with_faults(s.faults.clone())
         .with_seed(seed)
+        .with_reshard(s.reshard.clone())
         .with_tracing(true);
     params.accounts_per_shard = ACCOUNTS;
     params.warmup = SimTime::from_millis(200);
-    let mut system = SharperSystem::build(params, CLIENTS, |client| {
+    let hotspot = s.hotspot;
+    let mut system = SharperSystem::build(params, CLIENTS, move |client| {
         let mut cfg = WorkloadConfig::evaluation(CLUSTERS as u32, CROSS_RATIO);
         cfg.accounts_per_shard = ACCOUNTS;
+        cfg.hotspot = hotspot;
         WorkloadGenerator::new(client, cfg)
     });
     system.run(SimTime::from_secs(secs));
@@ -181,6 +225,18 @@ fn main() {
                 "FAIL {}: no transaction completed — nothing verified",
                 s.name
             );
+        }
+        if s.name == "reshard" {
+            let applies = trace
+                .iter()
+                .filter(|e| matches!(e.kind, TraceKind::ReshardApply { .. }))
+                .count();
+            if applies == 0 {
+                failed = true;
+                println!("FAIL reshard: no ReshardApply in trace — scenario exercised nothing");
+            } else {
+                println!("PASS reshard: {applies} reshard applies traced");
+            }
         }
         if s.name == "clean" {
             clean_trace = trace;

@@ -20,12 +20,12 @@ pub mod trace;
 use serde::Serialize;
 use sharper_baselines::{BaselineKind, BaselineParams, BaselineSystem};
 use sharper_common::{
-    AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy,
-    LedgerConfig, SimTime, ThreadMode,
+    AccountId, BatchConfig, ClientId, ClusterId, CostModel, Duration, FailureModel,
+    InitiationPolicy, LedgerConfig, ReshardConfig, SimTime, ThreadMode,
 };
 use sharper_core::{SharperSystem, SystemParams};
 use sharper_state::{Executor, Partitioner, Transaction, TX_UNITS};
-use sharper_workload::{WorkloadConfig, WorkloadGenerator};
+use sharper_workload::{HotspotConfig, WorkloadConfig, WorkloadGenerator};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -992,6 +992,260 @@ pub fn parallel_to_json(sweep: &ParallelSweep) -> String {
         sweep.host_cpus,
         points.join(",")
     )
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic resharding under hot-key drift (`figures --fig reshard`)
+// ---------------------------------------------------------------------------
+
+/// Clusters in the reshard evaluation deployment (crash model, f = 1).
+const RESHARD_CLUSTERS: usize = 3;
+/// Width of the drifting hot window in accounts.
+const RESHARD_SPAN: u64 = 400;
+/// Window drift period in transactions per client stream: short enough that
+/// the hot range actually moves a few times within a measurement run, so the
+/// figure exercises re-splitting after drift, not just the initial carve-up.
+const RESHARD_DRIFT_EVERY: u64 = 300;
+
+/// The hot-window settings of the reshard figure.
+fn reshard_hotspot() -> HotspotConfig {
+    let mut hs = HotspotConfig::evaluation(RESHARD_SPAN);
+    hs.drift_every = RESHARD_DRIFT_EVERY;
+    hs
+}
+
+/// The reshard policy of the evaluation: single-account load buckets
+/// (`buckets_per_shard == ACCOUNTS_PER_SHARD`) so the Zipf head ranks can be
+/// carved off the hot shard one by one — a coarser bucket would trap most of
+/// the window's mass in one indivisible unit — with tight report/check
+/// intervals so the coordinator tracks the drifting window within a fraction
+/// of a drift period.
+fn reshard_policy() -> ReshardConfig {
+    ReshardConfig {
+        enabled: true,
+        buckets_per_shard: ACCOUNTS_PER_SHARD,
+        report_interval: Duration::from_millis(100),
+        check_interval: Duration::from_millis(200),
+        ..ReshardConfig::enabled()
+    }
+}
+
+/// The hot-key-drift workload of the reshard figure: 80% of traffic on a
+/// drifting [`RESHARD_SPAN`]-account window with Zipf `s = 1.2` (see
+/// [`HotspotConfig::evaluation`]), zero baseline cross-shard traffic — every
+/// imbalance is the hotspot's.
+fn reshard_workload(client: ClientId) -> WorkloadGenerator {
+    let mut cfg =
+        WorkloadConfig::evaluation(RESHARD_CLUSTERS as u32, 0.0).with_hotspot(reshard_hotspot());
+    cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
+    WorkloadGenerator::new(client, cfg)
+}
+
+/// One operating point of the reshard figure: the same hot-key-drift
+/// workload with the resharding plane off ("static") or on ("dynamic").
+#[derive(Debug, Clone, Serialize)]
+pub struct ReshardPoint {
+    /// "static" (fixed genesis shard map) or "dynamic" (online split/merge).
+    pub system: String,
+    /// Closed-loop clients driving the deployment.
+    pub clients: usize,
+    /// Steady-state throughput in transactions per second.
+    pub throughput_tps: f64,
+    /// Mean end-to-end latency in milliseconds.
+    pub latency_ms: f64,
+    /// Transactions committed in the measurement window.
+    pub committed: usize,
+    /// Reshard handovers applied across all replicas (0 for static).
+    pub reshards_applied: usize,
+    /// Shard-map redirects clients received (0 for static).
+    pub client_redirects: usize,
+}
+
+/// One row of the cross-shard fairness table: completions per initiator
+/// cluster under 100% cross-shard load.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FairnessEntry {
+    /// The initiating cluster.
+    pub cluster: u32,
+    /// Client completions whose request was initiated through this cluster.
+    pub completed: usize,
+}
+
+/// The full reshard sweep: static vs dynamic under hot-key drift, plus the
+/// cross-shard fairness table at 100% cross-shard load.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReshardSweep {
+    /// Clusters in the deployment.
+    pub clusters: usize,
+    /// Zipf skew of the hot window.
+    pub zipf_s: f64,
+    /// Fraction of traffic on the hot window.
+    pub hot_ratio: f64,
+    /// Hot window width in accounts.
+    pub span: u64,
+    /// Window drift period in transactions per client stream.
+    pub drift_every: u64,
+    /// The static and dynamic operating points.
+    pub points: Vec<ReshardPoint>,
+    /// Dynamic throughput over static throughput (the headline claim is
+    /// ≥ 1.3× at Zipf s = 1.2 with a drifting hot range).
+    pub dynamic_speedup: f64,
+    /// Per-initiator-cluster completions at 100% cross-shard load.
+    pub fairness: Vec<FairnessEntry>,
+    /// Max/min ratio over the fairness table (the gate is ≤ 1.5×).
+    pub fairness_spread: f64,
+}
+
+/// Runs one reshard operating point: the hot-key-drift workload with the
+/// resharding plane on or off.
+pub fn reshard_point(
+    dynamic: bool,
+    clients: usize,
+    threads: ThreadMode,
+    duration: SimTime,
+) -> ReshardPoint {
+    let mut params =
+        SystemParams::new(FailureModel::Crash, RESHARD_CLUSTERS, 1).with_threads(threads);
+    if dynamic {
+        params = params.with_reshard(reshard_policy());
+    }
+    params.accounts_per_shard = ACCOUNTS_PER_SHARD;
+    params.warmup = SimTime::from_millis(300);
+    let mut system = SharperSystem::build(params, clients, reshard_workload);
+    let report = system.run(duration);
+    ReshardPoint {
+        system: if dynamic { "dynamic" } else { "static" }.to_string(),
+        clients,
+        throughput_tps: report.summary.throughput_tps,
+        latency_ms: report.summary.mean_latency_ms,
+        committed: report.summary.committed,
+        reshards_applied: report.reshards_applied,
+        client_redirects: report.client_redirects,
+    }
+}
+
+/// Runs the 100% cross-shard fairness deployment (any-involved-cluster
+/// initiation, so every cluster initiates) and returns the per-initiator
+/// completion table plus its max/min spread.
+pub fn reshard_fairness(
+    clients: usize,
+    threads: ThreadMode,
+    duration: SimTime,
+) -> (Vec<FairnessEntry>, f64) {
+    let mut params = SystemParams::new(FailureModel::Crash, RESHARD_CLUSTERS, 1)
+        .with_threads(threads)
+        .with_initiation_policy(InitiationPolicy::AnyInvolvedCluster);
+    params.accounts_per_shard = ACCOUNTS_PER_SHARD;
+    params.warmup = SimTime::from_millis(300);
+    let mut system = SharperSystem::build(params, clients, |client| {
+        let mut cfg = WorkloadConfig::evaluation(RESHARD_CLUSTERS as u32, 1.0);
+        cfg.accounts_per_shard = ACCOUNTS_PER_SHARD;
+        WorkloadGenerator::new(client, cfg)
+    });
+    let report = system.run(duration);
+    let fairness: Vec<FairnessEntry> = report
+        .completed_by_initiator
+        .iter()
+        .map(|(cluster, completed)| FairnessEntry {
+            cluster: cluster.0,
+            completed: *completed,
+        })
+        .collect();
+    let spread = report.initiator_spread().unwrap_or(f64::INFINITY);
+    (fairness, spread)
+}
+
+/// Runs the full reshard figure: static vs dynamic under hot-key drift plus
+/// the cross-shard fairness table.
+pub fn figure_reshard(clients: usize, threads: ThreadMode, duration: SimTime) -> ReshardSweep {
+    let hotspot = reshard_hotspot();
+    let static_point = reshard_point(false, clients, threads, duration);
+    let dynamic_point = reshard_point(true, clients, threads, duration);
+    let dynamic_speedup = if static_point.throughput_tps > 0.0 {
+        dynamic_point.throughput_tps / static_point.throughput_tps
+    } else {
+        f64::INFINITY
+    };
+    // Fairness runs in the conflict-heavy 100% cross-shard regime, where
+    // each completion costs a whole-cluster round: 6 clients keeps the run
+    // in the regime the rotation fix targets without drowning in timeouts,
+    // and a fixed 10-second window accumulates enough completions per
+    // initiator (~50+) that the max/min spread measures scheduling bias
+    // rather than sampling noise.
+    let (fairness, fairness_spread) =
+        reshard_fairness(6, threads, duration.max(SimTime::from_secs(10)));
+    ReshardSweep {
+        clusters: RESHARD_CLUSTERS,
+        zipf_s: hotspot.s,
+        hot_ratio: hotspot.hot_ratio,
+        span: hotspot.span,
+        drift_every: hotspot.drift_every,
+        points: vec![static_point, dynamic_point],
+        dynamic_speedup,
+        fairness,
+        fairness_spread,
+    }
+}
+
+/// Renders the reshard sweep as the `BENCH_reshard.json` document.
+pub fn reshard_to_json(sweep: &ReshardSweep) -> String {
+    let points: Vec<String> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"system\":{},\"clients\":{},\"throughput_tps\":{:.3},\
+                 \"latency_ms\":{:.3},\"committed\":{},\"reshards_applied\":{},\
+                 \"client_redirects\":{}}}",
+                json_string(&p.system),
+                p.clients,
+                p.throughput_tps,
+                p.latency_ms,
+                p.committed,
+                p.reshards_applied,
+                p.client_redirects
+            )
+        })
+        .collect();
+    let fairness: Vec<String> = sweep
+        .fairness
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"cluster\":{},\"completed\":{}}}",
+                f.cluster, f.completed
+            )
+        })
+        .collect();
+    format!(
+        "{{\"figure\":\"reshard\",\"clusters\":{},\"zipf_s\":{:.2},\"hot_ratio\":{:.2},\
+         \"span\":{},\"drift_every\":{},\"points\":[{}],\"dynamic_speedup\":{:.3},\
+         \"fairness\":[{}],\"fairness_spread\":{:.3}}}",
+        sweep.clusters,
+        sweep.zipf_s,
+        sweep.hot_ratio,
+        sweep.span,
+        sweep.drift_every,
+        points.join(","),
+        sweep.dynamic_speedup,
+        fairness.join(","),
+        sweep.fairness_spread
+    )
+}
+
+/// Renders the fairness table as markdown (appended to the CI step summary).
+pub fn reshard_fairness_markdown(sweep: &ReshardSweep) -> String {
+    let mut body = String::from("### Cross-shard fairness (100% cross-shard load)\n\n");
+    body.push_str("| initiator cluster | completed |\n|---:|---:|\n");
+    for f in &sweep.fairness {
+        body.push_str(&format!("| {} | {} |\n", f.cluster, f.completed));
+    }
+    body.push_str(&format!(
+        "\nmax/min spread {:.3} (gate ≤ 1.5), dynamic/static speedup {:.2}× \
+         (gate ≥ 1.3) at Zipf s = {:.1} over a drifting {}-account window\n",
+        sweep.fairness_spread, sweep.dynamic_speedup, sweep.zipf_s, sweep.span
+    ));
+    body
 }
 
 #[cfg(test)]

@@ -261,6 +261,90 @@ impl SimConfig {
     }
 }
 
+/// A scheduled range move for deterministic reshard tests: at `at` sim-time
+/// the coordinator issues a directive moving `[start, start + len)` to
+/// cluster `to`, regardless of observed load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForcedMove {
+    /// Sim-time offset (from run start) at which the move is issued.
+    pub at: Duration,
+    /// First account of the moved range.
+    pub start: u64,
+    /// Number of consecutive accounts moved.
+    pub len: u64,
+    /// Destination cluster id.
+    pub to: u32,
+}
+
+/// Online resharding: load-driven shard split/merge via an epoch'd shard map.
+///
+/// When enabled (crash model only), primaries report per-bucket commit
+/// counts to the reshard coordinator (cluster 0's primary), which issues
+/// split directives moving hot buckets to under-loaded clusters and merge
+/// directives returning cooled-off buckets to their genesis owner. Each
+/// directive executes as a freeze + cross-shard handover transaction, so
+/// reconfiguration is ordered, committed and audited like any other block —
+/// and, like every protocol input, is a deterministic function of the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReshardConfig {
+    /// Master switch; everything below is inert when false.
+    pub enabled: bool,
+    /// Number of load-tracking buckets per shard (the granularity of range
+    /// moves: each bucket is `accounts_per_shard / buckets_per_shard`
+    /// consecutive accounts).
+    pub buckets_per_shard: u64,
+    /// How often primaries report per-bucket load to the coordinator.
+    pub report_interval: Duration,
+    /// How often the coordinator evaluates split/merge decisions.
+    pub check_interval: Duration,
+    /// A bucket is split away when its load exceeds `split_factor ×` the
+    /// mean bucket load across the system.
+    pub split_factor: f64,
+    /// A displaced bucket merges home when its load falls below
+    /// `merge_factor ×` the mean bucket load.
+    pub merge_factor: f64,
+    /// Scripted moves executed at fixed sim times (deterministic golden /
+    /// property tests); load-driven decisions still apply unless the factors
+    /// are set out of reach.
+    pub forced: Vec<ForcedMove>,
+}
+
+impl Default for ReshardConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            buckets_per_shard: 8,
+            report_interval: Duration::from_millis(250),
+            check_interval: Duration::from_millis(500),
+            split_factor: 2.0,
+            merge_factor: 0.5,
+            forced: Vec::new(),
+        }
+    }
+}
+
+impl ReshardConfig {
+    /// An enabled configuration with the default thresholds.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// An enabled configuration that only executes the given scripted moves
+    /// (load-driven decisions are disabled by unreachable thresholds).
+    pub fn forced_only(forced: Vec<ForcedMove>) -> Self {
+        Self {
+            enabled: true,
+            split_factor: f64::INFINITY,
+            merge_factor: 0.0,
+            forced,
+            ..Self::default()
+        }
+    }
+}
+
 /// The failure model followed by the replicas (§2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FailureModel {

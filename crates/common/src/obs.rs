@@ -186,6 +186,31 @@ pub enum TraceKind {
         /// Short digest of the batch being retransmitted.
         batch: u64,
     },
+    /// The reshard coordinator issued a split/merge directive.
+    ReshardDirective {
+        /// The shard-map epoch the directive will establish.
+        epoch: u64,
+        /// First account of the moved range.
+        start: u64,
+        /// Number of consecutive accounts moved.
+        len: u64,
+        /// Destination cluster id.
+        to: u64,
+    },
+    /// A replica applied a handover block: the range moved and the replica's
+    /// shard map switched to the new epoch.
+    ReshardApply {
+        /// The epoch installed at apply.
+        epoch: u64,
+        /// First account of the moved range.
+        start: u64,
+        /// Number of consecutive accounts moved.
+        len: u64,
+        /// Source cluster id.
+        from: u64,
+        /// Destination cluster id.
+        to: u64,
+    },
     /// The partitioned executor scheduled a committed batch.
     ExecPlan {
         /// Short digest of the executed batch.
@@ -228,6 +253,8 @@ impl TraceKind {
             TraceKind::ViewChangeEnd { .. } => "view_change_end",
             TraceKind::BallotAdopt { .. } => "ballot_adopt",
             TraceKind::Retransmit { .. } => "retransmit",
+            TraceKind::ReshardDirective { .. } => "reshard_directive",
+            TraceKind::ReshardApply { .. } => "reshard_apply",
             TraceKind::ExecPlan { .. } => "exec_plan",
         }
     }
@@ -342,6 +369,29 @@ pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
             }
             TraceKind::BallotAdopt { view, proposer } => {
                 let _ = write!(out, ",\"view\":{view},\"proposer\":{proposer}");
+            }
+            TraceKind::ReshardDirective {
+                epoch,
+                start,
+                len,
+                to,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"epoch\":{epoch},\"start\":{start},\"len\":{len},\"to\":{to}"
+                );
+            }
+            TraceKind::ReshardApply {
+                epoch,
+                start,
+                len,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"epoch\":{epoch},\"start\":{start},\"len\":{len},\"from\":{from},\"to\":{to}"
+                );
             }
             TraceKind::ExecPlan {
                 batch,

@@ -1,7 +1,7 @@
 //! Configuration shared by every replica of a deployment.
 
 use sharper_common::{
-    BatchConfig, CostModel, Duration, ExecutorConfig, LedgerConfig, SystemConfig,
+    BatchConfig, CostModel, Duration, ExecutorConfig, LedgerConfig, ReshardConfig, SystemConfig,
 };
 use sharper_crypto::KeyRegistry;
 use sharper_state::Partitioner;
@@ -82,6 +82,9 @@ pub struct ReplicaConfig {
     /// default; checkpoint + truncate behind the audit watermark when
     /// enabled — results are bit-identical either way).
     pub ledger: LedgerConfig,
+    /// Dynamic resharding: load reporting, split/merge thresholds and forced
+    /// moves (disabled by default; crash model only).
+    pub reshard: ReshardConfig,
     /// The key registry modelling the PKI (§2.1).
     pub registry: KeyRegistry,
 }
@@ -151,7 +154,8 @@ impl ReplicaConfig {
     }
 
     /// The fully explicit constructor: batching policy, executor
-    /// (state-partitioning) and ledger retention configuration.
+    /// (state-partitioning) and ledger retention configuration. Resharding
+    /// stays disabled; enable it with [`ReplicaConfig::with_reshard`].
     #[allow(clippy::too_many_arguments)]
     pub fn shared_configured(
         system: SystemConfig,
@@ -171,8 +175,17 @@ impl ReplicaConfig {
             batch,
             exec,
             ledger,
+            reshard: ReshardConfig::default(),
             registry,
         })
+    }
+
+    /// Returns a copy of this config with the given reshard policy installed
+    /// (the system layer applies it before sharing the config).
+    pub fn with_reshard(self: &Arc<Self>, reshard: ReshardConfig) -> Arc<Self> {
+        let mut cfg = Self::clone(self);
+        cfg.reshard = reshard;
+        Arc::new(cfg)
     }
 }
 
@@ -189,8 +202,12 @@ mod tests {
         assert!(t.view_change_timeout > t.conflict_timeout);
         assert!(t.max_retries > 0);
         // The reservation probe must not fire before the initiator has had a
-        // chance to give up and retransmit its abort.
-        let give_up = t.retry_timeout.saturating_mul(u64::from(t.max_retries));
+        // chance to give up and retransmit its abort. Retry timers carry a
+        // deterministic jitter of at most retry_timeout/4 per attempt, so
+        // the worst-case give-up window is max_retries × 1.25 × retry_timeout
+        // (750ms with defaults, still under the 800ms probe).
+        let per_attempt = t.retry_timeout + Duration::from_micros(t.retry_timeout.as_micros() / 4);
+        let give_up = per_attempt.saturating_mul(u64::from(t.max_retries));
         let probe = t
             .conflict_timeout
             .saturating_mul(u64::from(t.reservation_probe_after));

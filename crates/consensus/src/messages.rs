@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use sharper_common::{ClusterId, NodeId, TxId};
 use sharper_crypto::{Digest, QuorumCert, Signature};
 use sharper_ledger::Batch;
-use sharper_state::Transaction;
+use sharper_state::{RangeMove, Transaction};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -37,6 +37,11 @@ pub mod timer_tags {
     /// withdrawn proposal is re-announced a bounded number of times so one
     /// lost abort cannot wedge a remote primary's reservation.
     pub const XABORT_RETRANSMIT: u64 = 7;
+    /// A primary's periodic per-bucket load report to the reshard
+    /// coordinator (armed only when dynamic resharding is enabled).
+    pub const LOAD_REPORT: u64 = 8;
+    /// The reshard coordinator's periodic split/merge decision tick.
+    pub const RESHARD_CHECK: u64 = 9;
 }
 
 /// A Paxos ballot: the total order over crash-model proposals. Ballots are
@@ -97,9 +102,26 @@ pub enum Msg {
         /// The requested transaction (shared, so high-fan-out forwarding and
         /// cloning is a pointer bump).
         tx: Arc<Transaction>,
+        /// The shard-map epoch the sender routed under. A replica holding a
+        /// newer map answers with a [`Msg::Redirect`] (and still forwards the
+        /// request, so a stale map costs latency, never liveness).
+        epoch: u64,
         /// Client signature over the transaction (checked in the Byzantine
         /// model).
         sig: Signature,
+    },
+    /// Replica → client: the client's request was routed under a stale shard
+    /// map. Carries the replica's current map so the client can re-route
+    /// future submissions. Purely advisory — the original request is still
+    /// forwarded and processed, so a redirect never consumes a retry.
+    Redirect {
+        /// The transaction the stale-routed request carried.
+        tx: TxId,
+        /// The replica's current shard-map epoch.
+        epoch: u64,
+        /// The range overlays that transform the genesis map into the
+        /// replica's current map.
+        overlays: Vec<RangeMove>,
     },
     /// A replica's reply to the client after executing the transaction.
     Reply {
@@ -303,6 +325,55 @@ pub enum Msg {
     },
 
     // ------------------------------------------------------------------
+    // Dynamic resharding control plane (crash model)
+    // ------------------------------------------------------------------
+    /// Primary → reshard coordinator: per-bucket commit counts observed
+    /// since the last report. Buckets partition the global key space
+    /// uniformly; the coordinator aggregates reports to find hot ranges.
+    LoadReport {
+        /// The reporting primary's cluster.
+        cluster: ClusterId,
+        /// The reporter's shard-map epoch (stale-epoch reports are dropped).
+        epoch: u64,
+        /// Per-bucket `(bucket, total, movable)` commit counts for buckets
+        /// owned by the reporter. `movable` counts commits whose every
+        /// account sits inside that one bucket — load that would follow the
+        /// bucket if it migrated; `total - movable` is pinned load.
+        buckets: Vec<(u64, u64, u64)>,
+    },
+    /// Coordinator → owning primary: move `len` keys starting at `start` to
+    /// cluster `to`. The owner runs the freeze → snapshot → handover
+    /// pipeline; the move commits as an ordinary cross-shard transaction.
+    ReshardDirective {
+        /// The epoch the move will establish once the handover commits.
+        epoch: u64,
+        /// First key of the moved range.
+        start: u64,
+        /// Number of keys moved.
+        len: u64,
+        /// The receiving cluster.
+        to: ClusterId,
+    },
+    /// Source primary → coordinator: the handover for `epoch` committed on
+    /// both sides; the coordinator may issue the next directive.
+    ReshardDone {
+        /// The epoch the completed move established.
+        epoch: u64,
+        /// The source (reporting) cluster.
+        cluster: ClusterId,
+    },
+    /// Source primary → non-involved clusters after a handover commits: the
+    /// new shard map. Involved clusters learn the map from the handover
+    /// block itself; everyone else learns it here.
+    MapAnnounce {
+        /// The announced shard-map epoch.
+        epoch: u64,
+        /// The range overlays that transform the genesis map into the
+        /// announced map.
+        overlays: Vec<RangeMove>,
+    },
+
+    // ------------------------------------------------------------------
     // View change (liveness)
     // ------------------------------------------------------------------
     /// A replica votes to replace the primary of its cluster.
@@ -402,6 +473,11 @@ impl Msg {
             Msg::XCommit { d, .. } | Msg::XCommitB { d, .. } => Some(*d),
             Msg::XAbort { d, .. } => Some(*d),
             Msg::XStatus { d, .. } => Some(*d),
+            Msg::Redirect { .. }
+            | Msg::LoadReport { .. }
+            | Msg::ReshardDirective { .. }
+            | Msg::ReshardDone { .. }
+            | Msg::MapAnnounce { .. } => None,
             Msg::ViewChange { .. } | Msg::NewView { .. } => None,
         }
     }
@@ -463,7 +539,25 @@ mod tests {
     #[test]
     fn new_transaction_classification() {
         let sig = Signature::unsigned(0);
-        assert!(Msg::Request { tx: tx(), sig }.starts_new_transaction());
+        assert!(Msg::Request {
+            tx: tx(),
+            epoch: 0,
+            sig
+        }
+        .starts_new_transaction());
+        assert!(!Msg::Redirect {
+            tx: TxId::new(ClientId(1), 0),
+            epoch: 1,
+            overlays: Vec::new()
+        }
+        .starts_new_transaction());
+        assert!(!Msg::ReshardDirective {
+            epoch: 1,
+            start: 0,
+            len: 8,
+            to: ClusterId(1)
+        }
+        .starts_new_transaction());
         assert!(Msg::PaxosAccept {
             ballot: Ballot::new(0, NodeId(0)),
             parent: Digest::ZERO,
@@ -532,10 +626,20 @@ mod tests {
         assert_eq!(
             Msg::Request {
                 tx: Arc::clone(&t),
+                epoch: 0,
                 sig: Signature::unsigned(0)
             }
             .digest(),
             Some(t.digest())
+        );
+        assert_eq!(
+            Msg::LoadReport {
+                cluster: ClusterId(0),
+                epoch: 0,
+                buckets: Vec::new()
+            }
+            .digest(),
+            None
         );
         assert_eq!(
             Msg::PaxosAccept {
@@ -598,6 +702,8 @@ mod tests {
             CLIENT_RETRY,
             BATCH,
             XABORT_RETRANSMIT,
+            LOAD_REPORT,
+            RESHARD_CHECK,
         ];
         for (i, a) in tags.iter().enumerate() {
             for b in &tags[i + 1..] {

@@ -22,7 +22,7 @@
 
 use super::{AbortRetx, CrossRound, Replica, Reservation};
 use crate::messages::{proposal_sign_bytes, timer_tags, vote_sign_bytes, Msg};
-use sharper_common::{ClusterId, FailureModel, NodeId, TraceKind};
+use sharper_common::{ClusterId, Duration, FailureModel, NodeId, TraceKind};
 use sharper_crypto::{hash_parts, Digest, Signature};
 use sharper_ledger::{Batch, Block};
 use sharper_net::{ActorId, Context, TimerId};
@@ -42,6 +42,32 @@ fn parents_digest(parents: &BTreeMap<ClusterId, Digest>) -> Digest {
 }
 
 impl Replica {
+    /// Retry delay for a cross-shard round: the configured `retry_timeout`
+    /// plus a deterministic jitter in `[0, retry_timeout/4)` derived from the
+    /// batch digest, the attempt number and this node's id. Without the
+    /// jitter every initiator retries in lockstep at exact multiples of the
+    /// retry timeout, so under heavy cross-shard conflict whole seeds either
+    /// always win or always lose the race against the 400ms conflict timeout
+    /// — fixed seeds showed ~5× throughput swings. The jitter is a pure
+    /// function of simulation state, so runs stay bit-identical across
+    /// thread modes. Worst-case give-up window stays 1.25 × retry_timeout ×
+    /// max_retries, still below the reservation probe threshold (checked by
+    /// a config test).
+    fn retry_delay(&self, d: Digest, attempt: u32) -> Duration {
+        let base = self.cfg.timers.retry_timeout;
+        let span = (base.as_micros() / 4).max(1);
+        let mut h = d
+            .short_u64()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt))
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(u64::from(self.node.0));
+        h ^= h >> 31;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 29;
+        base + Duration::from_micros(h % span)
+    }
+
     /// Starts the flattened protocol for a cross-shard batch. Called on the
     /// primary of the initiator cluster.
     pub(super) fn start_cross(
@@ -68,7 +94,7 @@ impl Replica {
             .entry(self.cluster)
             .or_default()
             .insert(self.node, (parent, self.tail_height));
-        let retry = ctx.set_timer(self.cfg.timers.retry_timeout, timer_tags::RETRY);
+        let retry = ctx.set_timer(self.retry_delay(d, 0), timer_tags::RETRY);
         round.retry_timer = Some(retry);
         self.cross.insert(d, round);
         self.initiating = Some(d);
@@ -153,23 +179,29 @@ impl Replica {
         if batch.tx_ids().any(|id| self.committed_txs.contains(&id)) {
             return;
         }
-        let involved = batch.involved_clusters(&self.cfg.partitioner);
+        let involved = batch.involved_clusters(&self.pmap);
         if !involved.contains(&self.cluster) {
             return;
         }
         // Deadlock avoidance: if this replica is the primary of its cluster
         // and is itself initiating another cross-shard batch, it yields to
-        // the higher-priority (lower cluster id) initiator: it withdraws its
-        // own proposal (explicit abort, so remote reservations are released
-        // immediately) and re-initiates it from its retry timer once the
-        // higher-priority transaction is out of the way. Yielding is only
-        // safe while no other cluster has accepted our proposal yet; if it is
-        // not safe (or the proposal has lower priority), the incoming
-        // proposal waits in the buffer instead — accepting it now would vouch
-        // the same chain position for two different proposals.
+        // the higher-priority initiator: it withdraws its own proposal
+        // (explicit abort, so remote reservations are released immediately)
+        // and re-initiates it from its retry timer once the higher-priority
+        // transaction is out of the way. Priority is the total order over
+        // `(batch digest, initiator cluster)` — digest first, so who yields
+        // rotates per batch instead of always favouring low cluster ids
+        // (which starves high-numbered initiators at full cross-shard load).
+        // Yielding is only safe while no other cluster has accepted our
+        // proposal yet; if it is not safe (or the proposal has lower
+        // priority), the incoming proposal waits in the buffer instead —
+        // accepting it now would vouch the same chain position for two
+        // different proposals.
         if let Some(own) = self.initiating {
             if own != d {
-                if initiator < self.cluster {
+                if super::cross_priority_key(d, initiator)
+                    < super::cross_priority_key(own, self.cluster)
+                {
                     self.yield_initiation(own, ctx);
                 }
                 if self.initiating.is_some() {
@@ -379,7 +411,7 @@ impl Replica {
         if batch.tx_ids().any(|id| self.committed_txs.contains(&id)) {
             return;
         }
-        let involved = batch.involved_clusters(&self.cfg.partitioner);
+        let involved = batch.involved_clusters(&self.pmap);
         if !involved.contains(&self.cluster) {
             return;
         }
@@ -904,7 +936,8 @@ impl Replica {
                 return;
             }
             if self.initiating.is_some() || self.reservation.is_some() {
-                let retry = ctx.set_timer(self.cfg.timers.retry_timeout, timer_tags::RETRY);
+                let attempt = self.cross.get(&d).map_or(0, |r| r.attempt);
+                let retry = ctx.set_timer(self.retry_delay(d, attempt), timer_tags::RETRY);
                 self.cross.get_mut(&d).expect("round exists").retry_timer = Some(retry);
                 return;
             }
@@ -977,7 +1010,7 @@ impl Replica {
             .entry(self.cluster)
             .or_default()
             .insert(self.node, (parent, self.tail_height));
-        let retry = ctx.set_timer(self.cfg.timers.retry_timeout, timer_tags::RETRY);
+        let retry = ctx.set_timer(self.retry_delay(d, attempt), timer_tags::RETRY);
         self.cross.get_mut(&d).expect("round exists").retry_timer = Some(retry);
 
         let recipients = self.members_of_all_except_self(&involved);

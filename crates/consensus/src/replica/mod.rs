@@ -19,6 +19,7 @@
 
 mod cross;
 mod intra;
+mod reshard;
 #[cfg(test)]
 mod tests;
 mod view_change;
@@ -32,7 +33,9 @@ use sharper_crypto::keys::SignerId;
 use sharper_crypto::{hash, Digest, Signature, Signer};
 use sharper_ledger::{Batch, Block, LedgerView};
 use sharper_net::{Actor, ActorId, Context, TimerId};
-use sharper_state::{AccountStore, ExecutionOutcome, Executor, PartitionedStore, Transaction};
+use sharper_state::{
+    AccountStore, ExecutionOutcome, Executor, PartitionedStore, Partitioner, Transaction,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -44,6 +47,17 @@ const SIG_CACHE_CAPACITY: usize = 4_096;
 /// Maps a replica id into the signer-id space of the key registry.
 pub fn node_signer_id(node: NodeId) -> SignerId {
     SignerId(node.0 as u64)
+}
+
+/// The total priority order used to break circular waits between
+/// concurrently initiating cross-shard primaries: lower key wins. Keyed by
+/// the batch digest *first* so that which initiator yields varies per batch
+/// (load-balanced fairness) instead of always favouring low cluster ids —
+/// the fixed `initiator < cluster` order starved high-numbered initiator
+/// clusters at 100% cross-shard load. The initiator id breaks digest
+/// collisions, keeping the order total.
+pub(super) fn cross_priority_key(d: Digest, initiator: ClusterId) -> (u64, u32) {
+    (d.short_u64(), initiator.0)
 }
 
 /// Maps a client id into the signer-id space of the key registry.
@@ -70,6 +84,8 @@ pub struct ReplicaStats {
     pub aborted_executions: usize,
     /// Signature verifications skipped thanks to the verified-pair cache.
     pub sig_cache_hits: usize,
+    /// Handover blocks applied (shard-map epoch switches) on this replica.
+    pub reshards_applied: usize,
 }
 
 /// State of one in-flight intra-shard consensus round.
@@ -255,6 +271,16 @@ pub struct Replica {
     /// LRU cache of `(signer, digest-of-signed-bytes)` pairs that already
     /// verified, so retransmissions skip the signature check.
     verified_sigs: SigCache,
+    /// The replica's *current* shard map: the genesis partitioner plus every
+    /// overlay installed by committed handover blocks (or map announces).
+    /// All routing and involved-cluster computations go through this, never
+    /// through `cfg.partitioner`, which stays frozen at genesis.
+    pmap: Partitioner,
+    /// The epoch of `pmap`; bumped exactly once per applied handover.
+    map_epoch: u64,
+    /// Dynamic-resharding state (load buckets, coordinator bookkeeping, the
+    /// freeze → handover pipeline). Inert unless `cfg.reshard.enabled`.
+    reshard: reshard::ReshardState,
     stats: ReplicaStats,
 }
 
@@ -269,7 +295,8 @@ impl Replica {
             .registry
             .signer(node_signer_id(node))
             .expect("replica key must be registered");
-        let executor = Executor::new(cluster, cfg.partitioner.clone());
+        let pmap = cfg.partitioner.clone();
+        let executor = Executor::new(cluster, pmap.clone());
         let genesis_primary = cfg
             .system
             .primary(cluster, 0)
@@ -310,6 +337,9 @@ impl Replica {
             vc_votes: HashMap::new(),
             vc_timer: None,
             verified_sigs: SigCache::new(SIG_CACHE_CAPACITY),
+            pmap,
+            map_epoch: 0,
+            reshard: reshard::ReshardState::default(),
             stats: ReplicaStats::default(),
         }
     }
@@ -376,6 +406,17 @@ impl Replica {
     /// Counters for tests and reports.
     pub fn stats(&self) -> ReplicaStats {
         self.stats
+    }
+
+    /// The shard-map epoch this replica currently routes under.
+    pub fn map_epoch(&self) -> u64 {
+        self.map_epoch
+    }
+
+    /// The replica's current shard map (genesis partitioner plus the
+    /// overlays installed by committed handovers).
+    pub fn shard_map(&self) -> &Partitioner {
+        &self.pmap
     }
 
     /// Number of transactions this replica has committed (appended).
@@ -814,8 +855,12 @@ impl Replica {
         // The whole batch applies atomically in order (commit_block already
         // rejected blocks overlapping committed transactions). The
         // partitioned scheduler merges outcomes back in batch order, so both
-        // paths are bit-identical.
-        let outcomes = if self.cfg.exec.is_partitioned() {
+        // paths are bit-identical. Batches carrying reshard control
+        // transactions always take the serial path: the freeze/handover
+        // effects span every partition, and forcing them serial (a pure
+        // function of batch content) keeps all executor modes bit-identical.
+        let has_reshard = batch.txs().iter().any(|tx| tx.is_reshard());
+        let outcomes = if self.cfg.exec.is_partitioned() && !has_reshard {
             let applied = self.executor.apply_batch_partitioned(
                 &mut self.store,
                 batch.txs(),
@@ -849,11 +894,19 @@ impl Replica {
             } else {
                 self.stats.committed_intra += 1;
             }
-            if reply {
+            if applied {
+                self.note_commit_load(tx);
+            }
+            // Reshard control transactions are system-submitted; there is no
+            // client actor to answer.
+            if reply && !tx.is_reshard() {
                 self.reply_to_client(ctx, tx.id, applied);
             }
         }
         self.stats.committed_blocks += 1;
+        if has_reshard {
+            self.after_reshard_block(&batch, ctx);
+        }
         self.after_commit_bookkeeping(ctx);
     }
 
@@ -880,6 +933,12 @@ impl Replica {
     /// Re-processes buffered messages while the replica is unblocked, then
     /// flushes any batch that can start.
     fn process_buffered(&mut self, ctx: &mut Context<Msg>) {
+        // A handover batch parked while this primary was reserved/initiating
+        // starts the moment the replica unblocks — BEFORE buffered client
+        // requests get a chance to re-block it. Without this priority a
+        // steady stream of client cross-shard rounds starves the handover
+        // forever and the frozen range aborts clients indefinitely.
+        self.try_start_pending_handover(ctx);
         let mut guard = 0usize;
         while !self.is_blocked() && !self.buffered.is_empty() && guard < 10_000 {
             let (from, msg) = self.buffered.pop_front().expect("non-empty");
@@ -889,6 +948,7 @@ impl Replica {
         if !self.is_blocked() && self.any_pending() {
             self.flush_pending(ctx);
         }
+        self.try_start_pending_handover(ctx);
     }
 
     /// The single dispatch point shared by `on_message` and the buffered
@@ -901,28 +961,36 @@ impl Replica {
             let pass_through = match &msg {
                 // A re-proposal (retry) of the batch we are already reserved
                 // for must be processed, not buffered.
-                Msg::XPropose { batch, .. } | Msg::XProposeB { batch, .. } => {
-                    let same_reserved = self
-                        .reservation
-                        .as_ref()
-                        .is_some_and(|res| res.d == batch.digest());
+                Msg::XPropose {
+                    batch, initiator, ..
+                } => {
+                    let d = batch.digest();
+                    let same_reserved = self.reservation.as_ref().is_some_and(|res| res.d == d);
                     // Deadlock avoidance (crash model only): an initiating
-                    // primary yields to cross-shard proposals from
-                    // lower-numbered clusters (a total priority order breaks
-                    // circular waits between concurrently initiating
-                    // primaries). In the Byzantine model an initiator's signed
-                    // accept is already in flight, so it must not vouch a
-                    // second proposal for the same chain position; such
-                    // proposals stay buffered until its own commits.
+                    // primary yields to cross-shard proposals that precede
+                    // its own in the total priority order over
+                    // `(batch digest, initiator cluster)`. Keying the order
+                    // by the digest first load-balances who yields — a fixed
+                    // cluster-id order would starve high-numbered initiators
+                    // at full cross-shard load — while still breaking every
+                    // circular wait (the order is total and shared by all
+                    // replicas).
                     let higher_priority = self.model() == FailureModel::Crash
                         && self.reservation.is_none()
-                        && self.initiating.is_some()
-                        && batch
-                            .involved_clusters(&self.cfg.partitioner)
-                            .first()
-                            .is_some_and(|initiator| *initiator < self.cluster);
+                        && self.initiating.is_some_and(|own| {
+                            cross_priority_key(d, *initiator)
+                                < cross_priority_key(own, self.cluster)
+                        });
                     same_reserved || higher_priority
                 }
+                // A Byzantine initiator's signed accept is already in
+                // flight, so it must not vouch a second proposal for the
+                // same chain position; such proposals stay buffered until
+                // its own commits.
+                Msg::XProposeB { batch, .. } => self
+                    .reservation
+                    .as_ref()
+                    .is_some_and(|res| res.d == batch.digest()),
                 _ => false,
             };
             if !pass_through {
@@ -931,8 +999,23 @@ impl Replica {
             }
         }
         match msg {
-            Msg::Request { tx, sig } => self.handle_request(from, tx, sig, ctx),
+            Msg::Request { tx, epoch, sig } => self.handle_request(from, tx, epoch, sig, ctx),
             Msg::Reply { .. } => { /* replicas never receive replies */ }
+            Msg::Redirect { .. } => { /* replicas never receive redirects */ }
+
+            Msg::LoadReport {
+                cluster,
+                epoch,
+                buckets,
+            } => self.handle_load_report(cluster, epoch, buckets),
+            Msg::ReshardDirective {
+                epoch,
+                start,
+                len,
+                to,
+            } => self.handle_reshard_directive(epoch, start, len, to, ctx),
+            Msg::ReshardDone { epoch, cluster } => self.handle_reshard_done(epoch, cluster),
+            Msg::MapAnnounce { epoch, overlays } => self.handle_map_announce(epoch, overlays),
 
             Msg::PaxosAccept {
                 ballot,
@@ -1043,11 +1126,18 @@ impl Replica {
     /// Entry point for client requests (possibly forwarded by peers).
     fn handle_request(
         &mut self,
-        _from: ActorId,
+        from: ActorId,
         tx: Arc<Transaction>,
+        epoch: u64,
         sig: Signature,
         ctx: &mut Context<Msg>,
     ) {
+        // Reshard control operations are system-internal; a client request
+        // carrying one is dropped outright (a client must not be able to
+        // freeze a range or forge a handover).
+        if tx.is_reshard() && matches!(from, ActorId::Client(_)) {
+            return;
+        }
         if self.committed_txs.contains(&tx.id) {
             // Retransmission of an already committed request: just reply.
             self.reply_to_client(ctx, tx.id, true);
@@ -1061,7 +1151,26 @@ impl Replica {
                 return;
             }
         }
-        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        // A client routing under a stale shard map gets the current map back
+        // (crash model; epoch'd maps are a crash-plane feature). Purely
+        // advisory: the request is STILL forwarded and processed below, so a
+        // stale map costs one extra hop, never liveness — and the client
+        // must not count the redirect against any retry budget.
+        if self.model() == FailureModel::Crash
+            && epoch < self.map_epoch
+            && matches!(from, ActorId::Client(_))
+        {
+            ctx.send(
+                ActorId::Client(tx.client()),
+                Msg::Redirect {
+                    tx: tx.id,
+                    epoch: self.map_epoch,
+                    overlays: self.pmap.overlays().to_vec(),
+                },
+            );
+        }
+        let fwd_epoch = self.map_epoch;
+        let involved = tx.involved_clusters(&self.pmap);
         if involved.len() <= 1 {
             // Intra-shard transaction.
             let target_cluster = involved.first().copied().unwrap_or(self.cluster);
@@ -1069,14 +1178,22 @@ impl Replica {
                 // Wrong shard: forward to the responsible cluster's primary.
                 ctx.send(
                     ActorId::Node(self.primary_of(target_cluster)),
-                    Msg::Request { tx, sig },
+                    Msg::Request {
+                        tx,
+                        epoch: fwd_epoch,
+                        sig,
+                    },
                 );
                 return;
             }
             if !self.is_primary() {
                 ctx.send(
                     ActorId::Node(self.primary_of(self.cluster)),
-                    Msg::Request { tx, sig },
+                    Msg::Request {
+                        tx,
+                        epoch: fwd_epoch,
+                        sig,
+                    },
                 );
                 return;
             }
@@ -1092,14 +1209,22 @@ impl Replica {
             if initiator != self.cluster {
                 ctx.send(
                     ActorId::Node(self.primary_of(initiator)),
-                    Msg::Request { tx, sig },
+                    Msg::Request {
+                        tx,
+                        epoch: fwd_epoch,
+                        sig,
+                    },
                 );
                 return;
             }
             if !self.is_primary() {
                 ctx.send(
                     ActorId::Node(self.primary_of(self.cluster)),
-                    Msg::Request { tx, sig },
+                    Msg::Request {
+                        tx,
+                        epoch: fwd_epoch,
+                        sig,
+                    },
                 );
                 return;
             }
@@ -1197,7 +1322,13 @@ impl Actor<Msg> for Replica {
             timer_tags::VIEW_CHANGE => self.handle_view_change_timer(timer, ctx),
             timer_tags::BATCH => self.handle_batch_timer(timer, ctx),
             timer_tags::XABORT_RETRANSMIT => self.handle_xabort_retx_timer(timer, ctx),
+            timer_tags::LOAD_REPORT => self.handle_load_report_timer(ctx),
+            timer_tags::RESHARD_CHECK => self.handle_reshard_check_timer(ctx),
             _ => {}
         }
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        self.start_reshard_timers(ctx);
     }
 }

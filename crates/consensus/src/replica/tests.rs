@@ -102,6 +102,7 @@ impl TestNet {
             ActorId::Node(primary),
             Msg::Request {
                 tx: Arc::new(tx),
+                epoch: 0,
                 sig,
             },
         ));
@@ -252,6 +253,7 @@ fn paxos_request_to_backup_is_forwarded_to_primary() {
         NodeId(2),
         Msg::Request {
             tx: Arc::new(tx.clone()),
+            epoch: 0,
             sig,
         },
     );
@@ -334,6 +336,7 @@ fn pbft_rejects_request_with_invalid_client_signature() {
         NodeId(0),
         Msg::Request {
             tx: Arc::new(tx),
+            epoch: 0,
             sig: Signature::unsigned(client_signer_id(ClientId(1)).0),
         },
     );
@@ -787,6 +790,7 @@ fn new_primary_serves_requests_after_view_change() {
         NodeId(0),
         Msg::Request {
             tx: Arc::new(tx.clone()),
+            epoch: 0,
             sig: csig,
         },
     );
@@ -815,6 +819,7 @@ fn view_change_preserves_a_value_committed_in_the_old_view() {
             ActorId::Client(ClientId(1)),
             Msg::Request {
                 tx: Arc::new(tx.clone()),
+                epoch: 0,
                 sig: client_sig(&cfg, &tx),
             },
             &mut ctx,
@@ -983,6 +988,7 @@ fn cascading_view_change_can_skip_to_a_later_view() {
         NodeId(2),
         Msg::Request {
             tx: Arc::new(tx.clone()),
+            epoch: 0,
             sig: csig,
         },
     );
@@ -1075,6 +1081,7 @@ fn byzantine_new_view_replays_a_genuinely_prepared_round() {
             ActorId::Client(ClientId(1)),
             Msg::Request {
                 tx: Arc::new(tx.clone()),
+                epoch: 0,
                 sig: client_sig(&cfg, &tx),
             },
             &mut ctx,
@@ -1260,6 +1267,7 @@ fn partial_batch_flushes_when_the_batch_timer_fires() {
             ActorId::Client(ClientId(1)),
             Msg::Request {
                 tx: Arc::new(tx),
+                epoch: 0,
                 sig,
             },
             &mut ctx,
@@ -1332,6 +1340,7 @@ fn single_transaction_batches_preserve_unbatched_message_flow() {
         ActorId::Client(ClientId(1)),
         Msg::Request {
             tx: Arc::new(tx),
+            epoch: 0,
             sig,
         },
         &mut ctx,

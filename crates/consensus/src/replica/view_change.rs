@@ -494,19 +494,24 @@ impl Replica {
         // Hand any buffered client requests to the new primary.
         let buffered: Vec<_> = self.buffered.drain(..).collect();
         for (_, msg) in buffered {
-            if let Msg::Request { tx, sig } = msg {
+            if let Msg::Request { tx, epoch, sig } = msg {
                 ctx.send(
                     sharper_net::ActorId::Node(expected_primary),
-                    Msg::Request { tx, sig },
+                    Msg::Request { tx, epoch, sig },
                 );
             }
         }
         // Requests still waiting in this (demoted) replica's batching queues
         // belong to the new primary now.
+        let fwd_epoch = self.map_epoch;
         for (tx, sig) in self.drain_pending_requests() {
             ctx.send(
                 sharper_net::ActorId::Node(expected_primary),
-                Msg::Request { tx, sig },
+                Msg::Request {
+                    tx,
+                    epoch: fwd_epoch,
+                    sig,
+                },
             );
         }
     }

@@ -16,7 +16,7 @@ use sharper_consensus::replica::client_signer_id;
 use sharper_consensus::{timer_tags, Msg, ReplicaConfig};
 use sharper_crypto::Signature;
 use sharper_net::{Actor, ActorId, CommitSample, Context, StatsHandle, TimerId};
-use sharper_state::Transaction;
+use sharper_state::{Partitioner, Transaction};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -58,6 +58,9 @@ struct Outstanding {
     /// retransmissions are pointer bumps.
     tx: Arc<Transaction>,
     cross_shard: bool,
+    /// The initiator cluster the request was routed to (under the client's
+    /// map at submission time) — feeds the per-initiator fairness table.
+    initiator: ClusterId,
     submitted_at: sharper_common::SimTime,
     replies: HashSet<NodeId>,
     retry_timer: TimerId,
@@ -77,6 +80,15 @@ pub struct ClientActor {
     stats: StatsHandle,
     completed: usize,
     retransmissions: usize,
+    /// The client's current view of the shard map. Starts at the genesis
+    /// map (epoch 0) and advances when a replica answers with a
+    /// [`Msg::Redirect`] carrying a newer epoch's overlays.
+    pmap: Partitioner,
+    map_epoch: u64,
+    redirects: usize,
+    /// Commits per initiator cluster (the cluster the request was routed
+    /// to), for the cross-shard fairness gate.
+    completed_by_initiator: BTreeMap<ClusterId, usize>,
 }
 
 impl ClientActor {
@@ -89,6 +101,7 @@ impl ClientActor {
         script: impl Iterator<Item = Transaction> + Send + 'static,
         stats: StatsHandle,
     ) -> Self {
+        let pmap = cfg.partitioner.clone();
         Self {
             id,
             cfg,
@@ -99,6 +112,10 @@ impl ClientActor {
             stats,
             completed: 0,
             retransmissions: 0,
+            pmap,
+            map_epoch: 0,
+            redirects: 0,
+            completed_by_initiator: BTreeMap::new(),
         }
     }
 
@@ -110,6 +127,24 @@ impl ClientActor {
     /// Number of retransmissions this client performed.
     pub fn retransmissions(&self) -> usize {
         self.retransmissions
+    }
+
+    /// Number of shard-map redirects this client received. Redirects are
+    /// advisory (the stale request is still processed), so they count
+    /// neither as retransmissions nor against the in-flight window.
+    pub fn redirects(&self) -> usize {
+        self.redirects
+    }
+
+    /// The shard-map epoch this client currently routes under.
+    pub fn map_epoch(&self) -> u64 {
+        self.map_epoch
+    }
+
+    /// Commits broken down by the initiator cluster each request was routed
+    /// to (the cross-shard fairness table's raw data).
+    pub fn completed_by_initiator(&self) -> &BTreeMap<ClusterId, usize> {
+        &self.completed_by_initiator
     }
 
     /// The replies a client must collect before accepting the result: one in
@@ -140,15 +175,26 @@ impl ClientActor {
     }
 
     /// The replica a request should be sent to: the primary of the initiator
-    /// cluster (super-primary policy for cross-shard transactions).
-    fn target_of(&self, tx: &Transaction) -> NodeId {
-        let involved = tx.involved_clusters(&self.cfg.partitioner);
+    /// cluster (super-primary policy for cross-shard transactions), under the
+    /// client's current view of the shard map.
+    fn target_of(&self, tx: &Transaction) -> (ClusterId, NodeId) {
+        let involved = tx.involved_clusters(&self.pmap);
+        // Under the any-involved-cluster policy the client nominates the
+        // home shard of the transaction's first account (the debited one) as
+        // the initiator; the workload spreads homes uniformly, so initiation
+        // load spreads across clusters instead of collapsing onto the
+        // minimum involved id. Ignored by the super-primary policy.
+        let hint = tx
+            .operations
+            .first()
+            .and_then(|op| op.accounts().first().map(|a| self.pmap.shard_of(*a)));
         let cluster = self
             .cfg
             .system
-            .initiator_cluster(&involved, None)
+            .initiator_cluster(&involved, hint)
             .expect("transaction touches known clusters");
-        self.cfg.system.primary(cluster, 0).expect("cluster exists")
+        let node = self.cfg.system.primary(cluster, 0).expect("cluster exists");
+        (cluster, node)
     }
 
     /// Submits the next scripted transaction, if any.
@@ -158,9 +204,9 @@ impl ClientActor {
             return;
         };
         let tx = Arc::new(tx);
-        let involved = tx.involved_clusters(&self.cfg.partitioner);
+        let involved = tx.involved_clusters(&self.pmap);
         let cross_shard = involved.len() > 1;
-        let target = self.target_of(&tx);
+        let (initiator, target) = self.target_of(&tx);
         let sig = self.sign(&tx);
         ctx.charge(self.cfg.cost.client());
         self.stats.record_submission();
@@ -171,12 +217,20 @@ impl ClientActor {
             Outstanding {
                 tx: Arc::clone(&tx),
                 cross_shard,
+                initiator,
                 submitted_at: ctx.now(),
                 replies: HashSet::new(),
                 retry_timer,
             },
         );
-        ctx.send(ActorId::Node(target), Msg::Request { tx, sig });
+        ctx.send(
+            ActorId::Node(target),
+            Msg::Request {
+                tx,
+                epoch: self.map_epoch,
+                sig,
+            },
+        );
     }
 
     /// Refills the in-flight window up to `max_in_flight`.
@@ -197,6 +251,26 @@ impl Actor<Msg> for ClientActor {
     }
 
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<Msg>) {
+        // A replica that saw this client route under a stale shard map sends
+        // back the current map. The redirect is purely advisory — the stale
+        // request was still forwarded and will complete normally — so the
+        // outstanding entry, its retry timer and the in-flight window are
+        // all left untouched; the new map only changes FUTURE routing. (An
+        // earlier draft resubmitted here, which double-charged the window:
+        // a redirected request burned a retransmission and, combined with
+        // XStatus probes, could wedge a full window behind redirects.)
+        if let Msg::Redirect {
+            epoch, overlays, ..
+        } = &msg
+        {
+            ctx.charge(self.cfg.cost.client());
+            if *epoch > self.map_epoch {
+                self.pmap.install_overlays(overlays.clone());
+                self.map_epoch = *epoch;
+            }
+            self.redirects += 1;
+            return;
+        }
         let Msg::Reply { tx, node, .. } = msg else {
             return;
         };
@@ -205,7 +279,7 @@ impl Actor<Msg> for ClientActor {
             return;
         };
         outstanding.replies.insert(node);
-        let involved = outstanding.tx.involved_clusters(&self.cfg.partitioner);
+        let involved = outstanding.tx.involved_clusters(&self.pmap);
         if outstanding.replies.len() < self.required_replies(&involved) {
             return;
         }
@@ -213,6 +287,10 @@ impl Actor<Msg> for ClientActor {
         let outstanding = self.outstanding.remove(&tx).expect("checked above");
         ctx.cancel_timer(outstanding.retry_timer);
         self.completed += 1;
+        *self
+            .completed_by_initiator
+            .entry(outstanding.initiator)
+            .or_default() += 1;
         ctx.trace(|| TraceKind::ClientComplete {
             tx,
             cross: outstanding.cross_shard,
@@ -258,9 +336,23 @@ impl Actor<Msg> for ClientActor {
                 let retry_timer =
                     ctx.set_timer(self.params.retry_timeout, timer_tags::CLIENT_RETRY);
                 outstanding.retry_timer = retry_timer;
-                let target = self.target_of(&tx);
+                // Re-route under the client's CURRENT map: the retransmission
+                // may go to a different initiator than the original if a
+                // redirect advanced the map in the meantime.
+                let (initiator, target) = self.target_of(&tx);
+                self.outstanding
+                    .get_mut(&id)
+                    .expect("found above")
+                    .initiator = initiator;
                 let sig = self.sign(&tx);
-                ctx.send(ActorId::Node(target), Msg::Request { tx, sig });
+                ctx.send(
+                    ActorId::Node(target),
+                    Msg::Request {
+                        tx,
+                        epoch: self.map_epoch,
+                        sig,
+                    },
+                );
             }
             _ => {}
         }
@@ -518,6 +610,84 @@ mod tests {
             &mut ctx,
         );
         assert_eq!(client.completed(), 2);
+    }
+
+    #[test]
+    fn redirect_updates_the_map_without_charging_the_retry_budget() {
+        use sharper_state::RangeMove;
+        let cfg = config(FailureModel::Crash);
+        let mut client = ClientActor::new(
+            ClientId(1),
+            Arc::clone(&cfg),
+            ClientParams::default(),
+            txs(2),
+            StatsHandle::new(),
+        );
+        let mut ctx = Context::detached(SimTime::ZERO, ActorId::Client(ClientId(1)));
+        client.on_start(&mut ctx);
+        ctx.take_outbox();
+        assert_eq!(client.map_epoch(), 0);
+
+        // A replica holding a newer map answers the stale request with a
+        // redirect carrying the new map's overlays: accounts [0, 50) moved
+        // to cluster 1.
+        let tx = Transaction::transfer(ClientId(1), 0, AccountId(1), AccountId(2), 1);
+        let mut ctx = Context::detached(SimTime::from_millis(5), ActorId::Client(ClientId(1)));
+        client.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::Redirect {
+                tx: tx.id,
+                epoch: 1,
+                overlays: vec![RangeMove {
+                    start: 0,
+                    len: 50,
+                    to: ClusterId(1),
+                }],
+            },
+            &mut ctx,
+        );
+        // The redirect is advisory: the outstanding request stays in flight
+        // untouched — it is neither completed, nor retransmitted, nor does
+        // it free (or consume) an in-flight window slot.
+        assert_eq!(client.redirects(), 1);
+        assert_eq!(client.retransmissions(), 0, "redirect is not a retry");
+        assert_eq!(client.completed(), 0);
+        assert!(ctx.take_outbox().is_empty(), "no resubmission on redirect");
+        assert_eq!(client.map_epoch(), 1);
+
+        // The original request still completes normally...
+        client.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::Reply {
+                tx: tx.id,
+                node: NodeId(0),
+                applied: true,
+            },
+            &mut ctx,
+        );
+        assert_eq!(client.completed(), 1);
+        // ...and the NEXT submission routes under the new map: accounts 1/2
+        // now live on cluster 1, whose primary (view 0) is node 3.
+        let out = ctx.take_outbox();
+        let (target, msg) = &out[0];
+        assert_eq!(*target, ActorId::Node(NodeId(3)));
+        let Msg::Request { epoch, .. } = msg else {
+            panic!("expected a request");
+        };
+        assert_eq!(*epoch, 1, "requests carry the client's map epoch");
+
+        // A stale redirect (epoch ≤ current) is counted but changes nothing.
+        client.on_message(
+            ActorId::Node(NodeId(0)),
+            Msg::Redirect {
+                tx: tx.id,
+                epoch: 0,
+                overlays: Vec::new(),
+            },
+            &mut ctx,
+        );
+        assert_eq!(client.redirects(), 2);
+        assert_eq!(client.map_epoch(), 1);
     }
 
     #[test]

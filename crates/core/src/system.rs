@@ -12,8 +12,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sharper_common::{
     AccountId, BatchConfig, ClientId, ClusterId, CostModel, FailureModel, InitiationPolicy,
-    LatencyModel, LedgerConfig, NodeId, SimConfig, SimTime, StreamingHistogram, SystemConfig,
-    ThreadMode, TraceEvent,
+    LatencyModel, LedgerConfig, NodeId, ReshardConfig, SimConfig, SimTime, StreamingHistogram,
+    SystemConfig, ThreadMode, TraceEvent,
 };
 use sharper_consensus::replica::{client_signer_id, node_signer_id, ReplicaStats};
 use sharper_consensus::{Msg, Replica, ReplicaConfig, TimerConfig};
@@ -58,6 +58,8 @@ pub struct SystemParams {
     pub client: ClientParams,
     /// Length of the warm-up period excluded from the steady-state summary.
     pub warmup: SimTime,
+    /// Dynamic resharding policy (disabled by default; crash model only).
+    pub reshard: ReshardConfig,
 }
 
 impl SystemParams {
@@ -80,7 +82,14 @@ impl SystemParams {
             seed: 42,
             client: ClientParams::default(),
             warmup: SimTime::from_millis(500),
+            reshard: ReshardConfig::default(),
         }
+    }
+
+    /// Sets the dynamic resharding policy (builder style).
+    pub fn with_reshard(mut self, reshard: ReshardConfig) -> Self {
+        self.reshard = reshard;
+        self
     }
 
     /// Sets the fault plan (builder style).
@@ -165,6 +174,7 @@ impl SystemParams {
             self.sim.ledger,
             registry,
         )
+        .with_reshard(self.reshard.clone())
     }
 }
 
@@ -183,6 +193,33 @@ pub struct RunReport {
     pub client_completed: usize,
     /// Total client retransmissions (an indicator of stalls/faults).
     pub retransmissions: usize,
+    /// Total shard-map redirects received by the clients (stale-epoch
+    /// routing; advisory, never counted as retransmissions).
+    pub client_redirects: usize,
+    /// Client completions broken down by the initiator cluster each request
+    /// was routed to — the cross-shard fairness table.
+    pub completed_by_initiator: std::collections::BTreeMap<ClusterId, usize>,
+    /// Total reshard handovers applied across all replicas (counted per
+    /// replica, so `clusters × cluster_size × moves` for a clean run).
+    pub reshards_applied: usize,
+}
+
+impl RunReport {
+    /// Max/min ratio of per-initiator-cluster completions, the fairness
+    /// gate's metric. `None` with fewer than two initiator clusters;
+    /// `+inf` when some cluster initiated commits and another initiated
+    /// none.
+    pub fn initiator_spread(&self) -> Option<f64> {
+        if self.completed_by_initiator.len() < 2 {
+            return None;
+        }
+        let max = self.completed_by_initiator.values().copied().max()? as f64;
+        let min = self.completed_by_initiator.values().copied().min()? as f64;
+        if min == 0.0 {
+            return Some(f64::INFINITY);
+        }
+        Some(max / min)
+    }
 }
 
 /// A fully assembled SharPer deployment ready to run.
@@ -259,6 +296,10 @@ impl SharperSystem {
         let mut replica_stats = Vec::new();
         let mut client_completed = 0usize;
         let mut retransmissions = 0usize;
+        let mut client_redirects = 0usize;
+        let mut reshards_applied = 0usize;
+        let mut completed_by_initiator: std::collections::BTreeMap<ClusterId, usize> =
+            std::collections::BTreeMap::new();
         let mut waits = StreamingHistogram::new();
         for actor in self.sim.actors() {
             match actor {
@@ -276,10 +317,15 @@ impl SharperSystem {
                     report.mempool_evicted += m.evicted;
                     report.mempool_peak_depth = report.mempool_peak_depth.max(m.peak_depth);
                     waits.merge(r.mempool().wait_histogram());
+                    reshards_applied += r.stats().reshards_applied;
                 }
                 SharperActor::Client(c) => {
                     client_completed += c.completed();
                     retransmissions += c.retransmissions();
+                    client_redirects += c.redirects();
+                    for (&cluster, &n) in c.completed_by_initiator() {
+                        *completed_by_initiator.entry(cluster).or_default() += n;
+                    }
                 }
             }
         }
@@ -294,6 +340,9 @@ impl SharperSystem {
             replica_stats,
             client_completed,
             retransmissions,
+            client_redirects,
+            completed_by_initiator,
+            reshards_applied,
         }
     }
 
@@ -614,6 +663,156 @@ mod tests {
         assert_eq!(digest_off, digest_on);
         assert_eq!(sim_off, sim_on);
         assert_eq!(completed_off, completed_on);
+    }
+
+    fn forced_split_merge(split_ms: u64, merge_ms: u64) -> ReshardConfig {
+        ReshardConfig::forced_only(vec![
+            sharper_common::ForcedMove {
+                at: sharper_common::Duration::from_millis(split_ms),
+                start: 0,
+                len: 250,
+                to: 1,
+            },
+            sharper_common::ForcedMove {
+                at: sharper_common::Duration::from_millis(merge_ms),
+                start: 0,
+                len: 250,
+                to: 0,
+            },
+        ])
+    }
+
+    #[test]
+    fn forced_reshard_split_and_merge_commit_and_audit() {
+        let mut params = SystemParams::new(FailureModel::Crash, 2, 1)
+            .with_reshard(forced_split_merge(600, 1_400));
+        params.accounts_per_shard = 1_000;
+        params.warmup = SimTime::from_millis(100);
+        let mut system = SharperSystem::build(params, 4, |client| {
+            workload_with(client, 2, 1_000, 400, 0.1, 2)
+        });
+        let report = system.run(SimTime::from_secs(4));
+        assert!(
+            report.client_completed > 100,
+            "completed {}",
+            report.client_completed
+        );
+        // Both moves committed on both clusters: every replica applied the
+        // split and the merge handover.
+        assert_eq!(report.reshards_applied, 12, "6 replicas × 2 handovers");
+        for node in system.config().system.node_ids() {
+            let r = system.replica(node).expect("replica exists");
+            assert_eq!(r.map_epoch(), 2, "replica {node} converged to epoch 2");
+            // The merge returned the range to its genesis owner, removing
+            // the overlay entirely — the map is exactly the genesis map.
+            assert!(r.shard_map().overlays().is_empty());
+        }
+        // The handover blocks pass the same audit as every other block.
+        assert!(report.audit.distinct_transactions > 0);
+    }
+
+    #[test]
+    fn reshard_runs_are_bit_identical_across_thread_modes() {
+        let run = |threads: ThreadMode| {
+            let mut params = SystemParams::new(FailureModel::Crash, 3, 1)
+                .with_threads(threads)
+                .with_reshard(forced_split_merge(500, 1_200));
+            params.accounts_per_shard = 1_000;
+            params.warmup = SimTime::from_millis(100);
+            let mut system = SharperSystem::build(params, 6, |client| {
+                workload_with(client, 3, 1_000, 300, 0.3, 2)
+            });
+            let report = system.run(SimTime::from_secs(3));
+            (
+                system.ledger_digest(),
+                report.reshards_applied,
+                report.client_completed,
+                report.client_redirects,
+            )
+        };
+        let sequential = run(ThreadMode::Sequential);
+        assert!(sequential.1 > 0, "reshards actually ran");
+        assert_eq!(sequential, run(ThreadMode::PerCluster));
+        assert_eq!(sequential, run(ThreadMode::Fixed(2)));
+    }
+
+    #[test]
+    fn split_then_merge_restores_pre_split_state_across_checkpoint_intervals() {
+        // The moves are scheduled after the finite workload has drained, so
+        // the reshard run commits exactly the same client transactions as
+        // the control run — the handover round-trip must then restore the
+        // exact pre-split application state on every replica, regardless of
+        // ledger truncation cadence.
+        let balances = |reshard: Option<ReshardConfig>, checkpoint: usize| {
+            let mut params = SystemParams::new(FailureModel::Crash, 2, 1);
+            if let Some(r) = reshard {
+                params = params.with_reshard(r);
+            }
+            if checkpoint > 0 {
+                params = params.with_ledger(LedgerConfig::checkpointed(checkpoint, 8));
+            }
+            params.accounts_per_shard = 1_000;
+            params.warmup = SimTime::from_millis(100);
+            let mut system = SharperSystem::build(params, 4, |client| {
+                workload_with(client, 2, 1_000, 150, 0.2, 2)
+            });
+            let report = system.run(SimTime::from_secs(6));
+            assert_eq!(
+                report.retransmissions, 0,
+                "workload must drain before the moves"
+            );
+            let mut state = Vec::new();
+            for node in system.config().system.node_ids() {
+                let r = system.replica(node).expect("replica exists");
+                let mut accounts: Vec<(AccountId, sharper_state::Account)> =
+                    r.store().iter().map(|(id, acct)| (*id, *acct)).collect();
+                accounts.sort_by_key(|(id, _)| *id);
+                state.push((node, accounts));
+            }
+            state
+        };
+        let control = balances(None, 0);
+        for checkpoint in [1usize, 8, 64] {
+            let resharded = balances(Some(forced_split_merge(3_000, 4_000)), checkpoint);
+            assert_eq!(
+                control, resharded,
+                "state differs after split+merge (checkpoint_interval={checkpoint})"
+            );
+        }
+    }
+
+    #[test]
+    fn full_cross_shard_load_is_fair_across_initiator_clusters() {
+        // 100% cross-shard load with clients homed on every cluster. Under
+        // the old fixed cluster-id priority order, high-numbered initiators
+        // lost every conflict and fixed seeds starved them ~5×; with the
+        // digest-keyed rotation plus retry jitter the per-initiator spread
+        // stays within the fairness gate's 1.5× bound.
+        let mut params = SystemParams::new(FailureModel::Crash, 3, 1)
+            .with_initiation_policy(InitiationPolicy::AnyInvolvedCluster);
+        params.accounts_per_shard = 1_000;
+        params.warmup = SimTime::from_millis(200);
+        let mut system = SharperSystem::build(params, 6, |client| {
+            workload_with(client, 3, 1_000, 2_000, 1.0, 2)
+        });
+        let report = system.run(SimTime::from_secs(5));
+        assert!(
+            report.client_completed > 100,
+            "completed {}",
+            report.client_completed
+        );
+        assert_eq!(
+            report.completed_by_initiator.len(),
+            3,
+            "every cluster initiates: {:?}",
+            report.completed_by_initiator
+        );
+        let spread = report.initiator_spread().expect("three initiator clusters");
+        assert!(
+            spread <= 1.5,
+            "initiator spread {spread:.2} exceeds the fairness bound: {:?}",
+            report.completed_by_initiator
+        );
     }
 
     #[test]

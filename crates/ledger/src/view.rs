@@ -326,10 +326,12 @@ impl LedgerView {
                 }
                 match (block.parent_for(self.cluster), prev) {
                     (Some(parent), Some(expected)) if parent == expected => {}
-                    (Some(parent), Some(expected)) => return Err(Error::SafetyViolation(format!(
+                    (Some(parent), Some(expected)) => {
+                        return Err(Error::SafetyViolation(format!(
                         "block {} at height {height} chains to {parent} but expected {expected}",
                         block.digest()
-                    ))),
+                    )))
+                    }
                     _ => {
                         return Err(Error::SafetyViolation(format!(
                             "block {} does not involve cluster {}",

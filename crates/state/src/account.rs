@@ -24,6 +24,10 @@ pub struct Account {
 pub struct AccountStore {
     shard: ClusterId,
     accounts: HashMap<AccountId, Account>,
+    /// Account range `[start, start + len)` frozen by an in-flight reshard:
+    /// client transactions touching it abort deterministically until the
+    /// handover commits and the range leaves (or unfreezes on) this shard.
+    frozen: Option<(u64, u64)>,
 }
 
 impl AccountStore {
@@ -32,6 +36,7 @@ impl AccountStore {
         Self {
             shard,
             accounts: HashMap::new(),
+            frozen: None,
         }
     }
 
@@ -107,6 +112,34 @@ impl AccountStore {
         Ok(())
     }
 
+    /// Removes an account outright (resharding handover: the range leaves
+    /// this shard).
+    pub fn remove_account(&mut self, id: AccountId) -> Option<Account> {
+        self.accounts.remove(&id)
+    }
+
+    /// Freezes the account range `[start, start + len)` for an in-flight
+    /// reshard. At most one range is frozen at a time (the reshard
+    /// coordinator keeps directives strictly sequential).
+    pub fn set_frozen(&mut self, start: u64, len: u64) {
+        self.frozen = Some((start, len));
+    }
+
+    /// Clears the frozen range (the handover committed or was abandoned).
+    pub fn clear_frozen(&mut self) {
+        self.frozen = None;
+    }
+
+    /// The currently frozen range, if any.
+    pub fn frozen_range(&self) -> Option<(u64, u64)> {
+        self.frozen
+    }
+
+    /// Whether `id` falls inside the frozen range.
+    pub fn is_frozen(&self, id: AccountId) -> bool {
+        matches!(self.frozen, Some((start, len)) if start <= id.0 && id.0 < start + len)
+    }
+
     /// Iterates over all accounts (test/inspection helper).
     pub fn iter(&self) -> impl Iterator<Item = (&AccountId, &Account)> {
         self.accounts.iter()
@@ -174,5 +207,29 @@ mod tests {
         let before = s.clone();
         let _ = s.debit(AccountId(1), ClientId(10), 1000);
         assert_eq!(s, before);
+    }
+
+    #[test]
+    fn frozen_range_covers_exactly_its_accounts() {
+        let mut s = store();
+        assert!(s.frozen_range().is_none());
+        assert!(!s.is_frozen(AccountId(1)));
+        s.set_frozen(1, 1);
+        assert_eq!(s.frozen_range(), Some((1, 1)));
+        assert!(s.is_frozen(AccountId(1)));
+        assert!(!s.is_frozen(AccountId(0)));
+        assert!(!s.is_frozen(AccountId(2)));
+        s.clear_frozen();
+        assert!(!s.is_frozen(AccountId(1)));
+    }
+
+    #[test]
+    fn remove_account_returns_the_record() {
+        let mut s = store();
+        let removed = s.remove_account(AccountId(1)).unwrap();
+        assert_eq!(removed.balance, 100);
+        assert_eq!(removed.owner, ClientId(10));
+        assert!(!s.contains(AccountId(1)));
+        assert!(s.remove_account(AccountId(1)).is_none());
     }
 }

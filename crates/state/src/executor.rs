@@ -86,6 +86,29 @@ impl Executor {
                     }
                     ops.push(OpLocality::Read { local });
                 }
+                Operation::Freeze { start, .. } => {
+                    // The freeze targets whichever shard currently owns the
+                    // range (it is ordered intra-shard on that cluster).
+                    let local = self
+                        .partitioner
+                        .owns(self.shard, sharper_common::AccountId(*start));
+                    if local {
+                        writes.push(sharper_common::AccountId(*start));
+                    }
+                    ops.push(OpLocality::Reshard { local });
+                }
+                Operation::Handover {
+                    start, from, to, ..
+                } => {
+                    // The handover's clusters are explicit: the source gives
+                    // the range up, the destination installs it, regardless
+                    // of what the (possibly already bumped) map says.
+                    let local = self.shard == *from || self.shard == *to;
+                    if local {
+                        writes.push(sharper_common::AccountId(*start));
+                    }
+                    ops.push(OpLocality::Reshard { local });
+                }
             }
         }
         RwSet::from_ops(ops, reads, writes)
@@ -115,6 +138,20 @@ impl Executor {
         tx: &Transaction,
         rw: &RwSet,
     ) -> Result<()> {
+        // An in-flight reshard freezes the moving range: client transactions
+        // touching a frozen local account abort deterministically until the
+        // handover commits. The reshard control transactions themselves are
+        // exempt (the freeze establishes the range, the handover moves it).
+        if !tx.is_reshard() {
+            for a in rw.reads().iter().chain(rw.writes()) {
+                if store.is_frozen(*a) {
+                    return Err(Error::InvalidTransaction {
+                        tx: tx.id,
+                        reason: format!("account {a} is frozen by an in-flight reshard"),
+                    });
+                }
+            }
+        }
         for (op, loc) in tx.operations.iter().zip(rw.ops()) {
             match (op, loc) {
                 (
@@ -188,28 +225,62 @@ impl Executor {
             return ExecutionOutcome::Aborted;
         }
         for (op, loc) in tx.operations.iter().zip(rw.ops()) {
-            if let (
-                Operation::Transfer { from, to, amount },
-                OpLocality::Transfer {
-                    from_local,
-                    to_local,
-                },
-            ) = (op, loc)
-            {
-                if *from_local {
-                    // Validation above guarantees this cannot fail.
-                    store
-                        .debit(*from, tx.client(), *amount)
-                        .expect("validated debit");
-                }
-                if *to_local {
-                    if !store.contains(*to) {
-                        // Transfers may create the destination account, as in
-                        // the UTXO-to-account translation of the workload.
-                        store.create_account(*to, tx.client(), 0);
+            match (op, loc) {
+                (
+                    Operation::Transfer { from, to, amount },
+                    OpLocality::Transfer {
+                        from_local,
+                        to_local,
+                    },
+                ) => {
+                    if *from_local {
+                        // Validation above guarantees this cannot fail.
+                        store
+                            .debit(*from, tx.client(), *amount)
+                            .expect("validated debit");
                     }
-                    store.credit(*to, *amount).expect("destination exists");
+                    if *to_local {
+                        if !store.contains(*to) {
+                            // Transfers may create the destination account, as in
+                            // the UTXO-to-account translation of the workload.
+                            store.create_account(*to, tx.client(), 0);
+                        }
+                        store.credit(*to, *amount).expect("destination exists");
+                    }
                 }
+                (Operation::Freeze { start, len, .. }, OpLocality::Reshard { local: true }) => {
+                    store.set_frozen(*start, *len);
+                }
+                (
+                    Operation::Handover {
+                        start,
+                        len,
+                        from,
+                        to,
+                        entries,
+                        ..
+                    },
+                    OpLocality::Reshard { local: true },
+                ) => {
+                    if self.shard == *from {
+                        // The range leaves this shard; the freeze established
+                        // at phase 1 is lifted with it.
+                        for off in 0..*len {
+                            store.remove_account(sharper_common::AccountId(start + off));
+                        }
+                        store.clear_frozen();
+                    }
+                    if self.shard == *to {
+                        for e in entries {
+                            store.create_account(
+                                sharper_common::AccountId(start + e.offset),
+                                e.owner,
+                                e.balance,
+                            );
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         ExecutionOutcome::Applied
@@ -314,6 +385,27 @@ impl Executor {
         exec_threads: usize,
     ) -> PartitionedApply {
         scheduler::execute(self, store, txs, exec_threads)
+    }
+
+    /// Snapshots the frozen range `[start, start + len)` into the handover
+    /// entries a reshard's phase-2 transaction carries, in ascending offset
+    /// order (deterministic across replicas holding the same state).
+    pub fn snapshot_range(
+        store: &impl StateRead,
+        start: u64,
+        len: u64,
+    ) -> Vec<crate::transaction::HandoverEntry> {
+        (0..len)
+            .filter_map(|offset| {
+                store
+                    .account(sharper_common::AccountId(start + offset))
+                    .map(|a| crate::transaction::HandoverEntry {
+                        offset,
+                        balance: a.balance,
+                        owner: a.owner,
+                    })
+            })
+            .collect()
     }
 
     /// Initialises a store with `accounts_per_shard` accounts for this shard,
@@ -556,6 +648,75 @@ mod tests {
         );
         // Account 4242 maps to shard 2 under range(4,100); not local → error.
         assert!(exec.validate_local(&store, &missing).is_err());
+    }
+
+    #[test]
+    fn freeze_aborts_touching_transactions_until_handover_moves_the_range() {
+        use crate::transaction::HandoverEntry;
+        let p = Partitioner::range(4, 100);
+        let exec0 = Executor::new(ClusterId(0), p.clone());
+        let exec2 = Executor::new(ClusterId(2), p.clone());
+        let mut store0 = exec0.genesis_store(100, 1_000, ClientId);
+        let mut store2 = exec2.genesis_store(100, 1_000, ClientId);
+
+        // Phase 1: freeze [10, 20) on shard 0.
+        let freeze = Transaction::freeze(ClientId(9_999), 0, 10, 10, 1);
+        assert_eq!(exec0.apply(&mut store0, &freeze), ExecutionOutcome::Applied);
+        assert!(store0.is_frozen(AccountId(10)));
+
+        // Client traffic touching the frozen range aborts; outside it runs.
+        let frozen_tx = Transaction::transfer(ClientId(10), 0, AccountId(10), AccountId(50), 1);
+        assert_eq!(
+            exec0.apply(&mut store0, &frozen_tx),
+            ExecutionOutcome::Aborted
+        );
+        let credit_into_frozen =
+            Transaction::transfer(ClientId(30), 0, AccountId(30), AccountId(15), 1);
+        assert_eq!(
+            exec0.apply(&mut store0, &credit_into_frozen),
+            ExecutionOutcome::Aborted
+        );
+        let free_tx = Transaction::transfer(ClientId(30), 1, AccountId(30), AccountId(50), 1);
+        assert_eq!(
+            exec0.apply(&mut store0, &free_tx),
+            ExecutionOutcome::Applied
+        );
+
+        // Phase 2: the handover moves the range to shard 2 atomically.
+        let entries: Vec<HandoverEntry> = Executor::snapshot_range(&store0, 10, 10);
+        assert_eq!(entries.len(), 10);
+        let handover = Transaction::new(
+            sharper_common::TxId::new(ClientId(9_999), 1),
+            vec![Operation::Handover {
+                start: 10,
+                len: 10,
+                from: ClusterId(0),
+                to: ClusterId(2),
+                epoch: 1,
+                entries,
+            }],
+        );
+        let moved: u128 = (10..20)
+            .map(|i| store0.balance(AccountId(i)).unwrap() as u128)
+            .sum();
+        let before0 = store0.total_balance();
+        let before2 = store2.total_balance();
+        assert_eq!(
+            exec0.apply(&mut store0, &handover),
+            ExecutionOutcome::Applied
+        );
+        assert_eq!(
+            exec2.apply(&mut store2, &handover),
+            ExecutionOutcome::Applied
+        );
+        // Source: range gone, freeze lifted, balance reduced by the move.
+        assert!(!store0.contains(AccountId(10)));
+        assert!(store0.frozen_range().is_none());
+        assert_eq!(store0.total_balance(), before0 - moved);
+        // Destination: range installed with balances and owners intact.
+        assert_eq!(store2.balance(AccountId(15)), Some(1_000));
+        assert_eq!(store2.account(AccountId(15)).unwrap().owner, ClientId(15));
+        assert_eq!(store2.total_balance(), before2 + moved);
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod transaction;
 
 pub use account::{Account, AccountStore};
 pub use executor::{ExecutionOutcome, Executor};
-pub use partition::Partitioner;
+pub use partition::{Partitioner, RangeMove};
 pub use rwset::{OpLocality, RwSet};
 pub use scheduler::{ExecPlan, PartitionedApply, C_UNITS, TX_UNITS, V_UNITS};
 pub use store::{PartitionMap, PartitionedStore, StateRead, StateWrite};
-pub use transaction::{Operation, Transaction};
+pub use transaction::{HandoverEntry, Operation, Transaction};

@@ -28,6 +28,13 @@ pub enum OpLocality {
         /// The read account is local (validated here).
         local: bool,
     },
+    /// A resharding control operation (freeze or handover): whether this
+    /// shard participates. Reshard batches always take the serial apply
+    /// path, so the flag only feeds `any_local` and conflict detection.
+    Reshard {
+        /// This shard is the range's source or destination.
+        local: bool,
+    },
 }
 
 /// The local read/write footprint of one transaction on one shard.
@@ -74,6 +81,7 @@ impl RwSet {
                 to_local,
             } => *from_local || *to_local,
             OpLocality::Read { local } => *local,
+            OpLocality::Reshard { local } => *local,
         })
     }
 

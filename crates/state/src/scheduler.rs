@@ -588,6 +588,11 @@ impl StateRead for GangView<'_, '_> {
         let idx = self.slot_of(id)?;
         self.guards[idx].1.account(id)
     }
+
+    fn is_frozen(&self, id: AccountId) -> bool {
+        self.slot_of(id)
+            .is_some_and(|idx| self.guards[idx].1.is_frozen(id))
+    }
 }
 
 impl StateWrite for GangView<'_, '_> {
@@ -604,6 +609,22 @@ impl StateWrite for GangView<'_, '_> {
     fn credit(&mut self, id: AccountId, amount: u64) -> Result<()> {
         let idx = self.slot_of(id).expect("gang partition present");
         self.guards[idx].1.credit(id, amount)
+    }
+
+    // Reshard batches are forced down the serial apply path by the replica
+    // (a pure function of batch content, identical in every exec mode), so
+    // a gang step can never carry a freeze or handover.
+    fn set_frozen(&mut self, _start: u64, _len: u64) {
+        unreachable!("reshard operations never run as gang steps");
+    }
+
+    fn clear_frozen(&mut self) {
+        unreachable!("reshard operations never run as gang steps");
+    }
+
+    fn remove_account(&mut self, id: AccountId) -> Option<Account> {
+        let _ = id;
+        unreachable!("reshard operations never run as gang steps");
     }
 }
 

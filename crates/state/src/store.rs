@@ -30,6 +30,13 @@ pub trait StateRead {
     fn balance(&self, id: AccountId) -> Option<u64> {
         self.account(id).map(|a| a.balance)
     }
+
+    /// Whether `id` falls in a range frozen by an in-flight reshard
+    /// (validation aborts client transactions touching frozen accounts).
+    fn is_frozen(&self, id: AccountId) -> bool {
+        let _ = id;
+        false
+    }
 }
 
 /// Mutating access to account state.
@@ -42,6 +49,18 @@ pub trait StateWrite: StateRead {
 
     /// Credits `amount` to `id`.
     fn credit(&mut self, id: AccountId, amount: u64) -> Result<()>;
+
+    /// Freezes the account range `[start, start + len)` for an in-flight
+    /// reshard (reshard batches always apply serially, so gang views never
+    /// see this).
+    fn set_frozen(&mut self, start: u64, len: u64);
+
+    /// Clears the frozen range.
+    fn clear_frozen(&mut self);
+
+    /// Removes an account outright (resharding handover: the range leaves
+    /// this shard). Returns the removed record, if present.
+    fn remove_account(&mut self, id: AccountId) -> Option<Account>;
 }
 
 impl StateRead for AccountStore {
@@ -51,6 +70,10 @@ impl StateRead for AccountStore {
 
     fn contains(&self, id: AccountId) -> bool {
         AccountStore::contains(self, id)
+    }
+
+    fn is_frozen(&self, id: AccountId) -> bool {
+        AccountStore::is_frozen(self, id)
     }
 }
 
@@ -65,6 +88,18 @@ impl StateWrite for AccountStore {
 
     fn credit(&mut self, id: AccountId, amount: u64) -> Result<()> {
         AccountStore::credit(self, id, amount)
+    }
+
+    fn set_frozen(&mut self, start: u64, len: u64) {
+        AccountStore::set_frozen(self, start, len);
+    }
+
+    fn clear_frozen(&mut self) {
+        AccountStore::clear_frozen(self);
+    }
+
+    fn remove_account(&mut self, id: AccountId) -> Option<Account> {
+        AccountStore::remove_account(self, id)
     }
 }
 
@@ -147,6 +182,9 @@ impl PartitionedStore {
             let p = out.map.partition_of(*id);
             out.parts[p].create_account(*id, account.owner, account.balance);
         }
+        if let Some((start, len)) = store.frozen_range() {
+            out.set_frozen(start, len);
+        }
         out
     }
 
@@ -159,7 +197,37 @@ impl PartitionedStore {
                 out.create_account(*id, account.owner, account.balance);
             }
         }
+        if let Some((start, len)) = self.frozen_range() {
+            out.set_frozen(start, len);
+        }
         out
+    }
+
+    /// Freezes `[start, start + len)` on every partition (the frozen range
+    /// must be visible to whichever partition validates a touching
+    /// transaction).
+    pub fn set_frozen(&mut self, start: u64, len: u64) {
+        for part in &mut self.parts {
+            part.set_frozen(start, len);
+        }
+    }
+
+    /// Clears the frozen range on every partition.
+    pub fn clear_frozen(&mut self) {
+        for part in &mut self.parts {
+            part.clear_frozen();
+        }
+    }
+
+    /// The currently frozen range, if any (identical on every partition).
+    pub fn frozen_range(&self) -> Option<(u64, u64)> {
+        self.parts.first().and_then(AccountStore::frozen_range)
+    }
+
+    /// Removes an account outright (resharding handover).
+    pub fn remove_account(&mut self, id: AccountId) -> Option<Account> {
+        let p = self.map.partition_of(id);
+        self.parts[p].remove_account(id)
     }
 
     /// The shard this store holds.
@@ -237,6 +305,10 @@ impl StateRead for PartitionedStore {
     fn contains(&self, id: AccountId) -> bool {
         PartitionedStore::contains(self, id)
     }
+
+    fn is_frozen(&self, id: AccountId) -> bool {
+        self.parts[self.map.partition_of(id)].is_frozen(id)
+    }
 }
 
 impl StateWrite for PartitionedStore {
@@ -253,6 +325,18 @@ impl StateWrite for PartitionedStore {
     fn credit(&mut self, id: AccountId, amount: u64) -> Result<()> {
         let p = self.map.partition_of(id);
         self.parts[p].credit(id, amount)
+    }
+
+    fn set_frozen(&mut self, start: u64, len: u64) {
+        PartitionedStore::set_frozen(self, start, len);
+    }
+
+    fn clear_frozen(&mut self) {
+        PartitionedStore::clear_frozen(self);
+    }
+
+    fn remove_account(&mut self, id: AccountId) -> Option<Account> {
+        PartitionedStore::remove_account(self, id)
     }
 }
 

@@ -13,8 +13,21 @@ use sharper_crypto::{hash, Digest};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// A single operation inside a transaction.
+/// One account's state carried by a [`Operation::Handover`]: its offset
+/// inside the moved range plus the balance and owner to install on the
+/// destination shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HandoverEntry {
+    /// Account offset within the moved range (`account = start + offset`).
+    pub offset: u64,
+    /// The account's balance at the freeze point.
+    pub balance: u64,
+    /// The account's owner.
+    pub owner: ClientId,
+}
+
+/// A single operation inside a transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Operation {
     /// Move `amount` units from `from` to `to`. Valid only if the requesting
     /// client owns `from` and `from` has at least `amount` units.
@@ -32,6 +45,36 @@ pub enum Operation {
         /// The account being read.
         account: AccountId,
     },
+    /// Resharding phase 1: stabilise the account range `[start, start+len)`
+    /// on its current owner shard. Ordered intra-shard like any transaction;
+    /// once applied, client transactions touching the range abort
+    /// deterministically until the handover completes.
+    Freeze {
+        /// First account of the range being moved.
+        start: u64,
+        /// Number of consecutive accounts.
+        len: u64,
+        /// The shard-map epoch this reshard will establish.
+        epoch: u64,
+    },
+    /// Resharding phase 2: the cross-shard handover moving the frozen range
+    /// from shard `from` to shard `to`. Rides the flattened cross-shard
+    /// commit, so the range leaves the source and lands on the destination
+    /// in one atomically committed (and audited) block on both chains.
+    Handover {
+        /// First account of the moved range.
+        start: u64,
+        /// Number of consecutive accounts.
+        len: u64,
+        /// The shard giving the range up.
+        from: ClusterId,
+        /// The shard receiving the range.
+        to: ClusterId,
+        /// The shard-map epoch both clusters switch to at apply.
+        epoch: u64,
+        /// The frozen account states being moved.
+        entries: Vec<HandoverEntry>,
+    },
 }
 
 impl Operation {
@@ -40,7 +83,19 @@ impl Operation {
         match self {
             Operation::Transfer { from, to, .. } => vec![*from, *to],
             Operation::Read { account } => vec![*account],
+            // Reshard operations address whole ranges, not accounts; their
+            // cluster routing is explicit (see `involved_clusters`), so they
+            // contribute the range start as a representative account only
+            // for conflict purposes on the owning shard.
+            Operation::Freeze { start, .. } | Operation::Handover { start, .. } => {
+                vec![AccountId(*start)]
+            }
         }
+    }
+
+    /// Whether this is a resharding control operation (freeze or handover).
+    pub fn is_reshard(&self) -> bool {
+        matches!(self, Operation::Freeze { .. } | Operation::Handover { .. })
     }
 
     /// Canonical byte encoding used for hashing/signing.
@@ -55,6 +110,33 @@ impl Operation {
             Operation::Read { account } => {
                 out.push(0x02);
                 out.extend_from_slice(&account.0.to_le_bytes());
+            }
+            Operation::Freeze { start, len, epoch } => {
+                out.push(0x03);
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Operation::Handover {
+                start,
+                len,
+                from,
+                to,
+                epoch,
+                entries,
+            } => {
+                out.push(0x04);
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(&from.0.to_le_bytes());
+                out.extend_from_slice(&to.0.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    out.extend_from_slice(&e.offset.to_le_bytes());
+                    out.extend_from_slice(&e.balance.to_le_bytes());
+                    out.extend_from_slice(&e.owner.0.to_le_bytes());
+                }
             }
         }
     }
@@ -90,9 +172,29 @@ impl Transaction {
         )
     }
 
+    /// Convenience constructor for a resharding freeze.
+    pub fn freeze(client: ClientId, seq: u64, start: u64, len: u64, epoch: u64) -> Self {
+        Self::new(
+            TxId::new(client, seq),
+            vec![Operation::Freeze { start, len, epoch }],
+        )
+    }
+
     /// The client that requested the transaction.
     pub fn client(&self) -> ClientId {
         self.id.client
+    }
+
+    /// Whether the transaction carries any resharding control operation.
+    pub fn is_reshard(&self) -> bool {
+        self.operations.iter().any(Operation::is_reshard)
+    }
+
+    /// The handover operation, if this is a handover transaction.
+    pub fn handover_op(&self) -> Option<&Operation> {
+        self.operations
+            .iter()
+            .find(|op| matches!(op, Operation::Handover { .. }))
     }
 
     /// Every account the transaction touches (deduplicated, sorted).
@@ -106,12 +208,26 @@ impl Transaction {
     }
 
     /// The clusters (shards) involved in this transaction, sorted ascending.
+    ///
+    /// A [`Operation::Handover`] names its involved clusters explicitly
+    /// (`{from, to}`), so handover routing never depends on which shard-map
+    /// epoch the computing node holds — the one place where epoch skew could
+    /// otherwise fork the involved set mid-reconfiguration.
     pub fn involved_clusters(&self, partitioner: &Partitioner) -> Vec<ClusterId> {
-        let set: BTreeSet<ClusterId> = self
-            .accounts()
-            .iter()
-            .map(|a| partitioner.shard_of(*a))
-            .collect();
+        let mut set: BTreeSet<ClusterId> = BTreeSet::new();
+        for op in &self.operations {
+            match op {
+                Operation::Handover { from, to, .. } => {
+                    set.insert(*from);
+                    set.insert(*to);
+                }
+                _ => {
+                    for a in op.accounts() {
+                        set.insert(partitioner.shard_of(a));
+                    }
+                }
+            }
+        }
         set.into_iter().collect()
     }
 
@@ -234,6 +350,51 @@ mod tests {
     fn display_mentions_id_and_op_count() {
         let tx = Transaction::transfer(ClientId(3), 4, AccountId(1), AccountId(2), 1);
         assert_eq!(tx.to_string(), "t3.4[1 op(s)]");
+    }
+
+    #[test]
+    fn handover_involved_clusters_are_explicit_and_map_independent() {
+        let p = partitioner();
+        let tx = Transaction::new(
+            TxId::new(ClientId(9), 0),
+            vec![Operation::Handover {
+                start: 500,
+                len: 100,
+                from: ClusterId(0),
+                to: ClusterId(3),
+                epoch: 1,
+                entries: vec![HandoverEntry {
+                    offset: 0,
+                    balance: 42,
+                    owner: ClientId(500),
+                }],
+            }],
+        );
+        assert!(tx.is_reshard());
+        assert!(tx.handover_op().is_some());
+        assert_eq!(tx.involved_clusters(&p), vec![ClusterId(0), ClusterId(3)]);
+        // Even a partitioner that already routes the range elsewhere yields
+        // the same involved set: handovers carry their clusters explicitly.
+        let mut moved = partitioner();
+        moved.apply_range_move(500, 100, ClusterId(3));
+        assert_eq!(
+            tx.involved_clusters(&moved),
+            vec![ClusterId(0), ClusterId(3)]
+        );
+        assert!(tx.is_cross_shard(&p));
+    }
+
+    #[test]
+    fn freeze_routes_to_range_owner_and_hashes_stably() {
+        let p = partitioner();
+        let tx = Transaction::freeze(ClientId(1), 0, 1200, 100, 1);
+        assert!(tx.is_reshard());
+        assert_eq!(tx.involved_clusters(&p), vec![ClusterId(1)]);
+        assert!(!tx.is_cross_shard(&p));
+        let again = Transaction::freeze(ClientId(1), 0, 1200, 100, 1);
+        assert_eq!(tx.digest(), again.digest());
+        let other = Transaction::freeze(ClientId(1), 0, 1200, 100, 2);
+        assert_ne!(tx.digest(), other.digest());
     }
 
     #[test]
